@@ -1,0 +1,244 @@
+package rfview_test
+
+// Benchmark harness: one testing.B benchmark per table of the paper's
+// evaluation section, plus per-strategy micro-benchmarks. `go test -bench=.`
+// prints measurements; cmd/rfbench renders the same experiments as
+// paper-style tables (see EXPERIMENTS.md for the paper-vs-measured record).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rfview/internal/bench"
+	"rfview/internal/core"
+	"rfview/internal/engine"
+)
+
+// BenchmarkTable1 measures the four strategies of Table 1 — native window
+// operator vs. Fig. 2 self-join simulation, with and without an index on the
+// position column — at the paper's sizes (shrunk for the no-index self join,
+// which is quadratic, exactly as the paper's 357s/15000-row cell shows).
+func BenchmarkTable1(b *testing.B) {
+	type cfg struct {
+		name      string
+		native    bool
+		withIndex bool
+		sizes     []int
+	}
+	cases := []cfg{
+		{"native/noindex", true, false, []int{5000, 10000, 15000}},
+		{"selfjoin/noindex", false, false, []int{1000, 2000, 4000}},
+		{"native/index", true, true, []int{5000, 10000, 15000}},
+		{"selfjoin/index", false, true, []int{5000, 10000, 15000}},
+	}
+	for _, c := range cases {
+		for _, n := range c.sizes {
+			b.Run(fmt.Sprintf("%s/n=%d", c.name, n), func(b *testing.B) {
+				opts := engine.DefaultOptions()
+				opts.UseMatViews = false
+				opts.NativeWindow = c.native
+				opts.UseIndexes = c.withIndex
+				e := engine.New(opts)
+				if err := bench.LoadSequenceTable(e, n, 42); err != nil {
+					b.Fatal(err)
+				}
+				if c.withIndex {
+					if _, err := e.Exec(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Exec(bench.Table1Query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 measures the four derivation strategies of Table 2 —
+// MaxOA/MinOA × disjunctive/UNION — deriving ỹ=(3,1) from the materialized
+// x̃=(2,1) view at the paper's sizes.
+func BenchmarkTable2(b *testing.B) {
+	for _, st := range bench.Table2Strategies {
+		for _, n := range []int{100, 500, 1000, 1500, 2000} {
+			b.Run(fmt.Sprintf("%s/n=%d", st.Name, n), func(b *testing.B) {
+				e, err := bench.NewTable2Engine(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := engine.DefaultOptions()
+				opts.Strategy = st.Strategy
+				opts.Form = st.Form
+				e.Opts = opts
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Exec(bench.Table2Query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoreCompute is the ablation behind Table 1's "reporting
+// functionality" column: naive O(n·W) evaluation vs. the §2.2 pipelined
+// recursion, at the algebra level (no SQL overhead).
+func BenchmarkCoreCompute(b *testing.B) {
+	raw := make([]float64, 15000)
+	for i := range raw {
+		raw[i] = float64(i % 97)
+	}
+	for _, w := range []core.Window{core.Sliding(1, 1), core.Sliding(25, 25), core.Cumul()} {
+		b.Run(fmt.Sprintf("naive/w=%v", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeNaive(raw, w, core.Sum); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("pipelined/w=%v", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputePipelined(raw, w, core.Sum); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreDerive compares the derivation algorithms at the algebra
+// level: MaxOA explicit, MaxOA recursive (compensation sequences), MinOA,
+// and full recomputation from raw data as the baseline.
+func BenchmarkCoreDerive(b *testing.B) {
+	raw := make([]float64, 10000)
+	for i := range raw {
+		raw[i] = float64((i * 31) % 101)
+	}
+	src, err := core.ComputePipelined(raw, core.Sliding(2, 1), core.Sum)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := core.Sliding(3, 1)
+	b.Run("recompute-from-raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputePipelined(raw, target, core.Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MaxOA-explicit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaxOA(src, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MaxOA-recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaxOARecursive(src, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MinOA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MinOA(src, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMaintenance is the §2.3 ablation: one incremental update against
+// full recomputation of the materialized sequence.
+func BenchmarkMaintenance(b *testing.B) {
+	raw := make([]float64, 10000)
+	for i := range raw {
+		raw[i] = float64(i % 53)
+	}
+	b.Run("incremental-update", func(b *testing.B) {
+		m, err := core.NewMaintainer(raw, core.Sliding(2, 1), core.Sum)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Update(1+i%len(raw), float64(i%97)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raw[i%len(raw)] = float64(i % 97)
+			if _, err := core.ComputePipelined(raw, core.Sliding(2, 1), core.Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPartitionedDerivation measures §6.2 in SQL form: deriving a
+// per-partition window query from a partitioned sequence view, against
+// native evaluation over the raw data.
+func BenchmarkPartitionedDerivation(b *testing.B) {
+	build := func() *engine.Engine {
+		e := engine.New(engine.DefaultOptions())
+		if _, err := e.Exec(`CREATE TABLE pseq (grp INTEGER, pos INTEGER, val INTEGER)`); err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO pseq VALUES ")
+		first := true
+		for g := 1; g <= 8; g++ {
+			for i := 1; i <= 100; i++ {
+				if !first {
+					sb.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(&sb, "(%d, %d, %d)", g, i, (g*31+i*7)%100)
+			}
+		}
+		if _, err := e.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Exec(`CREATE MATERIALIZED VIEW pmv AS
+		  SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+		    ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM pseq`); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	const q = `SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM pseq`
+	b.Run("native", func(b *testing.B) {
+		e := build()
+		opts := e.Opts
+		opts.UseMatViews = false
+		e.Opts = opts
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("derived", func(b *testing.B) {
+		e := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Derivation == nil {
+				b.Fatal("derivation did not fire")
+			}
+		}
+	})
+}

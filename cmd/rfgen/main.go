@@ -1,0 +1,75 @@
+// Command rfgen emits synthetic workloads as SQL scripts that rfsql (or any
+// engine embedding) can replay: the uniform sequence table the evaluation
+// section uses, and the credit-card warehouse schema of the paper's
+// introduction.
+//
+// Usage:
+//
+//	rfgen -kind seq -n 5000 [-seed 42] > seq.sql
+//	rfgen -kind creditcard -n 10000 [-customers 100] [-locations 20] > cc.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+func main() {
+	kind := flag.String("kind", "seq", "workload kind: seq or creditcard")
+	n := flag.Int("n", 5000, "row count (sequence length or transaction count)")
+	seed := flag.Int64("seed", 42, "random seed")
+	customers := flag.Int("customers", 100, "creditcard: number of customers")
+	locations := flag.Int("locations", 20, "creditcard: number of locations")
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "seq":
+		fmt.Fprintln(out, "CREATE TABLE seq (pos INTEGER, val INTEGER);")
+		fmt.Fprintln(out, "CREATE UNIQUE INDEX seq_pk ON seq (pos);")
+		emitChunks(out, *n, 1000, func(i int) string {
+			return fmt.Sprintf("(%d, %d)", i, rng.Intn(1000))
+		}, "INSERT INTO seq (pos, val) VALUES ")
+	case "creditcard":
+		fmt.Fprintln(out, "CREATE TABLE c_transactions (c_custid INTEGER, c_locid INTEGER, c_date DATE, c_transaction INTEGER);")
+		fmt.Fprintln(out, "CREATE TABLE l_locations (l_locid INTEGER, l_city VARCHAR(30), l_region VARCHAR(30));")
+		regions := []string{"Bavaria", "Saxony", "Hesse", "Berlin"}
+		cities := []string{"Erlangen", "Dresden", "Frankfurt", "Berlin", "Munich", "Leipzig"}
+		emitChunks(out, *locations, 500, func(i int) string {
+			return fmt.Sprintf("(%d, '%s', '%s')", i,
+				cities[rng.Intn(len(cities))], regions[rng.Intn(len(regions))])
+		}, "INSERT INTO l_locations VALUES ")
+		emitChunks(out, *n, 500, func(i int) string {
+			return fmt.Sprintf("(%d, %d, DATE '2001-%02d-%02d', %d)",
+				1+rng.Intn(*customers), 1+rng.Intn(*locations),
+				1+rng.Intn(12), 1+rng.Intn(28), 5+rng.Intn(500))
+		}, "INSERT INTO c_transactions VALUES ")
+	default:
+		fmt.Fprintf(os.Stderr, "rfgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+}
+
+// emitChunks prints INSERT statements of at most chunk rows each.
+func emitChunks(out *bufio.Writer, n, chunk int, row func(i int) string, prefix string) {
+	for lo := 1; lo <= n; lo += chunk {
+		hi := lo + chunk - 1
+		if hi > n {
+			hi = n
+		}
+		fmt.Fprint(out, prefix)
+		for i := lo; i <= hi; i++ {
+			if i > lo {
+				fmt.Fprint(out, ", ")
+			}
+			fmt.Fprint(out, row(i))
+		}
+		fmt.Fprintln(out, ";")
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"rfview/internal/engine"
+)
+
+func newTestShell() (*shell, *strings.Builder) {
+	var out strings.Builder
+	return &shell{eng: engine.New(engine.DefaultOptions()), out: &out}, &out
+}
+
+func TestShellRunScript(t *testing.T) {
+	sh, out := newTestShell()
+	err := sh.runScript(`
+	  CREATE TABLE t (a INTEGER, b VARCHAR(5));
+	  INSERT INTO t VALUES (1, 'x'), (2, NULL);
+	  SELECT a, b FROM t ORDER BY a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"ok (0 rows affected)", "ok (2 rows affected)", "(2 rows)", "NULL"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Table layout: header separator present.
+	if !strings.Contains(got, " a | b") || !strings.Contains(got, " - + -") {
+		t.Fatalf("table rendering off:\n%s", got)
+	}
+}
+
+func TestShellScriptErrorPropagates(t *testing.T) {
+	sh, _ := newTestShell()
+	if err := sh.runScript(`SELECT * FROM missing;`); err == nil {
+		t.Fatal("script error must propagate")
+	}
+}
+
+func TestShellExecuteReportsErrors(t *testing.T) {
+	sh, out := newTestShell()
+	sh.execute(`SELECT * FROM missing;`)
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("interactive errors must print, got:\n%s", out.String())
+	}
+}
+
+func TestShellMetaCommands(t *testing.T) {
+	sh, out := newTestShell()
+	if err := sh.runScript(`
+	  CREATE TABLE seq (pos INTEGER, val INTEGER);
+	  INSERT INTO seq VALUES (1, 1), (2, 2), (3, 3);
+	  CREATE MATERIALIZED VIEW mv AS
+	    SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if quit := sh.meta(".tables"); quit {
+		t.Fatal(".tables must not quit")
+	}
+	if !strings.Contains(out.String(), "seq") || strings.Contains(out.String(), "__mv_") {
+		t.Fatalf(".tables output: %s", out.String())
+	}
+	out.Reset()
+	sh.meta(".views")
+	if !strings.Contains(out.String(), "mv — sequence (1,1) over seq(val) agg SUM") {
+		t.Fatalf(".views output: %s", out.String())
+	}
+	out.Reset()
+	sh.meta(".help")
+	if !strings.Contains(out.String(), ".explain") {
+		t.Fatalf(".help output: %s", out.String())
+	}
+	out.Reset()
+	sh.meta(".nonsense")
+	if !strings.Contains(out.String(), "unknown meta command") {
+		t.Fatalf("unknown meta output: %s", out.String())
+	}
+	if !sh.meta(".quit") {
+		t.Fatal(".quit must signal exit")
+	}
+	sh.meta(".explain on")
+	if !sh.explain {
+		t.Fatal(".explain on must toggle")
+	}
+	out.Reset()
+	sh.execute(`SELECT pos FROM seq;`)
+	if !strings.Contains(out.String(), "SeqScan") {
+		t.Fatalf("explain-mode execute must print the plan: %s", out.String())
+	}
+	sh.meta(".explain off")
+	if sh.explain {
+		t.Fatal(".explain off must toggle")
+	}
+}
+
+func TestShellREPLFlow(t *testing.T) {
+	sh, out := newTestShell()
+	input := strings.Join([]string{
+		"CREATE TABLE t (a INTEGER);",
+		"INSERT INTO t", // continuation line
+		"VALUES (42);",
+		"SELECT a FROM t;",
+		".quit",
+	}, "\n") + "\n"
+	sh.repl(bufio.NewReader(strings.NewReader(input)))
+	got := out.String()
+	if !strings.Contains(got, "...>") {
+		t.Fatalf("continuation prompt missing:\n%s", got)
+	}
+	if !strings.Contains(got, "42") {
+		t.Fatalf("query result missing:\n%s", got)
+	}
+}
+
+// TestDemoScript replays the shipped demo script end to end.
+func TestDemoScript(t *testing.T) {
+	data, err := os.ReadFile("../../scripts/demo.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, out := newTestShell()
+	if err := sh.runScript(string(data)); err != nil {
+		t.Fatalf("demo script failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	got := out.String()
+	// Spot checks: the complete-view dump (positions 0…12 after the append),
+	// and the running sum over grouped sales (30, 100, 150).
+	for _, want := range []string{"(13 rows)", "running", "150"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Credit-card analysis: the query from the paper's introduction, run over a
+// synthetic transaction warehouse. It demonstrates every reporting-function
+// flavour the paper motivates — overall cumulative sums (running balance),
+// per-month cumulative sums (Year-To-Date style), a centered 3-row moving
+// average per month and region (smoothing), and a prospective 7-row moving
+// average.
+//
+// Run with: go run ./examples/creditcard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"rfview"
+)
+
+func main() {
+	db := rfview.OpenDefault()
+	if _, err := db.ExecAll(`
+	  CREATE TABLE c_transactions (c_custid INTEGER, c_locid INTEGER, c_date DATE, c_transaction INTEGER);
+	  CREATE TABLE l_locations (l_locid INTEGER, l_city VARCHAR(30), l_region VARCHAR(30));
+	  INSERT INTO l_locations VALUES
+	    (1, 'Erlangen', 'Bavaria'), (2, 'Munich', 'Bavaria'),
+	    (3, 'Dresden', 'Saxony'),  (4, 'Leipzig', 'Saxony');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A year of transactions for customer 4711 (plus noise from others).
+	rng := rand.New(rand.NewSource(4711))
+	var b strings.Builder
+	b.WriteString("INSERT INTO c_transactions VALUES ")
+	day := 0
+	for i := 0; i < 60; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		day += 1 + rng.Intn(5)
+		month := 1 + day/28
+		if month > 12 {
+			month = 12
+		}
+		cust := 4711
+		if i%5 == 4 {
+			cust = 1000 + rng.Intn(100) // other customers: filtered out below
+		}
+		fmt.Fprintf(&b, "(%d, %d, DATE '2001-%02d-%02d', %d)",
+			cust, 1+rng.Intn(4), month, 1+day%28, 10+rng.Intn(200))
+	}
+	if _, err := db.Exec(b.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(`
+	  SELECT c_date, c_transaction,
+	    SUM(c_transaction) OVER -- overall cumulative sum
+	      (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_total,
+	    SUM(c_transaction) OVER -- cumulative sum per month
+	      (PARTITION BY MONTH(c_date) ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_month,
+	    AVG(c_transaction) OVER -- centered 3-row moving average per month and region
+	      (PARTITION BY MONTH(c_date), l_region ORDER BY c_date
+	       ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS c_3mvg_avg,
+	    AVG(c_transaction) OVER -- prospective 7-row moving average
+	      (ORDER BY c_date ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING) AS c_7mvg_avg
+	  FROM c_transactions, l_locations
+	  WHERE c_locid = l_locid AND c_custid = 4711
+	  ORDER BY c_date`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("transactions of customer 4711 with reporting-function columns:")
+	fmt.Printf("%-12s %6s %10s %10s %12s %12s\n",
+		"date", "amount", "cum_total", "cum_month", "3mvg_avg", "7mvg_avg")
+	for _, r := range res.Rows {
+		fmt.Printf("%-12s %6s %10s %10s %12.2f %12.2f\n",
+			r[0], r[1], r[2], r[3], r[4].Float(), r[5].Float())
+	}
+	fmt.Printf("(%d rows; note how cum_month resets at month boundaries while cum_total keeps running)\n",
+		len(res.Rows))
+}

@@ -1,0 +1,3 @@
+module rfview
+
+go 1.22

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"rfview/internal/engine"
+)
+
+// TestTable1HarnessSmall runs the Table 1 experiment end-to-end at toy sizes
+// with result checking on — the harness itself is under test here, not the
+// timings.
+func TestTable1HarnessSmall(t *testing.T) {
+	rows, err := RunTable1([]int{50, 120}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].N != 50 || rows[1].N != 120 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.NativeNoIndex <= 0 || r.SelfJoinNoIndex <= 0 || r.NativeIndex <= 0 || r.SelfJoinIndex <= 0 {
+			t.Fatalf("missing measurement: %+v", r)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "120") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+// TestTable2HarnessSmall runs the Table 2 experiment end-to-end at toy
+// sizes, verifying all four strategies against native evaluation.
+func TestTable2HarnessSmall(t *testing.T) {
+	rows, err := RunTable2([]int{60, 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.MaxOADisjunctive <= 0 || r.MaxOAUnion <= 0 || r.MinOADisjunctive <= 0 || r.MinOAUnion <= 0 {
+			t.Fatalf("missing measurement: %+v", r)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "MaxO Algorithm") || !strings.Contains(out, "MinO Algorithm") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestLoadCreditCard(t *testing.T) {
+	e := engine.New(engine.DefaultOptions())
+	cfg := CreditCardConfig{Customers: 5, Locations: 3, Transactions: 120, Seed: 1}
+	if err := LoadCreditCard(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`SELECT COUNT(*) AS c FROM c_transactions`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 120 {
+		t.Fatalf("transactions = %v", res.Rows[0][0])
+	}
+	res, err = e.Exec(`SELECT COUNT(*) AS c FROM l_locations`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("locations = %v", res.Rows[0][0])
+	}
+	// Join + window over the generated data parses and runs.
+	if _, err := e.Exec(`SELECT c_date, SUM(c_transaction) OVER (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS c
+	  FROM c_transactions, l_locations WHERE c_locid = l_locid AND c_custid = 1`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameSeries(t *testing.T) {
+	e := engine.New(engine.DefaultOptions())
+	if err := LoadSequenceTable(e, 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Exec(`SELECT pos, val FROM seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Exec(`SELECT pos, val FROM seq ORDER BY pos DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSeries(a.Rows, b.Rows) {
+		t.Fatal("order must not matter")
+	}
+	c, err := e.Exec(`SELECT pos, val + 1 FROM seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameSeries(a.Rows, c.Rows) {
+		t.Fatal("different values must not compare equal")
+	}
+}
+
+func TestPatternsReport(t *testing.T) {
+	report, err := PatternsReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range []string{
+		"Fig. 2", "Fig. 4", "Fig. 10", "Fig. 13",
+		"IndexNestedLoopJoin", // Fig. 2/4 with the pk index
+		"NestedLoopJoin",      // the disjunctive forms
+		"HashJoin",            // the union branches
+		"UNION ALL",
+	} {
+		if !strings.Contains(report, sig) {
+			t.Fatalf("patterns report missing %q:\n%s", sig, report)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	t1 := []Table1Row{{N: 100, NativeNoIndex: 1000, SelfJoinNoIndex: 2000, NativeIndex: 3000, SelfJoinIndex: 4000}}
+	csv := CSVTable1(t1)
+	if !strings.Contains(csv, "n,native_noindex_us") {
+		t.Fatalf("CSVTable1 header missing: %q", csv)
+	}
+	if !strings.Contains(csv, "100,1,2,3,4") {
+		t.Fatalf("CSVTable1 = %q", csv)
+	}
+	t2 := []Table2Row{{N: 50, MaxOADisjunctive: 5000, MaxOAUnion: 6000, MinOADisjunctive: 7000, MinOAUnion: 8000}}
+	csv = CSVTable2(t2)
+	if !strings.Contains(csv, "50,5,6,7,8") {
+		t.Fatalf("CSVTable2 = %q", csv)
+	}
+}
+
+func TestMaintenanceHarness(t *testing.T) {
+	rows, err := RunMaintenance([]int{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Incremental <= 0 || rows[0].FullRefresh <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := FormatMaintenance(rows)
+	if !strings.Contains(out, "incremental/op") || !strings.Contains(out, "300") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

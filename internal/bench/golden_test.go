@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPatternsGolden locks the Fig. 2/4/10/13 rewrites and their physical
+// plans against a golden file: any change to the generated SQL or to plan
+// selection shows up as a diff. Regenerate intentionally with
+// `go test ./internal/bench -run Golden -update`.
+func TestPatternsGolden(t *testing.T) {
+	report, err := PatternsReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/patterns.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if string(want) != report {
+		t.Fatalf("patterns drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", report, want)
+	}
+}

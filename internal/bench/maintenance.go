@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rfview/internal/engine"
+)
+
+// The maintenance experiment quantifies §2.3 at the SQL level: how much an
+// incremental view update (one UPDATE statement against the base table,
+// folded into the view through the maintenance rules) costs compared to a
+// full REFRESH MATERIALIZED VIEW.
+
+// MaintRow is one measured row of the maintenance experiment.
+type MaintRow struct {
+	N           int
+	Incremental time.Duration // one UPDATE, §2.3 band patch
+	FullRefresh time.Duration // REFRESH MATERIALIZED VIEW
+}
+
+// MaintenanceSizes are the default sequence cardinalities.
+var MaintenanceSizes = []int{1000, 5000, 20000}
+
+// RunMaintenance measures incremental maintenance vs. full refresh.
+func RunMaintenance(sizes []int) ([]MaintRow, error) {
+	out := make([]MaintRow, 0, len(sizes))
+	for _, n := range sizes {
+		e := engine.New(engine.DefaultOptions())
+		if err := LoadSequenceTable(e, n, 23); err != nil {
+			return nil, err
+		}
+		if _, err := e.Exec(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
+			return nil, err
+		}
+		if _, err := e.Exec(Table2ViewDDL); err != nil {
+			return nil, err
+		}
+		row := MaintRow{N: n}
+
+		// Incremental: average over a batch of single-row updates.
+		const batch = 50
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			pos := 1 + (i*7919)%n
+			if _, err := e.Exec(fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, i%100, pos)); err != nil {
+				return nil, err
+			}
+		}
+		row.Incremental = time.Since(start) / batch
+		if e.Views.Stale("matseq") {
+			return nil, fmt.Errorf("maintenance: view went stale at n=%d", n)
+		}
+
+		d, _, err := timeQuery(e, `REFRESH MATERIALIZED VIEW matseq`, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.FullRefresh = d
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatMaintenance renders the experiment.
+func FormatMaintenance(rows []MaintRow) string {
+	var b strings.Builder
+	b.WriteString("Maintenance (§2.3): incremental update vs. full refresh of x̃=(2,1)\n")
+	b.WriteString("  # seq values   incremental/op   full refresh   ratio\n")
+	for _, r := range rows {
+		ratio := float64(r.FullRefresh) / float64(r.Incremental)
+		fmt.Fprintf(&b, "  %12d   %-16s %-14s %8.1fx\n",
+			r.N, fmtDur(r.Incremental), fmtDur(r.FullRefresh), ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rfview/internal/engine"
+)
+
+// Table1Query is the workload of the paper's Table 1: a centered size-3
+// sliding window over the sequence table (§2.2's sample query, Fig. 2).
+const Table1Query = `SELECT pos, SUM(val) OVER (ORDER BY pos
+  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	N int
+	// Without a position index.
+	NativeNoIndex   time.Duration
+	SelfJoinNoIndex time.Duration
+	// With a unique ordered index on seq.pos.
+	NativeIndex   time.Duration
+	SelfJoinIndex time.Duration
+}
+
+// Table1Sizes are the paper's sequence cardinalities.
+var Table1Sizes = []int{5000, 10000, 15000}
+
+// RunTable1 measures the four strategies of Table 1 for every size. With
+// check set, the self-join results are verified against the native window
+// operator's.
+func RunTable1(sizes []int, check bool) ([]Table1Row, error) {
+	out := make([]Table1Row, 0, len(sizes))
+	for _, n := range sizes {
+		row := Table1Row{N: n}
+
+		run := func(native, withIndex bool) (time.Duration, error) {
+			opts := engine.DefaultOptions()
+			opts.UseMatViews = false
+			opts.NativeWindow = native
+			opts.UseIndexes = withIndex
+			e := engine.New(opts)
+			if err := LoadSequenceTable(e, n, 42); err != nil {
+				return 0, err
+			}
+			if withIndex {
+				if _, err := e.Exec(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
+					return 0, err
+				}
+			}
+			d, rows, err := timeQuery(e, Table1Query, 1)
+			if err != nil {
+				return 0, err
+			}
+			if check && !native {
+				ref := engine.New(engine.DefaultOptions())
+				if err := LoadSequenceTable(ref, n, 42); err != nil {
+					return 0, err
+				}
+				refRes, err := ref.Exec(Table1Query)
+				if err != nil {
+					return 0, err
+				}
+				if !sameSeries(refRes.Rows, rows) {
+					return 0, fmt.Errorf("table1: self-join result diverges from native at n=%d", n)
+				}
+			}
+			return d, nil
+		}
+
+		var err error
+		if row.NativeNoIndex, err = run(true, false); err != nil {
+			return nil, err
+		}
+		if row.SelfJoinNoIndex, err = run(false, false); err != nil {
+			return nil, err
+		}
+		if row.NativeIndex, err = run(true, true); err != nil {
+			return nil, err
+		}
+		if row.SelfJoinIndex, err = run(false, true); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatTable1 renders the rows the way the paper prints Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Computing Sequence Data\n")
+	b.WriteString("                 ---- no position index ----   --- with primary key index ---\n")
+	b.WriteString("  # seq values   reporting     self join       reporting     self join\n")
+	b.WriteString("                 functionality method          functionality method\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %12d   %-13s %-15s %-13s %-13s\n",
+			r.N, fmtDur(r.NativeNoIndex), fmtDur(r.SelfJoinNoIndex),
+			fmtDur(r.NativeIndex), fmtDur(r.SelfJoinIndex))
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// CSVTable1 renders the measurements as CSV (microseconds), for plotting.
+func CSVTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("n,native_noindex_us,selfjoin_noindex_us,native_index_us,selfjoin_index_us\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d\n", r.N,
+			r.NativeNoIndex.Microseconds(), r.SelfJoinNoIndex.Microseconds(),
+			r.NativeIndex.Microseconds(), r.SelfJoinIndex.Microseconds())
+	}
+	return b.String()
+}

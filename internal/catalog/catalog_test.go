@@ -1,0 +1,175 @@
+package catalog
+
+import (
+	"testing"
+
+	"rfview/internal/sqltypes"
+)
+
+func TestCreateResolveDropTable(t *testing.T) {
+	c := New()
+	tbl, err := c.CreateTable("seq", []Column{{"pos", sqltypes.Int}, {"val", sqltypes.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ColumnIndex("POS") != 0 || tbl.ColumnIndex("val") != 1 || tbl.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex mismatch (case-insensitive resolution expected)")
+	}
+	got, err := c.Table("SEQ")
+	if err != nil || got != tbl {
+		t.Fatal("case-insensitive table resolution failed")
+	}
+	if _, err := c.CreateTable("seq", tbl.Columns); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := c.CreateTable("empty", nil); err == nil {
+		t.Error("zero-column table must fail")
+	}
+	if _, err := c.CreateTable("dup", []Column{{"a", sqltypes.Int}, {"A", sqltypes.Int}}); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	names := c.Tables()
+	if len(names) != 1 || names[0] != "seq" {
+		t.Errorf("Tables() = %v", names)
+	}
+	if err := c.DropTable("seq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("seq"); err == nil {
+		t.Error("double drop must fail")
+	}
+	if _, err := c.Table("seq"); err == nil {
+		t.Error("dropped table must not resolve")
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable("t", []Column{{"a", sqltypes.Int}, {"b", sqltypes.String}})
+	names := tbl.ColumnNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("ColumnNames() = %v", names)
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable("t", []Column{{"a", sqltypes.Int}, {"b", sqltypes.Int}})
+	tbl.Heap.Insert(sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	def, err := c.CreateIndex("t_a", "t", []string{"a"}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Table != "t" || len(def.Columns) != 1 {
+		t.Errorf("IndexDef = %+v", def)
+	}
+	if len(tbl.Indexes) != 1 {
+		t.Error("index not registered on table metadata")
+	}
+	if _, err := c.CreateIndex("t_x", "t", []string{"missing"}, false, true); err == nil {
+		t.Error("index on missing column must fail")
+	}
+	if _, err := c.CreateIndex("t_y", "missing", []string{"a"}, false, true); err == nil {
+		t.Error("index on missing table must fail")
+	}
+	if err := c.DropIndex("t", "t_a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Indexes) != 0 {
+		t.Error("index metadata survived drop")
+	}
+	if err := c.DropIndex("t", "t_a"); err == nil {
+		t.Error("double index drop must fail")
+	}
+}
+
+func TestMatViewRegistry(t *testing.T) {
+	c := New()
+	base, _ := c.CreateTable("seq", []Column{{"pos", sqltypes.Int}, {"val", sqltypes.Int}})
+	_ = base
+	backing, _ := c.CreateTable("mv_backing_internal", []Column{{"pos", sqltypes.Int}, {"val", sqltypes.Float}})
+	// Registering under a distinct name works; the backing table is hidden
+	// behind the view name.
+	mv := &MatView{
+		Name: "matseq", Kind: SequenceView, Table: backing,
+		BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: "SUM",
+		Window: WindowSpec{Preceding: 2, Following: 1},
+	}
+	if err := c.RegisterMatView(mv); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterMatView(mv); err != nil {
+		if err == nil {
+			t.Error("duplicate view must fail")
+		}
+	}
+	if got, ok := c.MatView("MATSEQ"); !ok || got != mv {
+		t.Error("case-insensitive view resolution failed")
+	}
+	// The view name resolves as a scannable table.
+	tb, err := c.Table("matseq")
+	if err != nil || tb != backing {
+		t.Error("view name must resolve to its backing table")
+	}
+	// Name collisions across namespaces are rejected both ways.
+	if _, err := c.CreateTable("matseq", backing.Columns); err == nil {
+		t.Error("table name colliding with view must fail")
+	}
+	if err := c.RegisterMatView(&MatView{Name: "seq", Table: backing}); err == nil {
+		t.Error("view name colliding with table must fail")
+	}
+	views := c.MatViews()
+	if len(views) != 1 || views[0].Name != "matseq" {
+		t.Errorf("MatViews() = %v", views)
+	}
+	if err := c.DropMatView("matseq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropMatView("matseq"); err == nil {
+		t.Error("double view drop must fail")
+	}
+}
+
+func TestSequenceViewsOver(t *testing.T) {
+	c := New()
+	backing, _ := c.CreateTable("b1", []Column{{"pos", sqltypes.Int}, {"val", sqltypes.Float}})
+	mk := func(name, base, agg string, w WindowSpec, kind MatViewKind) {
+		t.Helper()
+		err := c.RegisterMatView(&MatView{
+			Name: name, Kind: kind, Table: backing,
+			BaseTable: base, PosColumn: "pos", ValColumn: "val", Agg: agg, Window: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("v_sum21", "seq", "SUM", WindowSpec{Preceding: 2, Following: 1}, SequenceView)
+	mk("v_sum11", "seq", "SUM", WindowSpec{Preceding: 1, Following: 1}, SequenceView)
+	mk("v_min21", "seq", "MIN", WindowSpec{Preceding: 2, Following: 1}, SequenceView)
+	mk("v_other", "other", "SUM", WindowSpec{Preceding: 2, Following: 1}, SequenceView)
+	mk("v_plain", "seq", "SUM", WindowSpec{}, PlainView)
+
+	got := c.SequenceViewsOver("SEQ", "POS", "", "VAL", "sum")
+	if len(got) != 2 || got[0].Name != "v_sum11" || got[1].Name != "v_sum21" {
+		names := make([]string, len(got))
+		for i, v := range got {
+			names[i] = v.Name
+		}
+		t.Fatalf("SequenceViewsOver = %v", names)
+	}
+	if got := c.SequenceViewsOver("seq", "pos", "", "val", "MIN"); len(got) != 1 || got[0].Name != "v_min21" {
+		t.Fatal("MIN view matching failed")
+	}
+	if got := c.SequenceViewsOver("nothere", "pos", "", "val", "SUM"); len(got) != 0 {
+		t.Fatal("unexpected match for unknown base table")
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	if (WindowSpec{Cumulative: true}).String() != "cumulative" {
+		t.Error("cumulative spec renders wrong")
+	}
+	if (WindowSpec{Preceding: 2, Following: 1}).String() != "(2,1)" {
+		t.Error("sliding spec renders wrong")
+	}
+}

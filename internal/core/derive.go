@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements §3–§5 of the paper: answering a reporting-function
+// query from a *materialized* reporting-function view without touching the
+// raw data. Throughout, x̃ denotes the materialized (source) sequence with
+// window (l_x, h_x) and W_x = 1 + l_x + h_x, and ỹ the requested (target)
+// sequence with window (l_y, h_y). The coverage factors are Δl = l_y − l_x
+// and Δh = h_y − h_x.
+
+// ErrNotDerivable is returned when a derivation's preconditions are not met.
+type ErrNotDerivable struct {
+	Algo   string
+	Source Window
+	Target Window
+	Reason string
+}
+
+func (e *ErrNotDerivable) Error() string {
+	return fmt.Sprintf("%s: cannot derive %v from materialized %v: %s",
+		e.Algo, e.Target, e.Source, e.Reason)
+}
+
+func notDerivable(algo string, src, dst Window, reason string) error {
+	return &ErrNotDerivable{Algo: algo, Source: src, Target: dst, Reason: reason}
+}
+
+// ---------------------------------------------------------------------------
+// §3.1 — materialized cumulative sequences
+// ---------------------------------------------------------------------------
+
+// ReconstructRawFromCumulative recovers the raw data values x_1 … x_n from a
+// materialized cumulative SUM sequence via x_k = x̃_k − x̃_{k−1} (§3.1,
+// Fig. 4 gives the relational mapping).
+func ReconstructRawFromCumulative(s *Sequence) ([]float64, error) {
+	if !s.Win.Cumulative {
+		return nil, notDerivable("raw-from-cumulative", s.Win, Window{}, "source is not cumulative")
+	}
+	if s.Agg != Sum {
+		return nil, notDerivable("raw-from-cumulative", s.Win, Window{}, "only SUM sequences are invertible")
+	}
+	raw := make([]float64, s.N)
+	for k := 1; k <= s.N; k++ {
+		raw[k-1] = s.At(k) - s.At(k-1)
+	}
+	return raw, nil
+}
+
+// DeriveSlidingFromCumulative derives the sliding-window sequence ỹ = (l, h)
+// from a materialized cumulative SUM sequence via
+//
+//	ỹ_k = x̃_{k+h} − x̃_{k−l−1}
+//
+// (§3.1, Fig. 5). The formula holds at boundary positions because
+// x̃_j = 0 for j ≤ 0 and x̃_j stays at the grand total for j ≥ n.
+func DeriveSlidingFromCumulative(s *Sequence, target Window) (*Sequence, error) {
+	if !s.Win.Cumulative {
+		return nil, notDerivable("sliding-from-cumulative", s.Win, target, "source is not cumulative")
+	}
+	if s.Agg != Sum && s.Agg != Count {
+		return nil, notDerivable("sliding-from-cumulative", s.Win, target, "requires SUM or COUNT")
+	}
+	if target.Cumulative {
+		out := newSequence(target, s.Agg, s.N)
+		for k := out.lo; k <= out.Hi(); k++ {
+			out.set(k, s.At(k), true)
+		}
+		return out, nil
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	out := newSequence(target, s.Agg, s.N)
+	l, h := target.Preceding, target.Following
+	for k := out.lo; k <= out.Hi(); k++ {
+		out.set(k, s.At(k+h)-s.At(k-l-1), true)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// §3.2 — materialized sliding-window sequences
+// ---------------------------------------------------------------------------
+
+// ReconstructRawFromSliding recovers the raw data x_1 … x_n from a complete
+// materialized sliding-window SUM sequence using the explicit telescoping
+// form of §3.2:
+//
+//	x_k = Σ_{i≥0} ( x̃_{k−h−iW} − x̃_{k−h−1−iW} )
+//
+// where each difference contributes x_{k−iW} − x_{k−(i+1)W}; the summation
+// stops at i_up = ⌈k/W⌉ because beyond that point both sequence positions
+// fall left of the header.
+func ReconstructRawFromSliding(s *Sequence) ([]float64, error) {
+	if s.Win.Cumulative {
+		return ReconstructRawFromCumulative(s)
+	}
+	if s.Agg != Sum && s.Agg != Count {
+		return nil, notDerivable("raw-from-sliding", s.Win, Window{}, "only SUM/COUNT sequences are invertible")
+	}
+	h, w := s.Win.Following, s.Win.Size()
+	raw := make([]float64, s.N)
+	for k := 1; k <= s.N; k++ {
+		v := 0.0
+		iup := ceilDiv(k, w)
+		for i := 0; i <= iup; i++ {
+			v += s.At(k-h-i*w) - s.At(k-h-1-i*w)
+		}
+		raw[k-1] = v
+	}
+	return raw, nil
+}
+
+// ReconstructRawFromSlidingRecursive recovers the raw data using the
+// neighbour recursion of §3.2,
+//
+//	x_k = x̃_{k−h} − x̃_{k−h−1} + x_{k−W}
+//
+// which needs only O(1) work per position once positions are visited in
+// increasing order (the paper's "internal cache" variant).
+func ReconstructRawFromSlidingRecursive(s *Sequence) ([]float64, error) {
+	if s.Agg != Sum && s.Agg != Count {
+		return nil, notDerivable("raw-from-sliding", s.Win, Window{}, "only SUM/COUNT sequences are invertible")
+	}
+	if s.Win.Cumulative {
+		return ReconstructRawFromCumulative(s)
+	}
+	h, w := s.Win.Following, s.Win.Size()
+	raw := make([]float64, s.N)
+	prior := func(k int) float64 { // x_{k} for k already computed or ≤ 0
+		if k < 1 {
+			return 0
+		}
+		return raw[k-1]
+	}
+	for k := 1; k <= s.N; k++ {
+		raw[k-1] = s.At(k-h) - s.At(k-h-1) + prior(k-w)
+	}
+	return raw, nil
+}
+
+// RangeSum computes Σ_{j=a}^{b} x_j from a complete sliding-window SUM
+// sequence without touching raw data, via the prefix-sum telescoping
+// C(b) = Σ_{i≥0} x̃_{b−h−iW} (the positive sequence of MinOA): the windows
+// of x̃_{b−h}, x̃_{b−h−W}, … tile (−∞, b] exactly once.
+func RangeSum(s *Sequence, a, b int) (float64, error) {
+	if s.Agg != Sum && s.Agg != Count {
+		return 0, notDerivable("range-sum", s.Win, Window{}, "requires SUM or COUNT")
+	}
+	if a > b {
+		return 0, nil
+	}
+	if s.Win.Cumulative {
+		return s.At(b) - s.At(a-1), nil
+	}
+	return prefixFromSliding(s, b) - prefixFromSliding(s, a-1), nil
+}
+
+// prefixFromSliding returns C(b) = Σ_{j≤b} x_j from a complete sliding SUM
+// sequence.
+func prefixFromSliding(s *Sequence, b int) float64 {
+	h, w := s.Win.Following, s.Win.Size()
+	v := 0.0
+	// Terms vanish once b−h−iW ≤ −h, i.e. i ≥ b/W.
+	iup := ceilDiv(b, w)
+	for i := 0; i <= iup; i++ {
+		v += s.At(b - h - i*w)
+	}
+	return v
+}
+
+// DeriveCumulativeFromSliding materializes the cumulative sequence from a
+// complete sliding-window SUM sequence (a corollary of the MinOA positive
+// sequence; not spelled out in the paper but implied by §5).
+func DeriveCumulativeFromSliding(s *Sequence) (*Sequence, error) {
+	if s.Agg != Sum && s.Agg != Count {
+		return nil, notDerivable("cumulative-from-sliding", s.Win, Cumul(), "requires SUM or COUNT")
+	}
+	if s.Win.Cumulative {
+		out := newSequence(Cumul(), s.Agg, s.N)
+		for k := 0; k <= s.N; k++ {
+			out.set(k, s.At(k), true)
+		}
+		return out, nil
+	}
+	out := newSequence(Cumul(), s.Agg, s.N)
+	// Incremental: C(k) = C(k-1) + x_k, with x_k reconstructed pipelined.
+	raw, err := ReconstructRawFromSlidingRecursive(s)
+	if err != nil {
+		return nil, err
+	}
+	acc := 0.0
+	out.set(0, 0, true)
+	for k := 1; k <= s.N; k++ {
+		acc += raw[k-1]
+		out.set(k, acc, true)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// §4 — the MaxO ("maximal overlapping") algorithm
+// ---------------------------------------------------------------------------
+
+// MaxOAFactors carries the characteristic quantities of a MaxOA derivation:
+// the coverage factors Δl, Δh and the overlap factors Δp, Δq (§4.1/§4.2).
+// Note Δl + Δp = Δh + Δq = W_x, the source window size, which is why the
+// relational pattern of Fig. 10 joins on residues modulo Δl+Δp.
+type MaxOAFactors struct {
+	DeltaL int // Δl = l_y − l_x
+	DeltaH int // Δh = h_y − h_x
+	DeltaP int // Δp = 1 + l_x + h_x − Δl
+	DeltaQ int // Δq = 1 + l_x + h_x − Δh
+	Wx     int // source window size
+}
+
+// ComputeMaxOAFactors validates a MaxOA derivation and returns its factors.
+// The preconditions follow §4: the target window must extend the source on
+// both sides (Δl ≥ 0, Δh ≥ 0), and for the *recursive* compensation-sequence
+// form each extension must leave a non-empty overlap (Δl ≤ l_x+h_x and
+// Δh ≤ l_x+h_x — the paper's "window size of the query must not be larger
+// than twice the window size of the materialized view").
+func ComputeMaxOAFactors(src, dst Window) (MaxOAFactors, error) {
+	var f MaxOAFactors
+	if src.Cumulative || dst.Cumulative {
+		return f, notDerivable("MaxOA", src, dst, "windows must be sliding")
+	}
+	f.DeltaL = dst.Preceding - src.Preceding
+	f.DeltaH = dst.Following - src.Following
+	f.Wx = src.Size()
+	f.DeltaP = f.Wx - f.DeltaL
+	f.DeltaQ = f.Wx - f.DeltaH
+	if f.DeltaL < 0 || f.DeltaH < 0 {
+		return f, notDerivable("MaxOA", src, dst, "target window must contain the source window (Δl ≥ 0, Δh ≥ 0)")
+	}
+	return f, nil
+}
+
+// MaxOA derives the sequence for target from a complete materialized
+// sliding-window sequence using the explicit form of the maximal-overlapping
+// algorithm (§4.1/§4.2):
+//
+//	ỹ_k = x̃_k + Σ_{i≥1}( x̃_{k−iW_x} − x̃_{k−Δl−iW_x} )   — left extension
+//	          + Σ_{i≥1}( x̃_{k+iW_x} − x̃_{k+Δh+iW_x} )   — right extension
+//
+// Each left pair telescopes to the raw range [k−l_y, k−l_x−1] and each right
+// pair to [k+h_x+1, k+h_y]. The explicit form is valid for every Δl, Δh ≥ 0;
+// the 2×-window restriction the paper states is only needed by the recursive
+// compensation-sequence form (see MaxOARecursive).
+//
+// Supported aggregates: SUM and COUNT. For MIN/MAX use MaxOAMinMax; for AVG
+// derive SUM and COUNT views separately and combine with DeriveAvg.
+func MaxOA(src *Sequence, target Window) (*Sequence, error) {
+	if src.Agg != Sum && src.Agg != Count {
+		return nil, notDerivable("MaxOA", src.Win, target, fmt.Sprintf("aggregate %v not supported (use MaxOAMinMax for MIN/MAX)", src.Agg))
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := ComputeMaxOAFactors(src.Win, target)
+	if err != nil {
+		return nil, err
+	}
+	out := newSequence(target, src.Agg, src.N)
+	hx, lx, wx := src.Win.Following, src.Win.Preceding, f.Wx
+	for k := out.lo; k <= out.Hi(); k++ {
+		v := src.At(k)
+		// Left extension: terms vanish once k−iW_x ≤ −h_x.
+		iupL := ceilDiv(k+hx, wx)
+		for i := 1; i <= iupL; i++ {
+			v += src.At(k-i*wx) - src.At(k-f.DeltaL-i*wx)
+		}
+		// Right extension: terms vanish once k+Δh+iW_x > n+l_x (the larger
+		// argument) — iterate until the smaller argument passes the trailer.
+		iupR := ceilDiv(src.N+lx-k, wx) + 1
+		for i := 1; i <= iupR; i++ {
+			v += src.At(k+i*wx) - src.At(k+f.DeltaH+i*wx)
+		}
+		out.set(k, v, true)
+	}
+	return out, nil
+}
+
+// MaxOARecursive derives the target sequence using the paper's recursive
+// form with explicit compensation sequences (§4.1, extended to the general
+// double-sided case of §4.2):
+//
+//	ỹ_k = x̃_k + (x̃_{k−Δl} − z̃L_k) + (x̃_{k+Δh} − z̃H_k)
+//
+// where the left compensation sequence z̃L (window (l_x, h_x−Δl), the overlap
+// of x̃_k and x̃_{k−Δl}) obeys
+//
+//	z̃L_k = x̃_{k−Δl} − x̃_{k−(Δl+Δp)} + z̃L_{k−(Δl+Δp)}
+//
+// and the right compensation sequence z̃H (window (l_x−Δh, h_x)) obeys the
+// mirrored recursion with period Δh+Δq. Requires Δp ≥ 1 and Δq ≥ 1, i.e. the
+// 2×-window precondition of §4. Each position costs O(1) sequence lookups
+// once the compensation values are cached per residue class — the pipelined
+// execution style of §2.2 applied to derivation.
+func MaxOARecursive(src *Sequence, target Window) (*Sequence, error) {
+	if src.Agg != Sum && src.Agg != Count {
+		return nil, notDerivable("MaxOA", src.Win, target, "recursive form requires SUM or COUNT")
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := ComputeMaxOAFactors(src.Win, target)
+	if err != nil {
+		return nil, err
+	}
+	if f.DeltaL > 0 && f.DeltaP < 1 {
+		return nil, notDerivable("MaxOA", src.Win, target, "recursive form needs Δp ≥ 1 (target at most twice the source window)")
+	}
+	if f.DeltaH > 0 && f.DeltaQ < 1 {
+		return nil, notDerivable("MaxOA", src.Win, target, "recursive form needs Δq ≥ 1 (target at most twice the source window)")
+	}
+	out := newSequence(target, src.Agg, src.N)
+	lx, hx := src.Win.Preceding, src.Win.Following
+
+	// Left compensation values per position, filled iteratively in
+	// increasing position order along each residue class mod (Δl+Δp) = W_x
+	// (iterative to keep stack depth constant on long sequences).
+	zL := make(map[int]float64)
+	leftComp := func(k int) float64 {
+		// z̃L covers [k−l_x, k−Δl+h_x]; empty contribution once the window
+		// lies entirely left of raw position 1.
+		if k-f.DeltaL+hx < 1 {
+			return 0
+		}
+		if v, ok := zL[k]; ok {
+			return v
+		}
+		// Walk down the residue class to the first known (or empty) value,
+		// then roll forward.
+		start := k
+		for start-f.DeltaL+hx >= 1 {
+			if _, ok := zL[start]; ok {
+				break
+			}
+			start -= f.DeltaL + f.DeltaP
+		}
+		prev := 0.0
+		if v, ok := zL[start]; ok {
+			prev = v
+			start += f.DeltaL + f.DeltaP
+		} else {
+			start += f.DeltaL + f.DeltaP // first position with a live window
+		}
+		for j := start; j <= k; j += f.DeltaL + f.DeltaP {
+			prev = src.At(j-f.DeltaL) - src.At(j-(f.DeltaL+f.DeltaP)) + prev
+			zL[j] = prev
+		}
+		return zL[k]
+	}
+	zH := make(map[int]float64)
+	rightComp := func(k int) float64 {
+		// z̃H covers [k+Δh−l_x, k+h_x]; empty once entirely right of n.
+		if k+f.DeltaH-lx > src.N {
+			return 0
+		}
+		if v, ok := zH[k]; ok {
+			return v
+		}
+		start := k
+		for start+f.DeltaH-lx <= src.N {
+			if _, ok := zH[start]; ok {
+				break
+			}
+			start += f.DeltaH + f.DeltaQ
+		}
+		prev := 0.0
+		if v, ok := zH[start]; ok {
+			prev = v
+			start -= f.DeltaH + f.DeltaQ
+		} else {
+			start -= f.DeltaH + f.DeltaQ
+		}
+		for j := start; j >= k; j -= f.DeltaH + f.DeltaQ {
+			prev = src.At(j+f.DeltaH) - src.At(j+(f.DeltaH+f.DeltaQ)) + prev
+			zH[j] = prev
+		}
+		return zH[k]
+	}
+
+	for k := out.lo; k <= out.Hi(); k++ {
+		v := src.At(k)
+		if f.DeltaL > 0 {
+			v += src.At(k-f.DeltaL) - leftComp(k)
+		}
+		if f.DeltaH > 0 {
+			v += src.At(k+f.DeltaH) - rightComp(k)
+		}
+		out.set(k, v, true)
+	}
+	return out, nil
+}
+
+// MaxOAMinMax derives a MIN or MAX sequence with the maximal-overlapping
+// principle (§4.2): because MIN/MAX are idempotent under overlap,
+//
+//	ỹ_k = min/max( x̃_{k−Δl}, x̃_{k+Δh} )
+//
+// provided the two shifted source windows cover the target window, which
+// requires Δl + Δh ≤ W_x (windows overlap or touch). This is the case MinOA
+// cannot handle at all — the paper's argument for MaxOA's broader
+// applicability.
+func MaxOAMinMax(src *Sequence, target Window) (*Sequence, error) {
+	if src.Agg != Min && src.Agg != Max {
+		return nil, notDerivable("MaxOA-minmax", src.Win, target, "aggregate must be MIN or MAX")
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := ComputeMaxOAFactors(src.Win, target)
+	if err != nil {
+		return nil, err
+	}
+	if f.DeltaL+f.DeltaH > f.Wx {
+		return nil, notDerivable("MaxOA-minmax", src.Win, target,
+			fmt.Sprintf("shifted windows do not cover the target (Δl+Δh = %d > W_x = %d)", f.DeltaL+f.DeltaH, f.Wx))
+	}
+	out := newSequence(target, src.Agg, src.N)
+	for k := out.lo; k <= out.Hi(); k++ {
+		a, aok := src.AtOK(k - f.DeltaL)
+		b, bok := src.AtOK(k + f.DeltaH)
+		switch {
+		case !aok && !bok:
+			out.set(k, 0, false)
+		case !aok:
+			out.set(k, b, true)
+		case !bok:
+			out.set(k, a, true)
+		default:
+			if src.Agg == Min {
+				out.set(k, math.Min(a, b), true)
+			} else {
+				out.set(k, math.Max(a, b), true)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// §5 — the MinO ("minimal overlapping") algorithm
+// ---------------------------------------------------------------------------
+
+// MinOAFactors carries the characteristic quantities of a MinOA derivation.
+type MinOAFactors struct {
+	DeltaL int // Δl = l_y − l_x (may be negative: MinOA handles any target)
+	DeltaH int // Δh = h_y − h_x (may be negative)
+	Wx     int // source window size
+}
+
+// ComputeMinOAFactors validates a MinOA derivation and returns its factors.
+// MinOA places no size restriction on the target window: the positive and
+// negative telescoping sequences tile (−∞, k+h_y] and (−∞, k−l_y−1]
+// regardless of how the windows relate. The only requirements are sliding
+// windows and a subtractable aggregate.
+func ComputeMinOAFactors(src, dst Window) (MinOAFactors, error) {
+	var f MinOAFactors
+	if src.Cumulative || dst.Cumulative {
+		return f, notDerivable("MinOA", src, dst, "windows must be sliding")
+	}
+	f.DeltaL = dst.Preceding - src.Preceding
+	f.DeltaH = dst.Following - src.Following
+	f.Wx = src.Size()
+	return f, nil
+}
+
+// MinOA derives the target sequence from a complete materialized sliding
+// SUM/COUNT sequence using the minimal-overlapping algorithm (§5):
+//
+//	ỹ_k = Σ_{i≥0} x̃_{k+Δh−iW_x}  −  Σ_{i≥1} x̃_{k−Δl−iW_x}
+//
+// The positive sequence's head window is right-justified with ỹ_k's upper
+// bound and its left shifts by W_x tile (−∞, k+h_y]; the negative sequence's
+// head (at k−Δl−W_x = k−l_y−h_x−1) is right-justified with k−l_y−1 and tiles
+// (−∞, k−l_y−1]. Their difference is exactly the window sum. Summations stop
+// at i_up = ⌈(k+h_y)/W_x⌉ (positive) as the paper notes, and analogously for
+// the negative part.
+//
+// MIN/MAX are *not* derivable with MinOA — the tiles meet the target window
+// only after subtraction, which has no MIN/MAX analogue.
+func MinOA(src *Sequence, target Window) (*Sequence, error) {
+	if src.Agg != Sum && src.Agg != Count {
+		return nil, notDerivable("MinOA", src.Win, target, fmt.Sprintf("aggregate %v has no inverse", src.Agg))
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := ComputeMinOAFactors(src.Win, target)
+	if err != nil {
+		return nil, err
+	}
+	hx, wx := src.Win.Following, f.Wx
+	out := newSequence(target, src.Agg, src.N)
+	for k := out.lo; k <= out.Hi(); k++ {
+		v := 0.0
+		// Positive: terms vanish once k+Δh−iW_x ≤ −h_x.
+		iupP := ceilDiv(k+f.DeltaH+hx, wx)
+		for i := 0; i <= iupP; i++ {
+			v += src.At(k + f.DeltaH - i*wx)
+		}
+		// Negative: terms vanish once k−Δl−iW_x ≤ −h_x.
+		iupN := ceilDiv(k-f.DeltaL+hx, wx)
+		for i := 1; i <= iupN; i++ {
+			v -= src.At(k - f.DeltaL - i*wx)
+		}
+		out.set(k, v, true)
+	}
+	return out, nil
+}
+
+// DeriveAvg combines separately derived SUM and COUNT sequences into the AVG
+// sequence for the same window — the route the paper prescribes for AVG
+// ("AVG may be directly derived from SUM and COUNT", §2.1).
+func DeriveAvg(sum, count *Sequence) (*Sequence, error) {
+	if sum.Agg != Sum || count.Agg != Count {
+		return nil, fmt.Errorf("DeriveAvg: want (SUM, COUNT) sequences, got (%v, %v)", sum.Agg, count.Agg)
+	}
+	if !sum.Win.Equal(count.Win) || sum.N != count.N {
+		return nil, fmt.Errorf("DeriveAvg: SUM and COUNT sequences disagree on window or cardinality")
+	}
+	out := newSequence(sum.Win, Avg, sum.N)
+	for k := out.lo; k <= out.Hi(); k++ {
+		c := count.At(k)
+		if c == 0 {
+			out.set(k, 0, true)
+			continue
+		}
+		out.set(k, sum.At(k)/c, true)
+	}
+	return out, nil
+}
+
+// Derive picks a derivation strategy automatically: cumulative sources use
+// the §3.1 rules, MIN/MAX use MaxOAMinMax, and SUM/COUNT sliding sources use
+// MinOA (which has no window-size restriction). It is the entry point the
+// engine's view-matching rewriter calls.
+func Derive(src *Sequence, target Window) (*Sequence, error) {
+	switch {
+	case src.Win.Cumulative:
+		return DeriveSlidingFromCumulative(src, target)
+	case src.Agg == Min || src.Agg == Max:
+		return MaxOAMinMax(src, target)
+	default:
+		return MinOA(src, target)
+	}
+}

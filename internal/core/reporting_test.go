@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosFuncBasics(t *testing.T) {
+	pf, err := NewPosFunc(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Arity() != 3 || pf.Domain() != 24 {
+		t.Fatalf("arity=%d domain=%d, want 3, 24", pf.Arity(), pf.Domain())
+	}
+	k, err := pf.Pos(1, 1, 1)
+	if err != nil || k != 1 {
+		t.Fatalf("pos(1,1,1) = %d (%v), want 1", k, err)
+	}
+	k, _ = pf.Pos(3, 4, 2)
+	if k != 24 {
+		t.Fatalf("pos(3,4,2) = %d, want 24", k)
+	}
+	// Row-major: incrementing the last column moves by one.
+	a, _ := pf.Pos(2, 3, 1)
+	b, _ := pf.Pos(2, 3, 2)
+	if b != a+1 {
+		t.Fatalf("pos(2,3,2)=%d, want pos(2,3,1)+1=%d", b, a+1)
+	}
+}
+
+func TestPosFuncRoundTrip(t *testing.T) {
+	pf, _ := NewPosFunc(3, 4, 2)
+	for k := 1; k <= pf.Domain(); k++ {
+		ks, err := pf.Key(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := pf.Pos(ks...)
+		if err != nil || back != k {
+			t.Fatalf("round trip %d -> %v -> %d", k, ks, back)
+		}
+	}
+}
+
+// TestPosFuncPaperExample reproduces the §6.1 example: dropping the
+// rightmost column of address (2,4,2) gives window bounds at pos(2,3,1) and
+// pos(3,1,1).
+func TestPosFuncPaperExample(t *testing.T) {
+	// The example needs card[1] >= 4 and a successor for the first column;
+	// take cardinalities (3, 4, 2).
+	pf, _ := NewPosFunc(3, 4, 2)
+	k, _ := pf.Pos(2, 4, 2)
+	// Lower bound: previous prefix (2,4)-1 = (2,3), first entry (2,3,1).
+	lower, _ := pf.Pos(2, 3, 1)
+	// Upper bound: next prefix (2,4)+1 = (3,1), first entry (3,1,1).
+	upper, _ := pf.Pos(3, 1, 1)
+	wL := k - lower
+	wH := upper - k - 1
+	if wL != 3 || wH != 0 {
+		t.Fatalf("window bounds at pos(2,4,2): wL=%d wH=%d, want 3, 0", wL, wH)
+	}
+}
+
+func TestPosFuncErrors(t *testing.T) {
+	if _, err := NewPosFunc(); err == nil {
+		t.Error("empty position function must fail")
+	}
+	if _, err := NewPosFunc(3, 0); err == nil {
+		t.Error("zero cardinality must fail")
+	}
+	pf, _ := NewPosFunc(3, 4)
+	if _, err := pf.Pos(1); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if _, err := pf.Pos(4, 1); err == nil {
+		t.Error("out-of-range key must fail")
+	}
+	if _, err := pf.Key(0); err == nil {
+		t.Error("position 0 must fail")
+	}
+	if _, err := pf.Key(13); err == nil {
+		t.Error("position past domain must fail")
+	}
+	if _, _, err := pf.Reduce(0); err == nil {
+		t.Error("reduce by 0 must fail")
+	}
+	if _, _, err := pf.Reduce(2); err == nil {
+		t.Error("reduce to zero columns must fail")
+	}
+}
+
+func TestPosFuncIdentityForSingleColumn(t *testing.T) {
+	pf, _ := NewPosFunc(10)
+	for k := 1; k <= 10; k++ {
+		got, _ := pf.Pos(k)
+		if got != k {
+			t.Fatalf("pos(%d) = %d; for n=1 pos must be the identity", k, got)
+		}
+	}
+}
+
+func newTestReportingSequence(t *testing.T, rng *rand.Rand, pf PosFunc, w Window, nParts int) (*ReportingSequence, map[PartitionKey][]float64) {
+	t.Helper()
+	parts := make(map[PartitionKey][]float64, nParts)
+	for p := 0; p < nParts; p++ {
+		parts[PartitionKey(string(rune('A'+p)))] = randRaw(rng, pf.Domain())
+	}
+	rs, err := NewReportingSequence(pf, w, Sum, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, parts
+}
+
+func TestReportingSequenceBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	pf, _ := NewPosFunc(4, 3)
+	rs, parts := newTestReportingSequence(t, rng, pf, Sliding(2, 1), 3)
+	if got := rs.Partitions(); len(got) != 3 || got[0] != "A" || got[2] != "C" {
+		t.Fatalf("Partitions() = %v", got)
+	}
+	for key, raw := range parts {
+		want, _ := ComputeNaive(raw, Sliding(2, 1), Sum)
+		for k := 1; k <= pf.Domain(); k++ {
+			v, ok := rs.At(key, k)
+			if !ok || math.Abs(v-want.At(k)) > 1e-9 {
+				t.Fatalf("partition %q at %d: got (%v,%v)", key, k, v, ok)
+			}
+		}
+	}
+	if _, ok := rs.At("missing", 1); ok {
+		t.Error("missing partition must report !ok")
+	}
+}
+
+func TestNewReportingSequenceSizeMismatch(t *testing.T) {
+	pf, _ := NewPosFunc(4, 3)
+	_, err := NewReportingSequence(pf, Sliding(1, 1), Sum, map[PartitionKey][]float64{"A": make([]float64, 5)})
+	if err == nil {
+		t.Error("partition size mismatch must fail")
+	}
+}
+
+// TestOrderingReduction — §6.1: derive a sequence ordered by (k1) from one
+// ordered by (k1,k2), for block windows, against direct computation on the
+// block-aggregated raw data.
+func TestOrderingReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 20; trial++ {
+		c1, c2 := 2+rng.Intn(5), 2+rng.Intn(5)
+		pf, _ := NewPosFunc(c1, c2)
+		rs, parts := newTestReportingSequence(t, rng, pf, Sliding(2, 1), 2)
+		lb, hb := rng.Intn(3), rng.Intn(3)
+		if lb+hb == 0 {
+			hb = 1
+		}
+		target := Sliding(lb, hb)
+		red, err := OrderingReduction(rs, 1, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, raw := range parts {
+			// Block-aggregate the raw data by the retained prefix.
+			blocks := make([]float64, c1)
+			for i, v := range raw {
+				blocks[i/c2] += v
+			}
+			want, _ := ComputeNaive(blocks, target, Sum)
+			for b := 1; b <= c1; b++ {
+				got, ok := red.At(key, b)
+				if !ok || math.Abs(got-want.At(b)) > 1e-9 {
+					t.Fatalf("trial %d key %q block %d: got %v want %v (lb=%d hb=%d)",
+						trial, key, b, got, want.At(b), lb, hb)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderingReductionZeroWindow(t *testing.T) {
+	// The (0,0) block window — "collapse each block, no neighbours" — is the
+	// plain re-grouping case and must be accepted after reduction.
+	rng := rand.New(rand.NewSource(137))
+	pf, _ := NewPosFunc(3, 4)
+	rs, parts := newTestReportingSequence(t, rng, pf, Sliding(1, 1), 1)
+	red, err := OrderingReduction(rs, 1, Window{Preceding: 0, Following: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, raw := range parts {
+		for b := 1; b <= 3; b++ {
+			want := 0.0
+			for i := (b - 1) * 4; i < b*4; i++ {
+				want += raw[i]
+			}
+			got, ok := red.At(key, b)
+			if !ok || math.Abs(got-want) > 1e-9 {
+				t.Fatalf("key %q block %d: got %v want %v", key, b, got, want)
+			}
+		}
+	}
+}
+
+func TestOrderingReductionCumulative(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	pf, _ := NewPosFunc(4, 3)
+	rs, parts := newTestReportingSequence(t, rng, pf, Sliding(2, 2), 1)
+	red, err := OrderingReduction(rs, 1, Cumul())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, raw := range parts {
+		acc := 0.0
+		for b := 1; b <= 4; b++ {
+			for i := (b - 1) * 3; i < b*3; i++ {
+				acc += raw[i]
+			}
+			got, ok := red.At(key, b)
+			if !ok || math.Abs(got-acc) > 1e-9 {
+				t.Fatalf("key %q block %d: got %v want %v", key, b, got, acc)
+			}
+		}
+	}
+}
+
+func TestOrderingReductionThreeColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	pf, _ := NewPosFunc(3, 2, 2)
+	rs, parts := newTestReportingSequence(t, rng, pf, Sliding(3, 2), 1)
+	// Drop two columns: blocks of size 4.
+	red, err := OrderingReduction(rs, 2, Sliding(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, raw := range parts {
+		blocks := make([]float64, 3)
+		for i, v := range raw {
+			blocks[i/4] += v
+		}
+		want, _ := ComputeNaive(blocks, Sliding(1, 0), Sum)
+		for b := 1; b <= 3; b++ {
+			got, ok := red.At(key, b)
+			if !ok || math.Abs(got-want.At(b)) > 1e-9 {
+				t.Fatalf("key %q block %d: got %v want %v", key, b, got, want.At(b))
+			}
+		}
+	}
+}
+
+func TestOrderingReductionRejectsMinMax(t *testing.T) {
+	pf, _ := NewPosFunc(3, 2)
+	parts := map[PartitionKey][]float64{"A": make([]float64, 6)}
+	rs, err := NewReportingSequence(pf, Sliding(1, 1), Min, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OrderingReduction(rs, 1, Sliding(1, 0)); err == nil {
+		t.Error("ordering reduction over MIN must be rejected")
+	}
+}
+
+// TestPartitioningReduction — §6.2: merge fine partitions into coarse ones;
+// derived values must match recomputation over the concatenated raw data.
+func TestPartitioningReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 20; trial++ {
+		pf, _ := NewPosFunc(3 + rng.Intn(5))
+		nFine := 2 + rng.Intn(3)
+		parts := make(map[PartitionKey][]float64, nFine)
+		order := make([]PartitionKey, nFine)
+		for p := 0; p < nFine; p++ {
+			key := PartitionKey(string(rune('a' + p)))
+			parts[key] = randRaw(rng, pf.Domain())
+			order[p] = key
+		}
+		srcWin := Sliding(1+rng.Intn(2), 1+rng.Intn(2))
+		rs, err := NewReportingSequence(pf, srcWin, Sum, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := Sliding(rng.Intn(4), 1+rng.Intn(4))
+		merged, err := PartitioningReduction(rs, PartitionMerge{"ALL": order}, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var concat []float64
+		for _, key := range order {
+			concat = append(concat, parts[key]...)
+		}
+		want, _ := ComputeNaive(concat, target, Sum)
+		got := merged.Part["ALL"]
+		if !EqualSeq(got, want, 1e-9) {
+			t.Fatalf("trial %d: partitioning reduction mismatch (src %v, target %v, %d parts)",
+				trial, srcWin, target, nFine)
+		}
+	}
+}
+
+func TestPartitioningReductionMissingPartition(t *testing.T) {
+	pf, _ := NewPosFunc(4)
+	rs, _ := NewReportingSequence(pf, Sliding(1, 1), Sum, map[PartitionKey][]float64{"a": make([]float64, 4)})
+	if _, err := PartitioningReduction(rs, PartitionMerge{"ALL": {"a", "b"}}, Sliding(1, 1)); err == nil {
+		t.Error("missing source partition must be rejected")
+	}
+}
+
+func TestPartitioningReductionRejectsMinMax(t *testing.T) {
+	pf, _ := NewPosFunc(4)
+	rs, _ := NewReportingSequence(pf, Sliding(1, 1), Max, map[PartitionKey][]float64{"a": make([]float64, 4)})
+	if _, err := PartitioningReduction(rs, PartitionMerge{"ALL": {"a"}}, Sliding(1, 1)); err == nil {
+		t.Error("partitioning reduction over MAX must be rejected")
+	}
+}
+
+// Property: pos/key round-trip for random shapes.
+func TestQuickPosRoundTrip(t *testing.T) {
+	f := func(c1, c2, c3 uint8, kRaw uint16) bool {
+		card := []int{int(c1%6) + 1, int(c2%6) + 1, int(c3%6) + 1}
+		pf, err := NewPosFunc(card...)
+		if err != nil {
+			return false
+		}
+		k := int(kRaw)%pf.Domain() + 1
+		ks, err := pf.Key(k)
+		if err != nil {
+			return false
+		}
+		back, err := pf.Pos(ks...)
+		return err == nil && back == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

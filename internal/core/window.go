@@ -1,0 +1,138 @@
+// Package core implements the sequence algebra of Lehner, Hümmer and
+// Schlesinger, "Processing Reporting Function Views in a Data Warehouse
+// Environment" (ICDE 2002).
+//
+// A reporting function — an SQL aggregate with an OVER() clause — defines a
+// *simple sequence* (S, W, FA) over raw values x_1 … x_n: for every position
+// k the sequence value is the aggregate FA applied to the raw values inside
+// the window W(k). The paper distinguishes two window shapes:
+//
+//   - cumulative windows (ROWS UNBOUNDED PRECEDING), where the window at
+//     position k is [1, k], and
+//   - sliding windows (l, h) (ROWS BETWEEN l PRECEDING AND h FOLLOWING),
+//     where the window at position k is [k-l, k+h].
+//
+// The package provides:
+//
+//   - computation of complete sequences, naive and pipelined (§2.2),
+//   - incremental maintenance of materialized sequences (§2.3),
+//   - reconstruction of raw data from materialized sequences (§3),
+//   - the MaxOA derivation algorithm, recursive and explicit (§4),
+//   - the MinOA derivation algorithm (§5), and
+//   - reporting sequences with multi-column ordering and partitioning,
+//     including the ordering- and partitioning-reduction lemmas (§6).
+//
+// Values are float64; all the SUM/COUNT identities are exact when raw values
+// are integer-valued (the regime used by every test and benchmark).
+package core
+
+import "fmt"
+
+// Agg identifies the aggregation function FA of a sequence.
+type Agg uint8
+
+// The aggregation functions considered by the paper. SUM is the canonical
+// case: COUNT is the SUM of an all-ones raw sequence, and AVG is SUM/COUNT.
+// MIN and MAX are "semi-algebraic": they can be computed and (with MaxOA)
+// derived, but admit no subtraction-based pipelining.
+const (
+	Sum Agg = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL name of the aggregate.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("Agg(%d)", uint8(a))
+	}
+}
+
+// Algebraic reports whether the aggregate supports subtraction (an inverse),
+// which the pipelined computation of sliding windows and the MinOA
+// derivation rely on.
+func (a Agg) Algebraic() bool { return a == Sum || a == Count || a == Avg }
+
+// Window is the window specification W of a simple sequence.
+//
+// A cumulative window (Cumulative == true) spans [1, k] at position k; the
+// Preceding and Following fields are ignored. A sliding window spans
+// [k-Preceding, k+Following] at position k; the paper writes this as the
+// pair (l, h).
+type Window struct {
+	Cumulative bool
+	Preceding  int // l: offset of the lower bound, l >= 0
+	Following  int // h: offset of the upper bound, h >= 0
+}
+
+// Cumul returns the cumulative window specification.
+func Cumul() Window { return Window{Cumulative: true} }
+
+// Sliding returns the sliding window specification (l, h).
+func Sliding(l, h int) Window { return Window{Preceding: l, Following: h} }
+
+// Validate checks the constraints the paper places on window specs: for
+// sliding windows l >= 0, h >= 0 and l+h > 0 (a size-1 window is the raw
+// data itself).
+func (w Window) Validate() error {
+	if w.Cumulative {
+		return nil
+	}
+	if w.Preceding < 0 || w.Following < 0 {
+		return fmt.Errorf("sliding window (%d,%d): bounds must be non-negative", w.Preceding, w.Following)
+	}
+	if w.Preceding+w.Following == 0 {
+		return fmt.Errorf("sliding window (0,0): window size 1 is the identity; l+h must be > 0")
+	}
+	return nil
+}
+
+// Size returns the window size W(k) for sliding windows (constant 1+l+h).
+// For cumulative windows the size grows with k and Size returns -1.
+func (w Window) Size() int {
+	if w.Cumulative {
+		return -1
+	}
+	return 1 + w.Preceding + w.Following
+}
+
+// Bounds returns the inclusive raw-data positions [lo, hi] covered by the
+// window at sequence position k.
+func (w Window) Bounds(k int) (lo, hi int) {
+	if w.Cumulative {
+		return 1, k
+	}
+	return k - w.Preceding, k + w.Following
+}
+
+// String renders the window the way the paper writes it.
+func (w Window) String() string {
+	if w.Cumulative {
+		return "cumulative"
+	}
+	return fmt.Sprintf("(%d,%d)", w.Preceding, w.Following)
+}
+
+// Equal reports whether two windows are identical.
+func (w Window) Equal(o Window) bool {
+	if w.Cumulative != o.Cumulative {
+		return false
+	}
+	if w.Cumulative {
+		return true
+	}
+	return w.Preceding == o.Preceding && w.Following == o.Following
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rfview/internal/rewrite"
+	"rfview/internal/sqltypes"
+)
+
+// TestInsertCoercion: literals are coerced to the declared column types.
+func TestInsertCoercion(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, `CREATE TABLE t (a INTEGER, b FLOAT, c VARCHAR(10), d DATE)`)
+	mustExec(t, e, `INSERT INTO t VALUES (2.9, 3, 42, '2001-07-04')`)
+	res := mustExec(t, e, `SELECT a, b, c, d FROM t`)
+	r := res.Rows[0]
+	if r[0].Typ() != sqltypes.Int || r[0].Int() != 2 {
+		t.Fatalf("a = %v (%v)", r[0], r[0].Typ())
+	}
+	if r[1].Typ() != sqltypes.Float || r[1].Float() != 3 {
+		t.Fatalf("b = %v", r[1])
+	}
+	if r[2].Typ() != sqltypes.String || r[2].Str() != "42" {
+		t.Fatalf("c = %v", r[2])
+	}
+	if r[3].Typ() != sqltypes.Date || r[3].String() != "2001-07-04" {
+		t.Fatalf("d = %v", r[3])
+	}
+	// NULLs for unlisted columns.
+	mustExec(t, e, `INSERT INTO t (a) VALUES (7)`)
+	res = mustExec(t, e, `SELECT b FROM t WHERE a = 7`)
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("unlisted column = %v", res.Rows[0][0])
+	}
+}
+
+// TestNestedDerivedTables: two levels of derived tables with windows inside.
+func TestNestedDerivedTables(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 12, func(i int) int64 { return int64(i) })
+	res := mustExec(t, e, `
+	  SELECT outertab.p, outertab.c FROM (
+	    SELECT inner1.pos AS p, inner1.cum AS c FROM (
+	      SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS cum FROM seq
+	    ) AS inner1 WHERE inner1.cum > 10
+	  ) AS outertab ORDER BY outertab.p LIMIT 3`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// cum at pos 5 = 15 is the first > 10.
+	if res.Rows[0][0].Int() != 5 || res.Rows[0][1].Int() != 15 {
+		t.Fatalf("first row = %v", res.Rows[0])
+	}
+}
+
+// TestWindowOverGroupBy: reporting functions evaluate over the grouped
+// result (the two-step semantics of §1's "overall processing strategy").
+func TestWindowOverGroupBy(t *testing.T) {
+	e := newEngine(t)
+	mustExecAll(t, e, `
+	  CREATE TABLE sales (day INTEGER, region VARCHAR(10), amt INTEGER);
+	  INSERT INTO sales VALUES
+	    (1, 'north', 10), (1, 'south', 20),
+	    (2, 'north', 30), (2, 'south', 40),
+	    (3, 'north', 50), (3, 'south', 60);
+	`)
+	res := mustExec(t, e, `
+	  SELECT day, SUM(SUM(amt)) OVER (ORDER BY day ROWS UNBOUNDED PRECEDING) AS running
+	  FROM sales GROUP BY day ORDER BY day`)
+	want := []int64{30, 100, 210}
+	for i, r := range res.Rows {
+		if r[1].Int() != want[i] {
+			t.Fatalf("running[%d] = %v, want %d", i, r[1], want[i])
+		}
+	}
+}
+
+// TestExplainShowsDerivation: EXPLAIN surfaces the rewritten SQL.
+func TestExplainShowsDerivation(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	res := mustExec(t, e, `EXPLAIN SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if !strings.Contains(res.Plan, "rewritten") || !strings.Contains(res.Plan, "mv") {
+		t.Fatalf("EXPLAIN should show the derivation rewrite:\n%s", res.Plan)
+	}
+}
+
+// TestStaleViewBlocksDerivation: once stale, the view no longer answers
+// queries via derivation either.
+func TestStaleViewBlocksDerivation(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	mustExec(t, e, `DELETE FROM seq WHERE pos = 10`) // density broken → stale
+	if !e.Views.Stale("mv") {
+		t.Fatal("view should be stale")
+	}
+	_, err := e.Exec(`SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale view must refuse derivation: %v", err)
+	}
+}
+
+// TestCountStarDerivation: COUNT(*) windows match COUNT(pos) views.
+func TestCountStarDerivation(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 25, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW cnt AS
+	  SELECT pos, COUNT(pos) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	res := mustExec(t, e, `SELECT pos, COUNT(*) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS c FROM seq`)
+	if res.Derivation == nil {
+		t.Fatal("COUNT(*) should derive from the COUNT view")
+	}
+	// Interior positions count the full window of 6.
+	got := rowsToPairs(t, res.Rows)
+	if got[10] != 6 || got[1] != 3 || got[25] != 4 {
+		t.Fatalf("counts = %v %v %v", got[10], got[1], got[25])
+	}
+}
+
+// TestSelfJoinPartitioned: the Fig. 2 pattern extended with PARTITION BY
+// agrees with native evaluation.
+func TestSelfJoinPartitionedEquivalence(t *testing.T) {
+	build := func(native bool) *Engine {
+		opts := DefaultOptions()
+		opts.UseMatViews = false
+		opts.NativeWindow = native
+		e := New(opts)
+		mustExec(t, e, `CREATE TABLE g (grp INTEGER, pos INTEGER, val INTEGER)`)
+		rng := rand.New(rand.NewSource(17))
+		var b strings.Builder
+		b.WriteString("INSERT INTO g VALUES ")
+		for i := 1; i <= 60; i++ {
+			if i > 1 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, %d)", i%3, i, rng.Intn(50))
+		}
+		mustExec(t, e, b.String())
+		return e
+	}
+	q := `SELECT pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+	  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM g`
+	rn := mustExec(t, build(true), q)
+	rs := mustExec(t, build(false), q)
+	// NOTE: with PARTITION BY, window offsets count rows *within the
+	// partition* natively, but the self-join pattern joins on position
+	// arithmetic — they agree only when positions are dense per partition.
+	// Here they are not, so the simulation legitimately differs; what must
+	// hold is the paper's precondition: cumulative frames (no offsets)
+	// agree regardless.
+	_ = rn
+	_ = rs
+	qc := `SELECT pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+	  ROWS UNBOUNDED PRECEDING) AS w FROM g`
+	rn = mustExec(t, build(true), qc)
+	rs = mustExec(t, build(false), qc)
+	gn, gs := rowsToPairs(t, rn.Rows), rowsToPairs(t, rs.Rows)
+	if len(gn) != len(gs) {
+		t.Fatalf("cardinality %d vs %d", len(gn), len(gs))
+	}
+	for k, v := range gn {
+		if math.Abs(gs[k]-v) > 1e-9 {
+			t.Fatalf("pos %d: native %v selfjoin %v", k, v, gs[k])
+		}
+	}
+}
+
+// TestMinOANarrowingThroughSQL: the engine answers a narrower window from a
+// wider view (only MinOA can).
+func TestMinOANarrowingThroughSQL(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 30, func(i int) int64 { return int64(i * 3 % 17) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW wide AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 4 PRECEDING AND 3 FOLLOWING) AS val FROM seq`)
+	res := mustExec(t, e, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if res.Derivation == nil {
+		t.Fatal("narrowing derivation should fire")
+	}
+	if res.Derivation.Strategy.String() != "MinOA" {
+		t.Fatalf("strategy = %v", res.Derivation.Strategy)
+	}
+	// Check one value: pos 10 window {9,10,11} → (27+30+33)%… compute.
+	want := float64(9*3%17 + 10*3%17 + 11*3%17)
+	got := rowsToPairs(t, res.Rows)
+	if got[10] != want {
+		t.Fatalf("pos 10 = %v, want %v", got[10], want)
+	}
+}
+
+// TestUpdateWithExpressionAndIndexMaintenance: SET expressions reference the
+// old row; indexes track changed keys.
+func TestUpdateWithExpressionAndIndexMaintenance(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE UNIQUE INDEX seq_pk ON seq (pos)`)
+	mustExec(t, e, `UPDATE seq SET val = val * 10 WHERE pos BETWEEN 3 AND 5`)
+	res := mustExec(t, e, `SELECT val FROM seq WHERE pos = 4`)
+	if res.Rows[0][0].Int() != 40 {
+		t.Fatalf("val = %v", res.Rows[0][0])
+	}
+	// Key-moving update through the unique index.
+	mustExec(t, e, `UPDATE seq SET pos = 11 WHERE pos = 10`)
+	res = mustExec(t, e, `SELECT COUNT(*) AS c FROM seq WHERE pos = 11`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("moved row not found")
+	}
+	// Moving onto an existing key must fail.
+	if _, err := e.Exec(`UPDATE seq SET pos = 5 WHERE pos = 11`); err == nil {
+		t.Fatal("unique violation on update must fail")
+	}
+}
+
+// TestDistinctOverUnion and LIMIT-of-union round out set operations.
+func TestUnionSemantics(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 4, func(i int) int64 { return int64(i % 2) })
+	res := mustExec(t, e, `SELECT val FROM seq UNION SELECT val FROM seq`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("distinct union rows = %v", res.Rows)
+	}
+	res = mustExec(t, e, `SELECT val FROM seq UNION ALL SELECT val FROM seq LIMIT 5`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("limited union rows = %v", res.Rows)
+	}
+}
+
+// TestFromlessSelect: expression-only queries work (used by scripts).
+func TestFromlessSelect(t *testing.T) {
+	e := newEngine(t)
+	res := mustExec(t, e, `SELECT 1 + 2 AS three, 'x' AS s`)
+	if res.Rows[0][0].Int() != 3 || res.Rows[0][1].Str() != "x" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestDerivationDisabled: with UseMatViews off the engine never rewrites.
+func TestDerivationDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UseMatViews = false
+	e := New(opts)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	res := mustExec(t, e, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if res.Derivation != nil {
+		t.Fatal("derivation fired despite UseMatViews=false")
+	}
+}
+
+// TestIndexedPointQueries: basic index-assisted selection correctness after
+// mixed DML.
+func TestIndexedPointQueriesAfterDML(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 200, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE UNIQUE INDEX seq_pk ON seq (pos)`)
+	mustExec(t, e, `DELETE FROM seq WHERE pos = 100`)
+	mustExec(t, e, `UPDATE seq SET val = 1 WHERE pos = 150`)
+	// Join probing must see the mutations.
+	res := mustExec(t, e, `SELECT s2.val FROM seq s1, seq s2 WHERE s1.pos = 50 AND s2.pos = s1.pos + 100`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("probe rows = %v", res.Rows)
+	}
+	res = mustExec(t, e, `SELECT s2.val FROM seq s1, seq s2 WHERE s1.pos = 50 AND s2.pos = s1.pos + 50`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("deleted row visible through index: %v", res.Rows)
+	}
+}
+
+// TestDerivationMaxRows — the §7 advisory cap: big views answer only exact
+// matches; smaller windows recompute natively.
+func TestDerivationMaxRows(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DerivationMaxRows = 10 // backing table is larger than this
+	e := New(opts)
+	loadSeq(t, e, 50, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	// Different window: the cap suppresses the rewrite.
+	res := mustExec(t, e, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if res.Derivation != nil {
+		t.Fatal("cap should have suppressed the non-exact derivation")
+	}
+	// Exact match: always allowed.
+	res = mustExec(t, e, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if res.Derivation == nil || !res.Derivation.Exact {
+		t.Fatal("exact match should still answer from the view")
+	}
+	// Raising the cap re-enables derivation.
+	opts.DerivationMaxRows = 1000
+	e.Opts = opts
+	res = mustExec(t, e, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	if res.Derivation == nil {
+		t.Fatal("derivation should fire under the cap")
+	}
+}
+
+// TestAvgDerivationThroughSQL — §2.1: an AVG window query answered by
+// composing SUM and COUNT views.
+func TestAvgDerivationThroughSQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	n := 40
+	vals := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, int64(rng.Intn(100)-50))
+	}
+	build := func(useViews bool) *Engine {
+		opts := DefaultOptions()
+		opts.UseMatViews = useViews
+		e := New(opts)
+		loadSeq(t, e, n, func(i int) int64 { return vals[i-1] })
+		if useViews {
+			mustExec(t, e, `CREATE MATERIALIZED VIEW vsum AS
+			  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+			mustExec(t, e, `CREATE MATERIALIZED VIEW vcnt AS
+			  SELECT pos, COUNT(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+		}
+		return e
+	}
+	q := `SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS w FROM seq`
+	native, derived := build(false), build(true)
+	rn, rd := mustExec(t, native, q), mustExec(t, derived, q)
+	if rd.Derivation == nil {
+		t.Fatal("AVG composition should fire")
+	}
+	gn, gd := rowsToPairs(t, rn.Rows), rowsToPairs(t, rd.Rows)
+	if len(gn) != len(gd) {
+		t.Fatalf("cardinality %d vs %d", len(gn), len(gd))
+	}
+	for k, v := range gn {
+		if math.Abs(gd[k]-v) > 1e-9 {
+			t.Fatalf("pos %d: native %v derived %v", k, v, gd[k])
+		}
+	}
+}
+
+// TestRawReconstructionEndToEnd — Fig. 4 (cumulative) and the §3.2 explicit
+// form (sliding) recover the base data by executing the generated SQL.
+func TestRawReconstructionEndToEnd(t *testing.T) {
+	e := newEngine(t)
+	rng := rand.New(rand.NewSource(57))
+	n := 35
+	vals := make([]int64, n+1)
+	loadSeq(t, e, n, func(i int) int64 {
+		vals[i] = int64(rng.Intn(200) - 100)
+		return vals[i]
+	})
+	mustExec(t, e, `CREATE MATERIALIZED VIEW cumv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS val FROM seq`)
+	mustExec(t, e, `CREATE MATERIALIZED VIEW sliv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+
+	check := func(stmt fmt.Stringer, ctx string) {
+		t.Helper()
+		res, err := e.Exec(stmt.String())
+		if err != nil {
+			t.Fatalf("%s: %v", ctx, err)
+		}
+		got := rowsToPairs(t, res.Rows)
+		if len(got) != n {
+			t.Fatalf("%s: %d rows, want %d", ctx, len(got), n)
+		}
+		for k := 1; k <= n; k++ {
+			if got[int64(k)] != float64(vals[k]) {
+				t.Fatalf("%s: raw[%d] = %v, want %d", ctx, k, got[int64(k)], vals[k])
+			}
+		}
+	}
+	cum, _ := e.Cat.MatView("cumv")
+	stmt, err := rewrite.RawFromCumulative(cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(stmt, "raw from cumulative (Fig. 4)")
+	sli, _ := e.Cat.MatView("sliv")
+	stmt, err = rewrite.RawFromSliding(sli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(stmt, "raw from sliding (§3.2 explicit form)")
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"rfview/internal/catalog"
+	"rfview/internal/expr"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// compiledExpr aliases expr.Expr for the DML helpers.
+type compiledExpr = expr.Expr
+
+func exprSchema() *expr.Schema { return expr.NewSchema() }
+
+func tableSchema(tbl *catalog.Table, ref string) *expr.Schema {
+	cols := make([]expr.ColInfo, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = expr.ColInfo{Table: ref, Name: c.Name, Type: c.Type}
+	}
+	// Also make unqualified lookups work by using the table's own name.
+	_ = ref
+	return expr.NewSchema(cols...)
+}
+
+func compileAgainst(e sqlparser.Expr, schema *expr.Schema) (expr.Expr, error) {
+	return expr.Compile(e, schema)
+}
+
+// compileConst evaluates a row-less expression (VALUES entries).
+func compileConst(e sqlparser.Expr, schema *expr.Schema) (sqltypes.Datum, error) {
+	compiled, err := expr.Compile(e, schema)
+	if err != nil {
+		return sqltypes.NullDatum, err
+	}
+	return compiled.Eval(nil)
+}
+
+func truthy(d sqltypes.Datum) bool { return expr.Truthy(d) }
+
+// coerce casts a datum to the declared column type, keeping NULLs.
+func coerce(d sqltypes.Datum, to sqltypes.Type) (sqltypes.Datum, error) {
+	if d.IsNull() {
+		return d, nil
+	}
+	return sqltypes.Cast(d, to)
+}
+
+// pointLookupIDs recognizes WHERE shapes of the form `col = literal` (alone
+// or as a conjunct) with an index on col, and returns the candidate row ids
+// from an index probe. A nil slice with ok=false means "no usable index";
+// callers fall back to a full scan. The full predicate is still evaluated
+// against every candidate, so the fast path never changes semantics.
+func pointLookupIDs(tbl *catalog.Table, where sqlparser.Expr) ([]storage.RowID, bool) {
+	var tryConjunct func(e sqlparser.Expr) ([]storage.RowID, bool)
+	tryConjunct = func(e sqlparser.Expr) ([]storage.RowID, bool) {
+		switch x := e.(type) {
+		case *sqlparser.AndExpr:
+			if ids, ok := tryConjunct(x.Left); ok {
+				return ids, true
+			}
+			return tryConjunct(x.Right)
+		case *sqlparser.ComparisonExpr:
+			if x.Op != "=" {
+				return nil, false
+			}
+			colRef, lit := x.Left, x.Right
+			if _, isLit := colRef.(*sqlparser.Literal); isLit {
+				colRef, lit = x.Right, x.Left
+			}
+			cr, ok := colRef.(*sqlparser.ColumnRef)
+			if !ok {
+				return nil, false
+			}
+			l, ok := lit.(*sqlparser.Literal)
+			if !ok {
+				return nil, false
+			}
+			ord := tbl.ColumnIndex(cr.Name)
+			if ord < 0 {
+				return nil, false
+			}
+			h := tbl.Heap.IndexOn([]int{ord})
+			if h == nil {
+				return nil, false
+			}
+			key, err := coerce(l.Val, tbl.Columns[ord].Type)
+			if err != nil || key.IsNull() {
+				return nil, false
+			}
+			var ids []storage.RowID
+			h.Idx.Lookup(sqltypes.Row{key}, func(id storage.RowID) bool {
+				ids = append(ids, id)
+				return true
+			})
+			return ids, true
+		default:
+			return nil, false
+		}
+	}
+	if where == nil {
+		return nil, false
+	}
+	return tryConjunct(where)
+}

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// AggSpec describes one aggregate computed by HashAggregate.
+type AggSpec struct {
+	Name string    // SUM, COUNT, AVG, MIN, MAX
+	Arg  expr.Expr // nil for COUNT(*)
+	// OutName labels the output column.
+	OutName string
+}
+
+func (a AggSpec) String() string {
+	if a.Arg == nil {
+		return a.Name + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Name, a.Arg)
+}
+
+// HashAggregate groups its input by the group-by expressions and computes
+// the aggregate specs per group. With no group-by expressions it computes a
+// single global group (which exists even over empty input, per SQL).
+// Output columns: group-by values first, aggregate results after. Groups are
+// emitted in first-appearance order, making results deterministic.
+type HashAggregate struct {
+	Input   Operator
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	// GroupNames labels the group-by output columns.
+	GroupNames []string
+
+	schema *expr.Schema
+	out    []sqltypes.Row
+	pos    int
+}
+
+// NewHashAggregate builds the operator and derives its output schema.
+func NewHashAggregate(input Operator, groupBy []expr.Expr, groupNames []string, aggs []AggSpec) *HashAggregate {
+	cols := make([]expr.ColInfo, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		name := ""
+		if i < len(groupNames) {
+			name = groupNames[i]
+		}
+		cols = append(cols, expr.ColInfo{Name: name, Type: g.Type()})
+	}
+	for _, a := range aggs {
+		in := sqltypes.Int
+		if a.Arg != nil {
+			in = a.Arg.Type()
+		}
+		cols = append(cols, expr.ColInfo{Name: a.OutName, Type: expr.AggResultType(a.Name, in)})
+	}
+	return &HashAggregate{Input: input, GroupBy: groupBy, Aggs: aggs, GroupNames: groupNames,
+		schema: expr.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *expr.Schema { return h.schema }
+
+type aggGroup struct {
+	key   sqltypes.Row
+	accs  []expr.AggAcc
+	order int
+}
+
+// Open implements Operator: it drains the input and builds all groups.
+func (h *HashAggregate) Open() error {
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	defer h.Input.Close()
+
+	groups := make(map[uint64][]*aggGroup)
+	var ordered []*aggGroup
+	newGroup := func(key sqltypes.Row) (*aggGroup, error) {
+		g := &aggGroup{key: key, order: len(ordered)}
+		for _, spec := range h.Aggs {
+			acc, err := expr.NewAgg(spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			g.accs = append(g.accs, acc)
+		}
+		ordered = append(ordered, g)
+		return g, nil
+	}
+
+	for {
+		row, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key := make(sqltypes.Row, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		hash := hashRow(key)
+		var grp *aggGroup
+		for _, cand := range groups[hash] {
+			if rowsEqual(cand.key, key) {
+				grp = cand
+				break
+			}
+		}
+		if grp == nil {
+			grp, err = newGroup(key)
+			if err != nil {
+				return err
+			}
+			groups[hash] = append(groups[hash], grp)
+		}
+		for i, spec := range h.Aggs {
+			if spec.Arg == nil {
+				grp.accs[i].Add(sqltypes.NewInt(1)) // COUNT(*)
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			grp.accs[i].Add(v)
+		}
+	}
+	// A global aggregate over empty input still produces one row.
+	if len(h.GroupBy) == 0 && len(ordered) == 0 {
+		if _, err := newGroup(sqltypes.Row{}); err != nil {
+			return err
+		}
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].order < ordered[b].order })
+	h.out = make([]sqltypes.Row, len(ordered))
+	for i, g := range ordered {
+		row := make(sqltypes.Row, 0, len(g.key)+len(g.accs))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		h.out[i] = row
+	}
+	h.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (sqltypes.Row, error) {
+	if h.pos >= len(h.out) {
+		return nil, nil
+	}
+	row := h.out[h.pos]
+	h.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.out = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (h *HashAggregate) Describe() string {
+	gb := make([]string, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		gb[i] = g.String()
+	}
+	ag := make([]string, len(h.Aggs))
+	for i, a := range h.Aggs {
+		ag[i] = a.String()
+	}
+	return fmt.Sprintf("HashAggregate group=[%s] aggs=[%s]", joinTrunc(gb, 4), joinTrunc(ag, 4))
+}
+
+// Children implements Operator.
+func (h *HashAggregate) Children() []Operator { return []Operator{h.Input} }

@@ -1,0 +1,97 @@
+// Package exec implements the physical operators of the rfview engine in the
+// Volcano (open/next/close) style: scans, filters, projections, three join
+// algorithms (nested-loop, index nested-loop, hash), sorting, hash
+// aggregation, set operations, and the Window operator that provides the
+// "native reporting functionality inside the database engine" whose benefit
+// Table 1 of the paper measures.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// Operator is a Volcano-style iterator.
+type Operator interface {
+	// Schema describes the rows this operator produces.
+	Schema() *expr.Schema
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next row, or (nil, nil) at end of stream.
+	Next() (sqltypes.Row, error)
+	// Close releases resources. Safe to call after a failed Open.
+	Close() error
+	// Describe returns a one-line plan label (for EXPLAIN).
+	Describe() string
+	// Children returns the child operators (for EXPLAIN).
+	Children() []Operator
+}
+
+// Collect drains an operator into a slice, handling open/close.
+func Collect(op Operator) ([]sqltypes.Row, error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	var out []sqltypes.Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatPlan renders an operator tree as an indented EXPLAIN listing.
+func FormatPlan(op Operator) string {
+	var b strings.Builder
+	var walk func(o Operator, depth int)
+	walk = func(o Operator, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), o.Describe())
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String()
+}
+
+// PlanContains reports whether any operator in the tree has a Describe()
+// line containing the given substring — the plan-shape assertion helper used
+// by the Fig. 2/4/10/13 pattern tests.
+func PlanContains(op Operator, substr string) bool {
+	if strings.Contains(op.Describe(), substr) {
+		return true
+	}
+	for _, c := range op.Children() {
+		if PlanContains(c, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountOps counts operators in the tree whose Describe() line contains the
+// substring.
+func CountOps(op Operator, substr string) int {
+	n := 0
+	if strings.Contains(op.Describe(), substr) {
+		n++
+	}
+	for _, c := range op.Children() {
+		n += CountOps(c, substr)
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// failingOp injects errors at a chosen point of the Volcano lifecycle, to
+// verify every operator propagates child failures instead of swallowing
+// them.
+type failingOp struct {
+	schema   *expr.Schema
+	failOpen bool
+	failAt   int // fail on the Nth Next call (1-based); 0 = never
+	rows     []sqltypes.Row
+	pos      int
+	calls    int
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *failingOp) Schema() *expr.Schema { return f.schema }
+
+func (f *failingOp) Open() error {
+	f.pos = 0
+	f.calls = 0
+	if f.failOpen {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *failingOp) Next() (sqltypes.Row, error) {
+	f.calls++
+	if f.failAt > 0 && f.calls >= f.failAt {
+		return nil, errInjected
+	}
+	if f.pos >= len(f.rows) {
+		return nil, nil
+	}
+	row := f.rows[f.pos]
+	f.pos++
+	return row, nil
+}
+
+func (f *failingOp) Close() error         { return nil }
+func (f *failingOp) Describe() string     { return "FailingOp" }
+func (f *failingOp) Children() []Operator { return nil }
+
+func intSchema(names ...string) *expr.Schema {
+	cols := make([]expr.ColInfo, len(names))
+	for i, n := range names {
+		cols[i] = expr.ColInfo{Name: n, Type: sqltypes.Int}
+	}
+	return expr.NewSchema(cols...)
+}
+
+func expectInjected(t *testing.T, op Operator, ctx string) {
+	t.Helper()
+	_, err := Collect(op)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("%s: error = %v, want injected failure", ctx, err)
+	}
+}
+
+func TestOperatorsPropagateChildErrors(t *testing.T) {
+	mkFail := func(open bool, at int) *failingOp {
+		return &failingOp{
+			schema:   intSchema("a"),
+			failOpen: open,
+			failAt:   at,
+			rows:     []sqltypes.Row{intRow(1), intRow(2), intRow(3)},
+		}
+	}
+	colA := func(s *expr.Schema) expr.Expr { return mustCompile(t, "a", s) }
+
+	// Filter: open and mid-stream.
+	expectInjected(t, &Filter{Input: mkFail(true, 0), Pred: colA(intSchema("a"))}, "filter open")
+	f := mkFail(false, 2)
+	expectInjected(t, &Filter{Input: f, Pred: mustCompile(t, "a > 0", f.schema)}, "filter next")
+
+	// Project.
+	p := mkFail(false, 2)
+	expectInjected(t, NewProject(p, []expr.Expr{colA(p.schema)}, []string{"a"}), "project next")
+
+	// Sort materializes on Open.
+	s := mkFail(false, 2)
+	expectInjected(t, &Sort{Input: s, Keys: []SortKey{{Expr: colA(s.schema)}}}, "sort")
+
+	// Limit.
+	l := mkFail(false, 1)
+	expectInjected(t, &Limit{Input: l, N: 10}, "limit")
+
+	// Distinct.
+	d := mkFail(false, 2)
+	expectInjected(t, &Distinct{Input: d}, "distinct")
+
+	// UnionAll: failure in the second input.
+	ok := &failingOp{schema: intSchema("a"), rows: []sqltypes.Row{intRow(9)}}
+	u := &UnionAll{Inputs: []Operator{ok, mkFail(false, 1)}}
+	expectInjected(t, u, "union all")
+
+	// HashAggregate drains its input in Open.
+	h := mkFail(false, 2)
+	expectInjected(t, NewHashAggregate(h, []expr.Expr{colA(h.schema)}, []string{"g"},
+		[]AggSpec{{Name: "COUNT", OutName: "c"}}), "hash aggregate")
+
+	// Window drains in Open.
+	w := mkFail(false, 2)
+	expectInjected(t, NewWindow(w, nil, []SortKey{{Expr: colA(w.schema)}},
+		[]WindowFunc{{Name: "SUM", Arg: colA(w.schema), Frame: DefaultFrame(true), OutName: "x"}}), "window")
+
+	// Joins: failure on either side.
+	left := mkFail(false, 2)
+	right := &failingOp{schema: intSchema("b"), rows: []sqltypes.Row{intRow(1)}}
+	expectInjected(t, NewNestedLoopJoin(left, right, JoinInner, nil), "nlj left")
+	left2 := &failingOp{schema: intSchema("a"), rows: []sqltypes.Row{intRow(1)}}
+	expectInjected(t, NewNestedLoopJoin(left2, mkFail(false, 1), JoinInner, nil), "nlj right (materialized in open)")
+
+	colB := mustCompile(t, "b", intSchema("b"))
+	hj := NewHashJoin(mkFail(false, 2), &failingOp{schema: intSchema("b"), rows: []sqltypes.Row{intRow(1)}},
+		[]expr.Expr{colA(intSchema("a"))}, []expr.Expr{colB}, nil, JoinInner)
+	expectInjected(t, hj, "hash join probe side")
+	hj2 := NewHashJoin(&failingOp{schema: intSchema("a"), rows: []sqltypes.Row{intRow(1)}}, mkFail(false, 1),
+		[]expr.Expr{colA(intSchema("a"))}, []expr.Expr{colB}, nil, JoinInner)
+	expectInjected(t, hj2, "hash join build side")
+}
+
+// TestExprErrorsPropagate: a type error inside a predicate surfaces as a
+// query error, not a silent skip.
+func TestExprErrorsPropagate(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "a", Type: sqltypes.Int},
+		expr.ColInfo{Name: "s", Type: sqltypes.String},
+	)
+	rows := []sqltypes.Row{{sqltypes.NewInt(1), sqltypes.NewString("x")}}
+	pred := mustCompile(t, "a + s > 0", schema) // int + string fails at eval
+	_, err := Collect(&Filter{Input: NewValues(schema, rows), Pred: pred})
+	if err == nil {
+		t.Fatal("type error must propagate")
+	}
+	// Same inside an aggregate argument.
+	agg := NewHashAggregate(NewValues(schema, rows), nil, nil,
+		[]AggSpec{{Name: "SUM", Arg: mustCompile(t, "a + s", schema), OutName: "x"}})
+	if _, err := Collect(agg); err == nil {
+		t.Fatal("aggregate argument error must propagate")
+	}
+	// And inside a window argument.
+	w := NewWindow(NewValues(schema, rows), nil, nil,
+		[]WindowFunc{{Name: "SUM", Arg: mustCompile(t, "a + s", schema),
+			Frame: DefaultFrame(false), OutName: "x"}})
+	if _, err := Collect(w); err == nil {
+		t.Fatal("window argument error must propagate")
+	}
+}
+
+// TestDivisionByZeroSurfaces at the SQL operator level.
+func TestDivisionByZeroSurfaces(t *testing.T) {
+	schema := intSchema("a")
+	rows := []sqltypes.Row{intRow(0)}
+	proj := NewProject(NewValues(schema, rows),
+		[]expr.Expr{mustCompile(t, "1 / a", schema)}, []string{"x"})
+	if _, err := Collect(proj); err == nil {
+		t.Fatal("division by zero must propagate")
+	}
+}

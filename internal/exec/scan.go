@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"fmt"
+
+	"rfview/internal/catalog"
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// Scan is a full heap scan of a table (or a materialized view's backing
+// table), producing columns qualified by the reference name used in the
+// query.
+type Scan struct {
+	Table *catalog.Table
+	Ref   string // alias or table name used in the query
+
+	schema *expr.Schema
+	rows   []sqltypes.Row
+	pos    int
+}
+
+// NewScan builds a full scan of tbl referenced as ref.
+func NewScan(tbl *catalog.Table, ref string) *Scan {
+	cols := make([]expr.ColInfo, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = expr.ColInfo{Table: ref, Name: c.Name, Type: c.Type}
+	}
+	return &Scan{Table: tbl, Ref: ref, schema: expr.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *expr.Schema { return s.schema }
+
+// Open implements Operator. The scan snapshots the heap so concurrent
+// mutations by the same session (e.g. INSERT … SELECT from itself) do not
+// affect iteration.
+func (s *Scan) Open() error {
+	s.rows = s.rows[:0]
+	s.Table.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		s.rows = append(s.rows, row)
+		return true
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (sqltypes.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (s *Scan) Describe() string {
+	if s.Ref != s.Table.Name {
+		return fmt.Sprintf("SeqScan %s AS %s", s.Table.Name, s.Ref)
+	}
+	return "SeqScan " + s.Table.Name
+}
+
+// Children implements Operator.
+func (s *Scan) Children() []Operator { return nil }
+
+// Values produces a fixed in-memory row set (used for VALUES lists and
+// tests).
+type Values struct {
+	Rows   []sqltypes.Row
+	schema *expr.Schema
+	pos    int
+}
+
+// NewValues builds a Values operator.
+func NewValues(schema *expr.Schema, rows []sqltypes.Row) *Values {
+	return &Values{Rows: rows, schema: schema}
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *expr.Schema { return v.schema }
+
+// Open implements Operator.
+func (v *Values) Open() error { v.pos = 0; return nil }
+
+// Next implements Operator.
+func (v *Values) Next() (sqltypes.Row, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	row := v.Rows[v.pos]
+	v.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (v *Values) Close() error { return nil }
+
+// Describe implements Operator.
+func (v *Values) Describe() string { return fmt.Sprintf("Values (%d rows)", len(v.Rows)) }
+
+// Children implements Operator.
+func (v *Values) Children() []Operator { return nil }
+
+// Filter passes through rows whose predicate evaluates to true.
+type Filter struct {
+	Input Operator
+	Pred  expr.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *expr.Schema { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (sqltypes.Row, error) {
+	for {
+		row, err := f.Input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.Pred.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		if expr.Truthy(v) {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Describe implements Operator.
+func (f *Filter) Describe() string { return "Filter " + f.Pred.String() }
+
+// Children implements Operator.
+func (f *Filter) Children() []Operator { return []Operator{f.Input} }
+
+// Project evaluates a list of expressions per input row.
+type Project struct {
+	Input Operator
+	Exprs []expr.Expr
+
+	schema *expr.Schema
+}
+
+// NewProject builds a projection with the given output column names.
+func NewProject(input Operator, exprs []expr.Expr, names []string) *Project {
+	cols := make([]expr.ColInfo, len(exprs))
+	for i, e := range exprs {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		cols[i] = expr.ColInfo{Name: name, Type: e.Type()}
+	}
+	return &Project{Input: input, Exprs: exprs, schema: expr.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *expr.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (sqltypes.Row, error) {
+	row, err := p.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(sqltypes.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Describe implements Operator.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project " + joinTrunc(parts, 6)
+}
+
+// Children implements Operator.
+func (p *Project) Children() []Operator { return []Operator{p.Input} }
+
+func joinTrunc(parts []string, max int) string {
+	if len(parts) > max {
+		parts = append(append([]string{}, parts[:max]...), fmt.Sprintf("… (%d more)", len(parts)-max))
+	}
+	out := ""
+	for i, s := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// Limit stops after N rows.
+type Limit struct {
+	Input Operator
+	N     int64
+	seen  int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *expr.Schema { return l.Input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (sqltypes.Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// Describe implements Operator.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// Children implements Operator.
+func (l *Limit) Children() []Operator { return []Operator{l.Input} }

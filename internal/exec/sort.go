@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.Expr.String() + " DESC"
+	}
+	return k.Expr.String()
+}
+
+// Sort materializes its input and emits it ordered by the keys (ascending by
+// default, NULLs first; stable).
+type Sort struct {
+	Input Operator
+	Keys  []SortKey
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *expr.Schema { return s.Input.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.Input)
+	if err != nil {
+		return err
+	}
+	// Precompute key values per row so comparison errors surface here.
+	keys := make([][]sqltypes.Datum, len(rows))
+	for i, r := range rows {
+		kv := make([]sqltypes.Datum, len(s.Keys))
+		for ki, k := range s.Keys {
+			v, err := k.Expr.Eval(r)
+			if err != nil {
+				return err
+			}
+			kv[ki] = v
+		}
+		keys[i] = kv
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for ki := range s.Keys {
+			cmp, err := sqltypes.Compare(ka[ki], kb[ki])
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			if cmp == 0 {
+				continue
+			}
+			if s.Keys[ki].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	s.rows = make([]sqltypes.Row, len(rows))
+	for i, j := range idx {
+		s.rows[i] = rows[j]
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (sqltypes.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.String()
+	}
+	return "Sort " + joinTrunc(parts, 6)
+}
+
+// Children implements Operator.
+func (s *Sort) Children() []Operator { return []Operator{s.Input} }
+
+// UnionAll concatenates its inputs (which must have equal arity).
+type UnionAll struct {
+	Inputs []Operator
+	cur    int
+	opened bool
+}
+
+// Schema implements Operator: the schema of the first input, with types
+// widened where inputs disagree.
+func (u *UnionAll) Schema() *expr.Schema { return u.Inputs[0].Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open() error {
+	u.cur = 0
+	u.opened = false
+	return nil
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() (sqltypes.Row, error) {
+	for u.cur < len(u.Inputs) {
+		if !u.opened {
+			if err := u.Inputs[u.cur].Open(); err != nil {
+				return nil, err
+			}
+			u.opened = true
+		}
+		row, err := u.Inputs[u.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		if err := u.Inputs[u.cur].Close(); err != nil {
+			return nil, err
+		}
+		u.cur++
+		u.opened = false
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	if u.opened && u.cur < len(u.Inputs) {
+		return u.Inputs[u.cur].Close()
+	}
+	return nil
+}
+
+// Describe implements Operator.
+func (u *UnionAll) Describe() string { return fmt.Sprintf("UnionAll (%d inputs)", len(u.Inputs)) }
+
+// Children implements Operator.
+func (u *UnionAll) Children() []Operator { return u.Inputs }
+
+// Distinct removes duplicate rows (hash-based; NULLs compare equal for
+// distinctness, per SQL set semantics).
+type Distinct struct {
+	Input Operator
+	seen  map[uint64][]sqltypes.Row
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *expr.Schema { return d.Input.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = make(map[uint64][]sqltypes.Row)
+	return d.Input.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (sqltypes.Row, error) {
+	for {
+		row, err := d.Input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		h := hashRow(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if rowsEqual(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}
+
+// Describe implements Operator.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Children implements Operator.
+func (d *Distinct) Children() []Operator { return []Operator{d.Input} }
+
+func hashRow(row sqltypes.Row) uint64 {
+	h := uint64(1469598103934665603)
+	for _, d := range row {
+		h = h*1099511628211 ^ d.Hash()
+	}
+	return h
+}
+
+func rowsEqual(a, b sqltypes.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sqltypes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

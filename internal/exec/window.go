@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// FrameBoundKind mirrors the SQL ROWS frame bound kinds at the executor
+// level (kept separate from the parser's AST types so the executor does not
+// depend on the parser).
+type FrameBoundKind uint8
+
+// Frame bound kinds.
+const (
+	BoundUnboundedPreceding FrameBoundKind = iota
+	BoundPreceding
+	BoundCurrentRow
+	BoundFollowing
+	BoundUnboundedFollowing
+)
+
+// FrameBound is one end of a ROWS frame.
+type FrameBound struct {
+	Kind   FrameBoundKind
+	Offset int
+}
+
+// FrameSpec is a resolved ROWS frame. The zero value (both bounds
+// BoundUnboundedPreceding) is never used directly; use DefaultFrame.
+type FrameSpec struct {
+	Start, End FrameBound
+}
+
+// DefaultFrame returns the SQL default frame: with an ORDER BY, UNBOUNDED
+// PRECEDING … CURRENT ROW (cumulative); without, the whole partition.
+func DefaultFrame(hasOrder bool) FrameSpec {
+	if hasOrder {
+		return FrameSpec{
+			Start: FrameBound{Kind: BoundUnboundedPreceding},
+			End:   FrameBound{Kind: BoundCurrentRow},
+		}
+	}
+	return FrameSpec{
+		Start: FrameBound{Kind: BoundUnboundedPreceding},
+		End:   FrameBound{Kind: BoundUnboundedFollowing},
+	}
+}
+
+func (b FrameBound) String() string {
+	switch b.Kind {
+	case BoundUnboundedPreceding:
+		return "UNBOUNDED PRECEDING"
+	case BoundPreceding:
+		return fmt.Sprintf("%d PRECEDING", b.Offset)
+	case BoundCurrentRow:
+		return "CURRENT ROW"
+	case BoundFollowing:
+		return fmt.Sprintf("%d FOLLOWING", b.Offset)
+	default:
+		return "UNBOUNDED FOLLOWING"
+	}
+}
+
+// resolve maps the bound to a row index (may fall outside [0,n-1]; callers
+// clamp). i is the current row's index within its partition.
+func (b FrameBound) resolve(i, n int) int {
+	switch b.Kind {
+	case BoundUnboundedPreceding:
+		return 0
+	case BoundPreceding:
+		return i - b.Offset
+	case BoundCurrentRow:
+		return i
+	case BoundFollowing:
+		return i + b.Offset
+	default: // BoundUnboundedFollowing
+		return n - 1
+	}
+}
+
+// WindowFunc is one reporting-function column: an aggregate plus its frame.
+// All functions of one Window operator share the PARTITION BY and ORDER BY
+// clauses; the planner stacks one operator per distinct clause pair.
+type WindowFunc struct {
+	Name    string    // SUM, COUNT, AVG, MIN, MAX
+	Arg     expr.Expr // nil for COUNT(*)
+	Frame   FrameSpec
+	OutName string
+}
+
+func (w WindowFunc) String() string {
+	arg := "*"
+	if w.Arg != nil {
+		arg = w.Arg.String()
+	}
+	return fmt.Sprintf("%s(%s) ROWS BETWEEN %s AND %s", w.Name, arg, w.Frame.Start, w.Frame.End)
+}
+
+// Window computes reporting functions: for every input row, one output value
+// per WindowFunc, aggregated over the ROWS frame within the row's partition
+// under the given ordering (the paper's Fig. 1 semantics). Input order is
+// preserved in the output; reporting functions do not shrink or reorder the
+// stream (§1: "one output value for each single input value").
+//
+// Algebraic aggregates slide their frame with one Add and one Remove per row
+// — the §2.2 pipelined strategy (three operations per position, independent
+// of window size). MIN/MAX use a monotonic deque, still O(n) amortized.
+type Window struct {
+	Input       Operator
+	PartitionBy []expr.Expr
+	OrderBy     []SortKey
+	Funcs       []WindowFunc
+
+	schema *expr.Schema
+	out    []sqltypes.Row
+	pos    int
+}
+
+// NewWindow builds the operator; its schema is the input schema plus one
+// column per window function.
+func NewWindow(input Operator, partitionBy []expr.Expr, orderBy []SortKey, funcs []WindowFunc) *Window {
+	extra := make([]expr.ColInfo, len(funcs))
+	for i, f := range funcs {
+		in := sqltypes.Int
+		if f.Arg != nil {
+			in = f.Arg.Type()
+		}
+		extra[i] = expr.ColInfo{Name: f.OutName, Type: expr.AggResultType(f.Name, in)}
+	}
+	return &Window{
+		Input: input, PartitionBy: partitionBy, OrderBy: orderBy, Funcs: funcs,
+		schema: input.Schema().Append(extra...),
+	}
+}
+
+// Schema implements Operator.
+func (w *Window) Schema() *expr.Schema { return w.schema }
+
+// Open implements Operator: materializes the input and computes every window
+// column.
+func (w *Window) Open() error {
+	rows, err := Collect(w.Input)
+	if err != nil {
+		return err
+	}
+	results := make([][]sqltypes.Datum, len(w.Funcs))
+	for i := range results {
+		results[i] = make([]sqltypes.Datum, len(rows))
+	}
+
+	// Partition rows (stable, hash on partition key values).
+	type part struct{ idx []int }
+	parts := make(map[uint64][]*struct {
+		key sqltypes.Row
+		p   *part
+	})
+	var order []*part
+	for i, row := range rows {
+		key := make(sqltypes.Row, len(w.PartitionBy))
+		for ki, pe := range w.PartitionBy {
+			v, err := pe.Eval(row)
+			if err != nil {
+				return err
+			}
+			key[ki] = v
+		}
+		h := hashRow(key)
+		var target *part
+		for _, cand := range parts[h] {
+			if rowsEqual(cand.key, key) {
+				target = cand.p
+				break
+			}
+		}
+		if target == nil {
+			target = &part{}
+			parts[h] = append(parts[h], &struct {
+				key sqltypes.Row
+				p   *part
+			}{key, target})
+			order = append(order, target)
+		}
+		target.idx = append(target.idx, i)
+	}
+
+	for _, p := range order {
+		if err := w.computePartition(rows, p.idx, results); err != nil {
+			return err
+		}
+	}
+
+	w.out = make([]sqltypes.Row, len(rows))
+	for i, row := range rows {
+		out := make(sqltypes.Row, 0, len(row)+len(w.Funcs))
+		out = append(out, row...)
+		for f := range w.Funcs {
+			out = append(out, results[f][i])
+		}
+		w.out[i] = out
+	}
+	w.pos = 0
+	return nil
+}
+
+// computePartition orders one partition and fills results for every func.
+func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sqltypes.Datum) error {
+	// Sort partition members by the ORDER BY keys (stable: ties keep input
+	// order, making frames deterministic).
+	var sortErr error
+	ordered := append([]int(nil), idx...)
+	if len(w.OrderBy) > 0 {
+		keys := make([][]sqltypes.Datum, len(ordered))
+		for i, ri := range ordered {
+			kv := make([]sqltypes.Datum, len(w.OrderBy))
+			for ki, k := range w.OrderBy {
+				v, err := k.Expr.Eval(rows[ri])
+				if err != nil {
+					return err
+				}
+				kv[ki] = v
+			}
+			keys[i] = kv
+		}
+		perm := make([]int, len(ordered))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			ka, kb := keys[perm[a]], keys[perm[b]]
+			for ki := range w.OrderBy {
+				cmp, err := sqltypes.Compare(ka[ki], kb[ki])
+				if err != nil {
+					if sortErr == nil {
+						sortErr = err
+					}
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if w.OrderBy[ki].Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+		tmp := make([]int, len(ordered))
+		for i, pi := range perm {
+			tmp[i] = ordered[pi]
+		}
+		ordered = tmp
+	}
+
+	n := len(ordered)
+	// Evaluate each function's argument once per partition row.
+	for fi, fn := range w.Funcs {
+		args := make([]sqltypes.Datum, n)
+		for i, ri := range ordered {
+			if fn.Arg == nil {
+				args[i] = sqltypes.NewInt(1) // COUNT(*)
+				continue
+			}
+			v, err := fn.Arg.Eval(rows[ri])
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		vals, err := computeFrames(fn, args)
+		if err != nil {
+			return err
+		}
+		for i, ri := range ordered {
+			results[fi][ri] = vals[i]
+		}
+	}
+	return nil
+}
+
+// computeFrames computes the window aggregate for every position. Frame
+// bounds move monotonically with the row index, enabling the pipelined
+// strategies.
+func computeFrames(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum, error) {
+	n := len(args)
+	out := make([]sqltypes.Datum, n)
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	if fn.Name == "MIN" || fn.Name == "MAX" {
+		return computeFramesMinMax(fn, args)
+	}
+	acc, err := expr.NewAgg(fn.Name)
+	if err != nil {
+		return nil, err
+	}
+	curLo, curHi := 0, -1 // current accumulated range [curLo, curHi]
+	for i := 0; i < n; i++ {
+		lo := clamp(fn.Frame.Start.resolve(i, n), 0, n)
+		hi := clamp(fn.Frame.End.resolve(i, n), -1, n-1)
+		if lo > hi {
+			// Empty frame: NULL (COUNT yields 0 via a fresh accumulator).
+			acc.Reset()
+			curLo, curHi = lo, lo-1
+			if fn.Name == "COUNT" {
+				out[i] = sqltypes.NewInt(0)
+			} else {
+				out[i] = sqltypes.NullDatum
+			}
+			continue
+		}
+		// ROWS frame bounds move monotonically right; re-seed if the target
+		// range jumped (backwards, or disjoint ahead, or shrank on the
+		// right), otherwise slide: grow right with Add, shrink left with
+		// Remove — the §2.2 three-operations-per-position strategy.
+		if lo < curLo || lo > curHi+1 || hi < curHi {
+			acc.Reset()
+			curLo, curHi = lo, lo-1
+		}
+		for curHi < hi {
+			curHi++
+			acc.Add(args[curHi])
+		}
+		for curLo < lo {
+			acc.Remove(args[curLo])
+			curLo++
+		}
+		out[i] = acc.Result()
+	}
+	return out, nil
+}
+
+// computeFramesMinMax computes MIN/MAX frames with a monotonic deque.
+func computeFramesMinMax(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum, error) {
+	n := len(args)
+	out := make([]sqltypes.Datum, n)
+	isMin := fn.Name == "MIN"
+	type entry struct {
+		pos int
+		val sqltypes.Datum
+	}
+	var dq []entry
+	next := 0 // next arg index to admit
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	prevLo := 0
+	for i := 0; i < n; i++ {
+		lo := clamp(fn.Frame.Start.resolve(i, n), 0, n)
+		hi := clamp(fn.Frame.End.resolve(i, n), -1, n-1)
+		if lo < prevLo {
+			// Frames of ROWS windows never move backwards; guard anyway.
+			return computeFramesMinMaxNaive(fn, args)
+		}
+		prevLo = lo
+		for next <= hi {
+			v := args[next]
+			if !v.IsNull() {
+				for len(dq) > 0 {
+					cmp, err := sqltypes.Compare(v, dq[len(dq)-1].val)
+					if err != nil {
+						return nil, err
+					}
+					if (isMin && cmp <= 0) || (!isMin && cmp >= 0) {
+						dq = dq[:len(dq)-1]
+						continue
+					}
+					break
+				}
+				dq = append(dq, entry{next, v})
+			}
+			next++
+		}
+		for len(dq) > 0 && dq[0].pos < lo {
+			dq = dq[1:]
+		}
+		if lo > hi || len(dq) == 0 {
+			out[i] = sqltypes.NullDatum
+		} else {
+			out[i] = dq[0].val
+		}
+	}
+	return out, nil
+}
+
+// computeFramesMinMaxNaive is the quadratic fallback for pathological frames.
+func computeFramesMinMaxNaive(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum, error) {
+	n := len(args)
+	out := make([]sqltypes.Datum, n)
+	acc, err := expr.NewAgg(fn.Name)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		lo := fn.Frame.Start.resolve(i, n)
+		hi := fn.Frame.End.resolve(i, n)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		acc.Reset()
+		for j := lo; j <= hi; j++ {
+			acc.Add(args[j])
+		}
+		out[i] = acc.Result()
+	}
+	return out, nil
+}
+
+// Next implements Operator.
+func (w *Window) Next() (sqltypes.Row, error) {
+	if w.pos >= len(w.out) {
+		return nil, nil
+	}
+	row := w.out[w.pos]
+	w.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (w *Window) Close() error {
+	w.out = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (w *Window) Describe() string {
+	pb := make([]string, len(w.PartitionBy))
+	for i, p := range w.PartitionBy {
+		pb[i] = p.String()
+	}
+	ob := make([]string, len(w.OrderBy))
+	for i, o := range w.OrderBy {
+		ob[i] = o.String()
+	}
+	fs := make([]string, len(w.Funcs))
+	for i, f := range w.Funcs {
+		fs[i] = f.String()
+	}
+	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]",
+		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4))
+}
+
+// Children implements Operator.
+func (w *Window) Children() []Operator { return []Operator{w.Input} }

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// TestWindowOrderTiesAreStable: rows with equal ORDER BY keys keep their
+// input order inside the frame computation, making results deterministic.
+func TestWindowOrderTiesAreStable(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "k", Type: sqltypes.Int},
+		expr.ColInfo{Name: "v", Type: sqltypes.Int},
+	)
+	// Three rows tie on k=1; input order is v = 10, 20, 30.
+	rows := []sqltypes.Row{intRow(1, 10), intRow(1, 20), intRow(1, 30), intRow(2, 40)}
+	kEx, _ := expr.Compile(mustExpr(t, "k"), schema)
+	vEx, _ := expr.Compile(mustExpr(t, "v"), schema)
+	w := NewWindow(valuesOp(schema, rows...), nil, []SortKey{{Expr: kEx}},
+		[]WindowFunc{{Name: "SUM", Arg: vEx, Frame: DefaultFrame(true), OutName: "cum"}})
+	out, err := Collect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 30, 60, 100}
+	for i, r := range out {
+		if r[2].Int() != want[i] {
+			t.Fatalf("cum[%d] = %v, want %d (ties must keep input order)", i, r[2], want[i])
+		}
+	}
+}
+
+// TestWindowDescendingOrder: frames follow the DESC ordering.
+func TestWindowDescendingOrder(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "k", Type: sqltypes.Int},
+		expr.ColInfo{Name: "v", Type: sqltypes.Int},
+	)
+	rows := []sqltypes.Row{intRow(1, 1), intRow(2, 2), intRow(3, 3)}
+	kEx, _ := expr.Compile(mustExpr(t, "k"), schema)
+	vEx, _ := expr.Compile(mustExpr(t, "v"), schema)
+	w := NewWindow(valuesOp(schema, rows...), nil, []SortKey{{Expr: kEx, Desc: true}},
+		[]WindowFunc{{Name: "SUM", Arg: vEx, Frame: DefaultFrame(true), OutName: "cum"}})
+	out, err := Collect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending order 3,2,1: cumulative sums 3, 5, 6 attach back to rows
+	// k=3→3, k=2→5, k=1→6; output keeps input order (k=1,2,3).
+	want := map[int64]int64{1: 6, 2: 5, 3: 3}
+	for _, r := range out {
+		if r[2].Int() != want[r[0].Int()] {
+			t.Fatalf("k=%v cum=%v, want %d", r[0], r[2], want[r[0].Int()])
+		}
+	}
+}
+
+// TestWindowNullArguments: NULL inputs are skipped by the aggregate but the
+// row still gets an output value; frames of only-NULLs yield NULL (COUNT 0).
+func TestWindowNullArguments(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "k", Type: sqltypes.Int},
+		expr.ColInfo{Name: "v", Type: sqltypes.Int},
+	)
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NullDatum},
+		{sqltypes.NewInt(2), sqltypes.NewInt(5)},
+		{sqltypes.NewInt(3), sqltypes.NullDatum},
+	}
+	kEx, _ := expr.Compile(mustExpr(t, "k"), schema)
+	vEx, _ := expr.Compile(mustExpr(t, "v"), schema)
+	frame := FrameSpec{
+		Start: FrameBound{Kind: BoundCurrentRow},
+		End:   FrameBound{Kind: BoundCurrentRow},
+	}
+	w := NewWindow(valuesOp(schema, rows...), nil, []SortKey{{Expr: kEx}},
+		[]WindowFunc{
+			{Name: "SUM", Arg: vEx, Frame: frame, OutName: "s"},
+			{Name: "COUNT", Arg: vEx, Frame: frame, OutName: "c"},
+			{Name: "MIN", Arg: vEx, Frame: frame, OutName: "m"},
+		})
+	out, err := Collect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row k=1: frame holds one NULL → SUM NULL, COUNT 0, MIN NULL.
+	if !out[0][2].IsNull() || out[0][3].Int() != 0 || !out[0][4].IsNull() {
+		t.Fatalf("all-NULL frame: %v", out[0])
+	}
+	if out[1][2].Int() != 5 || out[1][3].Int() != 1 || out[1][4].Int() != 5 {
+		t.Fatalf("single-value frame: %v", out[1])
+	}
+}
+
+// TestWindowMultiplePartitionsAndFunctions: two functions over two
+// partitions, one algebraic, one semi-algebraic.
+func TestWindowMultiplePartitionsAndFunctions(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "p", Type: sqltypes.Int},
+		expr.ColInfo{Name: "k", Type: sqltypes.Int},
+		expr.ColInfo{Name: "v", Type: sqltypes.Int},
+	)
+	rows := []sqltypes.Row{
+		intRow(1, 1, 10), intRow(2, 1, 100), intRow(1, 2, 20), intRow(2, 2, 50),
+	}
+	pEx, _ := expr.Compile(mustExpr(t, "p"), schema)
+	kEx, _ := expr.Compile(mustExpr(t, "k"), schema)
+	vEx, _ := expr.Compile(mustExpr(t, "v"), schema)
+	w := NewWindow(valuesOp(schema, rows...), []expr.Expr{pEx}, []SortKey{{Expr: kEx}},
+		[]WindowFunc{
+			{Name: "SUM", Arg: vEx, Frame: DefaultFrame(true), OutName: "cum"},
+			{Name: "MAX", Arg: vEx, Frame: DefaultFrame(true), OutName: "mx"},
+		})
+	out, err := Collect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct{ cum, mx int64 }
+	expect := map[[2]int64]want{
+		{1, 1}: {10, 10}, {1, 2}: {30, 20},
+		{2, 1}: {100, 100}, {2, 2}: {150, 100},
+	}
+	for _, r := range out {
+		key := [2]int64{r[0].Int(), r[1].Int()}
+		w := expect[key]
+		if r[3].Int() != w.cum || r[4].Int() != w.mx {
+			t.Fatalf("row %v: cum=%v mx=%v, want %+v", key, r[3], r[4], w)
+		}
+	}
+}
+
+// TestWindowEmptyInput: zero rows in, zero rows out, no panics.
+func TestWindowEmptyInput(t *testing.T) {
+	schema := expr.NewSchema(expr.ColInfo{Name: "k", Type: sqltypes.Int})
+	kEx, _ := expr.Compile(mustExpr(t, "k"), schema)
+	w := NewWindow(valuesOp(schema), nil, []SortKey{{Expr: kEx}},
+		[]WindowFunc{{Name: "SUM", Arg: kEx, Frame: DefaultFrame(true), OutName: "s"}})
+	out, err := Collect(w)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

@@ -1,0 +1,204 @@
+package expr
+
+import (
+	"fmt"
+
+	"rfview/internal/sqltypes"
+)
+
+// AggAcc is an aggregate accumulator. Grouping operators feed it one datum
+// per qualifying row; window operators additionally use Remove (where
+// supported) to slide frames in O(1) per step, mirroring the paper's
+// pipelined evaluation of §2.2.
+type AggAcc interface {
+	// Add folds one input value into the aggregate. NULLs are ignored, per
+	// SQL semantics (COUNT(*) feeds a non-NULL marker for every row).
+	Add(d sqltypes.Datum)
+	// Result returns the current aggregate value (NULL for empty input,
+	// except COUNT which returns 0).
+	Result() sqltypes.Datum
+	// Reset clears the accumulator.
+	Reset()
+	// Removable reports whether Remove is supported (true for the algebraic
+	// aggregates SUM/COUNT/AVG, false for MIN/MAX).
+	Removable() bool
+	// Remove cancels a previous Add of d. Panics if !Removable().
+	Remove(d sqltypes.Datum)
+}
+
+// NewAgg builds an accumulator for the named aggregate (SUM, COUNT, AVG,
+// MIN, MAX).
+func NewAgg(name string) (AggAcc, error) {
+	switch name {
+	case "SUM":
+		return &sumAcc{}, nil
+	case "COUNT":
+		return &countAcc{}, nil
+	case "AVG":
+		return &avgAcc{}, nil
+	case "MIN":
+		return &minMaxAcc{min: true}, nil
+	case "MAX":
+		return &minMaxAcc{min: false}, nil
+	default:
+		return nil, fmt.Errorf("unknown aggregate %s()", name)
+	}
+}
+
+// sumAcc keeps integer sums exact and upgrades to float on the first float
+// input, following DB2's SUM result typing.
+type sumAcc struct {
+	n       int64
+	isum    int64
+	fsum    float64
+	isFloat bool
+}
+
+func (a *sumAcc) Add(d sqltypes.Datum) {
+	if d.IsNull() {
+		return
+	}
+	a.n++
+	if d.Typ() == sqltypes.Float || a.isFloat {
+		if !a.isFloat {
+			a.fsum = float64(a.isum)
+			a.isFloat = true
+		}
+		a.fsum += d.Float()
+		return
+	}
+	a.isum += d.Int()
+}
+
+func (a *sumAcc) Remove(d sqltypes.Datum) {
+	if d.IsNull() {
+		return
+	}
+	a.n--
+	if a.isFloat {
+		a.fsum -= d.Float()
+		return
+	}
+	a.isum -= d.Int()
+}
+
+func (a *sumAcc) Result() sqltypes.Datum {
+	if a.n == 0 {
+		return sqltypes.NullDatum
+	}
+	if a.isFloat {
+		return sqltypes.NewFloat(a.fsum)
+	}
+	return sqltypes.NewInt(a.isum)
+}
+
+func (a *sumAcc) Reset()          { *a = sumAcc{} }
+func (a *sumAcc) Removable() bool { return true }
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) Add(d sqltypes.Datum) {
+	if !d.IsNull() {
+		a.n++
+	}
+}
+
+func (a *countAcc) Remove(d sqltypes.Datum) {
+	if !d.IsNull() {
+		a.n--
+	}
+}
+
+func (a *countAcc) Result() sqltypes.Datum { return sqltypes.NewInt(a.n) }
+func (a *countAcc) Reset()                 { a.n = 0 }
+func (a *countAcc) Removable() bool        { return true }
+
+type avgAcc struct {
+	n   int64
+	sum float64
+}
+
+func (a *avgAcc) Add(d sqltypes.Datum) {
+	if d.IsNull() {
+		return
+	}
+	a.n++
+	a.sum += d.Float()
+}
+
+func (a *avgAcc) Remove(d sqltypes.Datum) {
+	if d.IsNull() {
+		return
+	}
+	a.n--
+	a.sum -= d.Float()
+}
+
+func (a *avgAcc) Result() sqltypes.Datum {
+	if a.n == 0 {
+		return sqltypes.NullDatum
+	}
+	return sqltypes.NewFloat(a.sum / float64(a.n))
+}
+
+func (a *avgAcc) Reset()          { *a = avgAcc{} }
+func (a *avgAcc) Removable() bool { return true }
+
+// minMaxAcc is the semi-algebraic pair: no inverse, so no Remove. Window
+// operators recompute or use a monotonic structure instead.
+type minMaxAcc struct {
+	min  bool
+	seen bool
+	best sqltypes.Datum
+}
+
+func (a *minMaxAcc) Add(d sqltypes.Datum) {
+	if d.IsNull() {
+		return
+	}
+	if !a.seen {
+		a.best = d
+		a.seen = true
+		return
+	}
+	cmp, err := sqltypes.Compare(d, a.best)
+	if err != nil {
+		return
+	}
+	if (a.min && cmp < 0) || (!a.min && cmp > 0) {
+		a.best = d
+	}
+}
+
+func (a *minMaxAcc) Result() sqltypes.Datum {
+	if !a.seen {
+		return sqltypes.NullDatum
+	}
+	return a.best
+}
+
+func (a *minMaxAcc) Reset() { a.seen = false; a.best = sqltypes.NullDatum }
+
+func (a *minMaxAcc) Removable() bool { return false }
+
+func (a *minMaxAcc) Remove(sqltypes.Datum) {
+	panic("expr: Remove on MIN/MAX accumulator (semi-algebraic aggregates have no inverse)")
+}
+
+// AggResultType returns the static result type of an aggregate over an input
+// of the given type.
+func AggResultType(name string, input sqltypes.Type) sqltypes.Type {
+	switch name {
+	case "COUNT":
+		return sqltypes.Int
+	case "AVG":
+		return sqltypes.Float
+	case "SUM":
+		if input == sqltypes.Float {
+			return sqltypes.Float
+		}
+		return sqltypes.Int
+	default: // MIN/MAX preserve the input type
+		return input
+	}
+}

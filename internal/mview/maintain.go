@@ -1,0 +1,442 @@
+package mview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// This file folds base-table DML into materialized sequence views using the
+// incremental rules of §2.3. Density-preserving changes patch only the
+// affected band of view rows; anything else marks the view stale.
+
+// AfterInsert is called by the engine once rows have been inserted into a
+// base table.
+func (m *Manager) AfterInsert(table string, rows []sqltypes.Row, cols []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sv := range m.seq {
+		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+			continue
+		}
+		m.applyInserts(sv, rows, cols)
+	}
+}
+
+// colIndex finds a column in the insert layout (cols may be the insert
+// statement's explicit column list).
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *Manager) applyInserts(sv *seqView, rows []sqltypes.Row, cols []string) {
+	pi := colIndex(cols, sv.mv.PosColumn)
+	vi := colIndex(cols, sv.mv.ValColumn)
+	if pi < 0 || vi < 0 {
+		m.markStale(sv, "insert without position or value column")
+		return
+	}
+	if sv.partitioned() {
+		gi := colIndex(cols, sv.mv.PartColumn)
+		if gi < 0 {
+			m.markStale(sv, "insert without partition column")
+			return
+		}
+		ordered := append([]sqltypes.Row(nil), rows...)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() < ordered[b][pi].Int() })
+		for _, row := range ordered {
+			p, v, g := row[pi], row[vi], row[gi]
+			if p.IsNull() || p.Typ() != sqltypes.Int || v.IsNull() || !v.Typ().Numeric() || g.IsNull() {
+				m.markStale(sv, "inserted row has bad position, value, or partition key")
+				return
+			}
+			m.applyPartitionedInsert(sv, g, int(p.Int()), v.Float())
+			if sv.stale {
+				return
+			}
+		}
+		return
+	}
+	// Appends must arrive in position order n+1, n+2, …
+	ordered := append([]sqltypes.Row(nil), rows...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() < ordered[b][pi].Int() })
+	for _, row := range ordered {
+		p, v := row[pi], row[vi]
+		if p.IsNull() || p.Typ() != sqltypes.Int || v.IsNull() || !v.Typ().Numeric() {
+			m.markStale(sv, "inserted row has non-integer position or non-numeric value")
+			return
+		}
+		n := len(sv.maint.Raw())
+		if p.Int() != int64(n+1) {
+			m.markStale(sv, fmt.Sprintf("insert at position %d is not an append (n=%d)", p.Int(), n))
+			return
+		}
+		if sv.agg == core.Avg {
+			m.markStale(sv, "AVG views refresh only")
+			return
+		}
+		if err := sv.maint.Insert(n+1, v.Float()); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+		m.MaintenanceEvents++
+		if err := m.patchAppend(sv, n+1); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+	}
+}
+
+// AfterUpdate is called with the before/after images of updated base rows.
+func (m *Manager) AfterUpdate(table string, before, after []sqltypes.Row, cols []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sv := range m.seq {
+		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+			continue
+		}
+		pi := colIndex(cols, sv.mv.PosColumn)
+		vi := colIndex(cols, sv.mv.ValColumn)
+		if pi < 0 || vi < 0 {
+			m.markStale(sv, "update on untracked columns")
+			continue
+		}
+		gi := -1
+		if sv.partitioned() {
+			gi = colIndex(cols, sv.mv.PartColumn)
+			if gi < 0 {
+				m.markStale(sv, "update without partition column")
+				continue
+			}
+		}
+		for i := range before {
+			bp, ap := before[i][pi], after[i][pi]
+			bv, av := before[i][vi], after[i][vi]
+			if !sqltypes.Equal(bp, ap) {
+				m.markStale(sv, "position column updated")
+				break
+			}
+			if sqltypes.Equal(bv, av) {
+				continue
+			}
+			if av.IsNull() || !av.Typ().Numeric() {
+				m.markStale(sv, "value updated to non-numeric")
+				break
+			}
+			if sv.agg == core.Avg {
+				m.markStale(sv, "AVG views refresh only")
+				break
+			}
+			if sv.partitioned() {
+				if !sqltypes.Equal(before[i][gi], after[i][gi]) {
+					m.markStale(sv, "partition column updated")
+					break
+				}
+				m.applyPartitionedUpdate(sv, after[i][gi], int(ap.Int()), av.Float())
+				if sv.stale {
+					break
+				}
+				continue
+			}
+			k := int(ap.Int())
+			if err := sv.maint.Update(k, av.Float()); err != nil {
+				m.markStale(sv, err.Error())
+				break
+			}
+			m.MaintenanceEvents++
+			if err := m.patchBand(sv, k); err != nil {
+				m.markStale(sv, err.Error())
+				break
+			}
+		}
+	}
+}
+
+// AfterDelete is called with the images of deleted base rows.
+func (m *Manager) AfterDelete(table string, deleted []sqltypes.Row, cols []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sv := range m.seq {
+		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+			continue
+		}
+		pi := colIndex(cols, sv.mv.PosColumn)
+		if pi < 0 {
+			m.markStale(sv, "delete without position column")
+			continue
+		}
+		if sv.partitioned() {
+			gi := colIndex(cols, sv.mv.PartColumn)
+			if gi < 0 {
+				m.markStale(sv, "delete without partition column")
+				continue
+			}
+			ordered := append([]sqltypes.Row(nil), deleted...)
+			sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() > ordered[b][pi].Int() })
+			for _, row := range ordered {
+				if row[pi].IsNull() || row[gi].IsNull() {
+					m.markStale(sv, "deleted row lacks position or partition key")
+					break
+				}
+				m.applyPartitionedDelete(sv, row[gi], int(row[pi].Int()))
+				if sv.stale {
+					break
+				}
+			}
+			continue
+		}
+		// Deleting a suffix (n, n−1, …) keeps positions dense.
+		ordered := append([]sqltypes.Row(nil), deleted...)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() > ordered[b][pi].Int() })
+		for _, row := range ordered {
+			n := len(sv.maint.Raw())
+			if row[pi].IsNull() || row[pi].Int() != int64(n) {
+				m.markStale(sv, fmt.Sprintf("delete at position %v is not a suffix delete (n=%d)", row[pi], n))
+				break
+			}
+			if sv.agg == core.Avg {
+				m.markStale(sv, "AVG views refresh only")
+				break
+			}
+			if err := sv.maint.Delete(n); err != nil {
+				m.markStale(sv, err.Error())
+				break
+			}
+			m.MaintenanceEvents++
+			if err := m.patchShrink(sv, n); err != nil {
+				m.markStale(sv, err.Error())
+				break
+			}
+		}
+	}
+}
+
+func (m *Manager) markStale(sv *seqView, why string) {
+	sv.stale = true
+	sv.staleWhy = why
+}
+
+// upsert writes (pos, val/ok) into the backing table through its pk index.
+func (m *Manager) upsert(sv *seqView, pos int, val float64, ok bool) error {
+	h := sv.mv.Table.Heap.IndexOn([]int{0})
+	if h == nil {
+		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
+	}
+	key := sqltypes.Row{sqltypes.NewInt(int64(pos))}
+	id, found := h.Idx.First(key)
+	if !ok {
+		if found {
+			return sv.mv.Table.Heap.Delete(id)
+		}
+		return nil
+	}
+	row := sqltypes.Row{sqltypes.NewInt(int64(pos)), sv.datum(val)}
+	if found {
+		return sv.mv.Table.Heap.Update(id, row)
+	}
+	_, err := sv.mv.Table.Heap.Insert(row)
+	return err
+}
+
+func (m *Manager) deleteRow(sv *seqView, pos int) error {
+	h := sv.mv.Table.Heap.IndexOn([]int{0})
+	if h == nil {
+		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
+	}
+	if id, found := h.Idx.First(sqltypes.Row{sqltypes.NewInt(int64(pos))}); found {
+		return sv.mv.Table.Heap.Delete(id)
+	}
+	return nil
+}
+
+// syncRange re-writes the backing rows for positions [lo, hi] from the
+// maintained sequence (removing rows the sequence no longer stores).
+func (m *Manager) syncRange(sv *seqView, lo, hi int) error {
+	seq := sv.maint.Seq()
+	for k := lo; k <= hi; k++ {
+		if k < seq.Lo() || k > seq.Hi() {
+			if err := m.deleteRow(sv, k); err != nil {
+				return err
+			}
+			continue
+		}
+		v, ok := seq.AtOK(k)
+		if err := m.upsert(sv, k, v, ok); err != nil {
+			return err
+		}
+	}
+	sv.mv.BaseRows = seq.N
+	return nil
+}
+
+// patchBand handles a value update at position k: only the §2.3 band
+// [k−h, k+l] changes.
+func (m *Manager) patchBand(sv *seqView, k int) error {
+	w := sv.maint.Seq().Win
+	if w.Cumulative {
+		// Cumulative updates ripple right: [k, hi].
+		return m.syncRange(sv, k, sv.maint.Seq().Hi())
+	}
+	return m.syncRange(sv, k-w.Following, k+w.Preceding)
+}
+
+// patchAppend handles an append at position k = n+1: the band plus the one
+// new trailer position.
+func (m *Manager) patchAppend(sv *seqView, k int) error {
+	seq := sv.maint.Seq()
+	if seq.Win.Cumulative {
+		return m.syncRange(sv, k, seq.Hi())
+	}
+	return m.syncRange(sv, k-seq.Win.Following, seq.Hi())
+}
+
+// patchShrink handles a suffix delete of the old position n: band plus the
+// vanished trailer position.
+func (m *Manager) patchShrink(sv *seqView, oldN int) error {
+	seq := sv.maint.Seq()
+	if seq.Win.Cumulative {
+		return m.syncRange(sv, oldN, oldN)
+	}
+	// New stored max is seq.Hi(); the old max was oldN + l.
+	return m.syncRange(sv, oldN-seq.Win.Following, oldN+seq.Win.Preceding)
+}
+
+// ShiftInsert performs the paper's positional insert (§2.3): a value enters
+// at position k and every later position shifts right — applied to BOTH the
+// base table (renumbering its position column) and the view (via the
+// incremental insert rule). This is the sequence-semantics operation the
+// relational INSERT cannot express while keeping positions dense.
+func (m *Manager) ShiftInsert(viewName string, k int, val float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sv, ok := m.seq[lower(viewName)]
+	if !ok {
+		return fmt.Errorf("materialized view %q is not a sequence view", viewName)
+	}
+	if sv.partitioned() {
+		return fmt.Errorf("positional shifts apply to simple sequence views only")
+	}
+	if sv.agg == core.Avg {
+		return fmt.Errorf("AVG views refresh only")
+	}
+	base, err := m.cat.Table(sv.mv.BaseTable)
+	if err != nil {
+		return err
+	}
+	if err := shiftBase(base, sv.mv.PosColumn, sv.mv.ValColumn, k, &val, true); err != nil {
+		return err
+	}
+	if err := sv.maint.Insert(k, val); err != nil {
+		return err
+	}
+	m.MaintenanceEvents++
+	seq := sv.maint.Seq()
+	if seq.Win.Cumulative {
+		return m.syncRange(sv, k, seq.Hi())
+	}
+	// Positions right of k+l shift; patch everything from the band start.
+	return m.syncRange(sv, k-seq.Win.Following, seq.Hi())
+}
+
+// ShiftDelete removes position k, shifting later positions left (§2.3).
+func (m *Manager) ShiftDelete(viewName string, k int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sv, ok := m.seq[lower(viewName)]
+	if !ok {
+		return fmt.Errorf("materialized view %q is not a sequence view", viewName)
+	}
+	if sv.partitioned() {
+		return fmt.Errorf("positional shifts apply to simple sequence views only")
+	}
+	if sv.agg == core.Avg {
+		return fmt.Errorf("AVG views refresh only")
+	}
+	base, err := m.cat.Table(sv.mv.BaseTable)
+	if err != nil {
+		return err
+	}
+	oldHi := sv.maint.Seq().Hi()
+	if err := shiftBase(base, sv.mv.PosColumn, sv.mv.ValColumn, k, nil, false); err != nil {
+		return err
+	}
+	if err := sv.maint.Delete(k); err != nil {
+		return err
+	}
+	m.MaintenanceEvents++
+	seq := sv.maint.Seq()
+	if seq.Win.Cumulative {
+		return m.syncRange(sv, k, oldHi)
+	}
+	return m.syncRange(sv, k-seq.Win.Following, oldHi)
+}
+
+// shiftBase renumbers the base table's position column around a positional
+// insert (withValue=true) or delete.
+func shiftBase(base *catalog.Table, posCol, valCol string, k int, val *float64, insert bool) error {
+	pi := base.ColumnIndex(posCol)
+	vi := base.ColumnIndex(valCol)
+	if pi < 0 || vi < 0 {
+		return fmt.Errorf("mview: base table lost its sequence columns")
+	}
+	type target struct {
+		id  storage.RowID
+		row sqltypes.Row
+	}
+	var touch []target
+	base.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
+		if int(row[pi].Int()) >= k {
+			touch = append(touch, target{id, row})
+		}
+		return true
+	})
+	if insert {
+		// Shift right in descending order to avoid transient duplicates.
+		sort.Slice(touch, func(a, b int) bool { return touch[a].row[pi].Int() > touch[b].row[pi].Int() })
+		for _, t := range touch {
+			nr := t.row.Clone()
+			nr[pi] = sqltypes.NewInt(t.row[pi].Int() + 1)
+			if err := base.Heap.Update(t.id, nr); err != nil {
+				return err
+			}
+		}
+		nr := make(sqltypes.Row, len(base.Columns))
+		for i := range nr {
+			nr[i] = sqltypes.NullDatum
+		}
+		nr[pi] = sqltypes.NewInt(int64(k))
+		if base.Columns[vi].Type == sqltypes.Int {
+			nr[vi] = sqltypes.NewInt(int64(*val))
+		} else {
+			nr[vi] = sqltypes.NewFloat(*val)
+		}
+		_, err := base.Heap.Insert(nr)
+		return err
+	}
+	// Delete: remove position k, shift the rest left in ascending order.
+	sort.Slice(touch, func(a, b int) bool { return touch[a].row[pi].Int() < touch[b].row[pi].Int() })
+	for _, t := range touch {
+		if int(t.row[pi].Int()) == k {
+			if err := base.Heap.Delete(t.id); err != nil {
+				return err
+			}
+			continue
+		}
+		nr := t.row.Clone()
+		nr[pi] = sqltypes.NewInt(t.row[pi].Int() - 1)
+		if err := base.Heap.Update(t.id, nr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

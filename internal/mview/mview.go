@@ -1,0 +1,427 @@
+// Package mview manages materialized views: creation, full refresh, and —
+// for materialized reporting-function views — incremental maintenance with
+// the §2.3 rules via core.Maintainer.
+//
+// A *sequence view* is a materialized complete simple sequence: its backing
+// table holds one (pos, val) row per sequence position including the header
+// (1−h … 0) and trailer (n+1 … n+l) positions (§3.2). Sequence views are
+// recognized syntactically from the canonical reporting-function query
+// shape; everything else materializes as a plain snapshot view.
+//
+// Sequence views require the base table's position column to hold the dense
+// integers 1…n: the paper's sequence model is positional, and ROWS frames
+// coincide with position arithmetic only on dense positions. Creation and
+// refresh validate this. DML that preserves density (value updates, appends
+// at n+1, deletes of position n) is folded into the view incrementally;
+// anything else marks the view stale, and stale views refuse queries until
+// REFRESH MATERIALIZED VIEW runs.
+package mview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/rewrite"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// ExecFunc runs a select statement and returns (columns, rows). The engine
+// provides it; the manager uses it to materialize plain views.
+type ExecFunc func(stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error)
+
+// seqView couples a catalog sequence view with its maintainer(s): one
+// core.Maintainer for simple sequence views, one per partition for
+// partitioned views (§6.2's complete reporting functions).
+type seqView struct {
+	mv       *catalog.MatView
+	maint    *core.Maintainer      // simple views
+	parts    map[string]*partState // partitioned views (nil otherwise)
+	agg      core.Agg
+	valType  sqltypes.Type
+	stale    bool
+	staleWhy string
+}
+
+// partitioned reports whether the view keeps per-partition sequences.
+func (sv *seqView) partitioned() bool { return sv.parts != nil }
+
+// Manager owns all materialized views of one engine.
+type Manager struct {
+	mu    sync.Mutex
+	cat   *catalog.Catalog
+	seq   map[string]*seqView // lower-case view name
+	plain map[string]*sqlparser.CreateMatView
+	exec  ExecFunc
+
+	// MaintenanceEvents counts incremental maintenance operations applied,
+	// for tests and the maintenance example.
+	MaintenanceEvents int
+}
+
+// NewManager builds a manager over the catalog.
+func NewManager(cat *catalog.Catalog, exec ExecFunc) *Manager {
+	return &Manager{cat: cat, seq: make(map[string]*seqView), plain: make(map[string]*sqlparser.CreateMatView), exec: exec}
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+// Create materializes a view from its defining statement.
+func (m *Manager) Create(stmt *sqlparser.CreateMatView) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sel, ok := stmt.Select.(*sqlparser.Select); ok {
+		if wq, err := rewrite.MatchWindowQuery(sel); err == nil {
+			switch {
+			case isSequenceViewShape(wq):
+				return m.createSequenceView(stmt, wq)
+			case isPartitionedSequenceShape(wq):
+				return m.createPartitionedSequenceView(stmt, wq)
+			}
+		}
+	}
+	return m.createPlainView(stmt)
+}
+
+// isSequenceViewShape accepts SELECT pos, agg(val) OVER (ORDER BY pos ROWS …)
+// FROM base — unpartitioned, the shape the derivation rewriter exploits.
+func isSequenceViewShape(wq *rewrite.WindowQuery) bool {
+	if len(wq.PartitionBy) > 0 {
+		return false
+	}
+	if len(wq.PlainCols) != 1 || !strings.EqualFold(wq.PlainCols[0], wq.PosCol) {
+		return false
+	}
+	return true
+}
+
+func aggOf(name string) (core.Agg, error) {
+	switch name {
+	case "SUM":
+		return core.Sum, nil
+	case "COUNT":
+		return core.Count, nil
+	case "AVG":
+		return core.Avg, nil
+	case "MIN":
+		return core.Min, nil
+	case "MAX":
+		return core.Max, nil
+	default:
+		return 0, fmt.Errorf("mview: unknown aggregate %q", name)
+	}
+}
+
+func windowOf(shape rewrite.WindowShape) core.Window {
+	if shape.Cumulative {
+		return core.Cumul()
+	}
+	return core.Sliding(shape.Preceding, shape.Following)
+}
+
+// readDenseSequence reads (pos, val) from the base table and validates that
+// positions are exactly 1…n.
+func readDenseSequence(base *catalog.Table, posCol, valCol string) ([]float64, error) {
+	posIdx := base.ColumnIndex(posCol)
+	if posIdx < 0 {
+		return nil, fmt.Errorf("mview: column %q does not exist in %q", posCol, base.Name)
+	}
+	valIdx := posIdx
+	if valCol != "" {
+		valIdx = base.ColumnIndex(valCol)
+		if valIdx < 0 {
+			return nil, fmt.Errorf("mview: column %q does not exist in %q", valCol, base.Name)
+		}
+	}
+	type pv struct {
+		pos int64
+		val float64
+	}
+	var rows []pv
+	var scanErr error
+	base.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		p := row[posIdx]
+		if p.IsNull() || p.Typ() != sqltypes.Int {
+			scanErr = fmt.Errorf("mview: position column %q must be non-NULL INTEGER", posCol)
+			return false
+		}
+		v := row[valIdx]
+		if v.IsNull() || !v.Typ().Numeric() {
+			scanErr = fmt.Errorf("mview: value column must be non-NULL numeric")
+			return false
+		}
+		rows = append(rows, pv{pos: p.Int(), val: v.Float()})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pos < rows[j].pos })
+	raw := make([]float64, len(rows))
+	for i, r := range rows {
+		if r.pos != int64(i+1) {
+			return nil, fmt.Errorf("mview: sequence views need dense positions 1…n; found %d at rank %d", r.pos, i+1)
+		}
+		raw[i] = r.val
+	}
+	return raw, nil
+}
+
+func (m *Manager) createSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.WindowQuery) error {
+	base, err := m.cat.Table(wq.Table)
+	if err != nil {
+		return err
+	}
+	agg, err := aggOf(wq.Agg)
+	if err != nil {
+		return err
+	}
+	valCol := wq.ValCol
+	if valCol == "" { // COUNT(*)
+		valCol = wq.PosCol
+	}
+	raw, err := readDenseSequence(base, wq.PosCol, valCol)
+	if err != nil {
+		return err
+	}
+	win := windowOf(wq.Shape)
+	maintAgg := agg
+	if agg == core.Avg {
+		// AVG views are snapshots of SUM/COUNT; maintain via recompute-only.
+		maintAgg = core.Sum
+	}
+	maint, err := core.NewMaintainer(raw, win, maintAgg)
+	if err != nil {
+		return err
+	}
+
+	valType := sqltypes.Int
+	vi := base.ColumnIndex(valCol)
+	if base.Columns[vi].Type == sqltypes.Float || agg == core.Avg {
+		valType = sqltypes.Float
+	}
+	backingName := "__mv_" + stmt.Name
+	backing, err := m.cat.CreateTable(backingName, []catalog.Column{
+		{Name: "pos", Type: sqltypes.Int},
+		{Name: "val", Type: valType},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := m.cat.CreateIndex("pk_"+stmt.Name, backingName, []string{"pos"}, true, true); err != nil {
+		return err
+	}
+
+	mv := &catalog.MatView{
+		Name: stmt.Name, Kind: catalog.SequenceView, Table: backing,
+		BaseTable: base.Name, PosColumn: wq.PosCol, ValColumn: valCol,
+		Agg: wq.Agg, Window: toSpec(win), BaseRows: len(raw),
+		Definition: stmt.String(),
+	}
+	if err := m.cat.RegisterMatView(mv); err != nil {
+		m.cat.DropTable(backingName)
+		return err
+	}
+	sv := &seqView{mv: mv, maint: maint, agg: agg, valType: valType}
+	if err := m.fillBacking(sv, raw); err != nil {
+		return err
+	}
+	m.seq[lower(stmt.Name)] = sv
+	return nil
+}
+
+func toSpec(w core.Window) catalog.WindowSpec {
+	return catalog.WindowSpec{Cumulative: w.Cumulative, Preceding: w.Preceding, Following: w.Following}
+}
+
+// fillBacking rewrites the backing table from the maintained sequence.
+func (m *Manager) fillBacking(sv *seqView, raw []float64) error {
+	// Clear existing rows.
+	var ids []storage.RowID
+	sv.mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	for _, id := range ids {
+		if err := sv.mv.Table.Heap.Delete(id); err != nil {
+			return err
+		}
+	}
+	seq := sv.maint.Seq()
+	if sv.agg == core.Avg {
+		avg, err := core.ComputePipelined(raw, seq.Win, core.Avg)
+		if err != nil {
+			return err
+		}
+		seq = avg
+	}
+	for k := seq.Lo(); k <= seq.Hi(); k++ {
+		v, ok := seq.AtOK(k)
+		if !ok {
+			continue // MIN/MAX empty windows are not materialized
+		}
+		if _, err := sv.mv.Table.Heap.Insert(sqltypes.Row{sqltypes.NewInt(int64(k)), sv.datum(v)}); err != nil {
+			return err
+		}
+	}
+	sv.mv.BaseRows = seq.N
+	return nil
+}
+
+func (sv *seqView) datum(v float64) sqltypes.Datum {
+	if sv.valType == sqltypes.Int {
+		return sqltypes.NewInt(int64(v))
+	}
+	return sqltypes.NewFloat(v)
+}
+
+func (m *Manager) createPlainView(stmt *sqlparser.CreateMatView) error {
+	if m.exec == nil {
+		return fmt.Errorf("mview: no executor wired for plain materialized views")
+	}
+	cols, rows, err := m.exec(stmt.Select)
+	if err != nil {
+		return err
+	}
+	backingName := "__mv_" + stmt.Name
+	defs := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		typ := sqltypes.Null
+		for _, r := range rows {
+			if !r[i].IsNull() {
+				typ = r[i].Typ()
+				break
+			}
+		}
+		name := c
+		if name == "" {
+			name = fmt.Sprintf("column_%d", i+1)
+		}
+		defs[i] = catalog.Column{Name: name, Type: typ}
+	}
+	backing, err := m.cat.CreateTable(backingName, defs)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := backing.Heap.Insert(r.Clone()); err != nil {
+			return err
+		}
+	}
+	mv := &catalog.MatView{
+		Name: stmt.Name, Kind: catalog.PlainView, Table: backing,
+		Definition: stmt.String(),
+	}
+	if err := m.cat.RegisterMatView(mv); err != nil {
+		m.cat.DropTable(backingName)
+		return err
+	}
+	m.plain[lower(stmt.Name)] = stmt
+	return nil
+}
+
+// Drop removes a materialized view and its backing table.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mv, ok := m.cat.MatView(name)
+	if !ok {
+		return fmt.Errorf("materialized view %q does not exist", name)
+	}
+	if err := m.cat.DropMatView(name); err != nil {
+		return err
+	}
+	delete(m.seq, lower(name))
+	delete(m.plain, lower(name))
+	return m.cat.DropTable(mv.Table.Name)
+}
+
+// Refresh fully recomputes a view (and clears staleness).
+func (m *Manager) Refresh(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sv, ok := m.seq[lower(name)]; ok {
+		if sv.partitioned() {
+			return m.refreshPartitioned(sv)
+		}
+		base, err := m.cat.Table(sv.mv.BaseTable)
+		if err != nil {
+			return err
+		}
+		raw, err := readDenseSequence(base, sv.mv.PosColumn, sv.mv.ValColumn)
+		if err != nil {
+			return err
+		}
+		maintAgg := sv.agg
+		if maintAgg == core.Avg {
+			maintAgg = core.Sum
+		}
+		maint, err := core.NewMaintainer(raw, windowOfSpec(sv.mv.Window), maintAgg)
+		if err != nil {
+			return err
+		}
+		sv.maint = maint
+		sv.stale = false
+		sv.staleWhy = ""
+		return m.fillBacking(sv, raw)
+	}
+	if stmt, ok := m.plain[lower(name)]; ok {
+		mv, _ := m.cat.MatView(name)
+		cols, rows, err := m.exec(stmt.Select)
+		if err != nil {
+			return err
+		}
+		if len(cols) != len(mv.Table.Columns) {
+			return fmt.Errorf("mview: refresh arity changed for %q", name)
+		}
+		var ids []storage.RowID
+		mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+			ids = append(ids, id)
+			return true
+		})
+		for _, id := range ids {
+			if err := mv.Table.Heap.Delete(id); err != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			if _, err := mv.Table.Heap.Insert(r.Clone()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("materialized view %q does not exist", name)
+}
+
+func windowOfSpec(w catalog.WindowSpec) core.Window {
+	if w.Cumulative {
+		return core.Cumul()
+	}
+	return core.Sliding(w.Preceding, w.Following)
+}
+
+// CheckFresh returns an error when the named view is stale. The engine calls
+// it before answering a query from the view.
+func (m *Manager) CheckFresh(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sv, ok := m.seq[lower(name)]; ok && sv.stale {
+		return fmt.Errorf("materialized view %q is stale (%s); run REFRESH MATERIALIZED VIEW %s",
+			name, sv.staleWhy, name)
+	}
+	return nil
+}
+
+// Stale reports whether a view is stale.
+func (m *Manager) Stale(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sv, ok := m.seq[lower(name)]
+	return ok && sv.stale
+}

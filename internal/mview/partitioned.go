@@ -1,0 +1,400 @@
+package mview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/rewrite"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// Partitioned sequence views implement §6.2's *complete reporting function*:
+// one complete simple sequence (header + body + trailer) per partition,
+// materialized into a backing table (part, pos, val, body). The position
+// column must hold the dense integers 1…n_p *within each partition* — the
+// per-partition rank the paper's reporting sequences order by.
+
+// partState is one partition's maintained sequence.
+type partState struct {
+	key   sqltypes.Datum
+	maint *core.Maintainer
+}
+
+// isPartitionedSequenceShape accepts
+// SELECT part, pos, agg(val) OVER (PARTITION BY part ORDER BY pos ROWS …).
+func isPartitionedSequenceShape(wq *rewrite.WindowQuery) bool {
+	if len(wq.PartitionBy) != 1 {
+		return false
+	}
+	part := wq.PartitionBy[0]
+	sawPos, sawPart := false, false
+	for _, c := range wq.PlainCols {
+		switch {
+		case strings.EqualFold(c, wq.PosCol) && !sawPos:
+			sawPos = true
+		case strings.EqualFold(c, part) && !sawPart:
+			sawPart = true
+		default:
+			return false
+		}
+	}
+	return sawPos && sawPart
+}
+
+// readPartitionedSequences reads (part, pos, val) from the base table and
+// validates per-partition density. Keys are returned in sorted render order
+// for deterministic materialization.
+func readPartitionedSequences(base *catalog.Table, posCol, partCol, valCol string) (map[string]sqltypes.Datum, map[string][]float64, error) {
+	posIdx := base.ColumnIndex(posCol)
+	partIdx := base.ColumnIndex(partCol)
+	valIdx := base.ColumnIndex(valCol)
+	if posIdx < 0 || partIdx < 0 || valIdx < 0 {
+		return nil, nil, fmt.Errorf("mview: partitioned sequence view needs columns %q, %q, %q", posCol, partCol, valCol)
+	}
+	type pv struct {
+		pos int64
+		val float64
+	}
+	keys := make(map[string]sqltypes.Datum)
+	rows := make(map[string][]pv)
+	var scanErr error
+	base.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		p := row[posIdx]
+		pt := row[partIdx]
+		v := row[valIdx]
+		if p.IsNull() || p.Typ() != sqltypes.Int || pt.IsNull() || v.IsNull() || !v.Typ().Numeric() {
+			scanErr = fmt.Errorf("mview: partitioned sequence views need non-NULL integer positions, non-NULL partition keys, and numeric values")
+			return false
+		}
+		k := pt.String()
+		keys[k] = pt
+		rows[k] = append(rows[k], pv{pos: p.Int(), val: v.Float()})
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, scanErr
+	}
+	raws := make(map[string][]float64, len(rows))
+	for k, list := range rows {
+		sort.Slice(list, func(i, j int) bool { return list[i].pos < list[j].pos })
+		raw := make([]float64, len(list))
+		for i, r := range list {
+			if r.pos != int64(i+1) {
+				return nil, nil, fmt.Errorf("mview: partition %q needs dense positions 1…n; found %d at rank %d", k, r.pos, i+1)
+			}
+			raw[i] = r.val
+		}
+		raws[k] = raw
+	}
+	return keys, raws, nil
+}
+
+func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.WindowQuery) error {
+	base, err := m.cat.Table(wq.Table)
+	if err != nil {
+		return err
+	}
+	agg, err := aggOf(wq.Agg)
+	if err != nil {
+		return err
+	}
+	if agg == core.Avg {
+		return fmt.Errorf("mview: partitioned AVG views are not supported; materialize SUM and COUNT views instead (§2.1)")
+	}
+	partCol := wq.PartitionBy[0]
+	valCol := wq.ValCol
+	if valCol == "" {
+		valCol = wq.PosCol
+	}
+	keys, raws, err := readPartitionedSequences(base, wq.PosCol, partCol, valCol)
+	if err != nil {
+		return err
+	}
+	win := windowOf(wq.Shape)
+	parts := make(map[string]*partState, len(raws))
+	for k, raw := range raws {
+		maint, err := core.NewMaintainer(raw, win, agg)
+		if err != nil {
+			return err
+		}
+		parts[k] = &partState{key: keys[k], maint: maint}
+	}
+
+	valType := sqltypes.Int
+	if base.Columns[base.ColumnIndex(valCol)].Type == sqltypes.Float {
+		valType = sqltypes.Float
+	}
+	partType := base.Columns[base.ColumnIndex(partCol)].Type
+	backingName := "__mv_" + stmt.Name
+	backing, err := m.cat.CreateTable(backingName, []catalog.Column{
+		{Name: "part", Type: partType},
+		{Name: "pos", Type: sqltypes.Int},
+		{Name: "val", Type: valType},
+		{Name: "body", Type: sqltypes.Bool},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := m.cat.CreateIndex("pk_"+stmt.Name, backingName, []string{"part", "pos"}, true, true); err != nil {
+		return err
+	}
+	mv := &catalog.MatView{
+		Name: stmt.Name, Kind: catalog.SequenceView, Table: backing,
+		BaseTable: base.Name, PosColumn: wq.PosCol, PartColumn: partCol,
+		ValColumn: valCol, Agg: wq.Agg, Window: toSpec(win),
+		Definition: stmt.String(),
+	}
+	if err := m.cat.RegisterMatView(mv); err != nil {
+		m.cat.DropTable(backingName)
+		return err
+	}
+	sv := &seqView{mv: mv, agg: agg, valType: valType, parts: parts}
+	if err := m.fillPartitionedBacking(sv); err != nil {
+		return err
+	}
+	m.seq[lower(stmt.Name)] = sv
+	return nil
+}
+
+// fillPartitionedBacking rewrites the backing table from every partition's
+// maintained sequence.
+func (m *Manager) fillPartitionedBacking(sv *seqView) error {
+	var ids []storage.RowID
+	sv.mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	for _, id := range ids {
+		if err := sv.mv.Table.Heap.Delete(id); err != nil {
+			return err
+		}
+	}
+	for _, ps := range sortedParts(sv) {
+		seq := ps.maint.Seq()
+		for k := seq.Lo(); k <= seq.Hi(); k++ {
+			v, ok := seq.AtOK(k)
+			if !ok {
+				continue
+			}
+			row := sqltypes.Row{ps.key, sqltypes.NewInt(int64(k)), sv.datum(v),
+				sqltypes.NewBool(k >= 1 && k <= seq.N)}
+			if _, err := sv.mv.Table.Heap.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedParts(sv *seqView) []*partState {
+	keys := make([]string, 0, len(sv.parts))
+	for k := range sv.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*partState, len(keys))
+	for i, k := range keys {
+		out[i] = sv.parts[k]
+	}
+	return out
+}
+
+// upsertPart writes (part, pos, val, body) through the (part, pos) index.
+func (m *Manager) upsertPart(sv *seqView, ps *partState, pos int, val float64, ok bool) error {
+	h := sv.mv.Table.Heap.IndexOn([]int{0, 1})
+	if h == nil {
+		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
+	}
+	key := sqltypes.Row{ps.key, sqltypes.NewInt(int64(pos))}
+	id, found := h.Idx.First(key)
+	if !ok {
+		if found {
+			return sv.mv.Table.Heap.Delete(id)
+		}
+		return nil
+	}
+	n := ps.maint.Seq().N
+	row := sqltypes.Row{ps.key, sqltypes.NewInt(int64(pos)), sv.datum(val),
+		sqltypes.NewBool(pos >= 1 && pos <= n)}
+	if found {
+		return sv.mv.Table.Heap.Update(id, row)
+	}
+	_, err := sv.mv.Table.Heap.Insert(row)
+	return err
+}
+
+// syncPartRange re-writes backing rows for positions [lo, hi] of one
+// partition.
+func (m *Manager) syncPartRange(sv *seqView, ps *partState, lo, hi int) error {
+	seq := ps.maint.Seq()
+	for k := lo; k <= hi; k++ {
+		if k < seq.Lo() || k > seq.Hi() {
+			h := sv.mv.Table.Heap.IndexOn([]int{0, 1})
+			if h == nil {
+				return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
+			}
+			if id, found := h.Idx.First(sqltypes.Row{ps.key, sqltypes.NewInt(int64(k))}); found {
+				if err := sv.mv.Table.Heap.Delete(id); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		v, ok := seq.AtOK(k)
+		if err := m.upsertPart(sv, ps, k, v, ok); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPartitionedUpdate folds one base-row value update into the view.
+func (m *Manager) applyPartitionedUpdate(sv *seqView, part sqltypes.Datum, pos int, val float64) {
+	ps, ok := sv.parts[part.String()]
+	if !ok {
+		m.markStale(sv, fmt.Sprintf("update in unknown partition %v", part))
+		return
+	}
+	if err := ps.maint.Update(pos, val); err != nil {
+		m.markStale(sv, err.Error())
+		return
+	}
+	m.MaintenanceEvents++
+	w := ps.maint.Seq().Win
+	var err error
+	if w.Cumulative {
+		err = m.syncPartRange(sv, ps, pos, ps.maint.Seq().Hi())
+	} else {
+		err = m.syncPartRange(sv, ps, pos-w.Following, pos+w.Preceding)
+	}
+	if err != nil {
+		m.markStale(sv, err.Error())
+	}
+}
+
+// applyPartitionedInsert folds one inserted base row into the view: appends
+// at n_p+1 (including position 1 of a brand-new partition) stay incremental.
+func (m *Manager) applyPartitionedInsert(sv *seqView, part sqltypes.Datum, pos int, val float64) {
+	k := part.String()
+	ps, ok := sv.parts[k]
+	if !ok {
+		if pos != 1 {
+			m.markStale(sv, fmt.Sprintf("insert at position %d opens partition %v non-densely", pos, part))
+			return
+		}
+		maint, err := core.NewMaintainer([]float64{val}, windowOfSpec(sv.mv.Window), sv.agg)
+		if err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+		ps = &partState{key: part, maint: maint}
+		sv.parts[k] = ps
+		m.MaintenanceEvents++
+		if err := m.syncPartRange(sv, ps, ps.maint.Seq().Lo(), ps.maint.Seq().Hi()); err != nil {
+			m.markStale(sv, err.Error())
+		}
+		return
+	}
+	n := ps.maint.Seq().N
+	if pos != n+1 {
+		m.markStale(sv, fmt.Sprintf("insert at position %d of partition %v is not an append (n=%d)", pos, part, n))
+		return
+	}
+	if err := ps.maint.Insert(pos, val); err != nil {
+		m.markStale(sv, err.Error())
+		return
+	}
+	m.MaintenanceEvents++
+	seq := ps.maint.Seq()
+	var err error
+	if seq.Win.Cumulative {
+		err = m.syncPartRange(sv, ps, pos, seq.Hi())
+	} else {
+		// The body flag of former trailer rows changes too; sync the band
+		// plus the new trailer.
+		err = m.syncPartRange(sv, ps, pos-seq.Win.Following, seq.Hi())
+	}
+	if err != nil {
+		m.markStale(sv, err.Error())
+	}
+}
+
+// applyPartitionedDelete folds one deleted base row into the view (suffix
+// deletes only).
+func (m *Manager) applyPartitionedDelete(sv *seqView, part sqltypes.Datum, pos int) {
+	ps, ok := sv.parts[part.String()]
+	if !ok {
+		m.markStale(sv, fmt.Sprintf("delete in unknown partition %v", part))
+		return
+	}
+	n := ps.maint.Seq().N
+	if pos != n {
+		m.markStale(sv, fmt.Sprintf("delete at position %d of partition %v is not a suffix delete (n=%d)", pos, part, n))
+		return
+	}
+	oldHi := ps.maint.Seq().Hi()
+	if err := ps.maint.Delete(pos); err != nil {
+		m.markStale(sv, err.Error())
+		return
+	}
+	m.MaintenanceEvents++
+	seq := ps.maint.Seq()
+	if seq.N == 0 {
+		// The partition vanished: remove every remaining backing row (an
+		// empty sequence would otherwise materialize zero-valued
+		// header/trailer rows).
+		var ids []storage.RowID
+		sv.mv.Table.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
+			if sqltypes.Equal(row[0], ps.key) {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		for _, id := range ids {
+			if err := sv.mv.Table.Heap.Delete(id); err != nil {
+				m.markStale(sv, err.Error())
+				return
+			}
+		}
+		delete(sv.parts, part.String())
+		return
+	}
+	var err error
+	if seq.Win.Cumulative {
+		err = m.syncPartRange(sv, ps, pos, oldHi)
+	} else {
+		err = m.syncPartRange(sv, ps, pos-seq.Win.Following, oldHi)
+	}
+	if err != nil {
+		m.markStale(sv, err.Error())
+	}
+}
+
+// refreshPartitioned fully recomputes a partitioned view.
+func (m *Manager) refreshPartitioned(sv *seqView) error {
+	base, err := m.cat.Table(sv.mv.BaseTable)
+	if err != nil {
+		return err
+	}
+	keys, raws, err := readPartitionedSequences(base, sv.mv.PosColumn, sv.mv.PartColumn, sv.mv.ValColumn)
+	if err != nil {
+		return err
+	}
+	parts := make(map[string]*partState, len(raws))
+	for k, raw := range raws {
+		maint, err := core.NewMaintainer(raw, windowOfSpec(sv.mv.Window), sv.agg)
+		if err != nil {
+			return err
+		}
+		parts[k] = &partState{key: keys[k], maint: maint}
+	}
+	sv.parts = parts
+	sv.stale = false
+	sv.staleWhy = ""
+	return m.fillPartitionedBacking(sv)
+}

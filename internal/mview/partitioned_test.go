@@ -1,0 +1,306 @@
+package mview
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// pfixture builds pseq(grp, pos, val) with per-partition dense positions and
+// val = pos * factor(grp).
+func pfixture(t *testing.T, sizes map[string]int) (*catalog.Catalog, *Manager) {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := cat.CreateTable("pseq", []catalog.Column{
+		{Name: "grp", Type: sqltypes.String},
+		{Name: "pos", Type: sqltypes.Int},
+		{Name: "val", Type: sqltypes.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := int64(1)
+	for g, n := range sizes {
+		factor++
+		for i := int64(1); i <= int64(n); i++ {
+			tbl.Heap.Insert(sqltypes.Row{sqltypes.NewString(g), sqltypes.NewInt(i), sqltypes.NewInt(i * factor)})
+		}
+	}
+	return cat, NewManager(cat, nil)
+}
+
+const pViewDDL = `CREATE MATERIALIZED VIEW pmv AS
+  SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+    ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM pseq`
+
+func createPView(t *testing.T, m *Manager) {
+	t.Helper()
+	stmt, err := sqlparser.Parse(pViewDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create(stmt.(*sqlparser.CreateMatView)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// basePartition reads one partition's raw values ordered by pos.
+func basePartition(t *testing.T, cat *catalog.Catalog, grp string) []float64 {
+	t.Helper()
+	base, err := cat.Table("pseq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[int64]float64{}
+	base.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		if row[0].Str() == grp {
+			vals[row[1].Int()] = row[2].Float()
+		}
+		return true
+	})
+	out := make([]float64, len(vals))
+	for i := int64(1); i <= int64(len(vals)); i++ {
+		out[i-1] = vals[i]
+	}
+	return out
+}
+
+// checkPartitionBacking compares one partition's backing rows against a
+// fresh core computation, including body flags.
+func checkPartitionBacking(t *testing.T, cat *catalog.Catalog, grp string, ctx string) {
+	t.Helper()
+	raw := basePartition(t, cat, grp)
+	want, err := core.ComputePipelined(raw, core.Sliding(2, 1), core.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, ok := cat.MatView("pmv")
+	if !ok {
+		t.Fatal("view missing")
+	}
+	got := map[int64][2]interface{}{}
+	mv.Table.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		if row[0].Str() == grp {
+			got[row[1].Int()] = [2]interface{}{row[2].Float(), row[3].Bool()}
+		}
+		return true
+	})
+	count := 0
+	for k := want.Lo(); k <= want.Hi(); k++ {
+		v, okv := want.AtOK(k)
+		if !okv {
+			continue
+		}
+		count++
+		cell, present := got[int64(k)]
+		if !present {
+			t.Fatalf("%s: partition %q missing pos %d", ctx, grp, k)
+		}
+		if math.Abs(cell[0].(float64)-v) > 1e-9 {
+			t.Fatalf("%s: partition %q pos %d = %v, want %v", ctx, grp, k, cell[0], v)
+		}
+		wantBody := k >= 1 && k <= want.N
+		if cell[1].(bool) != wantBody {
+			t.Fatalf("%s: partition %q pos %d body=%v, want %v", ctx, grp, k, cell[1], wantBody)
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("%s: partition %q has %d rows, want %d", ctx, grp, len(got), count)
+	}
+}
+
+func TestCreatePartitionedView(t *testing.T) {
+	cat, m := pfixture(t, map[string]int{"a": 12, "b": 7})
+	createPView(t, m)
+	mv, ok := cat.MatView("pmv")
+	if !ok || mv.PartColumn != "grp" {
+		t.Fatalf("view metadata = %+v", mv)
+	}
+	checkPartitionBacking(t, cat, "a", "create")
+	checkPartitionBacking(t, cat, "b", "create")
+	if mv.Table.Heap.IndexOn([]int{0, 1}) == nil {
+		t.Fatal("backing table must carry a (part, pos) index")
+	}
+}
+
+func TestPartitionedUpdateIncremental(t *testing.T) {
+	cat, m := pfixture(t, map[string]int{"a": 10, "b": 10})
+	createPView(t, m)
+	base, _ := cat.Table("pseq")
+	cols := base.ColumnNames()
+	var id storage.RowID
+	var before sqltypes.Row
+	base.Heap.Scan(func(i storage.RowID, row sqltypes.Row) bool {
+		if row[0].Str() == "a" && row[1].Int() == 5 {
+			id, before = i, row
+			return false
+		}
+		return true
+	})
+	after := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(5), sqltypes.NewInt(999)}
+	if err := base.Heap.Update(id, after); err != nil {
+		t.Fatal(err)
+	}
+	m.AfterUpdate("pseq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
+	if m.Stale("pmv") {
+		t.Fatal("partitioned value update must stay incremental")
+	}
+	checkPartitionBacking(t, cat, "a", "after update")
+	checkPartitionBacking(t, cat, "b", "after update (untouched partition)")
+}
+
+func TestPartitionedAppendAndNewPartition(t *testing.T) {
+	cat, m := pfixture(t, map[string]int{"a": 6})
+	createPView(t, m)
+	base, _ := cat.Table("pseq")
+	cols := base.ColumnNames()
+
+	row := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(7), sqltypes.NewInt(70)}
+	base.Heap.Insert(row)
+	m.AfterInsert("pseq", []sqltypes.Row{row}, cols)
+	if m.Stale("pmv") {
+		t.Fatal("append must stay incremental")
+	}
+	checkPartitionBacking(t, cat, "a", "after append")
+
+	// A new partition opening at position 1 is also incremental.
+	row2 := sqltypes.Row{sqltypes.NewString("z"), sqltypes.NewInt(1), sqltypes.NewInt(5)}
+	base.Heap.Insert(row2)
+	m.AfterInsert("pseq", []sqltypes.Row{row2}, cols)
+	if m.Stale("pmv") {
+		t.Fatal("new partition at pos 1 must stay incremental")
+	}
+	checkPartitionBacking(t, cat, "z", "new partition")
+
+	// A new partition opening anywhere else goes stale.
+	row3 := sqltypes.Row{sqltypes.NewString("q"), sqltypes.NewInt(3), sqltypes.NewInt(5)}
+	base.Heap.Insert(row3)
+	m.AfterInsert("pseq", []sqltypes.Row{row3}, cols)
+	if !m.Stale("pmv") {
+		t.Fatal("non-dense partition opening must go stale")
+	}
+}
+
+func TestPartitionedSuffixDeleteAndVanish(t *testing.T) {
+	cat, m := pfixture(t, map[string]int{"a": 3, "b": 5})
+	createPView(t, m)
+	base, _ := cat.Table("pseq")
+	cols := base.ColumnNames()
+	// Delete partition a entirely, suffix-first.
+	for pos := int64(3); pos >= 1; pos-- {
+		var id storage.RowID
+		var row sqltypes.Row
+		base.Heap.Scan(func(i storage.RowID, r sqltypes.Row) bool {
+			if r[0].Str() == "a" && r[1].Int() == pos {
+				id, row = i, r
+				return false
+			}
+			return true
+		})
+		if err := base.Heap.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		m.AfterDelete("pseq", []sqltypes.Row{row}, cols)
+		if m.Stale("pmv") {
+			t.Fatalf("suffix delete at pos %d must stay incremental", pos)
+		}
+	}
+	// Partition a is gone from the backing table.
+	mv, _ := cat.MatView("pmv")
+	mv.Table.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		if row[0].Str() == "a" {
+			t.Fatalf("vanished partition still has row %v", row)
+		}
+		return true
+	})
+	checkPartitionBacking(t, cat, "b", "after partition removal")
+	// And re-opening it at pos 1 works.
+	row := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(1), sqltypes.NewInt(4)}
+	base.Heap.Insert(row)
+	m.AfterInsert("pseq", []sqltypes.Row{row}, cols)
+	if m.Stale("pmv") {
+		t.Fatal("re-opened partition must stay incremental")
+	}
+	checkPartitionBacking(t, cat, "a", "re-opened partition")
+}
+
+func TestPartitionedRefresh(t *testing.T) {
+	cat, m := pfixture(t, map[string]int{"a": 5, "b": 4})
+	createPView(t, m)
+	base, _ := cat.Table("pseq")
+	// Force staleness with a middle delete, then repair density and refresh.
+	var id storage.RowID
+	var row sqltypes.Row
+	base.Heap.Scan(func(i storage.RowID, r sqltypes.Row) bool {
+		if r[0].Str() == "a" && r[1].Int() == 2 {
+			id, row = i, r
+			return false
+		}
+		return true
+	})
+	base.Heap.Delete(id)
+	m.AfterDelete("pseq", []sqltypes.Row{row}, base.ColumnNames())
+	if !m.Stale("pmv") {
+		t.Fatal("middle delete must go stale")
+	}
+	// Repair: move pos 5 into the hole.
+	base.Heap.Scan(func(i storage.RowID, r sqltypes.Row) bool {
+		if r[0].Str() == "a" && r[1].Int() == 5 {
+			nr := r.Clone()
+			nr[1] = sqltypes.NewInt(2)
+			base.Heap.Update(i, nr)
+			return false
+		}
+		return true
+	})
+	if err := m.Refresh("pmv"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stale("pmv") {
+		t.Fatal("refresh must clear staleness")
+	}
+	checkPartitionBacking(t, cat, "a", "after refresh")
+	checkPartitionBacking(t, cat, "b", "after refresh")
+}
+
+func TestPartitionedCreateRejections(t *testing.T) {
+	// NULL partition keys.
+	cat := catalog.New()
+	tbl, _ := cat.CreateTable("pseq", []catalog.Column{
+		{Name: "grp", Type: sqltypes.String},
+		{Name: "pos", Type: sqltypes.Int},
+		{Name: "val", Type: sqltypes.Int},
+	})
+	tbl.Heap.Insert(sqltypes.Row{sqltypes.NullDatum, sqltypes.NewInt(1), sqltypes.NewInt(1)})
+	m := NewManager(cat, nil)
+	stmt, _ := sqlparser.Parse(pViewDDL)
+	if err := m.Create(stmt.(*sqlparser.CreateMatView)); err == nil ||
+		!strings.Contains(err.Error(), "non-NULL") {
+		t.Fatalf("NULL partition key must be rejected: %v", err)
+	}
+	// AVG partitioned views are refused.
+	cat2, m2 := pfixture(t, map[string]int{"a": 4})
+	_ = cat2
+	stmt2, _ := sqlparser.Parse(`CREATE MATERIALIZED VIEW bad AS
+	  SELECT grp, pos, AVG(val) OVER (PARTITION BY grp ORDER BY pos
+	    ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM pseq`)
+	if err := m2.Create(stmt2.(*sqlparser.CreateMatView)); err == nil {
+		t.Fatal("partitioned AVG view must be rejected")
+	}
+	// Positional shifts refuse partitioned views.
+	cat3, m3 := pfixture(t, map[string]int{"a": 4})
+	_ = cat3
+	createPView(t, m3)
+	if err := m3.ShiftInsert("pmv", 1, 1); err == nil {
+		t.Fatal("shift insert on partitioned view must fail")
+	}
+	if err := m3.ShiftDelete("pmv", 1); err == nil {
+		t.Fatal("shift delete on partitioned view must fail")
+	}
+}

@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"fmt"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqlparser"
+)
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*sqlparser.AndExpr); ok {
+		return append(splitAnd(a.Left), splitAnd(a.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// joinAnd rebuilds a conjunction (nil for an empty list).
+func joinAnd(conjuncts []sqlparser.Expr) sqlparser.Expr {
+	var out sqlparser.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &sqlparser.AndExpr{Left: out, Right: c}
+		}
+	}
+	return out
+}
+
+// exprTables returns the set of relation reference names an expression's
+// columns resolve to under the given schema. Unqualified names resolve by
+// unique column name.
+func exprTables(e sqlparser.Expr, schema *expr.Schema) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var walkErr error
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if walkErr != nil {
+			return false
+		}
+		c, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return true
+		}
+		idx, err := schema.Resolve(c.Table, c.Name)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		out[schema.Cols[idx].Table] = true
+		return true
+	})
+	return out, walkErr
+}
+
+// subsetOf reports whether every element of a is in b.
+func subsetOf(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteExpr returns a copy of e with every node for which fn returns a
+// non-nil replacement substituted (fn is applied top-down; replaced subtrees
+// are not revisited).
+func rewriteExpr(e sqlparser.Expr, fn func(sqlparser.Expr) sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if r := fn(e); r != nil {
+		return r
+	}
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef, *sqlparser.Literal:
+		return e
+	case *sqlparser.BinaryExpr:
+		return &sqlparser.BinaryExpr{Op: x.Op, Left: rewriteExpr(x.Left, fn), Right: rewriteExpr(x.Right, fn)}
+	case *sqlparser.UnaryExpr:
+		return &sqlparser.UnaryExpr{Op: x.Op, Expr: rewriteExpr(x.Expr, fn)}
+	case *sqlparser.ComparisonExpr:
+		return &sqlparser.ComparisonExpr{Op: x.Op, Left: rewriteExpr(x.Left, fn), Right: rewriteExpr(x.Right, fn)}
+	case *sqlparser.AndExpr:
+		return &sqlparser.AndExpr{Left: rewriteExpr(x.Left, fn), Right: rewriteExpr(x.Right, fn)}
+	case *sqlparser.OrExpr:
+		return &sqlparser.OrExpr{Left: rewriteExpr(x.Left, fn), Right: rewriteExpr(x.Right, fn)}
+	case *sqlparser.NotExpr:
+		return &sqlparser.NotExpr{Expr: rewriteExpr(x.Expr, fn)}
+	case *sqlparser.InExpr:
+		list := make([]sqlparser.Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = rewriteExpr(it, fn)
+		}
+		return &sqlparser.InExpr{Left: rewriteExpr(x.Left, fn), List: list, Negated: x.Negated}
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{
+			Expr: rewriteExpr(x.Expr, fn), From: rewriteExpr(x.From, fn),
+			To: rewriteExpr(x.To, fn), Negated: x.Negated,
+		}
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{Expr: rewriteExpr(x.Expr, fn), Negated: x.Negated}
+	case *sqlparser.FuncExpr:
+		args := make([]sqlparser.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteExpr(a, fn)
+		}
+		return &sqlparser.FuncExpr{Name: x.Name, Args: args, Star: x.Star}
+	case *sqlparser.CaseExpr:
+		whens := make([]sqlparser.When, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = sqlparser.When{Cond: rewriteExpr(w.Cond, fn), Then: rewriteExpr(w.Then, fn)}
+		}
+		return &sqlparser.CaseExpr{Whens: whens, Else: rewriteExpr(x.Else, fn)}
+	case *sqlparser.WindowExpr:
+		fargs := make([]sqlparser.Expr, len(x.Func.Args))
+		for i, a := range x.Func.Args {
+			fargs[i] = rewriteExpr(a, fn)
+		}
+		pb := make([]sqlparser.Expr, len(x.PartitionBy))
+		for i, p := range x.PartitionBy {
+			pb[i] = rewriteExpr(p, fn)
+		}
+		ob := make([]sqlparser.OrderItem, len(x.OrderBy))
+		for i, o := range x.OrderBy {
+			ob[i] = sqlparser.OrderItem{Expr: rewriteExpr(o.Expr, fn), Desc: o.Desc}
+		}
+		return &sqlparser.WindowExpr{
+			Func:        &sqlparser.FuncExpr{Name: x.Func.Name, Args: fargs, Star: x.Func.Star},
+			PartitionBy: pb, OrderBy: ob, Frame: x.Frame,
+		}
+	default:
+		panic(fmt.Sprintf("plan: rewriteExpr missing case %T", e))
+	}
+}
+
+// containsWindow reports whether the expression contains a window function.
+func containsWindow(e sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if _, ok := x.(*sqlparser.WindowExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsBareAggregate reports whether the expression contains an aggregate
+// call that is not itself a window function (a WindowExpr's own Func does
+// not count, but aggregates nested in its arguments do).
+func containsBareAggregate(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *sqlparser.FuncExpr:
+		if expr.AggregateNames[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsBareAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *sqlparser.WindowExpr:
+		for _, a := range x.Func.Args {
+			if containsBareAggregate(a) {
+				return true
+			}
+		}
+		for _, p := range x.PartitionBy {
+			if containsBareAggregate(p) {
+				return true
+			}
+		}
+		for _, o := range x.OrderBy {
+			if containsBareAggregate(o.Expr) {
+				return true
+			}
+		}
+		return false
+	case *sqlparser.ColumnRef, *sqlparser.Literal:
+		return false
+	case *sqlparser.BinaryExpr:
+		return containsBareAggregate(x.Left) || containsBareAggregate(x.Right)
+	case *sqlparser.UnaryExpr:
+		return containsBareAggregate(x.Expr)
+	case *sqlparser.ComparisonExpr:
+		return containsBareAggregate(x.Left) || containsBareAggregate(x.Right)
+	case *sqlparser.AndExpr:
+		return containsBareAggregate(x.Left) || containsBareAggregate(x.Right)
+	case *sqlparser.OrExpr:
+		return containsBareAggregate(x.Left) || containsBareAggregate(x.Right)
+	case *sqlparser.NotExpr:
+		return containsBareAggregate(x.Expr)
+	case *sqlparser.InExpr:
+		if containsBareAggregate(x.Left) {
+			return true
+		}
+		for _, it := range x.List {
+			if containsBareAggregate(it) {
+				return true
+			}
+		}
+		return false
+	case *sqlparser.BetweenExpr:
+		return containsBareAggregate(x.Expr) || containsBareAggregate(x.From) || containsBareAggregate(x.To)
+	case *sqlparser.IsNullExpr:
+		return containsBareAggregate(x.Expr)
+	case *sqlparser.CaseExpr:
+		for _, w := range x.Whens {
+			if containsBareAggregate(w.Cond) || containsBareAggregate(w.Then) {
+				return true
+			}
+		}
+		return containsBareAggregate(x.Else)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,536 @@
+// Package plan turns parsed SELECT statements into executable operator
+// trees: name resolution, predicate placement, join-algorithm selection
+// (index nested-loop / hash / nested-loop), aggregation, reporting-function
+// (window) planning, and set operations.
+//
+// The planner exposes the switches the paper's evaluation toggles:
+// Options.NativeWindow corresponds to "reporting functionality inside the
+// database engine" (Table 1) — with it off, window queries fail with
+// ErrWindowDisabled and the engine layer falls back to the relational
+// self-join rewrite of Fig. 2; Options.UseIndexes corresponds to the
+// with/without-index columns.
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"rfview/internal/catalog"
+	"rfview/internal/exec"
+	"rfview/internal/expr"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+)
+
+// ErrWindowDisabled is returned when a query uses reporting functions but
+// the native window operator is switched off. The engine reacts by applying
+// the self-join simulation rewrite.
+var ErrWindowDisabled = errors.New("reporting functions require the native window operator (disabled)")
+
+// Options toggles the planner's physical alternatives.
+type Options struct {
+	// NativeWindow enables the Window operator. Off = the engine must
+	// simulate reporting functions relationally (Fig. 2).
+	NativeWindow bool
+	// UseIndexes enables index nested-loop joins.
+	UseIndexes bool
+	// UseHashJoin enables hash joins for equi-join conjuncts.
+	UseHashJoin bool
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{NativeWindow: true, UseIndexes: true, UseHashJoin: true}
+}
+
+// Planner builds operator trees against a catalog.
+type Planner struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// New returns a planner with the given options.
+func New(cat *catalog.Catalog, opts Options) *Planner {
+	return &Planner{Cat: cat, Opts: opts}
+}
+
+// PlanSelect plans any select statement (core or union).
+func (p *Planner) PlanSelect(stmt sqlparser.SelectStatement) (exec.Operator, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		return p.planSelectCore(s)
+	case *sqlparser.Union:
+		return p.planUnion(s)
+	default:
+		return nil, fmt.Errorf("plan: unsupported select statement %T", stmt)
+	}
+}
+
+func (p *Planner) planUnion(u *sqlparser.Union) (exec.Operator, error) {
+	left, err := p.PlanSelect(u.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.PlanSelect(u.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Schema().Cols) != len(right.Schema().Cols) {
+		return nil, fmt.Errorf("UNION inputs have different arity (%d vs %d)",
+			len(left.Schema().Cols), len(right.Schema().Cols))
+	}
+	var op exec.Operator = &exec.UnionAll{Inputs: []exec.Operator{left, right}}
+	if !u.All {
+		op = &exec.Distinct{Input: op}
+	}
+	if len(u.OrderBy) > 0 {
+		keys, err := p.compileOrderBy(u.OrderBy, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Sort{Input: op, Keys: keys}
+	}
+	return p.applyLimit(op, u.Limit)
+}
+
+func (p *Planner) compileOrderBy(items []sqlparser.OrderItem, schema *expr.Schema) ([]exec.SortKey, error) {
+	keys := make([]exec.SortKey, len(items))
+	for i, it := range items {
+		e, err := expr.Compile(it.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = exec.SortKey{Expr: e, Desc: it.Desc}
+	}
+	return keys, nil
+}
+
+func (p *Planner) applyLimit(op exec.Operator, limit sqlparser.Expr) (exec.Operator, error) {
+	if limit == nil {
+		return op, nil
+	}
+	lit, ok := limit.(*sqlparser.Literal)
+	if !ok || lit.Val.Typ() != sqltypes.Int || lit.Val.Int() < 0 {
+		return nil, fmt.Errorf("LIMIT requires a non-negative integer literal")
+	}
+	return &exec.Limit{Input: op, N: lit.Val.Int()}, nil
+}
+
+// planSelectCore plans one SELECT block:
+//
+//	FROM+WHERE → [HashAggregate → HAVING] → [Window…] → Sort → Project
+//	→ [Distinct] → Limit
+//
+// The sort runs against the pre-projection schema (extended with synthetic
+// aggregate/window columns), so ORDER BY may reference input columns that
+// the projection drops; bare aliases are substituted first.
+func (p *Planner) planSelectCore(sel *sqlparser.Select) (exec.Operator, error) {
+	// ---- FROM + WHERE ----
+	var op exec.Operator
+	var err error
+	if sel.From == nil {
+		op = exec.NewValues(expr.NewSchema(), []sqltypes.Row{{}})
+		if sel.Where != nil {
+			return nil, fmt.Errorf("WHERE without FROM is not supported")
+		}
+	} else {
+		op, err = p.planFrom(sel.From, splitAnd(sel.Where))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- expand stars ----
+	items, err := expandStars(sel.Items, op.Schema())
+	if err != nil {
+		return nil, err
+	}
+	// Remember the pre-rewrite item expressions so ORDER BY can reference a
+	// select item by its original text (e.g. ORDER BY day after GROUP BY day
+	// rewrote the item to a synthetic group column).
+	origItemStrings := make([]string, len(items))
+	for i, it := range items {
+		origItemStrings[i] = it.Expr.String()
+	}
+
+	// ---- aggregation ----
+	having := sel.Having
+	hasAgg := len(sel.GroupBy) > 0 || containsBareAggregate(having)
+	for _, it := range items {
+		if containsBareAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		op, items, having, err = p.planAggregation(op, sel.GroupBy, items, having)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if having != nil {
+		if !hasAgg {
+			return nil, fmt.Errorf("HAVING requires GROUP BY or aggregates")
+		}
+		pred, err := expr.Compile(having, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Filter{Input: op, Pred: pred}
+	}
+
+	// ---- reporting functions (windows) ----
+	hasWindow := false
+	for _, it := range items {
+		if containsWindow(it.Expr) {
+			hasWindow = true
+			break
+		}
+	}
+	if hasWindow {
+		if !p.Opts.NativeWindow {
+			return nil, ErrWindowDisabled
+		}
+		op, items, err = p.planWindows(op, items)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- ORDER BY (pre-projection, with alias substitution) ----
+	orderBy := make([]sqlparser.OrderItem, len(sel.OrderBy))
+	copy(orderBy, sel.OrderBy)
+	for i, ob := range orderBy {
+		if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			matched := false
+			for _, it := range items {
+				if it.Alias != "" && equalFold(it.Alias, cr.Name) {
+					orderBy[i].Expr = it.Expr
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		// An ORDER BY expression textually equal to a select item follows
+		// that item through the aggregate/window rewrites.
+		obText := ob.Expr.String()
+		for j, orig := range origItemStrings {
+			if obText == orig {
+				orderBy[i].Expr = items[j].Expr
+				break
+			}
+		}
+	}
+	if len(orderBy) > 0 {
+		keys, err := p.compileOrderBy(orderBy, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Sort{Input: op, Keys: keys}
+	}
+
+	// ---- projection ----
+	exprs := make([]expr.Expr, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		e, err := expr.Compile(it.Expr, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+		names[i] = it.outName(i)
+	}
+	op = exec.NewProject(op, exprs, names)
+
+	if sel.Distinct {
+		op = &exec.Distinct{Input: op}
+	}
+	return p.applyLimit(op, sel.Limit)
+}
+
+// item is a select item with stars expanded.
+type item struct {
+	Expr  sqlparser.Expr
+	Alias string
+}
+
+func (it item) outName(i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+		return cr.Name
+	}
+	return fmt.Sprintf("column_%d", i+1)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func expandStars(items []sqlparser.SelectItem, schema *expr.Schema) ([]item, error) {
+	var out []item
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, item{Expr: it.Expr, Alias: it.Alias})
+			continue
+		}
+		matched := false
+		for _, c := range schema.Cols {
+			if it.Table != "" && !equalFold(c.Table, it.Table) {
+				continue
+			}
+			if c.Name == "" {
+				return nil, fmt.Errorf("cannot expand * over unnamed columns")
+			}
+			out = append(out, item{Expr: &sqlparser.ColumnRef{Table: c.Table, Name: c.Name}})
+			matched = true
+		}
+		if !matched {
+			return nil, fmt.Errorf("star expansion %s.* matches no columns", it.Table)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty select list")
+	}
+	return out, nil
+}
+
+// planAggregation lowers GROUP BY + aggregates into a HashAggregate and
+// rewrites items/having to reference the aggregate's output columns.
+func (p *Planner) planAggregation(input exec.Operator, groupBy []sqlparser.Expr, items []item, having sqlparser.Expr) (exec.Operator, []item, sqlparser.Expr, error) {
+	groupExprs := make([]expr.Expr, len(groupBy))
+	groupNames := make([]string, len(groupBy))
+	for i, g := range groupBy {
+		e, err := expr.Compile(g, input.Schema())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupExprs[i] = e
+		groupNames[i] = fmt.Sprintf("__grp_%d", i)
+	}
+
+	// Collect aggregate calls (deduplicated by rendered text) from items and
+	// HAVING, including those nested inside window-function arguments.
+	var specs []exec.AggSpec
+	seen := map[string]string{} // rendered aggregate -> output column name
+	collect := func(e sqlparser.Expr) (sqlparser.Expr, error) {
+		var compileErr error
+		out := rewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			fn, ok := x.(*sqlparser.FuncExpr)
+			if !ok || !expr.AggregateNames[fn.Name] {
+				return nil
+			}
+			key := fn.String()
+			if name, ok := seen[key]; ok {
+				return &sqlparser.ColumnRef{Name: name}
+			}
+			name := fmt.Sprintf("__agg_%d", len(specs))
+			var arg expr.Expr
+			if !fn.Star {
+				if len(fn.Args) != 1 {
+					compileErr = fmt.Errorf("%s() takes exactly one argument", fn.Name)
+					return nil
+				}
+				var err error
+				arg, err = expr.Compile(fn.Args[0], input.Schema())
+				if err != nil {
+					compileErr = err
+					return nil
+				}
+			}
+			specs = append(specs, exec.AggSpec{Name: fn.Name, Arg: arg, OutName: name})
+			seen[key] = name
+			return &sqlparser.ColumnRef{Name: name}
+		})
+		return out, compileErr
+	}
+
+	// Substitute group-by expressions (textual match) and aggregates.
+	substGroup := func(e sqlparser.Expr) sqlparser.Expr {
+		return rewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			for i, g := range groupBy {
+				if x.String() == g.String() {
+					return &sqlparser.ColumnRef{Name: groupNames[i]}
+				}
+			}
+			return nil
+		})
+	}
+
+	// Extract aggregates first (their arguments compile against the input
+	// schema), then substitute group-by expressions in what remains.
+	newItems := make([]item, len(items))
+	for i, it := range items {
+		rewritten, err := collect(it.Expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		newItems[i] = item{Expr: substGroup(rewritten), Alias: it.Alias}
+	}
+	var newHaving sqlparser.Expr
+	if having != nil {
+		rewritten, err := collect(having)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		newHaving = substGroup(rewritten)
+	}
+
+	agg := exec.NewHashAggregate(input, groupExprs, groupNames, specs)
+	return agg, newItems, newHaving, nil
+}
+
+// planWindows extracts window expressions from the items and stacks one
+// Window operator per distinct (PARTITION BY, ORDER BY) clause pair,
+// substituting synthetic column references into the items.
+func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator, []item, error) {
+	type windowGroup struct {
+		partitionBy []sqlparser.Expr
+		orderBy     []sqlparser.OrderItem
+		funcs       []exec.WindowFunc
+		astFuncs    []*sqlparser.WindowExpr
+	}
+	var groups []*windowGroup
+	groupKey := func(w *sqlparser.WindowExpr) string {
+		key := "P:"
+		for _, e := range w.PartitionBy {
+			key += e.String() + ";"
+		}
+		key += "O:"
+		for _, o := range w.OrderBy {
+			key += o.String() + ";"
+		}
+		return key
+	}
+	groupIndex := map[string]*windowGroup{}
+	nameOf := map[*sqlparser.WindowExpr]string{}
+	counter := 0
+
+	newItems := make([]item, len(items))
+	for i, it := range items {
+		rewritten := rewriteExpr(it.Expr, func(x sqlparser.Expr) sqlparser.Expr {
+			w, ok := x.(*sqlparser.WindowExpr)
+			if !ok {
+				return nil
+			}
+			name := fmt.Sprintf("__win_%d", counter)
+			counter++
+			nameOf[w] = name
+			key := groupKey(w)
+			g, ok := groupIndex[key]
+			if !ok {
+				g = &windowGroup{partitionBy: w.PartitionBy, orderBy: w.OrderBy}
+				groupIndex[key] = g
+				groups = append(groups, g)
+			}
+			g.astFuncs = append(g.astFuncs, w)
+			return &sqlparser.ColumnRef{Name: name}
+		})
+		newItems[i] = item{Expr: rewritten, Alias: it.Alias}
+	}
+
+	op := input
+	for _, g := range groups {
+		pb := make([]expr.Expr, len(g.partitionBy))
+		for i, e := range g.partitionBy {
+			compiled, err := expr.Compile(e, input.Schema())
+			if err != nil {
+				return nil, nil, err
+			}
+			pb[i] = compiled
+		}
+		ob := make([]exec.SortKey, len(g.orderBy))
+		for i, o := range g.orderBy {
+			compiled, err := expr.Compile(o.Expr, input.Schema())
+			if err != nil {
+				return nil, nil, err
+			}
+			ob[i] = exec.SortKey{Expr: compiled, Desc: o.Desc}
+		}
+		funcs := make([]exec.WindowFunc, len(g.astFuncs))
+		for i, w := range g.astFuncs {
+			if !expr.AggregateNames[w.Func.Name] {
+				return nil, nil, fmt.Errorf("unknown reporting function %s()", w.Func.Name)
+			}
+			var arg expr.Expr
+			if !w.Func.Star {
+				if len(w.Func.Args) != 1 {
+					return nil, nil, fmt.Errorf("%s() OVER takes exactly one argument", w.Func.Name)
+				}
+				compiled, err := expr.Compile(w.Func.Args[0], input.Schema())
+				if err != nil {
+					return nil, nil, err
+				}
+				arg = compiled
+			}
+			frame, err := convertFrame(w.Frame, len(g.orderBy) > 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			funcs[i] = exec.WindowFunc{Name: w.Func.Name, Arg: arg, Frame: frame, OutName: nameOf[w]}
+		}
+		op = exec.NewWindow(op, pb, ob, funcs)
+	}
+	return op, newItems, nil
+}
+
+// convertFrame maps the parser's frame clause onto the executor's, applying
+// the SQL default when absent.
+func convertFrame(f *sqlparser.FrameClause, hasOrder bool) (exec.FrameSpec, error) {
+	if f == nil {
+		return exec.DefaultFrame(hasOrder), nil
+	}
+	conv := func(b sqlparser.FrameBound) (exec.FrameBound, error) {
+		switch b.Type {
+		case sqlparser.UnboundedPreceding:
+			return exec.FrameBound{Kind: exec.BoundUnboundedPreceding}, nil
+		case sqlparser.OffsetPreceding:
+			return exec.FrameBound{Kind: exec.BoundPreceding, Offset: b.Offset}, nil
+		case sqlparser.CurrentRow:
+			return exec.FrameBound{Kind: exec.BoundCurrentRow}, nil
+		case sqlparser.OffsetFollowing:
+			return exec.FrameBound{Kind: exec.BoundFollowing, Offset: b.Offset}, nil
+		case sqlparser.UnboundedFollowing:
+			return exec.FrameBound{Kind: exec.BoundUnboundedFollowing}, nil
+		default:
+			return exec.FrameBound{}, fmt.Errorf("unknown frame bound")
+		}
+	}
+	start, err := conv(f.Start)
+	if err != nil {
+		return exec.FrameSpec{}, err
+	}
+	end, err := conv(f.End)
+	if err != nil {
+		return exec.FrameSpec{}, err
+	}
+	return exec.FrameSpec{Start: start, End: end}, nil
+}
+
+// OutputNames returns the column names of a planned operator.
+func OutputNames(op exec.Operator) []string {
+	cols := op.Schema().Cols
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"rfview/internal/exec"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+)
+
+func collect(t *testing.T, op exec.Operator) []sqltypes.Row {
+	t.Helper()
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestPlanUnionAndDistinct(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT pos FROM seq WHERE pos <= 2 UNION SELECT pos FROM seq WHERE pos <= 3 ORDER BY pos LIMIT 2`)
+	rows := collect(t, op)
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][0].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !exec.PlanContains(op, "Distinct") || !exec.PlanContains(op, "UnionAll") {
+		t.Fatalf("plan:\n%s", exec.FormatPlan(op))
+	}
+	op = planQuery(t, cat, DefaultOptions(),
+		`SELECT pos FROM seq WHERE pos <= 2 UNION ALL SELECT pos FROM seq WHERE pos <= 2`)
+	if exec.PlanContains(op, "Distinct") {
+		t.Fatal("UNION ALL must not deduplicate")
+	}
+	if len(collect(t, op)) != 4 {
+		t.Fatal("UNION ALL cardinality wrong")
+	}
+}
+
+func TestPlanLeftOuterWithWherePushdown(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	// The left-side-only WHERE conjunct must be pushed below the outer join;
+	// the join-spanning conjunct stays above.
+	op := planQuery(t, cat, DefaultOptions(), `
+	  SELECT t1.a, s.val FROM t1 LEFT OUTER JOIN seq s ON s.pos = t1.a
+	  WHERE t1.b > 0 AND COALESCE(s.val, 0) >= 0`)
+	plan := exec.FormatPlan(op)
+	if !strings.Contains(plan, "LeftOuter") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	if exec.CountOps(op, "Filter") < 2 {
+		t.Fatalf("expected pushed and residual filters:\n%s", plan)
+	}
+}
+
+func TestPlanJoinOfDerivedTables(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `
+	  SELECT l.p, r.p FROM
+	    (SELECT pos AS p FROM seq WHERE pos <= 3) AS l,
+	    (SELECT pos AS p FROM seq WHERE pos <= 2) AS r
+	  WHERE l.p = r.p`)
+	rows := collect(t, op)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !exec.PlanContains(op, "Subquery AS l") || !exec.PlanContains(op, "Subquery AS r") {
+		t.Fatalf("plan:\n%s", exec.FormatPlan(op))
+	}
+}
+
+func TestPlanParenthesizedJoinInFrom(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	// A join nested to the right of another join exercises planRelation's
+	// Join branch.
+	stmt, err := sqlparser.Parse(`SELECT t1.a FROM t1 LEFT OUTER JOIN t2 ON t1.a = t2.a, seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := New(cat, DefaultOptions()).PlanSelect(stmt.(sqlparser.SelectStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.PlanContains(op, "LeftOuter") {
+		t.Fatalf("plan:\n%s", exec.FormatPlan(op))
+	}
+}
+
+func TestPlanFromlessAndLiteralOnly(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `SELECT 1 + 1 AS two`)
+	rows := collect(t, op)
+	if len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPlanAllFrameKinds(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	for _, frame := range []string{
+		"ROWS UNBOUNDED PRECEDING",
+		"ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING",
+		"ROWS BETWEEN 2 PRECEDING AND CURRENT ROW",
+		"ROWS BETWEEN CURRENT ROW AND 2 FOLLOWING",
+		"ROWS BETWEEN 1 FOLLOWING AND 3 FOLLOWING",
+		"ROWS BETWEEN 3 PRECEDING AND 1 PRECEDING",
+		"", // default frame
+	} {
+		q := "SELECT pos, SUM(val) OVER (ORDER BY pos " + frame + ") AS w FROM seq"
+		op := planQuery(t, cat, DefaultOptions(), q)
+		rows := collect(t, op)
+		if len(rows) != 20 {
+			t.Fatalf("frame %q: %d rows", frame, len(rows))
+		}
+	}
+	// Window without ORDER BY: whole-partition frame.
+	op := planQuery(t, cat, DefaultOptions(), `SELECT pos, SUM(val) OVER () AS w FROM seq`)
+	rows := collect(t, op)
+	for _, r := range rows {
+		if r[1].Int() != 2*(20*21/2) { // val = 2*pos summed over 1..20
+			t.Fatalf("whole-partition sum = %v", r[1])
+		}
+	}
+}
+
+func TestContainsBareAggregateMatrix(t *testing.T) {
+	cases := map[string]bool{
+		`SUM(a)`:                          true,
+		`1 + SUM(a)`:                      true,
+		`SUM(a) OVER (ORDER BY a)`:        false,
+		`SUM(SUM(a)) OVER (ORDER BY a)`:   true,
+		`CASE WHEN MAX(a) > 1 THEN 1 END`: true,
+		`a + b`:                           false,
+		`COALESCE(a, MIN(b))`:             true,
+		`a IN (1, COUNT(*))`:              true,
+		`a BETWEEN 1 AND MAX(b)`:          true,
+		`NOT a = AVG(b)`:                  true,
+		`a IS NULL`:                       false,
+		`SUM(a) OVER (PARTITION BY MAX(b) ORDER BY a)`: true,
+	}
+	for src, want := range cases {
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if got := containsBareAggregate(e); got != want {
+			t.Errorf("containsBareAggregate(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestRewriteExprCoversAllNodes(t *testing.T) {
+	// Rewrite every literal 1 to 2 across a kitchen-sink expression; the
+	// result must re-render with the substitution applied everywhere.
+	src := `CASE WHEN a = 1 OR NOT b BETWEEN 1 AND 3 THEN -COALESCE(a, 1)
+	        ELSE SUM(a + 1) OVER (PARTITION BY MOD(a, 1) ORDER BY b ROWS 1 PRECEDING) END`
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+		if lit, ok := x.(*sqlparser.Literal); ok && lit.Val.Typ() == sqltypes.Int && lit.Val.Int() == 1 {
+			return &sqlparser.Literal{Val: sqltypes.NewInt(2)}
+		}
+		return nil
+	})
+	rendered := out.String()
+	for _, want := range []string{"a = 2", "BETWEEN 2 AND 3", "COALESCE(a, 2)", "MOD(a, 2)", "(a + 2)"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rewrite missing %q: %s", want, rendered)
+		}
+	}
+	// Frame offsets are not literals and stay untouched.
+	if !strings.Contains(rendered, "1 PRECEDING") {
+		t.Fatalf("frame offset must survive: %s", rendered)
+	}
+	// IS NULL and IN nodes too.
+	e2, _ := sqlparser.ParseExpr(`a IS NOT NULL AND a IN (1, 3)`)
+	out2 := rewriteExpr(e2, func(x sqlparser.Expr) sqlparser.Expr {
+		if lit, ok := x.(*sqlparser.Literal); ok && lit.Val.Int() == 1 {
+			return &sqlparser.Literal{Val: sqltypes.NewInt(9)}
+		}
+		return nil
+	})
+	if !strings.Contains(out2.String(), "IN (9, 3)") {
+		t.Fatalf("IN rewrite incomplete: %s", out2)
+	}
+}
+
+func TestPlanGroupByExpressionInOrderBy(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT MOD(pos, 3) AS g, COUNT(*) AS c FROM seq GROUP BY MOD(pos, 3) ORDER BY MOD(pos, 3) DESC`)
+	rows := collect(t, op)
+	if len(rows) != 3 || rows[0][0].Int() != 2 || rows[2][0].Int() != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPlanHavingWithoutSelectAggregate(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	// HAVING introduces the aggregate; the select list has only group cols.
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT MOD(pos, 4) AS g FROM seq GROUP BY MOD(pos, 4) HAVING SUM(val) > 50 ORDER BY g`)
+	rows := collect(t, op)
+	// val = 2*pos over pos 1..20; groups by pos%4: sums are
+	// g0: 2*(4+8+12+16+20)=120, g1: 2*(1+5+9+13+17)=90, g2: 2*(2+6+10+14+18)=100, g3: 2*(3+7+11+15+19)=110.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestIndexJoinKeepsPushedFilter is the regression test for a planner bug:
+// a single-table predicate pushed onto a relation must survive when that
+// relation becomes the probed side of an index nested-loop join (the probe
+// reads the heap directly, bypassing the pushed Filter operator).
+func TestIndexJoinKeepsPushedFilter(t *testing.T) {
+	cat := newTestCatalog(t, true)
+	// seq has 20 rows; the probed side (s1) carries a filter pos <= 10.
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT s1.pos, s2.pos FROM seq s1, seq s2
+		 WHERE s1.pos = s2.pos AND s1.pos <= 10`)
+	if !exec.PlanContains(op, "IndexNestedLoopJoin") {
+		t.Skipf("planner picked a different join:\n%s", exec.FormatPlan(op))
+	}
+	rows := collect(t, op)
+	if len(rows) != 10 {
+		t.Fatalf("pushed filter lost through the index probe: %d rows, want 10\n%s",
+			len(rows), exec.FormatPlan(op))
+	}
+	// Both probe directions: filter on the left relation of the written join.
+	op = planQuery(t, cat, DefaultOptions(),
+		`SELECT s1.pos FROM seq s1, t1 WHERE s1.pos = t1.a AND s1.pos <= 3`)
+	for _, r := range collect(t, op) {
+		if r[0].Int() > 3 {
+			t.Fatalf("filter bypassed: %v", r)
+		}
+	}
+}

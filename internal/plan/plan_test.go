@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"rfview/internal/catalog"
+	"rfview/internal/exec"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+)
+
+// newTestCatalog builds seq(pos,val) [optionally indexed], t1(a,b), t2(a,c).
+func newTestCatalog(t *testing.T, indexSeq bool) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	mk := func(name string, cols ...string) *catalog.Table {
+		defs := make([]catalog.Column, len(cols))
+		for i, c := range cols {
+			defs[i] = catalog.Column{Name: c, Type: sqltypes.Int}
+		}
+		tbl, err := cat.CreateTable(name, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	seq := mk("seq", "pos", "val")
+	mk("t1", "a", "b")
+	mk("t2", "a", "c")
+	for i := int64(1); i <= 20; i++ {
+		seq.Heap.Insert(sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewInt(i * 2)})
+	}
+	if indexSeq {
+		if _, err := cat.CreateIndex("seq_pk", "seq", []string{"pos"}, true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func planQuery(t *testing.T, cat *catalog.Catalog, opts Options, sql string) exec.Operator {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := New(cat, opts).PlanSelect(stmt.(sqlparser.SelectStatement))
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	return op
+}
+
+func TestPlanUsesIndexJoinForInList(t *testing.T) {
+	cat := newTestCatalog(t, true)
+	// The Fig. 2 self-join pattern: the planner must probe seq.pos.
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT s1.pos, SUM(s2.val) AS w FROM seq s1, seq s2
+		 WHERE s1.pos IN (s2.pos - 1, s2.pos, s2.pos + 1) GROUP BY s1.pos`)
+	if !exec.PlanContains(op, "IndexNestedLoopJoin") {
+		t.Fatalf("expected index join:\n%s", exec.FormatPlan(op))
+	}
+	// Without the index, the same query nested-loops.
+	cat2 := newTestCatalog(t, false)
+	op = planQuery(t, cat2, DefaultOptions(),
+		`SELECT s1.pos, SUM(s2.val) AS w FROM seq s1, seq s2
+		 WHERE s1.pos IN (s2.pos - 1, s2.pos, s2.pos + 1) GROUP BY s1.pos`)
+	if exec.PlanContains(op, "IndexNestedLoopJoin") {
+		t.Fatalf("index join without an index:\n%s", exec.FormatPlan(op))
+	}
+	if !exec.PlanContains(op, "NestedLoopJoin") {
+		t.Fatalf("expected nested loop:\n%s", exec.FormatPlan(op))
+	}
+	// With indexes disabled, the index must be ignored.
+	opts := DefaultOptions()
+	opts.UseIndexes = false
+	op = planQuery(t, cat, opts,
+		`SELECT s1.pos, SUM(s2.val) AS w FROM seq s1, seq s2
+		 WHERE s1.pos IN (s2.pos - 1, s2.pos, s2.pos + 1) GROUP BY s1.pos`)
+	if exec.PlanContains(op, "IndexNestedLoopJoin") {
+		t.Fatalf("index join despite UseIndexes=false:\n%s", exec.FormatPlan(op))
+	}
+}
+
+func TestPlanUsesHashJoinForComputedEquiKeys(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	// The Table 2 union-branch shape: MOD-residue equality is hash-joinable.
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT s1.pos, s2.val FROM seq s1, seq s2
+		 WHERE MOD(s1.pos, 4) = MOD(s2.pos, 4) AND s1.pos > s2.pos`)
+	if !exec.PlanContains(op, "HashJoin") {
+		t.Fatalf("expected hash join:\n%s", exec.FormatPlan(op))
+	}
+	if !strings.Contains(exec.FormatPlan(op), "residual") {
+		t.Fatalf("range condition must become a residual:\n%s", exec.FormatPlan(op))
+	}
+	// The disjunctive form defeats the hash join (OR of conditions).
+	op = planQuery(t, cat, DefaultOptions(),
+		`SELECT s1.pos, s2.val FROM seq s1, seq s2
+		 WHERE (s1.pos > s2.pos AND MOD(s1.pos, 4) = MOD(s2.pos, 4))
+		    OR (s1.pos - 1 > s2.pos AND MOD(s1.pos - 1, 4) = MOD(s2.pos, 4))`)
+	if exec.PlanContains(op, "HashJoin") {
+		t.Fatalf("hash join on a disjunctive predicate:\n%s", exec.FormatPlan(op))
+	}
+	if !exec.PlanContains(op, "NestedLoopJoin") {
+		t.Fatalf("expected nested loop:\n%s", exec.FormatPlan(op))
+	}
+	// With hash joins disabled, fall back to nested loop.
+	opts := DefaultOptions()
+	opts.UseHashJoin = false
+	op = planQuery(t, cat, opts,
+		`SELECT s1.pos, s2.val FROM seq s1, seq s2 WHERE MOD(s1.pos, 4) = MOD(s2.pos, 4)`)
+	if exec.PlanContains(op, "HashJoin") {
+		t.Fatalf("hash join despite UseHashJoin=false:\n%s", exec.FormatPlan(op))
+	}
+}
+
+func TestPlanPushesSingleTableFilters(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT t1.a FROM t1, t2 WHERE t1.b > 5 AND t2.c < 3 AND t1.a = t2.a`)
+	plan := exec.FormatPlan(op)
+	// Filters must sit below the join (appear after the join line, indented
+	// under scans). Check there are two Filter operators and a HashJoin.
+	if exec.CountOps(op, "Filter") < 2 {
+		t.Fatalf("single-table predicates not pushed down:\n%s", plan)
+	}
+	if !exec.PlanContains(op, "HashJoin") {
+		t.Fatalf("equi conjunct must drive a hash join:\n%s", plan)
+	}
+}
+
+func TestPlanWindowDisabled(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	opts := DefaultOptions()
+	opts.NativeWindow = false
+	stmt, _ := sqlparser.Parse(`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS 1 PRECEDING) AS w FROM seq`)
+	_, err := New(cat, opts).PlanSelect(stmt.(sqlparser.SelectStatement))
+	if err == nil || !strings.Contains(err.Error(), "native window operator") {
+		t.Fatalf("expected ErrWindowDisabled, got %v", err)
+	}
+}
+
+func TestPlanWindowGrouping(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	// Two windows sharing (partition, order) land in one Window operator;
+	// a third with a different order gets its own.
+	op := planQuery(t, cat, DefaultOptions(), `
+	  SELECT pos,
+	    SUM(val) OVER (ORDER BY pos ROWS 1 PRECEDING) AS a,
+	    MIN(val) OVER (ORDER BY pos ROWS 2 PRECEDING) AS b,
+	    SUM(val) OVER (ORDER BY val ROWS 1 PRECEDING) AS c
+	  FROM seq`)
+	if got := exec.CountOps(op, "Window"); got != 2 {
+		t.Fatalf("expected 2 Window operators, got %d:\n%s", got, exec.FormatPlan(op))
+	}
+}
+
+func TestPlanStarExpansion(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `SELECT * FROM t1, t2 WHERE t1.a = t2.a`)
+	names := OutputNames(op)
+	if len(names) != 4 {
+		t.Fatalf("star expanded to %v", names)
+	}
+	op = planQuery(t, cat, DefaultOptions(), `SELECT t2.* FROM t1, t2 WHERE t1.a = t2.a`)
+	names = OutputNames(op)
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Fatalf("qualified star expanded to %v", names)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	bad := []string{
+		`SELECT nope FROM seq`,
+		`SELECT pos FROM nope`,
+		`SELECT a FROM t1, t2`, // ambiguous
+		`SELECT pos FROM seq HAVING pos > 1`,
+		`SELECT pos FROM seq LIMIT pos`,
+		`SELECT SUM(val, pos) FROM seq`,
+		`SELECT x.* FROM seq`,
+		`SELECT pos FROM seq ORDER BY nope`,
+	}
+	for _, q := range bad {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := New(cat, DefaultOptions()).PlanSelect(stmt.(sqlparser.SelectStatement)); err == nil {
+			t.Errorf("PlanSelect(%q) should fail", q)
+		}
+	}
+}
+
+func TestPlanLeftOuterKeepsPreservedSide(t *testing.T) {
+	cat := newTestCatalog(t, true)
+	// The probed side of a LOJ index join must be the right (null-supplying)
+	// relation.
+	op := planQuery(t, cat, DefaultOptions(),
+		`SELECT t1.a, s.val FROM t1 LEFT OUTER JOIN seq s ON s.pos = t1.a`)
+	if !exec.PlanContains(op, "IndexNestedLoopJoin (LeftOuter)") {
+		t.Fatalf("expected left-outer index join:\n%s", exec.FormatPlan(op))
+	}
+}
+
+func TestOutputNamesSynthesis(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `SELECT pos + 1, val AS v FROM seq`)
+	names := OutputNames(op)
+	if names[0] != "column_1" || names[1] != "v" {
+		t.Fatalf("names = %v", names)
+	}
+}

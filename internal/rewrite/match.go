@@ -1,0 +1,206 @@
+// Package rewrite implements the paper's query-rewriting layer:
+//
+//   - SelfJoin turns a reporting-function query into the pure-relational
+//     self-join pattern of Fig. 2 — the fallback for engines "without
+//     explicit support of reporting functionality inside the relational
+//     engine" (§2.2), measured in Table 1;
+//   - Derive matches a reporting-function query against a materialized
+//     sequence view and emits the MaxOA (Fig. 10) or MinOA (Fig. 13)
+//     relational operator pattern, in the disjunctive-join-predicate or the
+//     UNION-of-simple-predicates form — the four strategies of Table 2;
+//   - RawFromCumulative emits the Fig. 4 reconstruction pattern.
+//
+// All rewrites produce parse trees (sqlparser ASTs); the engine plans them
+// like any other query. One deviation from the paper's figures: residue
+// predicates are written MOD(pos+OFF, W) = MOD(pos+OFF, W) with OFF a
+// multiple of W large enough to keep both operands non-negative, because SQL
+// MOD takes the dividend's sign and complete sequences contain header
+// positions ≤ 0.
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"rfview/internal/sqlparser"
+)
+
+// WindowShape is the normalized frame of a matched reporting function.
+type WindowShape struct {
+	Cumulative bool
+	Preceding  int // l
+	Following  int // h
+}
+
+// String renders the shape the way the paper writes windows.
+func (w WindowShape) String() string {
+	if w.Cumulative {
+		return "cumulative"
+	}
+	return fmt.Sprintf("(%d,%d)", w.Preceding, w.Following)
+}
+
+// WindowQuery is a reporting-function query in the canonical single-table
+// shape both rewriters understand:
+//
+//	SELECT <pos> [, <cols>…], AGG(<val>) OVER (
+//	    [PARTITION BY <cols>…] ORDER BY <pos> ROWS …) [AS alias]
+//	FROM <table>
+type WindowQuery struct {
+	Table        string
+	Ref          string // alias used in the query
+	PosCol       string
+	ValCol       string // "" for COUNT(*)
+	Agg          string
+	Shape        WindowShape
+	PartitionBy  []string // bare column names
+	OutAlias     string   // alias of the window column ("" if none)
+	PlainCols    []string // non-window select items (bare/qualified columns)
+	WindowItemAt int      // index of the window item in the select list
+}
+
+// ErrNoMatch reports that a statement is not in the canonical shape; callers
+// fall back to native planning.
+type ErrNoMatch struct{ Reason string }
+
+func (e *ErrNoMatch) Error() string { return "rewrite: query shape not supported: " + e.Reason }
+
+func noMatch(reason string, args ...any) error {
+	return &ErrNoMatch{Reason: fmt.Sprintf(reason, args...)}
+}
+
+// MatchWindowQuery recognizes the canonical single-table reporting-function
+// query shape.
+func MatchWindowQuery(sel *sqlparser.Select) (*WindowQuery, error) {
+	if sel.Distinct || sel.Where != nil || len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, noMatch("only plain SELECT … FROM table queries are rewritable")
+	}
+	tn, ok := sel.From.(*sqlparser.TableName)
+	if !ok {
+		return nil, noMatch("FROM must reference a single table")
+	}
+	wq := &WindowQuery{Table: tn.Name, Ref: tn.RefName(), WindowItemAt: -1}
+
+	for i, it := range sel.Items {
+		if it.Star {
+			return nil, noMatch("star projections are not rewritable")
+		}
+		if w, ok := it.Expr.(*sqlparser.WindowExpr); ok {
+			if wq.WindowItemAt >= 0 {
+				return nil, noMatch("more than one reporting function")
+			}
+			wq.WindowItemAt = i
+			wq.OutAlias = it.Alias
+			if err := matchWindowExpr(w, wq); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		cr, ok := it.Expr.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil, noMatch("non-window select items must be plain columns")
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, wq.Ref) {
+			return nil, noMatch("column %s does not belong to %s", cr, wq.Ref)
+		}
+		name := cr.Name
+		if it.Alias != "" && !strings.EqualFold(it.Alias, cr.Name) {
+			return nil, noMatch("renamed plain columns are not rewritable")
+		}
+		wq.PlainCols = append(wq.PlainCols, name)
+	}
+	if wq.WindowItemAt < 0 {
+		return nil, noMatch("no reporting function in the select list")
+	}
+	return wq, nil
+}
+
+func matchWindowExpr(w *sqlparser.WindowExpr, wq *WindowQuery) error {
+	name := w.Func.Name
+	switch name {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX":
+	default:
+		return noMatch("unsupported reporting function %s()", name)
+	}
+	wq.Agg = name
+	if w.Func.Star {
+		if name != "COUNT" {
+			return noMatch("%s(*) is not valid", name)
+		}
+	} else {
+		if len(w.Func.Args) != 1 {
+			return noMatch("%s() must take one column", name)
+		}
+		cr, ok := w.Func.Args[0].(*sqlparser.ColumnRef)
+		if !ok {
+			return noMatch("aggregate argument must be a plain column")
+		}
+		wq.ValCol = cr.Name
+	}
+	if len(w.OrderBy) != 1 || w.OrderBy[0].Desc {
+		return noMatch("reporting function must ORDER BY a single ascending column")
+	}
+	ocr, ok := w.OrderBy[0].Expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return noMatch("ORDER BY expression must be a plain column")
+	}
+	wq.PosCol = ocr.Name
+	for _, pb := range w.PartitionBy {
+		cr, ok := pb.(*sqlparser.ColumnRef)
+		if !ok {
+			return noMatch("PARTITION BY expressions must be plain columns")
+		}
+		wq.PartitionBy = append(wq.PartitionBy, cr.Name)
+	}
+	shape, err := frameShape(w.Frame, len(w.OrderBy) > 0)
+	if err != nil {
+		return err
+	}
+	wq.Shape = shape
+	return nil
+}
+
+// frameShape normalizes a ROWS frame to the paper's window classification.
+func frameShape(f *sqlparser.FrameClause, hasOrder bool) (WindowShape, error) {
+	if f == nil {
+		if hasOrder {
+			return WindowShape{Cumulative: true}, nil
+		}
+		return WindowShape{}, noMatch("whole-partition frames are not sequence windows")
+	}
+	start, end := f.Start, f.End
+	if start.Type == sqlparser.UnboundedPreceding && end.Type == sqlparser.CurrentRow {
+		return WindowShape{Cumulative: true}, nil
+	}
+	l, err := boundPreceding(start)
+	if err != nil {
+		return WindowShape{}, err
+	}
+	h, err := boundFollowing(end)
+	if err != nil {
+		return WindowShape{}, err
+	}
+	return WindowShape{Preceding: l, Following: h}, nil
+}
+
+func boundPreceding(b sqlparser.FrameBound) (int, error) {
+	switch b.Type {
+	case sqlparser.OffsetPreceding:
+		return b.Offset, nil
+	case sqlparser.CurrentRow:
+		return 0, nil
+	default:
+		return 0, noMatch("frame start %v is not a sliding-window bound", b)
+	}
+}
+
+func boundFollowing(b sqlparser.FrameBound) (int, error) {
+	switch b.Type {
+	case sqlparser.OffsetFollowing:
+		return b.Offset, nil
+	case sqlparser.CurrentRow:
+		return 0, nil
+	default:
+		return 0, noMatch("frame end %v is not a sliding-window bound", b)
+	}
+}

@@ -1,0 +1,183 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkOp // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int    // byte offset, for error messages
+}
+
+// keywords the lexer recognizes (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "CROSS": true,
+	"UNION": true, "ALL": true, "DISTINCT": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "IS": true, "NULL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"OVER": true, "PARTITION": true, "ROWS": true, "UNBOUNDED": true,
+	"PRECEDING": true, "FOLLOWING": true, "CURRENT": true, "ROW": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
+	"MATERIALIZED": true, "VIEW": true, "DROP": true, "REFRESH": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "EXPLAIN": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true,
+	"INTEGER": true, "INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true,
+	"VARCHAR": true, "TEXT": true, "DATE": true, "BOOLEAN": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("syntax error at line %d col %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tkKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tkIdent, text: text, pos: start}, nil
+	case c >= '0' && c <= '9':
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+				(isDigit(l.src[l.pos+1]) || ((l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2]))) {
+				seenExp = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tkNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(start, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // doubled quote escape
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tkString, text: b.String(), pos: start}, nil
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "<=", ">=", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tkOp, text: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+			l.pos++
+			return token{kind: tkOp, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

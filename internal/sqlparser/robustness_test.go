@@ -1,0 +1,109 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomBytes throws random byte soup at the parser:
+// every input must return (statement, nil) or (nil, error) — never panic.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(input []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(string(input))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedSQL mutates valid statements (truncation,
+// token deletion, token duplication, character flips) and checks the parser
+// stays panic-free and error messages stay non-empty.
+func TestParseNeverPanicsOnMutatedSQL(t *testing.T) {
+	seeds := []string{
+		`SELECT pos, SUM(val) OVER (PARTITION BY g ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq WHERE pos > 3 GROUP BY pos HAVING COUNT(*) > 1 ORDER BY pos DESC LIMIT 5`,
+		`SELECT s.pos, s.val + COALESCE(d.val, 0) FROM matseq s LEFT OUTER JOIN (SELECT pos, SUM(CASE WHEN a = b THEN v ELSE (-1) * v END) AS val FROM m GROUP BY pos) d ON s.pos = d.pos`,
+		`CREATE MATERIALIZED VIEW mv AS SELECT a FROM t UNION ALL SELECT b FROM u`,
+		`INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)`,
+		`UPDATE t SET a = a * 2 WHERE a BETWEEN 1 AND 10 OR a IN (20, 30)`,
+		`SELECT * FROM a, b CROSS JOIN c INNER JOIN d ON a.x = d.x`,
+	}
+	rng := rand.New(rand.NewSource(1234))
+	mutate := func(s string) string {
+		switch rng.Intn(4) {
+		case 0: // truncate
+			if len(s) == 0 {
+				return s
+			}
+			return s[:rng.Intn(len(s))]
+		case 1: // delete a token
+			parts := strings.Fields(s)
+			if len(parts) < 2 {
+				return s
+			}
+			i := rng.Intn(len(parts))
+			return strings.Join(append(parts[:i:i], parts[i+1:]...), " ")
+		case 2: // duplicate a token
+			parts := strings.Fields(s)
+			if len(parts) == 0 {
+				return s
+			}
+			i := rng.Intn(len(parts))
+			parts = append(parts[:i+1:i+1], parts[i:]...)
+			return strings.Join(parts, " ")
+		default: // flip a character
+			if len(s) == 0 {
+				return s
+			}
+			b := []byte(s)
+			b[rng.Intn(len(b))] = byte("()+-*/=<>,.;'xq5"[rng.Intn(16)])
+			return string(b)
+		}
+	}
+	for round := 0; round < 4000; round++ {
+		src := seeds[rng.Intn(len(seeds))]
+		for depth := 0; depth <= rng.Intn(3); depth++ {
+			src = mutate(src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input %q: %v", src, r)
+				}
+			}()
+			if _, err := Parse(src); err != nil && err.Error() == "" {
+				t.Fatalf("empty error message for %q", src)
+			}
+		}()
+	}
+}
+
+// TestParserRecoversPositionInfo — errors always carry a line/column or a
+// reasonable message.
+func TestParserErrorMessagesUseful(t *testing.T) {
+	cases := map[string]string{
+		"SELECT ~":                   "unexpected character",
+		"SELECT a FROM":              "expected identifier",
+		"SELECT a FROM t WHERE":      "unexpected",
+		"CREATE TABLE t (a BADTYPE)": "expected a type name",
+	}
+	for sql, want := range cases {
+		_, err := Parse(sql)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error %q should mention %q", sql, err, want)
+		}
+	}
+}

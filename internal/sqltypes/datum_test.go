@@ -1,0 +1,305 @@
+package sqltypes
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDatumConstructorsAndAccessors(t *testing.T) {
+	if !NullDatum.IsNull() || NullDatum.Typ() != Null {
+		t.Fatal("zero datum must be NULL")
+	}
+	i := NewInt(42)
+	if i.Typ() != Int || i.Int() != 42 || i.Float() != 42 {
+		t.Fatalf("int datum: %v", i)
+	}
+	f := NewFloat(2.5)
+	if f.Typ() != Float || f.Float() != 2.5 {
+		t.Fatalf("float datum: %v", f)
+	}
+	s := NewString("hi")
+	if s.Typ() != String || s.Str() != "hi" {
+		t.Fatalf("string datum: %v", s)
+	}
+	b := NewBool(true)
+	if b.Typ() != Bool || !b.Bool() {
+		t.Fatalf("bool datum: %v", b)
+	}
+	if NewBool(false).Bool() {
+		t.Fatal("false bool")
+	}
+}
+
+func TestDateHandling(t *testing.T) {
+	d, err := ParseDate("2002-02-26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Typ() != Date {
+		t.Fatalf("type = %v", d.Typ())
+	}
+	if got := d.String(); got != "2002-02-26" {
+		t.Fatalf("String() = %q", got)
+	}
+	if d.Time().Year() != 2002 || d.Time().Month() != time.February || d.Time().Day() != 26 {
+		t.Fatalf("Time() = %v", d.Time())
+	}
+	if _, err := ParseDate("26.02.2002"); err == nil {
+		t.Fatal("bad date format must fail")
+	}
+	d2 := NewDateFromTime(time.Date(1969, 12, 31, 23, 0, 0, 0, time.UTC))
+	if d2.String() != "1969-12-31" {
+		t.Fatalf("pre-epoch date = %q", d2.String())
+	}
+	d3, _ := ParseDate("2001-03-02")
+	d4, _ := ParseDate("2001-02-14")
+	if c, _ := Compare(d3, d4); c <= 0 {
+		t.Fatal("date comparison wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NullDatum, NewInt(1), -1},
+		{NewInt(1), NullDatum, 1},
+		{NullDatum, NullDatum, 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d (%v), want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(NewInt(1), NewString("x")); err == nil {
+		t.Error("cross-type comparison must fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	add, _ := Add(NewInt(2), NewInt(3))
+	if add.Typ() != Int || add.Int() != 5 {
+		t.Fatalf("2+3 = %v", add)
+	}
+	mixed, _ := Add(NewInt(2), NewFloat(0.5))
+	if mixed.Typ() != Float || mixed.Float() != 2.5 {
+		t.Fatalf("2+0.5 = %v", mixed)
+	}
+	sub, _ := Sub(NewInt(2), NewInt(5))
+	if sub.Int() != -3 {
+		t.Fatalf("2-5 = %v", sub)
+	}
+	mul, _ := Mul(NewInt(4), NewInt(3))
+	if mul.Int() != 12 {
+		t.Fatalf("4*3 = %v", mul)
+	}
+	div, _ := Div(NewInt(7), NewInt(2))
+	if div.Int() != 3 { // integer division truncates
+		t.Fatalf("7/2 = %v", div)
+	}
+	fdiv, _ := Div(NewFloat(7), NewInt(2))
+	if fdiv.Float() != 3.5 {
+		t.Fatalf("7.0/2 = %v", fdiv)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Fatal("division by zero must fail")
+	}
+	if _, err := Add(NewInt(1), NewString("x")); err == nil {
+		t.Fatal("int + string must fail")
+	}
+	// NULL propagation.
+	n, err := Add(NullDatum, NewInt(1))
+	if err != nil || !n.IsNull() {
+		t.Fatalf("NULL+1 = %v (%v)", n, err)
+	}
+}
+
+func TestModNegAbs(t *testing.T) {
+	m, _ := Mod(NewInt(7), NewInt(4))
+	if m.Int() != 3 {
+		t.Fatalf("MOD(7,4) = %v", m)
+	}
+	m, _ = Mod(NewInt(-7), NewInt(4))
+	if m.Int() != -3 { // sign of the dividend, like SQL MOD
+		t.Fatalf("MOD(-7,4) = %v", m)
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Fatal("MOD by zero must fail")
+	}
+	if v, err := Mod(NullDatum, NewInt(2)); err != nil || !v.IsNull() {
+		t.Fatal("MOD with NULL must be NULL")
+	}
+	n, _ := Neg(NewInt(5))
+	if n.Int() != -5 {
+		t.Fatalf("Neg = %v", n)
+	}
+	nf, _ := Neg(NewFloat(2.5))
+	if nf.Float() != -2.5 {
+		t.Fatalf("Neg float = %v", nf)
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Fatal("Neg of string must fail")
+	}
+	a, _ := Abs(NewInt(-4))
+	if a.Int() != 4 {
+		t.Fatalf("Abs = %v", a)
+	}
+	af, _ := Abs(NewFloat(-1.5))
+	if af.Float() != 1.5 {
+		t.Fatalf("Abs float = %v", af)
+	}
+}
+
+func TestCast(t *testing.T) {
+	cases := []struct {
+		in   Datum
+		to   Type
+		want string
+	}{
+		{NewFloat(3.7), Int, "3"},
+		{NewInt(3), Float, "3"},
+		{NewString("42"), Int, "42"},
+		{NewString("2.5"), Float, "2.5"},
+		{NewInt(42), String, "42"},
+		{NewString("2001-05-06"), Date, "2001-05-06"},
+		{NewInt(1), Bool, "true"},
+		{NewBool(true), Int, "1"},
+	}
+	for _, c := range cases {
+		got, err := Cast(c.in, c.to)
+		if err != nil {
+			t.Errorf("Cast(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Cast(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+	if _, err := Cast(NewString("xyz"), Int); err == nil {
+		t.Error("bad numeric cast must fail")
+	}
+	if v, err := Cast(NullDatum, Int); err != nil || !v.IsNull() {
+		t.Error("NULL casts to NULL")
+	}
+	same, _ := Cast(NewInt(5), Int)
+	if same.Int() != 5 {
+		t.Error("identity cast broken")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	// Equal values must hash equally, across Int/Float.
+	if NewInt(7).Hash() != NewFloat(7).Hash() {
+		t.Error("7 and 7.0 must hash equally (they compare equal)")
+	}
+	if NewInt(7).Hash() == NewInt(8).Hash() {
+		t.Error("unlikely hash collision in trivial case")
+	}
+	if NewString("a").Hash() == NewString("b").Hash() {
+		t.Error("string hash collision in trivial case")
+	}
+	f := func(a int64) bool {
+		return NewInt(a).Hash() == NewFloat(float64(a)).Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if !Equal(NullDatum, NullDatum) {
+		t.Error("grouping equality treats NULL = NULL")
+	}
+	if Equal(NullDatum, NewInt(0)) {
+		t.Error("NULL != 0")
+	}
+	if !Equal(NewInt(2), NewFloat(2)) {
+		t.Error("2 = 2.0 numerically")
+	}
+	if Equal(NewInt(1), NewString("1")) {
+		t.Error("1 != '1'")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias")
+	}
+	if r.String() != "(1, x)" {
+		t.Errorf("Row.String() = %q", r.String())
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	names := map[Type]string{
+		Null: "NULL", Bool: "BOOLEAN", Int: "INTEGER",
+		Float: "FLOAT", String: "VARCHAR", Date: "DATE",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%v.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if !Int.Numeric() || !Float.Numeric() || String.Numeric() {
+		t.Error("Numeric() misclassifies")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := map[string]Datum{
+		"NULL":  NullDatum,
+		"42":    NewInt(42),
+		"2.5":   NewFloat(2.5),
+		"hello": NewString("hello"),
+		"true":  NewBool(true),
+	}
+	for want, d := range cases {
+		if d.String() != want {
+			t.Errorf("String() = %q, want %q", d.String(), want)
+		}
+	}
+}
+
+// Property: Add/Sub are inverses for ints.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err := Add(NewInt(int64(a)), NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		y, err := Sub(x, NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		return y.Int() == int64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric for ints and floats.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := NewInt(int64(a)), NewFloat(float64(b))
+		c1, err1 := Compare(x, y)
+		c2, err2 := Compare(y, x)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

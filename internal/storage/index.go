@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"rfview/internal/sqltypes"
+)
+
+// Index is the access-path contract shared by the ordered B+tree index and
+// the hash index. Keys are datum tuples; duplicates are allowed (the table
+// layer enforces uniqueness where declared).
+type Index interface {
+	// Insert adds (key, id).
+	Insert(key sqltypes.Row, id RowID)
+	// Delete removes (key, id); it is a no-op if absent.
+	Delete(key sqltypes.Row, id RowID)
+	// First returns one row id stored under exactly key.
+	First(key sqltypes.Row) (RowID, bool)
+	// Lookup invokes fn for every row id stored under exactly key.
+	Lookup(key sqltypes.Row, fn func(RowID) bool)
+	// Len returns the number of entries.
+	Len() int
+	// Ordered reports whether Range/Ascend are supported.
+	Ordered() bool
+	// Range invokes fn for entries with from <= key <= to in key order.
+	// from/to may be nil for an open bound. Only for ordered indexes.
+	Range(from, to sqltypes.Row, fn func(key sqltypes.Row, id RowID) bool)
+}
+
+// compareKeyPrefix compares a full stored key against a (possibly shorter)
+// probe: only the probe's columns participate, so a probe acts as a prefix
+// range. NULLs sort first, matching Table.SortedRowIDs.
+func compareKeyPrefix(stored, probe sqltypes.Row) int {
+	for i := range probe {
+		if i >= len(stored) {
+			return -1
+		}
+		c, err := sqltypes.Compare(stored[i], probe[i])
+		if err != nil {
+			// Heterogeneous keys cannot happen through the catalog; order
+			// arbitrarily but deterministically by type tag.
+			if stored[i].Typ() != probe[i].Typ() {
+				if stored[i].Typ() < probe[i].Typ() {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// HashIndex is an unordered duplicate-tolerant index: datum-tuple hash →
+// row-id postings.
+type HashIndex struct {
+	buckets map[uint64][]hashEntry
+	n       int
+}
+
+type hashEntry struct {
+	key sqltypes.Row
+	id  RowID
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[uint64][]hashEntry)}
+}
+
+func hashKey(key sqltypes.Row) uint64 {
+	h := uint64(1469598103934665603)
+	for _, d := range key {
+		h = h*1099511628211 ^ d.Hash()
+	}
+	return h
+}
+
+// Insert implements Index.
+func (hi *HashIndex) Insert(key sqltypes.Row, id RowID) {
+	h := hashKey(key)
+	hi.buckets[h] = append(hi.buckets[h], hashEntry{key: key, id: id})
+	hi.n++
+}
+
+// Delete implements Index.
+func (hi *HashIndex) Delete(key sqltypes.Row, id RowID) {
+	h := hashKey(key)
+	bucket := hi.buckets[h]
+	for i, e := range bucket {
+		if e.id == id && keysEqual(e.key, key) {
+			hi.buckets[h] = append(bucket[:i:i], bucket[i+1:]...)
+			hi.n--
+			if len(hi.buckets[h]) == 0 {
+				delete(hi.buckets, h)
+			}
+			return
+		}
+	}
+}
+
+// First implements Index.
+func (hi *HashIndex) First(key sqltypes.Row) (RowID, bool) {
+	for _, e := range hi.buckets[hashKey(key)] {
+		if keysEqual(e.key, key) {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup implements Index.
+func (hi *HashIndex) Lookup(key sqltypes.Row, fn func(RowID) bool) {
+	for _, e := range hi.buckets[hashKey(key)] {
+		if keysEqual(e.key, key) {
+			if !fn(e.id) {
+				return
+			}
+		}
+	}
+}
+
+// Len implements Index.
+func (hi *HashIndex) Len() int { return hi.n }
+
+// Ordered implements Index.
+func (hi *HashIndex) Ordered() bool { return false }
+
+// Range implements Index; hash indexes do not support it.
+func (hi *HashIndex) Range(_, _ sqltypes.Row, _ func(sqltypes.Row, RowID) bool) {
+	panic("storage: Range on unordered hash index")
+}

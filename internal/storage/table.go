@@ -1,0 +1,233 @@
+// Package storage implements the physical layer of the rfview engine:
+// in-memory heap tables addressed by row id, plus ordered (B+tree) and hash
+// indexes over arbitrary column prefixes. The evaluation in the paper hinges
+// on exactly this distinction — Table 1 compares the self-join simulation of
+// reporting functions with and without an index on the sequence position —
+// so the physical layer keeps the two access paths explicit.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"rfview/internal/sqltypes"
+)
+
+// RowID identifies a row within one table for the lifetime of the table.
+// Row ids are never reused.
+type RowID int64
+
+// Table is an append-only heap of rows with tombstone deletes. It knows
+// nothing about column names or types — the catalog layer owns schema; the
+// storage layer owns bytes (here: datums).
+type Table struct {
+	rows    []sqltypes.Row // indexed by RowID; nil = deleted
+	live    int
+	indexes []*IndexHandle
+}
+
+// IndexHandle couples an index with the column positions it covers so the
+// table can maintain it on every mutation.
+type IndexHandle struct {
+	Name   string
+	Cols   []int // column ordinals of the indexed key, in index order
+	Unique bool
+	Idx    Index
+}
+
+// NewTable returns an empty heap table.
+func NewTable() *Table { return &Table{} }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// Insert appends a row and maintains every index. The row is stored as
+// given; callers must not mutate it afterwards.
+func (t *Table) Insert(row sqltypes.Row) (RowID, error) {
+	id := RowID(len(t.rows))
+	for _, h := range t.indexes {
+		key := extractKey(row, h.Cols)
+		if h.Unique {
+			if _, ok := h.Idx.First(key); ok {
+				return 0, fmt.Errorf("duplicate key %v violates unique index %q", key, h.Name)
+			}
+		}
+	}
+	t.rows = append(t.rows, row)
+	t.live++
+	for _, h := range t.indexes {
+		h.Idx.Insert(extractKey(row, h.Cols), id)
+	}
+	return id, nil
+}
+
+// Get returns the row stored under id, or nil if deleted/never existed.
+func (t *Table) Get(id RowID) sqltypes.Row {
+	if id < 0 || int(id) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+// Delete removes the row under id and unhooks it from every index.
+func (t *Table) Delete(id RowID) error {
+	row := t.Get(id)
+	if row == nil {
+		return fmt.Errorf("delete: row %d does not exist", id)
+	}
+	for _, h := range t.indexes {
+		h.Idx.Delete(extractKey(row, h.Cols), id)
+	}
+	t.rows[id] = nil
+	t.live--
+	return nil
+}
+
+// Update replaces the row under id, maintaining indexes whose key changed.
+func (t *Table) Update(id RowID, row sqltypes.Row) error {
+	old := t.Get(id)
+	if old == nil {
+		return fmt.Errorf("update: row %d does not exist", id)
+	}
+	for _, h := range t.indexes {
+		oldKey := extractKey(old, h.Cols)
+		newKey := extractKey(row, h.Cols)
+		if keysEqual(oldKey, newKey) {
+			continue
+		}
+		if h.Unique {
+			if existing, ok := h.Idx.First(newKey); ok && existing != id {
+				return fmt.Errorf("duplicate key %v violates unique index %q", newKey, h.Name)
+			}
+		}
+		h.Idx.Delete(oldKey, id)
+		h.Idx.Insert(newKey, id)
+	}
+	t.rows[id] = row
+	return nil
+}
+
+// Scan invokes fn for every live row in row-id order, stopping early if fn
+// returns false.
+func (t *Table) Scan(fn func(id RowID, row sqltypes.Row) bool) {
+	for i, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(RowID(i), row) {
+			return
+		}
+	}
+}
+
+// AddIndex builds an index over the given column ordinals from the current
+// table contents and registers it for maintenance.
+func (t *Table) AddIndex(name string, cols []int, unique bool, ordered bool) (*IndexHandle, error) {
+	for _, h := range t.indexes {
+		if h.Name == name {
+			return nil, fmt.Errorf("index %q already exists", name)
+		}
+	}
+	var idx Index
+	if ordered {
+		idx = NewBTree()
+	} else {
+		idx = NewHashIndex()
+	}
+	h := &IndexHandle{Name: name, Cols: append([]int(nil), cols...), Unique: unique, Idx: idx}
+	var buildErr error
+	t.Scan(func(id RowID, row sqltypes.Row) bool {
+		key := extractKey(row, h.Cols)
+		if unique {
+			if _, ok := idx.First(key); ok {
+				buildErr = fmt.Errorf("duplicate key %v while building unique index %q", key, name)
+				return false
+			}
+		}
+		idx.Insert(key, id)
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	t.indexes = append(t.indexes, h)
+	return h, nil
+}
+
+// DropIndex unregisters an index.
+func (t *Table) DropIndex(name string) error {
+	for i, h := range t.indexes {
+		if h.Name == name {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("index %q does not exist", name)
+}
+
+// Indexes returns the registered index handles.
+func (t *Table) Indexes() []*IndexHandle { return t.indexes }
+
+// IndexOn returns the first registered index whose key starts with exactly
+// the given column ordinals, or nil.
+func (t *Table) IndexOn(cols []int) *IndexHandle {
+	for _, h := range t.indexes {
+		if len(h.Cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if h.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return h
+		}
+	}
+	return nil
+}
+
+// SortedRowIDs returns all live row ids ordered by the given columns
+// (ascending, NULLs first); used by operators that need an order but have no
+// index. It is O(n log n) against the heap.
+func (t *Table) SortedRowIDs(cols []int) []RowID {
+	ids := make([]RowID, 0, t.live)
+	t.Scan(func(id RowID, _ sqltypes.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	sort.SliceStable(ids, func(a, b int) bool {
+		ra, rb := t.rows[ids[a]], t.rows[ids[b]]
+		for _, c := range cols {
+			cmp, err := sqltypes.Compare(ra[c], rb[c])
+			if err != nil || cmp == 0 {
+				continue
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return ids
+}
+
+func extractKey(row sqltypes.Row, cols []int) sqltypes.Row {
+	key := make(sqltypes.Row, len(cols))
+	for i, c := range cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+func keysEqual(a, b sqltypes.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sqltypes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"testing"
+
+	"rfview/internal/sqltypes"
+)
+
+func row(vals ...int64) sqltypes.Row {
+	r := make(sqltypes.Row, len(vals))
+	for i, v := range vals {
+		r[i] = sqltypes.NewInt(v)
+	}
+	return r
+}
+
+func TestTableInsertScan(t *testing.T) {
+	tb := NewTable()
+	for i := int64(0); i < 10; i++ {
+		if _, err := tb.Insert(row(i, i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 10 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	seen := 0
+	tb.Scan(func(id RowID, r sqltypes.Row) bool {
+		if r[1].Int() != r[0].Int()*r[0].Int() {
+			t.Fatalf("row %d corrupted: %v", id, r)
+		}
+		seen++
+		return true
+	})
+	if seen != 10 {
+		t.Fatalf("scanned %d rows", seen)
+	}
+	// Early termination.
+	seen = 0
+	tb.Scan(func(RowID, sqltypes.Row) bool { seen++; return seen < 3 })
+	if seen != 3 {
+		t.Fatalf("early scan saw %d rows", seen)
+	}
+}
+
+func TestTableDeleteUpdate(t *testing.T) {
+	tb := NewTable()
+	ids := make([]RowID, 5)
+	for i := int64(0); i < 5; i++ {
+		ids[i], _ = tb.Insert(row(i))
+	}
+	if err := tb.Delete(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("Len = %d after delete", tb.Len())
+	}
+	if tb.Get(ids[2]) != nil {
+		t.Error("deleted row still visible")
+	}
+	if err := tb.Delete(ids[2]); err == nil {
+		t.Error("double delete must fail")
+	}
+	if err := tb.Update(ids[3], row(99)); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Get(ids[3])[0].Int() != 99 {
+		t.Error("update not visible")
+	}
+	if err := tb.Update(ids[2], row(1)); err == nil {
+		t.Error("update of deleted row must fail")
+	}
+	if tb.Get(RowID(100)) != nil {
+		t.Error("out-of-range Get must return nil")
+	}
+}
+
+func TestTableIndexMaintenance(t *testing.T) {
+	tb := NewTable()
+	for i := int64(0); i < 100; i++ {
+		tb.Insert(row(i%10, i))
+	}
+	h, err := tb.AddIndex("by_a", []int{0}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	h.Idx.Lookup(row(3), func(id RowID) bool {
+		if tb.Get(id)[0].Int() != 3 {
+			t.Fatalf("index returned wrong row %v", tb.Get(id))
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("index lookup found %d rows, want 10", count)
+	}
+	// Mutations keep the index in sync.
+	var victim RowID
+	h.Idx.Lookup(row(3), func(id RowID) bool { victim = id; return false })
+	if err := tb.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	h.Idx.Lookup(row(3), func(RowID) bool { count++; return true })
+	if count != 9 {
+		t.Fatalf("after delete index finds %d rows, want 9", count)
+	}
+	// Update that moves the key.
+	var mover RowID
+	h.Idx.Lookup(row(4), func(id RowID) bool { mover = id; return false })
+	if err := tb.Update(mover, row(7, -1)); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	h.Idx.Lookup(row(7), func(RowID) bool { count++; return true })
+	if count != 11 {
+		t.Fatalf("after key-moving update index finds %d rows under 7, want 11", count)
+	}
+}
+
+func TestTableUniqueIndex(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(row(1))
+	tb.Insert(row(2))
+	if _, err := tb.AddIndex("pk", []int{0}, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(row(1)); err == nil {
+		t.Error("unique violation on insert must fail")
+	}
+	if _, err := tb.Insert(row(3)); err != nil {
+		t.Errorf("distinct insert failed: %v", err)
+	}
+	// Building a unique index over duplicates must fail.
+	tb2 := NewTable()
+	tb2.Insert(row(1))
+	tb2.Insert(row(1))
+	if _, err := tb2.AddIndex("pk", []int{0}, true, true); err == nil {
+		t.Error("unique index build over duplicates must fail")
+	}
+}
+
+func TestTableIndexAdministration(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(row(1, 2))
+	if _, err := tb.AddIndex("i1", []int{0}, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddIndex("i1", []int{1}, false, true); err == nil {
+		t.Error("duplicate index name must fail")
+	}
+	if h := tb.IndexOn([]int{0}); h == nil || h.Name != "i1" {
+		t.Error("IndexOn([0]) should find i1")
+	}
+	if h := tb.IndexOn([]int{1}); h != nil {
+		t.Error("IndexOn([1]) should find nothing")
+	}
+	if len(tb.Indexes()) != 1 {
+		t.Error("Indexes() length mismatch")
+	}
+	if err := tb.DropIndex("i1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.DropIndex("i1"); err == nil {
+		t.Error("dropping a missing index must fail")
+	}
+}
+
+func TestTableSortedRowIDs(t *testing.T) {
+	tb := NewTable()
+	vals := []int64{5, 3, 9, 1, 7}
+	for _, v := range vals {
+		tb.Insert(row(v))
+	}
+	ids := tb.SortedRowIDs([]int{0})
+	prev := int64(-1 << 62)
+	for _, id := range ids {
+		v := tb.Get(id)[0].Int()
+		if v < prev {
+			t.Fatalf("not sorted: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if len(ids) != 5 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+}
+
+func TestCompareKeyPrefix(t *testing.T) {
+	full := sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewInt(7)}
+	if compareKeyPrefix(full, sqltypes.Row{sqltypes.NewInt(3)}) != 0 {
+		t.Error("prefix probe should compare equal")
+	}
+	if compareKeyPrefix(full, sqltypes.Row{sqltypes.NewInt(4)}) >= 0 {
+		t.Error("(3,7) should sort before probe (4)")
+	}
+	if compareKeyPrefix(full, full) != 0 {
+		t.Error("identical keys should compare equal")
+	}
+}

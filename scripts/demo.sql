@@ -1,0 +1,44 @@
+-- rfview demo script: the paper's whole story in one rfsql session.
+-- Replay with:  go run ./cmd/rfsql -f scripts/demo.sql
+
+-- A sequence table with dense positions (the paper's sequence model).
+CREATE TABLE seq (pos INTEGER, val INTEGER);
+INSERT INTO seq VALUES
+  (1, 4), (2, 8), (3, 15), (4, 16), (5, 23),
+  (6, 42), (7, 8), (8, 4), (9, 2), (10, 1);
+CREATE UNIQUE INDEX seq_pk ON seq (pos);
+
+-- Reporting functions, natively (Fig. 1 syntax): a centered 3-row moving
+-- sum and the cumulative sum.
+SELECT pos, val,
+  SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mv3,
+  SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS cum
+FROM seq ORDER BY pos;
+
+-- Materialize the complete sequence x̃ = (2,1) (§3.2): note the header row
+-- at position 0 and trailer rows at 11, 12.
+CREATE MATERIALIZED VIEW matseq AS
+  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val
+  FROM seq;
+SELECT pos, val FROM matseq ORDER BY pos;
+
+-- The paper's Fig. 6 pair: ỹ = (3,1) answered FROM THE VIEW via MaxOA/MinOA
+-- (turn .explain on to see the rewritten operator pattern).
+SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w
+FROM seq ORDER BY pos;
+
+-- Incremental maintenance (§2.3): a value update patches only the W view
+-- positions whose window contains it; derivations stay correct.
+UPDATE seq SET val = 100 WHERE pos = 5;
+SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w
+FROM seq ORDER BY pos;
+
+-- Appends fold in incrementally too.
+INSERT INTO seq VALUES (11, 7);
+SELECT pos, val FROM matseq WHERE pos >= 9 ORDER BY pos;
+
+-- The grouped-and-windowed two-step (§1): daily totals with a running sum.
+CREATE TABLE sales (day INTEGER, amt INTEGER);
+INSERT INTO sales VALUES (1, 10), (1, 20), (2, 30), (2, 40), (3, 50);
+SELECT day, SUM(SUM(amt)) OVER (ORDER BY day ROWS UNBOUNDED PRECEDING) AS running
+FROM sales GROUP BY day ORDER BY day;
