@@ -1,0 +1,223 @@
+// Command rfload is a concurrent load generator for rfserverd: it opens N
+// client connections, fires the same query from each in a closed loop, and
+// reports aggregate throughput and latency percentiles.
+//
+// Usage:
+//
+//	rfload -addr host:port [-clients N] [-duration 3s] [-sql QUERY]
+//	       [-setup script.sql] [-warmup 50] [-json] [-probe]
+//
+// -setup executes a SQL script through one connection before the load phase
+// (statement by statement). -probe just pings once and exits 0/1, for
+// scripts waiting on server start. -json prints a single machine-readable
+// result line instead of the human summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfview/internal/client"
+	"rfview/internal/sqlparser"
+)
+
+type runResult struct {
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_s"`
+	Queries    uint64  `json:"queries"`
+	Errors     uint64  `json:"errors"`
+	QPS        float64 `json:"qps"`
+	P50Us      int64   `json:"p50_us"`
+	P95Us      int64   `json:"p95_us"`
+	P99Us      int64   `json:"p99_us"`
+	MeanUs     int64   `json:"mean_us"`
+	ServerUsP  int64   `json:"server_p50_us"`
+	RowsPerRes int     `json:"rows_per_result"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	clients := flag.Int("clients", 1, "concurrent client connections")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window")
+	sqlText := flag.String("sql", "", "query to issue in a closed loop")
+	op := flag.String("op", "query", `operation per iteration: "query", or "ping" for a protocol-only ceiling run`)
+	setup := flag.String("setup", "", "SQL script to execute once before the load phase")
+	warmup := flag.Int("warmup", 50, "per-client warmup queries excluded from measurement")
+	jsonOut := flag.Bool("json", false, "print one JSON result line instead of the human summary")
+	probe := flag.Bool("probe", false, "ping once and exit 0 on success, 1 on failure")
+	flag.Parse()
+
+	if *probe {
+		c, err := client.DialTimeout(*addr, time.Second)
+		if err == nil {
+			err = c.Ping()
+			c.Close()
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	if *setup != "" {
+		runSetup(*addr, *setup)
+	}
+	if *op != "ping" && *sqlText == "" {
+		log.Fatal("rfload: -sql is required (or use -op ping / -probe / -setup alone)")
+	}
+
+	res := runLoad(*addr, *clients, *duration, *op, *sqlText, *warmup)
+	if *jsonOut {
+		b, err := json.Marshal(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("clients=%d duration=%.2fs queries=%d errors=%d qps=%.0f\n",
+		res.Clients, res.DurationS, res.Queries, res.Errors, res.QPS)
+	fmt.Printf("latency: mean=%dus p50=%dus p95=%dus p99=%dus (server p50=%dus), %d rows/result\n",
+		res.MeanUs, res.P50Us, res.P95Us, res.P99Us, res.ServerUsP, res.RowsPerRes)
+}
+
+// runSetup replays a SQL script statement by statement over one connection.
+func runSetup(addr, path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	stmts, err := sqlparser.ParseAll(string(src))
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	defer c.Close()
+	for _, s := range stmts {
+		if _, err := c.Exec(s.String()); err != nil {
+			log.Fatalf("setup: %q: %v", s.String(), err)
+		}
+	}
+}
+
+func runLoad(addr string, clients int, duration time.Duration, op, sql string, warmup int) runResult {
+	type worker struct {
+		latencies []time.Duration
+		serverUs  []int64
+		queries   uint64
+		errors    uint64
+		rows      int
+	}
+	workers := make([]worker, clients)
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		c, err := client.Dial(addr)
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	// one round-trip of the configured operation on conn i.
+	issue := func(i int) (*client.Result, error) {
+		if op == "ping" {
+			return &client.Result{}, conns[i].Ping()
+		}
+		return conns[i].Query(sql)
+	}
+
+	// Warmup outside the measurement window; it also fills the server's
+	// plan cache so the measured phase is the steady state.
+	for i := 0; i < clients; i++ {
+		for j := 0; j < warmup; j++ {
+			if _, err := issue(i); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &workers[i]
+			for !stop.Load() {
+				t0 := time.Now()
+				res, err := issue(i)
+				if err != nil {
+					w.errors++
+					continue
+				}
+				w.latencies = append(w.latencies, time.Since(t0))
+				w.serverUs = append(w.serverUs, res.ElapsedUs)
+				w.queries++
+				w.rows = len(res.Rows)
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, errs uint64
+	var all []time.Duration
+	var allServer []int64
+	rows := 0
+	for i := range workers {
+		total += workers[i].queries
+		errs += workers[i].errors
+		all = append(all, workers[i].latencies...)
+		allServer = append(allServer, workers[i].serverUs...)
+		if workers[i].rows > 0 {
+			rows = workers[i].rows
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	sort.Slice(allServer, func(a, b int) bool { return allServer[a] < allServer[b] })
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(float64(len(all)-1)*p)].Microseconds()
+	}
+	var mean int64
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		mean = (sum / time.Duration(len(all))).Microseconds()
+	}
+	var serverP50 int64
+	if len(allServer) > 0 {
+		serverP50 = allServer[len(allServer)/2]
+	}
+	return runResult{
+		Clients:    clients,
+		DurationS:  elapsed.Seconds(),
+		Queries:    total,
+		Errors:     errs,
+		QPS:        float64(total) / elapsed.Seconds(),
+		P50Us:      pct(0.50),
+		P95Us:      pct(0.95),
+		P99Us:      pct(0.99),
+		MeanUs:     mean,
+		ServerUsP:  serverP50,
+		RowsPerRes: rows,
+	}
+}

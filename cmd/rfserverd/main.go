@@ -1,0 +1,109 @@
+// Command rfserverd serves an rfview engine over TCP, speaking the
+// newline-delimited JSON protocol of internal/server.
+//
+// Usage:
+//
+//	rfserverd [-addr host:port] [-init script.sql] [-plan-cache N]
+//	          [-no-native-window] [-no-indexes] [-no-views]
+//	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
+//
+// The optional -init script runs before the listener opens (schema, data
+// load, materialized views). SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight requests complete, then connections drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfview/internal/engine"
+	"rfview/internal/rewrite"
+	"rfview/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	initScript := flag.String("init", "", "SQL script executed before serving")
+	planCache := flag.Int("plan-cache", engine.DefaultPlanCacheCapacity, "plan cache capacity (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
+	noWindow := flag.Bool("no-native-window", false, "disable the native window operator")
+	noIndexes := flag.Bool("no-indexes", false, "disable index nested-loop joins")
+	noViews := flag.Bool("no-views", false, "disable answering queries from materialized sequence views")
+	strategy := flag.String("strategy", "auto", "derivation strategy: auto, maxoa, minoa")
+	form := flag.String("form", "disjunctive", "derivation pattern form: disjunctive, union")
+	flag.Parse()
+
+	opts := engine.DefaultOptions()
+	opts.NativeWindow = !*noWindow
+	opts.UseIndexes = !*noIndexes
+	opts.UseMatViews = !*noViews
+	switch strings.ToLower(*strategy) {
+	case "auto":
+		opts.Strategy = rewrite.StrategyAuto
+	case "maxoa":
+		opts.Strategy = rewrite.StrategyMaxOA
+	case "minoa":
+		opts.Strategy = rewrite.StrategyMinOA
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	switch strings.ToLower(*form) {
+	case "disjunctive":
+		opts.Form = rewrite.FormDisjunctive
+	case "union":
+		opts.Form = rewrite.FormUnion
+	default:
+		log.Fatalf("unknown form %q", *form)
+	}
+
+	e := engine.New(opts)
+	e.SetPlanCacheCapacity(*planCache)
+	if *initScript != "" {
+		sql, err := os.ReadFile(*initScript)
+		if err != nil {
+			log.Fatalf("init: %v", err)
+		}
+		if _, err := e.ExecAll(string(sql)); err != nil {
+			log.Fatalf("init: %v", err)
+		}
+		log.Printf("init script %s applied", *initScript)
+	}
+
+	srv := server.New(e)
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	// The ready line goes to stdout so scripts can wait for it.
+	fmt.Printf("rfserverd listening on %s\n", lis.Addr())
+	os.Stdout.Sync()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("signal %v: draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		st := srv.Stats()
+		cs := e.PlanCacheStats()
+		log.Printf("served %d requests over %d connections (%d errors); plan cache %d/%d entries, %d hits, %d misses",
+			st.Requests, st.Accepted, st.Errors, cs.Len, cs.Capacity, cs.Hits, cs.Misses)
+	}
+}

@@ -120,6 +120,11 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	views  map[string]*MatView
+	// schemaVersion counts DDL operations (table/index/view creation and
+	// removal). Cached plans record it and revalidate on reuse: any DDL —
+	// notably CREATE MATERIALIZED VIEW, which can make a better derivation
+	// available for an already-cached query — invalidates every plan.
+	schemaVersion uint64
 }
 
 // New returns an empty catalog.
@@ -131,6 +136,15 @@ func New() *Catalog {
 }
 
 func key(name string) string { return strings.ToLower(name) }
+
+// SchemaVersion returns the DDL counter. It increases on every successful
+// CreateTable, DropTable, CreateIndex, DropIndex, RegisterMatView, and
+// DropMatView.
+func (c *Catalog) SchemaVersion() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.schemaVersion
+}
 
 // CreateTable registers a new table with the given schema.
 func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
@@ -156,6 +170,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	}
 	t := &Table{Name: name, Columns: append([]Column(nil), cols...), Heap: storage.NewTable()}
 	c.tables[k] = t
+	c.schemaVersion++
 	return t, nil
 }
 
@@ -168,6 +183,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("table %q does not exist", name)
 	}
 	delete(c.tables, k)
+	c.schemaVersion++
 	return nil
 }
 
@@ -218,6 +234,7 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique, orde
 	}
 	def := &IndexDef{Name: name, Table: t.Name, Columns: append([]string(nil), columns...), Unique: unique, Ordered: ordered}
 	t.Indexes = append(t.Indexes, def)
+	c.schemaVersion++
 	return def, nil
 }
 
@@ -238,6 +255,7 @@ func (c *Catalog) DropIndex(table, name string) error {
 			break
 		}
 	}
+	c.schemaVersion++
 	return nil
 }
 
@@ -253,6 +271,7 @@ func (c *Catalog) RegisterMatView(view *MatView) error {
 		return fmt.Errorf("%q already names a table", view.Name)
 	}
 	c.views[k] = view
+	c.schemaVersion++
 	return nil
 }
 
@@ -264,6 +283,7 @@ func (c *Catalog) DropMatView(name string) error {
 		return fmt.Errorf("materialized view %q does not exist", name)
 	}
 	delete(c.views, key(name))
+	c.schemaVersion++
 	return nil
 }
 

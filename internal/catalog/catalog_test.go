@@ -173,3 +173,83 @@ func TestWindowSpecString(t *testing.T) {
 		t.Error("sliding spec renders wrong")
 	}
 }
+
+// TestListingsSorted: every map-backed listing comes back in name order, so
+// catalog scans (and anything cached or printed from them) are deterministic
+// across runs regardless of map iteration order.
+func TestListingsSorted(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zebra", "mango", "apple"} {
+		if _, err := c.CreateTable(name, []Column{{"pos", sqltypes.Int}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Tables(); len(got) != 3 || got[0] != "apple" || got[1] != "mango" || got[2] != "zebra" {
+		t.Fatalf("Tables() = %v, want sorted names", got)
+	}
+	for _, name := range []string{"v_z", "v_a", "v_m"} {
+		backing, err := c.CreateTable("__mv_"+name, []Column{{"pos", sqltypes.Int}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.RegisterMatView(&MatView{
+			Name: name, Kind: SequenceView, Table: backing,
+			BaseTable: "zebra", PosColumn: "pos", ValColumn: "pos", Agg: "SUM",
+			Window: WindowSpec{Preceding: 1, Following: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := c.MatViews()
+	if len(views) != 3 || views[0].Name != "v_a" || views[1].Name != "v_m" || views[2].Name != "v_z" {
+		names := make([]string, len(views))
+		for i, v := range views {
+			names[i] = v.Name
+		}
+		t.Fatalf("MatViews() = %v, want sorted names", names)
+	}
+}
+
+// TestSchemaVersionBumpsOnDDL: every DDL mutation advances the schema
+// version the engine's plan cache keys validity on.
+func TestSchemaVersionBumpsOnDDL(t *testing.T) {
+	c := New()
+	v0 := c.SchemaVersion()
+	tbl, err := c.CreateTable("t", []Column{{"pos", sqltypes.Int}, {"val", sqltypes.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SchemaVersion() <= v0 {
+		t.Fatal("CreateTable must bump the schema version")
+	}
+	v1 := c.SchemaVersion()
+	if _, err := c.CreateIndex("i", "t", []string{"pos"}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.SchemaVersion() <= v1 {
+		t.Fatal("CreateIndex must bump the schema version")
+	}
+	v2 := c.SchemaVersion()
+	if err := c.RegisterMatView(&MatView{Name: "v", Kind: SequenceView, Table: tbl,
+		BaseTable: "t", PosColumn: "pos", ValColumn: "val", Agg: "SUM",
+		Window: WindowSpec{Preceding: 1, Following: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.SchemaVersion() <= v2 {
+		t.Fatal("RegisterMatView must bump the schema version")
+	}
+	v3 := c.SchemaVersion()
+	if err := c.DropMatView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("t", "i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if c.SchemaVersion() < v3+3 {
+		t.Fatalf("drops must each bump the schema version: %d -> %d", v3, c.SchemaVersion())
+	}
+}

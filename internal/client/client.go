@@ -1,0 +1,143 @@
+// Package client is a small synchronous client for the rfview query service
+// (see internal/server for the newline-delimited JSON protocol). It is the
+// library behind cmd/rfload and a starting point for embedding rfview access
+// in other programs.
+//
+// A Client owns one TCP connection and is safe for concurrent use: requests
+// are serialized on the connection, one outstanding request at a time. Open
+// several clients for pipelined load (as cmd/rfload does).
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rfview/internal/server"
+)
+
+// Client is one connection to an rfview server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *json.Decoder
+	w      *bufio.Writer
+	enc    *json.Encoder
+	nextID uint64
+}
+
+// Result is the client-side view of one statement outcome. Row values are
+// the JSON decodings of the wire protocol: float64 for numbers, string,
+// bool, or nil.
+type Result struct {
+	Columns   []string
+	Rows      [][]any
+	Affected  int
+	Plan      string
+	Rewritten string
+	// ElapsedUs is the server-reported execution time in microseconds.
+	ElapsedUs int64
+	// Session is the server-assigned session id of this connection.
+	Session uint64
+}
+
+// Dial connects to an rfview server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	w := bufio.NewWriterSize(conn, 64<<10)
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReaderSize(conn, 64<<10)),
+		w:    w,
+		enc:  json.NewEncoder(w),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(op, sql string) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := server.Request{ID: c.nextID, Op: op, SQL: sql}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp server.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("server: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+func toResult(resp *server.Response) *Result {
+	return &Result{
+		Columns: resp.Columns, Rows: resp.Rows, Affected: resp.Affected,
+		Plan: resp.Plan, Rewritten: resp.Rewritten,
+		ElapsedUs: resp.ElapsedUs, Session: resp.Session,
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip("ping", "")
+	return err
+}
+
+// Query executes a statement and returns columns and rows.
+func (c *Client) Query(sql string) (*Result, error) {
+	resp, err := c.roundTrip("query", sql)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp), nil
+}
+
+// Exec executes a statement and returns the affected count.
+func (c *Client) Exec(sql string) (*Result, error) {
+	resp, err := c.roundTrip("exec", sql)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp), nil
+}
+
+// Explain returns the plan text for a read statement.
+func (c *Client) Explain(sql string) (string, error) {
+	resp, err := c.roundTrip("explain", sql)
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const windowQ = `SELECT pos, SUM(val) OVER (ORDER BY pos
+  ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq ORDER BY pos`
+
+// TestPlanCacheHitOnRepeat: an identical read statement is answered from the
+// cache with the same result.
+func TestPlanCacheHitOnRepeat(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	first := mustExec(t, e, windowQ)
+	h0 := e.PlanCacheStats().Hits
+	second := mustExec(t, e, windowQ)
+	if e.PlanCacheStats().Hits != h0+1 {
+		t.Fatalf("repeat must hit the plan cache: %+v", e.PlanCacheStats())
+	}
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatalf("cached result differs: %d vs %d rows", len(first.Rows), len(second.Rows))
+	}
+	for i := range first.Rows {
+		if first.Rows[i][1].Float() != second.Rows[i][1].Float() {
+			t.Fatalf("row %d differs: %v vs %v", i, first.Rows[i], second.Rows[i])
+		}
+	}
+}
+
+// TestPlanCacheInvalidatedByInsert: DML on a referenced table bumps its
+// version, so the cached entry is discarded and the re-run sees the new row.
+func TestPlanCacheInvalidatedByInsert(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 10, func(i int) int64 { return 1 })
+	before := mustExec(t, e, `SELECT pos, val FROM seq ORDER BY pos`)
+	mustExec(t, e, `SELECT pos, val FROM seq ORDER BY pos`) // warm the cache
+	mustExec(t, e, `INSERT INTO seq (pos, val) VALUES (11, 1)`)
+	after := mustExec(t, e, `SELECT pos, val FROM seq ORDER BY pos`)
+	if len(after.Rows) != len(before.Rows)+1 {
+		t.Fatalf("stale cached result served after INSERT: %d rows, want %d",
+			len(after.Rows), len(before.Rows)+1)
+	}
+	if e.PlanCacheStats().Invalidations == 0 {
+		t.Fatalf("INSERT must invalidate the cached plan: %+v", e.PlanCacheStats())
+	}
+}
+
+// TestPlanCacheInvalidatedByCreateView: CREATE MATERIALIZED VIEW bumps the
+// schema version, so a query that previously planned natively is re-derived
+// against the new view on its next run.
+func TestPlanCacheInvalidatedByCreateView(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	res := mustExec(t, e, windowQ)
+	if res.Derivation != nil {
+		t.Fatal("no view exists yet; query must plan natively")
+	}
+	mustExec(t, e, windowQ) // cache the native plan
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS val FROM seq`)
+	res = mustExec(t, e, windowQ)
+	if res.Derivation == nil {
+		t.Fatal("after CREATE MATERIALIZED VIEW the cached native plan must be dropped and the query derived")
+	}
+}
+
+// TestPlanCacheRefreshCycle: a cached derived plan follows the view through
+// stale and refreshed states instead of serving stale answers.
+func TestPlanCacheRefreshCycle(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return 1 })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS val FROM seq`)
+	res := mustExec(t, e, windowQ)
+	if res.Derivation == nil {
+		t.Fatal("query must derive from mv")
+	}
+	mustExec(t, e, windowQ) // cache the derived plan
+
+	// Breaking density marks the view stale; the cached plan must not keep
+	// answering from it.
+	mustExec(t, e, `DELETE FROM seq WHERE pos = 10`)
+	if _, err := e.Exec(windowQ); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale view must refuse the cached derived plan: %v", err)
+	}
+
+	// Restore density (REFRESH recomputes only over dense sequences), then
+	// refresh: the cached plan must pick the view back up.
+	mustExec(t, e, `INSERT INTO seq (pos, val) VALUES (10, 1)`)
+	mustExec(t, e, `REFRESH MATERIALIZED VIEW mv`)
+	res = mustExec(t, e, windowQ)
+	if res.Derivation == nil {
+		t.Fatal("after REFRESH the query must derive again")
+	}
+	// All 20 rows are back and every val is 1, so no window sums past 5.
+	if len(res.Rows) != 20 {
+		t.Fatalf("got %d rows after refresh, want 20", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if s := r[1].Float(); s < 1 || s > 5 {
+			t.Fatalf("window sum %v out of range for all-ones data", s)
+		}
+	}
+}
+
+// TestPlanCacheDisabled: capacity zero turns caching off entirely.
+func TestPlanCacheDisabled(t *testing.T) {
+	e := newEngine(t)
+	e.SetPlanCacheCapacity(0)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `SELECT pos, val FROM seq ORDER BY pos`)
+	mustExec(t, e, `SELECT pos, val FROM seq ORDER BY pos`)
+	st := e.PlanCacheStats()
+	if st.Hits != 0 || st.Len != 0 {
+		t.Fatalf("disabled cache must stay empty: %+v", st)
+	}
+}
+
+// TestPlanCacheSkipsWrites: DML and DDL are never cached, so replaying the
+// same INSERT text keeps inserting.
+func TestPlanCacheSkipsWrites(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, `CREATE TABLE seq (pos INTEGER, val INTEGER)`)
+	mustExec(t, e, `INSERT INTO seq (pos, val) VALUES (1, 1)`)
+	mustExec(t, e, `INSERT INTO seq (pos, val) VALUES (1, 1)`)
+	res := mustExec(t, e, `SELECT COUNT(pos) AS n FROM seq`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("identical INSERT text must execute twice, got count %v", res.Rows[0][0])
+	}
+}
+
+// TestPlanCacheExplainUncached: EXPLAIN results are not cached (they carry
+// no execStmt), and EXPLAIN text never leaks into query answers.
+func TestPlanCacheExplainUncached(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `EXPLAIN SELECT pos, val FROM seq`)
+	st := e.PlanCacheStats()
+	if st.Len != 0 {
+		t.Fatalf("EXPLAIN must not populate the cache: %+v", st)
+	}
+}
+
+// BenchmarkExecCachedHit measures the steady-state hot path the server
+// rides: repeated identical derived window queries.
+func BenchmarkExecCachedHit(b *testing.B) {
+	e := benchEngine(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(windowQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecUncached is the same workload with the cache disabled: full
+// parse + derivation + execution on every call.
+func BenchmarkExecUncached(b *testing.B) {
+	e := benchEngine(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(windowQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B, cached bool) *Engine {
+	b.Helper()
+	e := New(DefaultOptions())
+	if !cached {
+		e.SetPlanCacheCapacity(0)
+	}
+	var sb strings.Builder
+	sb.WriteString(`CREATE TABLE seq (pos INTEGER, val INTEGER); `)
+	sb.WriteString(`INSERT INTO seq (pos, val) VALUES (1, 1)`)
+	for i := 2; i <= 200; i++ {
+		sb.WriteString(`, (`)
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(`, 1)`)
+	}
+	sb.WriteString(`; CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS val FROM seq;`)
+	if _, err := e.ExecAll(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Exec(windowQ); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+

@@ -15,11 +15,13 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rfview/internal/catalog"
 	"rfview/internal/exec"
 	"rfview/internal/mview"
 	"rfview/internal/plan"
+	"rfview/internal/qcache"
 	"rfview/internal/rewrite"
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
@@ -62,10 +64,24 @@ func DefaultOptions() Options {
 }
 
 // Engine executes SQL statements.
+//
+// An Engine is safe for concurrent use. Locking discipline: read statements
+// (SELECT, UNION, EXPLAIN) run under a shared lock and may execute
+// concurrently — including view-derived MaxOA/MinOA rewrites — while DML,
+// DDL, and REFRESH MATERIALIZED VIEW take the exclusive lock, so every read
+// observes a consistent pre- or post-write state. The catalog and the view
+// manager carry their own finer-grained locks for direct library use, but
+// the engine-level RWMutex is what makes multi-statement read plans (match →
+// derive → plan → execute) atomic with respect to writers.
 type Engine struct {
 	Cat   *catalog.Catalog
 	Views *mview.Manager
 	Opts  Options
+
+	// mu is the engine-level reader/writer lock described above.
+	mu sync.RWMutex
+	// plans caches parse/match/derive work keyed by SQL text; see cache.go.
+	plans *qcache.Cache[*cachedPlan]
 }
 
 // Result is the outcome of one statement.
@@ -79,11 +95,15 @@ type Result struct {
 	Rewritten string
 	// Derivation records a §4/§5 view-derivation rewrite, when one fired.
 	Derivation *rewrite.Derivation
+
+	// execStmt is the statement that was actually planned (post-derivation,
+	// pre-self-join-fallback); the plan cache replans from it on a hit.
+	execStmt sqlparser.SelectStatement
 }
 
 // New builds an engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{Cat: catalog.New(), Opts: opts}
+	e := &Engine{Cat: catalog.New(), Opts: opts, plans: qcache.New[*cachedPlan](DefaultPlanCacheCapacity)}
 	e.Views = mview.NewManager(e.Cat, func(stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
 		res, err := e.execSelect(stmt)
 		if err != nil {
@@ -94,17 +114,35 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// Exec parses and executes a single statement.
+// Exec parses and executes a single statement. For queries it consults the
+// plan cache first: a valid cached entry skips parse, view matching, and
+// derivation entirely.
 func (e *Engine) Exec(sql string) (*Result, error) {
+	if res, err, ok := e.execCached(sql); ok {
+		return res, err
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(stmt)
+	if isReadStmt(stmt) {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		res, err := e.execStmtLocked(stmt)
+		if err == nil {
+			e.storePlan(sql, stmt, res)
+		}
+		return res, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execStmtLocked(stmt)
 }
 
 // ExecAll executes a semicolon-separated script, returning one result per
-// statement. Execution stops at the first error.
+// statement. Execution stops at the first error. Each statement acquires the
+// engine lock independently; a script is not one atomic unit with respect to
+// concurrent readers.
 func (e *Engine) ExecAll(sql string) ([]*Result, error) {
 	stmts, err := sqlparser.ParseAll(sql)
 	if err != nil {
@@ -121,8 +159,31 @@ func (e *Engine) ExecAll(sql string) ([]*Result, error) {
 	return out, nil
 }
 
-// ExecStmt executes a parsed statement.
+// isReadStmt reports whether a statement runs under the shared lock.
+func isReadStmt(stmt sqlparser.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparser.Select, *sqlparser.Union, *sqlparser.Explain:
+		return true
+	}
+	return false
+}
+
+// ExecStmt executes a parsed statement under the engine's locking
+// discipline: shared for reads, exclusive for everything else.
 func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	if isReadStmt(stmt) {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+	} else {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	return e.execStmtLocked(stmt)
+}
+
+// execStmtLocked dispatches a parsed statement. Callers hold the engine lock
+// in the mode appropriate for the statement kind.
+func (e *Engine) execStmtLocked(stmt sqlparser.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.Select, *sqlparser.Union:
 		return e.execSelect(s.(sqlparser.SelectStatement))
@@ -192,6 +253,12 @@ func (e *Engine) planner() *plan.Planner {
 // — if the native window operator is off — the Fig. 2 self-join simulation.
 // It returns the (possibly unchanged) statement and the derivation record.
 func (e *Engine) RewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.SelectStatement, *rewrite.Derivation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rewriteSelect(stmt)
+}
+
+func (e *Engine) rewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.SelectStatement, *rewrite.Derivation, error) {
 	if sel, ok := stmt.(*sqlparser.Select); ok && e.Opts.UseMatViews {
 		d, err := rewrite.Derive(e.Cat, sel, e.Opts.Strategy, e.Opts.Form)
 		if err != nil {
@@ -215,7 +282,7 @@ func (e *Engine) RewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.Select
 
 func (e *Engine) planSelect(stmt sqlparser.SelectStatement) (exec.Operator, *Result, error) {
 	res := &Result{}
-	rewritten, d, err := e.RewriteSelect(stmt)
+	rewritten, d, err := e.rewriteSelect(stmt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -228,23 +295,32 @@ func (e *Engine) planSelect(stmt sqlparser.SelectStatement) (exec.Operator, *Res
 	if err := e.checkFromFreshness(stmt); err != nil {
 		return nil, nil, err
 	}
+	op, err := e.planPhysical(stmt, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.execStmt = stmt
+	return op, res, nil
+}
+
+// planPhysical turns a (post-derivation) statement into an operator tree,
+// falling back to the Fig. 2 self-join simulation when the native window
+// operator is disabled.
+func (e *Engine) planPhysical(stmt sqlparser.SelectStatement, res *Result) (exec.Operator, error) {
 	op, err := e.planner().PlanSelect(stmt)
 	if errors.Is(err, plan.ErrWindowDisabled) {
 		sel, ok := stmt.(*sqlparser.Select)
 		if !ok {
-			return nil, nil, err
+			return nil, err
 		}
 		sj, rerr := rewrite.SelfJoin(sel)
 		if rerr != nil {
-			return nil, nil, fmt.Errorf("%w; self-join simulation also failed: %v", err, rerr)
+			return nil, fmt.Errorf("%w; self-join simulation also failed: %v", err, rerr)
 		}
 		res.Rewritten = sj.String()
 		op, err = e.planner().PlanSelect(sj)
 	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return op, res, nil
+	return op, err
 }
 
 func (e *Engine) execSelect(stmt sqlparser.SelectStatement) (*Result, error) {
@@ -252,6 +328,11 @@ func (e *Engine) execSelect(stmt sqlparser.SelectStatement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.runOperator(op, res)
+}
+
+// runOperator drains an operator tree into res.
+func (e *Engine) runOperator(op exec.Operator, res *Result) (*Result, error) {
 	rows, err := exec.Collect(op)
 	if err != nil {
 		return nil, err

@@ -52,8 +52,13 @@ type seqView struct {
 func (sv *seqView) partitioned() bool { return sv.parts != nil }
 
 // Manager owns all materialized views of one engine.
+//
+// The mutex is a RWMutex so that freshness checks — which every view-derived
+// read performs, concurrently under the engine's shared lock — do not
+// serialize readers; mutation paths (create, drop, refresh, incremental
+// maintenance) take the exclusive lock.
 type Manager struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	cat   *catalog.Catalog
 	seq   map[string]*seqView // lower-case view name
 	plain map[string]*sqlparser.CreateMatView
@@ -409,8 +414,8 @@ func windowOfSpec(w catalog.WindowSpec) core.Window {
 // CheckFresh returns an error when the named view is stale. The engine calls
 // it before answering a query from the view.
 func (m *Manager) CheckFresh(name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if sv, ok := m.seq[lower(name)]; ok && sv.stale {
 		return fmt.Errorf("materialized view %q is stale (%s); run REFRESH MATERIALIZED VIEW %s",
 			name, sv.staleWhy, name)
@@ -420,8 +425,8 @@ func (m *Manager) CheckFresh(name string) error {
 
 // Stale reports whether a view is stale.
 func (m *Manager) Stale(name string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	sv, ok := m.seq[lower(name)]
 	return ok && sv.stale
 }

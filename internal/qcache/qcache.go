@@ -1,0 +1,129 @@
+// Package qcache provides the LRU cache behind the engine's plan/derivation
+// cache. The warehouse workload the paper targets (§1, §8) is read-dominated
+// and repetitive — the same reporting-function queries arrive over and over —
+// so the engine memoizes the expensive front half of query processing (parse,
+// view match, derivation rewrite) keyed by SQL text. This package owns only
+// the replacement policy and bookkeeping; validity is the caller's problem:
+// entries carry caller-defined payloads that the engine revalidates against
+// table versions before trusting.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits          uint64 // Get found a resident entry
+	Misses        uint64 // Get found nothing
+	Evictions     uint64 // entries displaced by capacity pressure
+	Invalidations uint64 // entries removed via Remove or Purge
+	Len           int    // resident entries at snapshot time
+	Capacity      int
+}
+
+type item[V any] struct {
+	key string
+	val V
+}
+
+// Cache is a thread-safe string-keyed LRU cache.
+type Cache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; elements hold *item[V]
+	index map[string]*list.Element
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New returns a cache bounded to capacity entries. Capacity 0 (or negative)
+// disables the cache: Put is a no-op and Get always misses.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*item[V]).val, true
+}
+
+// Put inserts or replaces the value for key and marks it most recently used,
+// evicting the least recently used entry if the cache is full.
+func (c *Cache[V]) Put(key string, val V) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*item[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.index, oldest.Value.(*item[V]).key)
+			c.evictions++
+		}
+	}
+	c.index[key] = c.ll.PushFront(&item[V]{key: key, val: val})
+}
+
+// Remove drops the entry for key, if resident.
+func (c *Cache[V]) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.ll.Remove(el)
+		delete(c.index, key)
+		c.invalidations++
+	}
+}
+
+// Purge drops every entry.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidations += uint64(c.ll.Len())
+	c.ll.Init()
+	clear(c.index)
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Len: c.ll.Len(), Capacity: c.cap,
+	}
+}

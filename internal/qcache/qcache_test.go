@@ -1,0 +1,103 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a evicted wrongly: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutReplacesAndTouches(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // replace, and make "a" most recent
+	c.Put("c", 3)  // must evict "b"
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestRemoveAndPurge(t *testing.T) {
+	c := New[string](4)
+	c.Put("a", "x")
+	c.Put("b", "y")
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived Remove")
+	}
+	c.Remove("a") // removing a non-resident key is a no-op
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d", st.Invalidations)
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("negative value")
+					return
+				}
+				c.Put(k, i)
+				if i%97 == 0 {
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

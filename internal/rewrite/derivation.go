@@ -210,16 +210,19 @@ func windowsEqual(w catalog.WindowSpec, s WindowShape) bool {
 }
 
 // pickView chooses the candidate view a derivation will run against:
-// applicable views only, preferring the largest materialized window (fewest
-// telescoping terms).
+// applicable views only, preferring sliding views over cumulative ones and
+// the largest materialized window (fewest telescoping terms). Ties break on
+// view name, so the choice — and therefore every cached or explained plan —
+// is stable across runs regardless of catalog map iteration order.
 func pickView(candidates []*catalog.MatView, wq *WindowQuery, strategy Strategy) *catalog.MatView {
-	var best *catalog.MatView
+	var bestSliding, bestCumulative *catalog.MatView
 	bestW := -1
 	for _, v := range candidates {
 		if v.Window.Cumulative {
 			// Cumulative views answer any sliding SUM/COUNT query (§3.1).
-			if !wq.Shape.Cumulative && (wq.Agg == "SUM" || wq.Agg == "COUNT") && bestW < 0 {
-				best = v
+			if !wq.Shape.Cumulative && (wq.Agg == "SUM" || wq.Agg == "COUNT") &&
+				(bestCumulative == nil || v.Name < bestCumulative.Name) {
+				bestCumulative = v
 			}
 			continue
 		}
@@ -235,11 +238,14 @@ func pickView(candidates []*catalog.MatView, wq *WindowQuery, strategy Strategy)
 		} else {
 			ok = resolveStrategy(strategy, dl, dh, wx) != StrategyAuto
 		}
-		if ok && wx > bestW {
-			best, bestW = v, wx
+		if ok && (wx > bestW || (wx == bestW && v.Name < bestSliding.Name)) {
+			bestSliding, bestW = v, wx
 		}
 	}
-	return best
+	if bestSliding != nil {
+		return bestSliding
+	}
+	return bestCumulative
 }
 
 // plainColsMatch checks the non-window select items are exactly the

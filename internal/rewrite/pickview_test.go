@@ -1,0 +1,87 @@
+package rewrite
+
+import (
+	"testing"
+
+	"rfview/internal/catalog"
+	"rfview/internal/sqltypes"
+)
+
+// multiViewCatalog builds a catalog with one sliding sequence view per entry
+// of wins, registered in the given order.
+func multiViewCatalog(t *testing.T, names []string, wins []catalog.WindowSpec) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateTable("seq", []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		backing, err := cat.CreateTable("__mv_"+name, []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv := &catalog.MatView{
+			Name: name, Kind: catalog.SequenceView, Table: backing,
+			BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: "SUM",
+			Window: wins[i], BaseRows: 100,
+		}
+		if err := cat.RegisterMatView(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// TestPickViewNameTieBreak: among equally wide applicable views the
+// lexicographically smallest name wins, independent of registration order,
+// so plans (and the plan cache keyed on them) are deterministic.
+func TestPickViewNameTieBreak(t *testing.T) {
+	win := catalog.WindowSpec{Preceding: 2, Following: 1}
+	sel := parseSelect(t, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	for _, names := range [][]string{{"zeta", "alpha"}, {"alpha", "zeta"}} {
+		cat := multiViewCatalog(t, names, []catalog.WindowSpec{win, win})
+		d, err := Derive(cat, sel, StrategyMaxOA, FormDisjunctive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == nil || d.View.Name != "alpha" {
+			t.Fatalf("registration order %v: picked %+v, want alpha", names, d)
+		}
+	}
+}
+
+// TestPickViewPrefersWiderWindow: a wider materialized window beats a
+// smaller lexicographic name — the tie-break applies only among equals.
+func TestPickViewPrefersWiderWindow(t *testing.T) {
+	cat := multiViewCatalog(t,
+		[]string{"aaa", "zzz"},
+		[]catalog.WindowSpec{{Preceding: 1, Following: 1}, {Preceding: 2, Following: 2}})
+	sel := parseSelect(t, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS w FROM seq`)
+	d, err := Derive(cat, sel, StrategyMaxOA, FormDisjunctive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.View.Name != "zzz" {
+		t.Fatalf("picked %+v, want the wider view zzz", d)
+	}
+}
+
+// TestPickViewCumulativeTieBreak: when only cumulative views apply, the
+// smallest name is chosen deterministically.
+func TestPickViewCumulativeTieBreak(t *testing.T) {
+	cum := catalog.WindowSpec{Cumulative: true}
+	sel := parseSelect(t, `SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`)
+	for _, names := range [][]string{{"zc", "ac"}, {"ac", "zc"}} {
+		cat := multiViewCatalog(t, names, []catalog.WindowSpec{cum, cum})
+		d, err := Derive(cat, sel, StrategyAuto, FormDisjunctive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == nil || d.View.Name != "ac" {
+			t.Fatalf("registration order %v: picked %+v, want ac", names, d)
+		}
+	}
+}

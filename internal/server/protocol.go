@@ -1,0 +1,89 @@
+// Package server exposes an engine over TCP as a concurrent query service.
+//
+// The protocol is newline-delimited JSON: the client writes one request
+// object per line, the server answers with one response object per line, in
+// order. One goroutine serves each connection; statements run under the
+// engine's reader/writer locking discipline, so SELECTs from many
+// connections execute concurrently while DML/DDL serialize.
+//
+// Operations:
+//
+//	ping     liveness check; echoes the session id
+//	query    execute a statement, return columns + rows
+//	exec     execute a statement, return the affected count
+//	explain  plan a read statement, return the plan text
+//
+// Example session:
+//
+//	→ {"id":1,"op":"query","sql":"SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq"}
+//	← {"id":1,"ok":true,"columns":["pos","s"],"rows":[[1,9],[2,14]],"affected":2}
+package server
+
+import (
+	"fmt"
+
+	"rfview/internal/sqltypes"
+)
+
+// Request is one client→server message.
+type Request struct {
+	// ID is echoed verbatim in the response so clients can match replies.
+	ID uint64 `json:"id"`
+	// Op is one of "ping", "query", "exec", "explain".
+	Op string `json:"op"`
+	// SQL is the statement text (unused for ping).
+	SQL string `json:"sql,omitempty"`
+}
+
+// Response is one server→client message.
+type Response struct {
+	ID      uint64 `json:"id"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Session uint64 `json:"session,omitempty"`
+
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Plan     string   `json:"plan,omitempty"`
+	// Rewritten carries the derivation/self-join SQL when a rewrite fired.
+	Rewritten string `json:"rewritten,omitempty"`
+	// ElapsedUs is the server-side execution time in microseconds.
+	ElapsedUs int64 `json:"elapsed_us,omitempty"`
+}
+
+// rowsToJSON converts engine rows into JSON-friendly values: INTEGER →
+// number, FLOAT → number, STRING → string, BOOL → bool, DATE → "YYYY-MM-DD",
+// NULL → null.
+func rowsToJSON(rows []sqltypes.Row) [][]any {
+	if rows == nil {
+		return nil
+	}
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		jr := make([]any, len(r))
+		for j, d := range r {
+			jr[j] = datumToJSON(d)
+		}
+		out[i] = jr
+	}
+	return out
+}
+
+func datumToJSON(d sqltypes.Datum) any {
+	switch d.Typ() {
+	case sqltypes.Null:
+		return nil
+	case sqltypes.Int:
+		return d.Int()
+	case sqltypes.Float:
+		return d.Float()
+	case sqltypes.Bool:
+		return d.Bool()
+	case sqltypes.String:
+		return d.Str()
+	default:
+		// Dates (and any future type) render through the SQL formatter.
+		return fmt.Sprintf("%v", d)
+	}
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfview/internal/engine"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// maxLineBytes bounds one request line; a longer line stops the read and
+// closes the connection before it can buffer unbounded input.
+const maxLineBytes = 1 << 20
+
+// Session is the per-connection state: identity and counters. It is created
+// at accept time and lives until the connection closes.
+type Session struct {
+	ID         uint64
+	RemoteAddr string
+	Started    time.Time
+
+	conn     net.Conn
+	requests atomic.Uint64
+}
+
+// Requests returns the number of requests this session has served.
+func (s *Session) Requests() uint64 { return s.requests.Load() }
+
+// Stats aggregates server-wide counters.
+type Stats struct {
+	Accepted uint64 // connections accepted over the server's lifetime
+	Active   int    // connections open right now
+	Requests uint64 // requests served
+	Errors   uint64 // requests answered with ok=false
+}
+
+// Server serves an engine over TCP.
+type Server struct {
+	eng *engine.Engine
+
+	mu         sync.Mutex
+	lis        net.Listener
+	sessions   map[*Session]struct{}
+	nextSessID uint64
+
+	wg         sync.WaitGroup
+	inShutdown atomic.Bool
+
+	accepted atomic.Uint64
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// New wraps an engine in a server.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng, sessions: make(map[*Session]struct{})}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		Accepted: s.accepted.Load(),
+		Active:   active,
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+	}
+}
+
+// Addr returns the listener address, once serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis, one goroutine per connection, until
+// Shutdown. It returns ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		sess := &Session{RemoteAddr: conn.RemoteAddr().String(), Started: time.Now(), conn: conn}
+		s.mu.Lock()
+		s.nextSessID++
+		sess.ID = s.nextSessID
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(sess)
+	}
+}
+
+// Shutdown stops accepting connections and drains in-flight requests: every
+// request already read off a socket gets its response, then connections
+// close. If ctx expires first, remaining connections are closed forcibly and
+// the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	// Wake sessions blocked reading their next request. Sessions that are
+	// mid-request keep going: the deadline only gates future reads, and the
+	// handler checks inShutdown after responding.
+	for sess := range s.sessions {
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) serveConn(sess *Session) {
+	defer s.wg.Done()
+	defer func() {
+		sess.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(sess.conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	w := bufio.NewWriterSize(sess.conn, 64<<10)
+	enc := json.NewEncoder(w)
+	for {
+		if !sc.Scan() {
+			// EOF, oversized line, shutdown wake-up, or broken pipe:
+			// close quietly.
+			return
+		}
+		line := sc.Bytes()
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{OK: false, Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.dispatch(sess, &req)
+		}
+		s.requests.Add(1)
+		sess.requests.Add(1)
+		if !resp.OK {
+			s.errors.Add(1)
+		}
+		err := enc.Encode(&resp) // Encode appends the delimiting newline
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			return
+		}
+		if s.inShutdown.Load() {
+			return // drained: the response above was this session's last
+		}
+	}
+}
+
+// dispatch executes one request against the engine.
+func (s *Server) dispatch(sess *Session, req *Request) Response {
+	resp := Response{ID: req.ID, Session: sess.ID}
+	start := time.Now()
+	switch req.Op {
+	case "ping":
+		resp.OK = true
+	case "query", "exec", "explain":
+		sql := req.SQL
+		if req.Op == "explain" {
+			sql = "EXPLAIN " + sql
+		}
+		res, err := s.eng.Exec(sql)
+		if err != nil {
+			resp.Error = err.Error()
+			break
+		}
+		resp.OK = true
+		resp.Affected = res.Affected
+		resp.Rewritten = res.Rewritten
+		if req.Op == "explain" {
+			resp.Plan = res.Plan
+		} else {
+			resp.Columns = res.Columns
+			resp.Rows = rowsToJSON(res.Rows)
+		}
+	default:
+		resp.Error = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	resp.ElapsedUs = time.Since(start).Microseconds()
+	return resp
+}

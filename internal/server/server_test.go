@@ -1,0 +1,222 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfview/internal/client"
+	"rfview/internal/engine"
+	"rfview/internal/server"
+)
+
+// startServer serves a fresh engine on an ephemeral port and returns the
+// address plus a channel carrying Serve's return value.
+func startServer(t *testing.T) (*server.Server, *engine.Engine, string, chan error) {
+	t.Helper()
+	e := engine.New(engine.DefaultOptions())
+	srv := server.New(e)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		select {
+		case <-errc:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	})
+	return srv, e, lis.Addr().String(), errc
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	srv, _, addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := c.Exec(`CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(`INSERT INTO seq (pos, val) VALUES (1, 10), (2, 20), (3, 30)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 3 {
+		t.Fatalf("affected = %d, want 3", res.Affected)
+	}
+	res, err = c.Query(`SELECT pos, SUM(val) OVER (ORDER BY pos
+	  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[1] != "s" || len(res.Rows) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	// JSON numbers decode as float64 on the client side.
+	if res.Rows[1][1].(float64) != 60 {
+		t.Fatalf("middle window sum = %v, want 60", res.Rows[1][1])
+	}
+	plan, err := c.Explain(`SELECT pos, val FROM seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "SeqScan") {
+		t.Fatalf("explain plan = %q", plan)
+	}
+	// Errors come back as ok=false, not connection teardown.
+	if _, err := c.Query(`SELECT nope FROM missing`); err == nil {
+		t.Fatal("query against missing table must error")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection must survive a statement error: %v", err)
+	}
+	st := srv.Stats()
+	if st.Accepted != 1 || st.Requests < 6 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServerMalformedRequest: a non-JSON line gets an error response and the
+// connection stays usable.
+func TestServerMalformedRequest(t *testing.T) {
+	_, _, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "bad request") {
+		t.Fatalf("response = %+v", resp)
+	}
+	// Unknown ops are also answered in-band.
+	if _, err := conn.Write([]byte(`{"id":2,"op":"shrug"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") || resp.ID != 2 {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+// TestServerConcurrentClients: parallel sessions all make progress; reads
+// from different connections interleave under the engine's shared lock.
+func TestServerConcurrentClients(t *testing.T) {
+	srv, e, addr, _ := startServer(t)
+	if _, err := e.ExecAll(`CREATE TABLE seq (pos INTEGER, val INTEGER);
+	  INSERT INTO seq (pos, val) VALUES (1, 1), (2, 1), (3, 1), (4, 1), (5, 1);`); err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				res, err := c.Query(`SELECT pos, val FROM seq`)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(res.Rows) != 5 {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Accepted != clients || st.Requests != clients*perClient {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServerGracefulShutdown: Shutdown answers the in-flight request, then
+// closes; Serve returns ErrServerClosed and new dials are refused.
+func TestServerGracefulShutdown(t *testing.T) {
+	e := engine.New(engine.DefaultOptions())
+	srv := server.New(e)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != server.ErrServerClosed {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("dial after shutdown must fail")
+	}
+	if st := srv.Stats(); st.Active != 0 {
+		t.Fatalf("connections must drain: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rfview/internal/sqltypes"
 )
@@ -24,6 +25,11 @@ type Table struct {
 	rows    []sqltypes.Row // indexed by RowID; nil = deleted
 	live    int
 	indexes []*IndexHandle
+	// version counts mutations (inserts, updates, deletes). Cached query
+	// plans record the versions of every table they read and revalidate on
+	// reuse, so any mutation — including materialized-view refreshes, which
+	// rewrite the view's backing table — invalidates dependent plans.
+	version atomic.Uint64
 }
 
 // IndexHandle couples an index with the column positions it covers so the
@@ -40,6 +46,11 @@ func NewTable() *Table { return &Table{} }
 
 // Len returns the number of live rows.
 func (t *Table) Len() int { return t.live }
+
+// Version returns the mutation counter: it increases on every successful
+// Insert, Update, and Delete. Two equal readings with no interleaved write
+// guarantee the table contents did not change between them.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Insert appends a row and maintains every index. The row is stored as
 // given; callers must not mutate it afterwards.
@@ -58,6 +69,7 @@ func (t *Table) Insert(row sqltypes.Row) (RowID, error) {
 	for _, h := range t.indexes {
 		h.Idx.Insert(extractKey(row, h.Cols), id)
 	}
+	t.version.Add(1)
 	return id, nil
 }
 
@@ -80,6 +92,7 @@ func (t *Table) Delete(id RowID) error {
 	}
 	t.rows[id] = nil
 	t.live--
+	t.version.Add(1)
 	return nil
 }
 
@@ -104,6 +117,7 @@ func (t *Table) Update(id RowID, row sqltypes.Row) error {
 		h.Idx.Insert(newKey, id)
 	}
 	t.rows[id] = row
+	t.version.Add(1)
 	return nil
 }
 
