@@ -6,6 +6,7 @@
 //	rfbench -exp table2 [-sizes 100,500,1000,1500,2000,3000,5000] [-check]
 //	rfbench -exp patterns    # print the Fig. 2/4/10/13 rewrites and plans
 //	rfbench -exp maintenance # §2.3 incremental update vs. full refresh
+//	rfbench -exp window [-json]  # partition-parallel Window operator scaling
 //	rfbench -exp all    [-quick]
 //
 // -quick shrinks the size lists so a full run finishes in seconds; -check
@@ -28,6 +29,7 @@ func main() {
 	check := flag.Bool("check", false, "verify every strategy against native evaluation")
 	quick := flag.Bool("quick", false, "use reduced size lists for a fast run")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper-style tables")
+	jsonOut := flag.Bool("json", false, "emit BENCH-style JSON (window experiment only)")
 	flag.Parse()
 
 	var sizeList []int
@@ -58,6 +60,31 @@ func main() {
 		return
 	}
 
+	if *exp == "window" {
+		cfg := bench.DefaultWindowConfig()
+		if *quick {
+			cfg.Partitions = 16
+			cfg.RowsPerPartition = 200
+			cfg.Trials = 3
+		}
+		fmt.Fprintf(os.Stderr, "Running window experiment (%d partitions x %d rows, %d trials, workers 1/2/4)\n",
+			cfg.Partitions, cfg.RowsPerPartition, cfg.Trials)
+		rows, err := bench.RunWindowParallel(cfg, []int{1, 2, 4})
+		if err != nil {
+			fatalf("window: %v", err)
+		}
+		if *jsonOut {
+			s, err := bench.WindowJSON(cfg, rows)
+			if err != nil {
+				fatalf("window: %v", err)
+			}
+			fmt.Print(s)
+		} else {
+			fmt.Print(bench.FormatWindow(rows))
+		}
+		return
+	}
+
 	if *exp == "patterns" {
 		report, err := bench.PatternsReport()
 		if err != nil {
@@ -70,7 +97,7 @@ func main() {
 	runT1 := *exp == "table1" || *exp == "all"
 	runT2 := *exp == "table2" || *exp == "all"
 	if !runT1 && !runT2 {
-		fatalf("unknown experiment %q (want table1, table2, patterns, maintenance, or all)", *exp)
+		fatalf("unknown experiment %q (want table1, table2, patterns, maintenance, window, or all)", *exp)
 	}
 
 	if runT1 {

@@ -6,6 +6,7 @@
 //	rfserverd [-addr host:port] [-init script.sql] [-plan-cache N]
 //	          [-no-native-window] [-no-indexes] [-no-views]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
+//	          [-window-parallelism N]
 //
 // The optional -init script runs before the listener opens (schema, data
 // load, materialized views). SIGINT/SIGTERM trigger a graceful shutdown:
@@ -39,10 +40,13 @@ func main() {
 	noViews := flag.Bool("no-views", false, "disable answering queries from materialized sequence views")
 	strategy := flag.String("strategy", "auto", "derivation strategy: auto, maxoa, minoa")
 	form := flag.String("form", "disjunctive", "derivation pattern form: disjunctive, union")
+	windowPar := flag.Int("window-parallelism", 0,
+		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
 	flag.Parse()
 
 	opts := engine.DefaultOptions()
 	opts.NativeWindow = !*noWindow
+	opts.WindowParallelism = *windowPar
 	opts.UseIndexes = !*noIndexes
 	opts.UseMatViews = !*noViews
 	switch strings.ToLower(*strategy) {

@@ -192,4 +192,3 @@ func benchEngine(b *testing.B, cached bool) *Engine {
 	}
 	return e
 }
-

@@ -53,6 +53,13 @@ type Options struct {
 	// (always derive when a view matches, the paper's §3 caching setting
 	// where raw data may not be reachable at all).
 	DerivationMaxRows int
+	// WindowParallelism bounds the worker pool the Window operator uses to
+	// evaluate independent partitions (the §6 partitioning reduction lemma)
+	// concurrently: 0 resolves to GOMAXPROCS, 1 forces sequential
+	// evaluation, N > 1 allows up to N workers. The knob also governs mview
+	// full refreshes, which re-execute the view query through the same
+	// planner.
+	WindowParallelism int
 }
 
 // DefaultOptions enables every feature with automatic strategy selection.
@@ -242,9 +249,10 @@ func (e *Engine) execStmtLocked(stmt sqlparser.Statement) (*Result, error) {
 // planner returns a fresh planner with the engine's current options.
 func (e *Engine) planner() *plan.Planner {
 	return plan.New(e.Cat, plan.Options{
-		NativeWindow: e.Opts.NativeWindow,
-		UseIndexes:   e.Opts.UseIndexes,
-		UseHashJoin:  e.Opts.UseHashJoin,
+		NativeWindow:      e.Opts.NativeWindow,
+		UseIndexes:        e.Opts.UseIndexes,
+		UseHashJoin:       e.Opts.UseHashJoin,
+		WindowParallelism: e.Opts.WindowParallelism,
 	})
 }
 

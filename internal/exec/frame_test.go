@@ -1,0 +1,112 @@
+package exec
+
+import "testing"
+
+// TestClamp pins the shared clamp helper's behaviour at its boundaries.
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		v, lo, hi, want int
+	}{
+		{5, 0, 10, 5},
+		{-3, 0, 10, 0},
+		{42, 0, 10, 10},
+		{0, 0, 0, 0},
+		{-1, -1, 5, -1},
+		{7, 3, 3, 3},
+	}
+	for _, c := range cases {
+		if got := clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("clamp(%d, %d, %d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestFrameRowRange is the table-driven edge suite for the centralized frame
+// clamping: negative effective offsets at partition boundaries, windows wider
+// than the partition (h > n), empty frames, and the unbounded defaults.
+func TestFrameRowRange(t *testing.T) {
+	pre := func(off int) FrameBound { return FrameBound{Kind: BoundPreceding, Offset: off} }
+	fol := func(off int) FrameBound { return FrameBound{Kind: BoundFollowing, Offset: off} }
+	cur := FrameBound{Kind: BoundCurrentRow}
+	unbP := FrameBound{Kind: BoundUnboundedPreceding}
+	unbF := FrameBound{Kind: BoundUnboundedFollowing}
+
+	cases := []struct {
+		name           string
+		frame          FrameSpec
+		i, n           int
+		wantLo, wantHi int
+	}{
+		{"cumulative at first row", FrameSpec{unbP, cur}, 0, 5, 0, 0},
+		{"cumulative at last row", FrameSpec{unbP, cur}, 4, 5, 0, 4},
+		{"whole partition", FrameSpec{unbP, unbF}, 2, 5, 0, 4},
+		{"sliding inside", FrameSpec{pre(1), fol(1)}, 2, 5, 1, 3},
+		{"sliding clipped left", FrameSpec{pre(3), fol(1)}, 0, 5, 0, 1},
+		{"sliding clipped right", FrameSpec{pre(1), fol(3)}, 4, 5, 3, 4},
+		{"window wider than partition (h > n)", FrameSpec{pre(10), fol(10)}, 1, 3, 0, 2},
+		{"offsets far past both ends", FrameSpec{pre(100), fol(100)}, 0, 2, 0, 1},
+		{"empty frame ahead of data", FrameSpec{fol(5), fol(9)}, 3, 5, 5, 4}, // lo > hi: empty
+		{"empty frame behind data", FrameSpec{pre(9), pre(5)}, 2, 5, 0, -1},  // hi clamps to -1
+		{"frame entirely right of partition", FrameSpec{fol(10), fol(20)}, 4, 5, 5, 4},
+		{"backward bounds give empty", FrameSpec{fol(2), pre(2)}, 2, 5, 4, 0},
+		{"negative PRECEDING offset means FOLLOWING", FrameSpec{pre(-2), fol(3)}, 0, 10, 2, 3},
+		{"negative FOLLOWING offset means PRECEDING", FrameSpec{pre(1), fol(-1)}, 3, 10, 2, 2},
+		{"negative offsets at the left boundary", FrameSpec{pre(-1), fol(1)}, 0, 3, 1, 1},
+		{"negative offsets at the right boundary", FrameSpec{pre(1), fol(-2)}, 2, 3, 1, 0},
+		{"single-row partition", FrameSpec{pre(4), fol(4)}, 0, 1, 0, 0},
+		{"current row only", FrameSpec{cur, cur}, 3, 7, 3, 3},
+	}
+	for _, c := range cases {
+		lo, hi := c.frame.rowRange(c.i, c.n)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("%s: rowRange(i=%d, n=%d) = (%d, %d), want (%d, %d)",
+				c.name, c.i, c.n, lo, hi, c.wantLo, c.wantHi)
+		}
+		if lo < 0 || lo > c.n {
+			t.Errorf("%s: lo=%d outside [0, n=%d]", c.name, lo, c.n)
+		}
+		if hi < -1 || hi > c.n-1 {
+			t.Errorf("%s: hi=%d outside [-1, n-1=%d]", c.name, hi, c.n-1)
+		}
+	}
+}
+
+// TestFrameEmptyFrameSemantics: an empty frame yields NULL (COUNT: 0) for
+// every strategy, including the MIN/MAX deque and the naive fallback.
+func TestFrameEmptyFrameSemantics(t *testing.T) {
+	args := intRow(10, 20, 30, 40)
+	empty := FrameSpec{
+		Start: FrameBound{Kind: BoundFollowing, Offset: 7},
+		End:   FrameBound{Kind: BoundFollowing, Offset: 9},
+	}
+	for _, agg := range []string{"SUM", "AVG", "MIN", "MAX"} {
+		vals, err := computeFrames(WindowFunc{Name: agg, Frame: empty}, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if !v.IsNull() {
+				t.Errorf("%s pos %d: empty frame gave %v, want NULL", agg, i, v)
+			}
+		}
+	}
+	vals, err := computeFrames(WindowFunc{Name: "COUNT", Frame: empty}, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.Int() != 0 {
+			t.Errorf("COUNT pos %d: empty frame gave %v, want 0", i, v)
+		}
+	}
+	// The quadratic fallback clamps through the same helper.
+	nvals, err := computeFramesMinMaxNaive(WindowFunc{Name: "MIN", Frame: empty}, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range nvals {
+		if !v.IsNull() {
+			t.Errorf("naive MIN pos %d: empty frame gave %v, want NULL", i, v)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
@@ -64,8 +66,27 @@ func (b FrameBound) String() string {
 	}
 }
 
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// rowRange resolves the frame for row i of an n-row partition into a clamped
+// index range: lo ∈ [0, n], hi ∈ [-1, n-1]. lo > hi means the frame is empty.
+// This is the single clamping point for every frame evaluation strategy.
+func (f FrameSpec) rowRange(i, n int) (lo, hi int) {
+	return clamp(f.Start.resolve(i, n), 0, n), clamp(f.End.resolve(i, n), -1, n-1)
+}
+
 // resolve maps the bound to a row index (may fall outside [0,n-1]; callers
-// clamp). i is the current row's index within its partition.
+// clamp via FrameSpec.rowRange). i is the current row's index within its
+// partition.
 func (b FrameBound) resolve(i, n int) int {
 	switch b.Kind {
 	case BoundUnboundedPreceding:
@@ -108,11 +129,20 @@ func (w WindowFunc) String() string {
 // Algebraic aggregates slide their frame with one Add and one Remove per row
 // — the §2.2 pipelined strategy (three operations per position, independent
 // of window size). MIN/MAX use a monotonic deque, still O(n) amortized.
+// Partitions are independent by construction (the §6 partitioning reduction
+// lemma), so with Parallelism > 1 they are fanned across a bounded worker
+// pool; every partition writes pre-sized, disjoint result slots, keeping the
+// hot path lock-free while preserving input order in the output.
 type Window struct {
 	Input       Operator
 	PartitionBy []expr.Expr
 	OrderBy     []SortKey
 	Funcs       []WindowFunc
+	// Parallelism caps the worker goroutines evaluating partitions
+	// concurrently; 0 or 1 means sequential. Degenerate inputs (empty input,
+	// a single partition) always take the sequential fast path, and the pool
+	// never exceeds the partition count.
+	Parallelism int
 
 	schema *expr.Schema
 	out    []sqltypes.Row
@@ -186,10 +216,12 @@ func (w *Window) Open() error {
 		target.idx = append(target.idx, i)
 	}
 
-	for _, p := range order {
-		if err := w.computePartition(rows, p.idx, results); err != nil {
-			return err
-		}
+	partIdx := make([][]int, len(order))
+	for i, p := range order {
+		partIdx[i] = p.idx
+	}
+	if err := w.computePartitions(rows, partIdx, results); err != nil {
+		return err
 	}
 
 	w.out = make([]sqltypes.Row, len(rows))
@@ -203,6 +235,69 @@ func (w *Window) Open() error {
 	}
 	w.pos = 0
 	return nil
+}
+
+// computePartitions evaluates every partition, fanning across a bounded
+// worker pool when Parallelism allows and the input is not degenerate.
+//
+// Concurrency safety rests on three invariants: input rows are read-only,
+// compiled expressions are stateless (aggregate accumulators are created per
+// computePartition call), and each partition writes only its own rows'
+// slots in the pre-sized results slices — so workers share no mutable state
+// and need no locks. The first worker error closes the stop channel, which
+// drains the pool; remaining workers quit before claiming another partition.
+func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [][]sqltypes.Datum) error {
+	workers := w.Parallelism
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		// Sequential fast path: ≤1 partition, parallelism off, or a pool
+		// that could only ever hold one worker.
+		for _, idx := range parts {
+			if err := w.computePartition(rows, idx, results); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		stop     = make(chan struct{})
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				if err := w.computePartition(rows, parts[i], results); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // computePartition orders one partition and fills results for every func.
@@ -290,15 +385,6 @@ func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sq
 func computeFrames(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum, error) {
 	n := len(args)
 	out := make([]sqltypes.Datum, n)
-	clamp := func(v, lo, hi int) int {
-		if v < lo {
-			return lo
-		}
-		if v > hi {
-			return hi
-		}
-		return v
-	}
 	if fn.Name == "MIN" || fn.Name == "MAX" {
 		return computeFramesMinMax(fn, args)
 	}
@@ -308,8 +394,7 @@ func computeFrames(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum, erro
 	}
 	curLo, curHi := 0, -1 // current accumulated range [curLo, curHi]
 	for i := 0; i < n; i++ {
-		lo := clamp(fn.Frame.Start.resolve(i, n), 0, n)
-		hi := clamp(fn.Frame.End.resolve(i, n), -1, n-1)
+		lo, hi := fn.Frame.rowRange(i, n)
 		if lo > hi {
 			// Empty frame: NULL (COUNT yields 0 via a fresh accumulator).
 			acc.Reset()
@@ -353,19 +438,9 @@ func computeFramesMinMax(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.Datum
 	}
 	var dq []entry
 	next := 0 // next arg index to admit
-	clamp := func(v, lo, hi int) int {
-		if v < lo {
-			return lo
-		}
-		if v > hi {
-			return hi
-		}
-		return v
-	}
 	prevLo := 0
 	for i := 0; i < n; i++ {
-		lo := clamp(fn.Frame.Start.resolve(i, n), 0, n)
-		hi := clamp(fn.Frame.End.resolve(i, n), -1, n-1)
+		lo, hi := fn.Frame.rowRange(i, n)
 		if lo < prevLo {
 			// Frames of ROWS windows never move backwards; guard anyway.
 			return computeFramesMinMaxNaive(fn, args)
@@ -410,14 +485,7 @@ func computeFramesMinMaxNaive(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		lo := fn.Frame.Start.resolve(i, n)
-		hi := fn.Frame.End.resolve(i, n)
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > n-1 {
-			hi = n - 1
-		}
+		lo, hi := fn.Frame.rowRange(i, n)
 		acc.Reset()
 		for j := lo; j <= hi; j++ {
 			acc.Add(args[j])
@@ -457,8 +525,12 @@ func (w *Window) Describe() string {
 	for i, f := range w.Funcs {
 		fs[i] = f.String()
 	}
-	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]",
-		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4))
+	par := ""
+	if w.Parallelism > 1 {
+		par = fmt.Sprintf(" parallel=%d", w.Parallelism)
+	}
+	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s",
+		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par)
 }
 
 // Children implements Operator.

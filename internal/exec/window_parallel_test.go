@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// pwSchema is the (grp, pos, val) layout the parallel tests use.
+func pwSchema() *expr.Schema {
+	return expr.NewSchema(
+		expr.ColInfo{Name: "grp", Type: sqltypes.Int},
+		expr.ColInfo{Name: "pos", Type: sqltypes.Int},
+		expr.ColInfo{Name: "val", Type: sqltypes.Int},
+	)
+}
+
+// pwWindow builds a Window over rows with PARTITION BY grp ORDER BY pos and
+// one function per aggregate name, all sharing the given frame.
+func pwWindow(t *testing.T, rows []sqltypes.Row, frame FrameSpec, parallelism int, aggs ...string) *Window {
+	t.Helper()
+	schema := pwSchema()
+	grpEx := mustCompile(t, "grp", schema)
+	posEx := mustCompile(t, "pos", schema)
+	valEx := mustCompile(t, "val", schema)
+	funcs := make([]WindowFunc, len(aggs))
+	for i, a := range aggs {
+		arg := valEx
+		if a == "COUNT" {
+			arg = nil // COUNT(*)
+		}
+		funcs[i] = WindowFunc{Name: a, Arg: arg, Frame: frame, OutName: fmt.Sprintf("w%d", i)}
+	}
+	w := NewWindow(valuesOp(schema, rows...), []expr.Expr{grpEx},
+		[]SortKey{{Expr: posEx}}, funcs)
+	w.Parallelism = parallelism
+	return w
+}
+
+func mustCollect(t *testing.T, op Operator) []sqltypes.Row {
+	t.Helper()
+	out, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// requireSameRows asserts two results are identical row by row, datum by
+// datum — the parallel path must preserve input order bit for bit.
+func requireSameRows(t *testing.T, seq, par []sqltypes.Row, ctx string) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: %d rows sequential vs %d parallel", ctx, len(seq), len(par))
+	}
+	for i := range seq {
+		if len(seq[i]) != len(par[i]) {
+			t.Fatalf("%s row %d: arity %d vs %d", ctx, i, len(seq[i]), len(par[i]))
+		}
+		for j := range seq[i] {
+			if !sqltypes.Equal(seq[i][j], par[i][j]) && !(seq[i][j].IsNull() && par[i][j].IsNull()) {
+				t.Fatalf("%s row %d col %d: %v vs %v", ctx, i, j, seq[i][j], par[i][j])
+			}
+		}
+	}
+}
+
+// TestWindowParallelMatchesSequential: for random multi-partition inputs and
+// a spread of frame shapes, every worker count produces exactly the
+// sequential answer in exactly the sequential (= input) order.
+func TestWindowParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	frames := []FrameSpec{
+		DefaultFrame(true),  // cumulative
+		DefaultFrame(false), // whole partition
+		{Start: FrameBound{Kind: BoundPreceding, Offset: 2}, End: FrameBound{Kind: BoundFollowing, Offset: 1}},
+		{Start: FrameBound{Kind: BoundFollowing, Offset: 1}, End: FrameBound{Kind: BoundFollowing, Offset: 3}},
+		{Start: FrameBound{Kind: BoundPreceding, Offset: 9}, End: FrameBound{Kind: BoundPreceding, Offset: 4}},
+	}
+	for trial := 0; trial < 20; trial++ {
+		groups := 1 + rng.Intn(6)
+		var rows []sqltypes.Row
+		for g := 0; g < groups; g++ {
+			n := rng.Intn(25) // allow empty partitions via groups never materializing
+			for i := 1; i <= n; i++ {
+				rows = append(rows, intRow(int64(g), int64(i), int64(rng.Intn(100)-50)))
+			}
+		}
+		// Shuffle so partitions interleave in the input (order must still be
+		// preserved in the output).
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		frame := frames[trial%len(frames)]
+		aggs := []string{"SUM", "COUNT", "MIN", "MAX", "AVG"}
+		seq := mustCollect(t, pwWindow(t, rows, frame, 1, aggs...))
+		for _, workers := range []int{2, 4, 8, 64} {
+			ctx := fmt.Sprintf("trial %d frame=%d workers=%d rows=%d groups=%d",
+				trial, trial%len(frames), workers, len(rows), groups)
+			par := mustCollect(t, pwWindow(t, rows, frame, workers, aggs...))
+			requireSameRows(t, seq, par, ctx)
+		}
+	}
+}
+
+// TestWindowParallelDegenerate: empty input, a single partition, no
+// PARTITION BY at all, and more workers than partitions must all take the
+// sequential fast path (or behave identically to it).
+func TestWindowParallelDegenerate(t *testing.T) {
+	// Empty input.
+	w := pwWindow(t, nil, DefaultFrame(true), 8, "SUM")
+	if out := mustCollect(t, w); len(out) != 0 {
+		t.Fatalf("empty input: got %d rows", len(out))
+	}
+
+	// One partition, parallelism 8: workers must be capped at partition count.
+	rows := []sqltypes.Row{intRow(1, 1, 10), intRow(1, 2, 20), intRow(1, 3, 30)}
+	seq := mustCollect(t, pwWindow(t, rows, DefaultFrame(true), 1, "SUM"))
+	par := mustCollect(t, pwWindow(t, rows, DefaultFrame(true), 8, "SUM"))
+	requireSameRows(t, seq, par, "single partition")
+	if got := par[2][3].Int(); got != 60 {
+		t.Fatalf("cumulative sum = %d, want 60", got)
+	}
+
+	// No PARTITION BY: everything is one partition.
+	schema := pwSchema()
+	posEx := mustCompile(t, "pos", schema)
+	valEx := mustCompile(t, "val", schema)
+	w2 := NewWindow(valuesOp(schema, rows...), nil, []SortKey{{Expr: posEx}},
+		[]WindowFunc{{Name: "SUM", Arg: valEx, Frame: DefaultFrame(true), OutName: "s"}})
+	w2.Parallelism = 4
+	out := mustCollect(t, w2)
+	if out[2][3].Int() != 60 {
+		t.Fatalf("unpartitioned cumulative sum = %v, want 60", out[2][3])
+	}
+
+	// More workers than partitions (2 partitions, 16 workers).
+	rows = append(rows, intRow(2, 1, 5), intRow(2, 2, 5))
+	seq = mustCollect(t, pwWindow(t, rows, DefaultFrame(true), 1, "SUM", "MIN"))
+	par = mustCollect(t, pwWindow(t, rows, DefaultFrame(true), 16, "SUM", "MIN"))
+	requireSameRows(t, seq, par, "workers > partitions")
+}
+
+// TestWindowParallelErrorPropagation: an evaluation error inside one
+// partition cancels the pool and surfaces as the operator's error.
+func TestWindowParallelErrorPropagation(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "grp", Type: sqltypes.Int},
+		expr.ColInfo{Name: "pos", Type: sqltypes.Int},
+		expr.ColInfo{Name: "s", Type: sqltypes.String},
+	)
+	// Partition 3's rows make pos + s fail at eval time.
+	var rows []sqltypes.Row
+	for g := int64(0); g < 8; g++ {
+		for i := int64(1); i <= 4; i++ {
+			rows = append(rows, sqltypes.Row{sqltypes.NewInt(g), sqltypes.NewInt(i), sqltypes.NewString("x")})
+		}
+	}
+	grpEx := mustCompile(t, "grp", schema)
+	posEx := mustCompile(t, "pos", schema)
+	badEx := mustCompile(t, "pos + s", schema) // int + string errors at eval
+	for _, workers := range []int{1, 4, 16} {
+		w := NewWindow(valuesOp(schema, rows...), []expr.Expr{grpEx}, []SortKey{{Expr: posEx}},
+			[]WindowFunc{{Name: "SUM", Arg: badEx, Frame: DefaultFrame(true), OutName: "s"}})
+		w.Parallelism = workers
+		if _, err := Collect(w); err == nil {
+			t.Fatalf("workers=%d: evaluation error did not surface", workers)
+		}
+	}
+}
+
+// TestWindowParallelDescribe: EXPLAIN output carries the worker bound, and
+// only when parallel evaluation is actually enabled.
+func TestWindowParallelDescribe(t *testing.T) {
+	rows := []sqltypes.Row{intRow(1, 1, 1)}
+	w := pwWindow(t, rows, DefaultFrame(true), 4, "SUM")
+	if !strings.Contains(w.Describe(), "parallel=4") {
+		t.Fatalf("Describe misses parallel=4: %s", w.Describe())
+	}
+	w = pwWindow(t, rows, DefaultFrame(true), 1, "SUM")
+	if strings.Contains(w.Describe(), "parallel") {
+		t.Fatalf("sequential Describe must not mention parallel: %s", w.Describe())
+	}
+}

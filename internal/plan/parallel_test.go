@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"rfview/internal/exec"
+)
+
+const windowSQL = `SELECT pos, SUM(val) OVER (ORDER BY pos
+  ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`
+
+// TestWindowParallelismInPlan: the configured knob is stamped onto planned
+// Window operators and rendered by EXPLAIN as parallel=N.
+func TestWindowParallelismInPlan(t *testing.T) {
+	cat := newTestCatalog(t, false)
+
+	opts := DefaultOptions()
+	opts.WindowParallelism = 3
+	op := planQuery(t, cat, opts, windowSQL)
+	if !strings.Contains(exec.FormatPlan(op), "parallel=3") {
+		t.Fatalf("EXPLAIN misses parallel=3:\n%s", exec.FormatPlan(op))
+	}
+
+	// Explicitly sequential: no parallel marker.
+	opts.WindowParallelism = 1
+	op = planQuery(t, cat, opts, windowSQL)
+	if strings.Contains(exec.FormatPlan(op), "parallel=") {
+		t.Fatalf("sequential plan must not advertise parallelism:\n%s", exec.FormatPlan(op))
+	}
+}
+
+// TestWindowParallelismDefaultsToGOMAXPROCS: 0 resolves at plan time.
+func TestWindowParallelismDefaultsToGOMAXPROCS(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), windowSQL)
+	want := runtime.GOMAXPROCS(0)
+	found := false
+	var walk func(o exec.Operator)
+	walk = func(o exec.Operator) {
+		if w, ok := o.(*exec.Window); ok {
+			found = true
+			if w.Parallelism != want {
+				t.Fatalf("default parallelism = %d, want GOMAXPROCS = %d", w.Parallelism, want)
+			}
+		}
+		for _, c := range o.Children() {
+			walk(c)
+		}
+	}
+	walk(op)
+	if !found {
+		t.Fatalf("no Window operator in plan:\n%s", exec.FormatPlan(op))
+	}
+}

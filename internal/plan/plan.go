@@ -14,6 +14,7 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"rfview/internal/catalog"
 	"rfview/internal/exec"
@@ -36,11 +37,25 @@ type Options struct {
 	UseIndexes bool
 	// UseHashJoin enables hash joins for equi-join conjuncts.
 	UseHashJoin bool
+	// WindowParallelism caps the worker pool a Window operator uses to
+	// evaluate partitions concurrently: 0 resolves to GOMAXPROCS at plan
+	// time, 1 forces sequential evaluation, N > 1 allows up to N workers.
+	WindowParallelism int
 }
 
-// DefaultOptions enables everything.
+// DefaultOptions enables everything; window parallelism resolves to
+// GOMAXPROCS.
 func DefaultOptions() Options {
 	return Options{NativeWindow: true, UseIndexes: true, UseHashJoin: true}
+}
+
+// windowParallelism resolves the configured knob to the concrete worker
+// count stamped on planned Window operators (and shown by EXPLAIN).
+func (o Options) windowParallelism() int {
+	if o.WindowParallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.WindowParallelism
 }
 
 // Planner builds operator trees against a catalog.
@@ -487,7 +502,9 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 			}
 			funcs[i] = exec.WindowFunc{Name: w.Func.Name, Arg: arg, Frame: frame, OutName: nameOf[w]}
 		}
-		op = exec.NewWindow(op, pb, ob, funcs)
+		win := exec.NewWindow(op, pb, ob, funcs)
+		win.Parallelism = p.Opts.windowParallelism()
+		op = win
 	}
 	return op, newItems, nil
 }

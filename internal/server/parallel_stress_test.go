@@ -1,0 +1,216 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfview/internal/client"
+	"rfview/internal/engine"
+	"rfview/internal/server"
+)
+
+// startServerWith serves a caller-built server (custom engine options) on an
+// ephemeral port and wires shutdown into test cleanup.
+func startServerWith(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		select {
+		case <-errc:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	})
+	return lis.Addr().String()
+}
+
+// parallelStressQ exercises the partition-parallel Window operator: one
+// partition per group, evaluated by the worker pool on every read.
+const parallelStressQ = `SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+  ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS w FROM pt`
+
+// checkPartitionedSnapshot verifies one read of parallelStressQ over
+// all-ones data is an internally consistent snapshot: every group has the
+// same row count (the writer grows all groups in one atomic INSERT), each
+// group's positions are dense 1…n, and every windowed sum equals its clipped
+// (2,2) window width. A torn read — rows from mid-insert, a half-applied
+// refresh, or a partition evaluated against a different snapshot than its
+// siblings — breaks one of these.
+func checkPartitionedSnapshot(res *client.Result, groups int) error {
+	per := make(map[string]map[int64]float64)
+	for _, r := range res.Rows {
+		if len(r) != 3 {
+			return fmt.Errorf("row arity %d, want 3", len(r))
+		}
+		g, ok := r[0].(string)
+		if !ok {
+			return fmt.Errorf("bad group %v (%T)", r[0], r[0])
+		}
+		pos, ok1 := r[1].(float64)
+		w, ok2 := r[2].(float64)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("bad pos/sum types %T/%T", r[1], r[2])
+		}
+		if per[g] == nil {
+			per[g] = make(map[int64]float64)
+		}
+		per[g][int64(pos)] = w
+	}
+	if len(per) != groups {
+		return fmt.Errorf("saw %d groups, want %d", len(per), groups)
+	}
+	n := int64(-1)
+	for g, rows := range per {
+		if n < 0 {
+			n = int64(len(rows))
+		} else if int64(len(rows)) != n {
+			return fmt.Errorf("group %s has %d rows, others %d — torn multi-group insert", g, len(rows), n)
+		}
+		for p := int64(1); p <= n; p++ {
+			s, ok := rows[p]
+			if !ok {
+				return fmt.Errorf("group %s: position %d missing from %d-row partition", g, p, n)
+			}
+			lo, hi := p-2, p+2
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > n {
+				hi = n
+			}
+			if want := float64(hi - lo + 1); s != want {
+				return fmt.Errorf("group %s pos %d: sum %v, want %v (n=%d)", g, p, s, want, n)
+			}
+		}
+	}
+	return nil
+}
+
+// TestServerParallelWindowUnderRefresh is the -race stress test for the
+// partition-parallel Window operator: several client connections hammer a
+// parallel window query through the TCP server while a writer connection
+// appends one row to every partition per statement and periodically runs
+// REFRESH MATERIALIZED VIEW (whose re-materialization also rides the worker
+// pool). Every read is consistency-checked against the all-ones invariant.
+func TestServerParallelWindowUnderRefresh(t *testing.T) {
+	const groups = 6
+
+	opts := engine.DefaultOptions()
+	opts.WindowParallelism = 4
+	e := engine.New(opts)
+	// No plan/result cache: every read must execute the worker pool, not
+	// replay a cached answer.
+	e.SetPlanCacheCapacity(0)
+	srv := server.New(e)
+	addr := startServerWith(t, srv)
+
+	if _, err := e.Exec(`CREATE TABLE pt (grp VARCHAR(8), pos INTEGER, val INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	insertRound := func(pos int) string {
+		var b strings.Builder
+		b.WriteString("INSERT INTO pt VALUES ")
+		for g := 0; g < groups; g++ {
+			if g > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "('g%d', %d, 1)", g, pos)
+		}
+		return b.String()
+	}
+	for pos := 1; pos <= 10; pos++ {
+		if _, err := e.Exec(insertRound(pos)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Exec(`CREATE MATERIALIZED VIEW pmv AS
+	  SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+	    ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS val FROM pt`); err != nil {
+		t.Fatal(err)
+	}
+
+	readers := 4
+	inserts := 60
+	if testing.Short() {
+		inserts = 15
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	done := make(chan struct{})
+
+	// Writer: grow every partition by one row per statement; refresh the
+	// materialized view every few rounds so full re-materialization (which
+	// reuses the parallel Window path) interleaves with the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		c, err := client.Dial(addr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer c.Close()
+		for pos := 11; pos < 11+inserts; pos++ {
+			if _, err := c.Exec(insertRound(pos)); err != nil {
+				errc <- fmt.Errorf("writer insert pos %d: %w", pos, err)
+				return
+			}
+			if pos%5 == 0 {
+				if _, err := c.Exec(`REFRESH MATERIALIZED VIEW pmv`); err != nil {
+					errc <- fmt.Errorf("writer refresh at pos %d: %w", pos, err)
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := c.Query(parallelStressQ)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d query %d: %w", r, i, err)
+					return
+				}
+				if err := checkPartitionedSnapshot(res, groups); err != nil {
+					errc <- fmt.Errorf("reader %d query %d: %w", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

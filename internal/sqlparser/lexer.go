@@ -3,7 +3,6 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexer output.
@@ -172,12 +171,17 @@ func (l *lexer) skipSpaceAndComments() {
 	}
 }
 
+// Identifiers are ASCII-only. The lexer scans byte-wise, so admitting
+// unicode.IsLetter here would treat each byte of a multi-byte sequence as a
+// latin-1 letter; such "identifiers" are invalid UTF-8 that case folding
+// (strings.ToUpper) silently rewrites to U+FFFD, breaking the guarantee that
+// a parsed statement's String() reparses identically (found by FuzzParse).
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return r == '$' || isIdentStart(r) || (r >= '0' && r <= '9')
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
