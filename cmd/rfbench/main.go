@@ -5,7 +5,7 @@
 //	rfbench -exp table1 [-sizes 5000,10000,15000] [-check]
 //	rfbench -exp table2 [-sizes 100,500,1000,1500,2000,3000,5000] [-check]
 //	rfbench -exp patterns    # print the Fig. 2/4/10/13 rewrites and plans
-//	rfbench -exp maintenance # §2.3 incremental update vs. full refresh
+//	rfbench -exp maintenance [-json] # §2.3 incremental update vs. full refresh
 //	rfbench -exp window [-json]  # partition-parallel Window operator scaling
 //	rfbench -exp all    [-quick]
 //
@@ -29,7 +29,7 @@ func main() {
 	check := flag.Bool("check", false, "verify every strategy against native evaluation")
 	quick := flag.Bool("quick", false, "use reduced size lists for a fast run")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper-style tables")
-	jsonOut := flag.Bool("json", false, "emit BENCH-style JSON (window experiment only)")
+	jsonOut := flag.Bool("json", false, "emit BENCH-style JSON (window and maintenance experiments)")
 	flag.Parse()
 
 	var sizeList []int
@@ -51,12 +51,20 @@ func main() {
 				list = []int{500, 2000}
 			}
 		}
-		fmt.Printf("Running maintenance experiment (sizes %v)\n\n", list)
+		fmt.Fprintf(os.Stderr, "Running maintenance experiment (sizes %v)\n", list)
 		rows, err := bench.RunMaintenance(list)
 		if err != nil {
 			fatalf("maintenance: %v", err)
 		}
-		fmt.Print(bench.FormatMaintenance(rows))
+		if *jsonOut {
+			s, err := bench.MaintenanceJSON(rows)
+			if err != nil {
+				fatalf("maintenance: %v", err)
+			}
+			fmt.Print(s)
+		} else {
+			fmt.Print(bench.FormatMaintenance(rows))
+		}
 		return
 	}
 

@@ -4,13 +4,22 @@
 // Usage:
 //
 //	rfserverd [-addr host:port] [-init script.sql] [-plan-cache N]
+//	          [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every N]
 //	          [-no-native-window] [-no-indexes] [-no-views]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
 //	          [-window-parallelism N]
 //
+// With -data-dir the server is durable: every committed DDL/DML/REFRESH is
+// written ahead to a logical WAL under DIR, state is periodically
+// checkpointed into snapshots, and startup recovers the pre-crash state by
+// loading the newest snapshot and replaying the WAL tail. Without -data-dir
+// the server is volatile, as before.
+//
 // The optional -init script runs before the listener opens (schema, data
-// load, materialized views). SIGINT/SIGTERM trigger a graceful shutdown:
-// in-flight requests complete, then connections drain.
+// load, materialized views). Under -data-dir it runs only when the data
+// directory is fresh — a recovered server already has its state.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests complete,
+// connections drain, and (when durable) a final checkpoint runs.
 package main
 
 import (
@@ -28,13 +37,17 @@ import (
 	"rfview/internal/engine"
 	"rfview/internal/rewrite"
 	"rfview/internal/server"
+	"rfview/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	initScript := flag.String("init", "", "SQL script executed before serving")
+	initScript := flag.String("init", "", "SQL script executed before serving (durable servers: only on a fresh data dir)")
 	planCache := flag.Int("plan-cache", engine.DefaultPlanCacheCapacity, "plan cache capacity (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile server)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval, off")
+	checkpointEvery := flag.Int("checkpoint-every", 1024, "statements between automatic checkpoints (0 disables)")
 	noWindow := flag.Bool("no-native-window", false, "disable the native window operator")
 	noIndexes := flag.Bool("no-indexes", false, "disable index nested-loop joins")
 	noViews := flag.Bool("no-views", false, "disable answering queries from materialized sequence views")
@@ -68,9 +81,39 @@ func main() {
 		log.Fatalf("unknown form %q", *form)
 	}
 
-	e := engine.New(opts)
+	var e *engine.Engine
+	var mgr *wal.Manager
+	runInit := *initScript != ""
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		mgr, err = wal.Open(wal.Options{
+			Dir:             *dataDir,
+			Sync:            policy,
+			CheckpointEvery: *checkpointEvery,
+		}, opts)
+		if err != nil {
+			log.Fatalf("durability: %v", err)
+		}
+		e = mgr.Engine()
+		rec := mgr.Recovery()
+		if rec.Fresh {
+			log.Printf("data dir %s is fresh", *dataDir)
+		} else {
+			log.Printf("recovered from %s: snapshot lsn=%d, %d WAL records replayed (%d replay errors)",
+				*dataDir, rec.SnapshotLSN, rec.RecordsReplayed, rec.ReplayErrors)
+			if runInit {
+				log.Printf("init script %s skipped: data dir already has state", *initScript)
+				runInit = false
+			}
+		}
+	} else {
+		e = engine.New(opts)
+	}
 	e.SetPlanCacheCapacity(*planCache)
-	if *initScript != "" {
+	if runInit {
 		sql, err := os.ReadFile(*initScript)
 		if err != nil {
 			log.Fatalf("init: %v", err)
@@ -104,6 +147,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if mgr != nil {
+			if err := mgr.Close(); err != nil {
+				log.Printf("durability: final checkpoint: %v", err)
+			}
 		}
 		st := srv.Stats()
 		cs := e.PlanCacheStats()

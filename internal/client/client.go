@@ -133,6 +133,18 @@ func (c *Client) Exec(sql string) (*Result, error) {
 	return toResult(resp), nil
 }
 
+// Stats fetches server, session, and cache counters.
+func (c *Client) Stats() (*server.StatsReply, error) {
+	resp, err := c.roundTrip("stats", "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("client: stats response carried no payload")
+	}
+	return resp.Stats, nil
+}
+
 // Explain returns the plan text for a read statement.
 func (c *Client) Explain(sql string) (string, error) {
 	resp, err := c.roundTrip("explain", sql)

@@ -89,6 +89,16 @@ type Engine struct {
 	mu sync.RWMutex
 	// plans caches parse/match/derive work keyed by SQL text; see cache.go.
 	plans *qcache.Cache[*cachedPlan]
+
+	// logWrite, when set, receives the canonical SQL of every mutating
+	// statement *before* it applies, under the exclusive lock — the
+	// write-ahead discipline of the durability subsystem. A logWrite error
+	// refuses the statement: nothing may change state that was not first
+	// logged. postWrite runs after the apply attempt (success or failure),
+	// still under the exclusive lock; the durability subsystem uses it to
+	// trigger checkpoints at record-count boundaries.
+	logWrite  func(sql string) error
+	postWrite func()
 }
 
 // Result is the outcome of one statement.
@@ -143,7 +153,7 @@ func (e *Engine) Exec(sql string) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.execStmtLocked(stmt)
+	return e.execWriteLocked(stmt)
 }
 
 // ExecAll executes a semicolon-separated script, returning one result per
@@ -181,11 +191,48 @@ func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	if isReadStmt(stmt) {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-	} else {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		return e.execStmtLocked(stmt)
 	}
-	return e.execStmtLocked(stmt)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execWriteLocked(stmt)
+}
+
+// SetWriteHooks installs the durability hooks: before receives the canonical
+// text of each mutating statement ahead of its application (an error refuses
+// the statement), after runs once the application attempt finishes. Both run
+// under the exclusive engine lock. Either may be nil.
+func (e *Engine) SetWriteHooks(before func(sql string) error, after func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.logWrite = before
+	e.postWrite = after
+}
+
+// Quiesce runs fn while holding the engine's exclusive lock, blocking every
+// statement for the duration. The durability subsystem uses it to take
+// consistent snapshots of the catalog, heaps, and view manager.
+func (e *Engine) Quiesce(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn()
+}
+
+// execWriteLocked applies the write-ahead discipline around a mutating
+// statement. Callers hold the exclusive lock. Failed statements are logged
+// too: the engine is deterministic, so on replay they fail identically and
+// change nothing.
+func (e *Engine) execWriteLocked(stmt sqlparser.Statement) (*Result, error) {
+	if e.logWrite != nil {
+		if err := e.logWrite(stmt.String()); err != nil {
+			return nil, fmt.Errorf("durability: %w", err)
+		}
+	}
+	res, err := e.execStmtLocked(stmt)
+	if e.postWrite != nil {
+		e.postWrite()
+	}
+	return res, err
 }
 
 // execStmtLocked dispatches a parsed statement. Callers hold the engine lock

@@ -1,0 +1,120 @@
+package mview
+
+import (
+	"fmt"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+)
+
+// This file is the durability hook of the view manager: the wal package
+// snapshots view *metadata* only (the backing rows travel with the ordinary
+// table dump) and calls Restore to re-register each view and rebuild its
+// in-memory maintainer state. Maintainers are pure functions of the base
+// table — the same §2.3 invariant incremental maintenance relies on — so a
+// fresh view's maintainer is reconstructed by re-reading the restored base
+// sequence; a stale view defers that work to REFRESH, exactly as it would
+// have before the crash.
+
+// StaleInfo reports whether the named view is stale and why. It returns
+// false for plain views and unknown names, which have no staleness state.
+func (m *Manager) StaleInfo(name string) (bool, string) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	sv, ok := m.seq[lower(name)]
+	if !ok {
+		return false, ""
+	}
+	return sv.stale, sv.staleWhy
+}
+
+// RestoreSpec describes one materialized view as captured by a snapshot.
+type RestoreSpec struct {
+	// View carries the catalog metadata; its Table pointer is ignored and
+	// re-resolved from Backing.
+	View catalog.MatView
+	// Backing names the backing table, which must already be restored.
+	Backing string
+	// Stale / StaleWhy reproduce the pre-crash freshness state.
+	Stale    bool
+	StaleWhy string
+}
+
+// Restore re-registers a snapshotted materialized view against its restored
+// backing table and rebuilds maintainer state for fresh sequence views.
+func (m *Manager) Restore(spec RestoreSpec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	backing, err := m.cat.Table(spec.Backing)
+	if err != nil {
+		return fmt.Errorf("mview: restore %q: backing table: %w", spec.View.Name, err)
+	}
+	mv := spec.View
+	mv.Table = backing
+	if err := m.cat.RegisterMatView(&mv); err != nil {
+		return err
+	}
+
+	if mv.Kind == catalog.PlainView {
+		stmt, err := sqlparser.Parse(mv.Definition)
+		if err != nil {
+			return fmt.Errorf("mview: restore %q: reparse definition: %w", mv.Name, err)
+		}
+		cmv, ok := stmt.(*sqlparser.CreateMatView)
+		if !ok {
+			return fmt.Errorf("mview: restore %q: definition is %T, not CREATE MATERIALIZED VIEW", mv.Name, stmt)
+		}
+		m.plain[lower(mv.Name)] = cmv
+		return nil
+	}
+
+	agg, err := aggOf(mv.Agg)
+	if err != nil {
+		return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+	}
+	valType := sqltypes.Int
+	if vi := backing.ColumnIndex("val"); vi >= 0 {
+		valType = backing.Columns[vi].Type
+	}
+	sv := &seqView{mv: &mv, agg: agg, valType: valType, stale: spec.Stale, staleWhy: spec.StaleWhy}
+	if mv.PartColumn != "" {
+		// Partitioned views need a non-nil partition map even while stale so
+		// REFRESH takes the partitioned path.
+		sv.parts = make(map[string]*partState)
+	}
+	if !spec.Stale {
+		base, err := m.cat.Table(mv.BaseTable)
+		if err != nil {
+			return fmt.Errorf("mview: restore %q: base table: %w", mv.Name, err)
+		}
+		if mv.PartColumn != "" {
+			keys, raws, err := readPartitionedSequences(base, mv.PosColumn, mv.PartColumn, mv.ValColumn)
+			if err != nil {
+				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+			}
+			for k, raw := range raws {
+				maint, err := core.NewMaintainer(raw, windowOfSpec(mv.Window), agg)
+				if err != nil {
+					return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+				}
+				sv.parts[k] = &partState{key: keys[k], maint: maint}
+			}
+		} else {
+			raw, err := readDenseSequence(base, mv.PosColumn, mv.ValColumn)
+			if err != nil {
+				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+			}
+			maintAgg := agg
+			if agg == core.Avg {
+				maintAgg = core.Sum
+			}
+			if sv.maint, err = core.NewMaintainer(raw, windowOfSpec(mv.Window), maintAgg); err != nil {
+				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+			}
+		}
+	}
+	m.seq[lower(mv.Name)] = sv
+	return nil
+}

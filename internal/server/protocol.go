@@ -12,6 +12,7 @@
 //	query    execute a statement, return columns + rows
 //	exec     execute a statement, return the affected count
 //	explain  plan a read statement, return the plan text
+//	stats    server and session counters, plan cache stats, parallelism
 //
 // Example session:
 //
@@ -29,7 +30,7 @@ import (
 type Request struct {
 	// ID is echoed verbatim in the response so clients can match replies.
 	ID uint64 `json:"id"`
-	// Op is one of "ping", "query", "exec", "explain".
+	// Op is one of "ping", "query", "exec", "explain", "stats".
 	Op string `json:"op"`
 	// SQL is the statement text (unused for ping).
 	SQL string `json:"sql,omitempty"`
@@ -50,6 +51,46 @@ type Response struct {
 	Rewritten string `json:"rewritten,omitempty"`
 	// ElapsedUs is the server-side execution time in microseconds.
 	ElapsedUs int64 `json:"elapsed_us,omitempty"`
+	// Stats carries the answer to a "stats" request.
+	Stats *StatsReply `json:"stats,omitempty"`
+}
+
+// StatsReply is the payload of a "stats" response: server-wide counters,
+// the asking session's counters, and the engine's cache and parallelism
+// configuration.
+type StatsReply struct {
+	// UptimeSec is seconds since the server was created.
+	UptimeSec int64 `json:"uptime_sec"`
+	// Accepted counts connections over the server's lifetime; ActiveSessions
+	// counts connections open right now.
+	Accepted       uint64 `json:"accepted"`
+	ActiveSessions int    `json:"active_sessions"`
+	// Requests and Errors are server-wide request counters.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+
+	// SessionID identifies the asking connection; SessionQueries and
+	// SessionExecs split its statement traffic by op.
+	SessionID      uint64 `json:"session_id"`
+	SessionQueries uint64 `json:"session_queries"`
+	SessionExecs   uint64 `json:"session_execs"`
+
+	// PlanCache mirrors the engine's combined plan/result cache counters.
+	PlanCache CacheStats `json:"plan_cache"`
+
+	// WindowParallelism is the resolved partition-worker count the window
+	// operator uses (GOMAXPROCS substituted for the ≤0 "auto" setting).
+	WindowParallelism int `json:"window_parallelism"`
+}
+
+// CacheStats is the wire form of the engine's plan/result cache counters.
+type CacheStats struct {
+	Len           int    `json:"len"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
 }
 
 // rowsToJSON converts engine rows into JSON-friendly values: INTEGER →

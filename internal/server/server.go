@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,8 @@ type Session struct {
 
 	conn     net.Conn
 	requests atomic.Uint64
+	queries  atomic.Uint64 // "query" and "explain" requests
+	execs    atomic.Uint64 // "exec" requests
 }
 
 // Requests returns the number of requests this session has served.
@@ -45,7 +48,8 @@ type Stats struct {
 
 // Server serves an engine over TCP.
 type Server struct {
-	eng *engine.Engine
+	eng     *engine.Engine
+	started time.Time
 
 	mu         sync.Mutex
 	lis        net.Listener
@@ -62,7 +66,7 @@ type Server struct {
 
 // New wraps an engine in a server.
 func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, sessions: make(map[*Session]struct{})}
+	return &Server{eng: eng, started: time.Now(), sessions: make(map[*Session]struct{})}
 }
 
 // Stats returns a snapshot of the server counters.
@@ -216,8 +220,16 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 	switch req.Op {
 	case "ping":
 		resp.OK = true
+	case "stats":
+		resp.OK = true
+		resp.Stats = s.statsReply(sess)
 	case "query", "exec", "explain":
 		sql := req.SQL
+		if req.Op == "exec" {
+			sess.execs.Add(1)
+		} else {
+			sess.queries.Add(1)
+		}
 		if req.Op == "explain" {
 			sql = "EXPLAIN " + sql
 		}
@@ -240,4 +252,30 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 	}
 	resp.ElapsedUs = time.Since(start).Microseconds()
 	return resp
+}
+
+// statsReply assembles the "stats" payload for one asking session.
+func (s *Server) statsReply(sess *Session) *StatsReply {
+	st := s.Stats()
+	cs := s.eng.PlanCacheStats()
+	par := s.eng.Opts.WindowParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &StatsReply{
+		UptimeSec:      int64(time.Since(s.started).Seconds()),
+		Accepted:       st.Accepted,
+		ActiveSessions: st.Active,
+		Requests:       st.Requests,
+		Errors:         st.Errors,
+		SessionID:      sess.ID,
+		SessionQueries: sess.queries.Load(),
+		SessionExecs:   sess.execs.Load(),
+		PlanCache: CacheStats{
+			Len: cs.Len, Capacity: cs.Capacity,
+			Hits: cs.Hits, Misses: cs.Misses,
+			Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+		},
+		WindowParallelism: par,
+	}
 }

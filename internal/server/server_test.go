@@ -220,3 +220,69 @@ func TestServerGracefulShutdown(t *testing.T) {
 		t.Fatalf("connections must drain: %+v", st)
 	}
 }
+
+// TestServerStatsOp: the "stats" request reports server, session, and cache
+// counters that reflect the traffic that preceded it.
+func TestServerStatsOp(t *testing.T) {
+	_, e, addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`CREATE TABLE t (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	// The same SELECT twice: the second answer comes from the result cache.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(`SELECT a FROM t`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionID == 0 || st.ActiveSessions != 1 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SessionExecs != 2 || st.SessionQueries != 2 {
+		t.Fatalf("session counters = execs %d, queries %d; want 2, 2",
+			st.SessionExecs, st.SessionQueries)
+	}
+	// Four statements preceded the stats call (it is counted after dispatch).
+	if st.Requests < 4 {
+		t.Fatalf("server requests = %d, want ≥ 4", st.Requests)
+	}
+	if st.PlanCache.Hits == 0 || st.PlanCache.Capacity == 0 {
+		t.Fatalf("plan cache stats = %+v", st.PlanCache)
+	}
+	if st.WindowParallelism < 1 {
+		t.Fatalf("resolved window parallelism = %d", st.WindowParallelism)
+	}
+	// The reply resolves "auto" (≤0) to a concrete worker count.
+	if e.Opts.WindowParallelism <= 0 && st.WindowParallelism < 1 {
+		t.Fatalf("auto parallelism not resolved: %d", st.WindowParallelism)
+	}
+
+	// A second connection sees its own zeroed session counters.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SessionID == st.SessionID || st2.SessionExecs != 0 || st2.SessionQueries != 0 {
+		t.Fatalf("second session stats = %+v", st2)
+	}
+	if st2.ActiveSessions != 2 {
+		t.Fatalf("active sessions = %d, want 2", st2.ActiveSessions)
+	}
+}

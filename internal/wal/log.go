@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended records reach stable storage.
+type SyncPolicy int
+
+// The -fsync policy knob.
+const (
+	// SyncAlways fsyncs after every append: an acknowledged statement is
+	// durable before the engine applies it.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker; a crash can lose up to
+	// one interval of acknowledged statements.
+	SyncInterval
+	// SyncOff never fsyncs; durability is whatever the OS page cache
+	// survives. Process death (kill -9) loses nothing, power loss may.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the -fsync flag values onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// DefaultSegmentBytes rotates segments at 4 MiB.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultSyncInterval is the flush cadence under SyncInterval.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Log is a segmented append-only record log. It is safe for concurrent use,
+// though the engine's exclusive write lock already serializes appends.
+type Log struct {
+	dir          string // <dataDir>/wal
+	policy       SyncPolicy
+	segmentBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	nextLSN uint64
+	dirty   bool // unsynced appends under SyncInterval
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// segDir returns the segment directory under a data directory.
+func segDir(dataDir string) string { return filepath.Join(dataDir, "wal") }
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", firstLSN) }
+
+// segFirstLSN parses the first-LSN out of a segment file name, reporting
+// ok=false for files that are not segments.
+func segFirstLSN(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// openLog starts a fresh segment whose first record will carry nextLSN.
+// Existing segments are left alone; recovery reads them, checkpoints delete
+// them.
+func openLog(dataDir string, nextLSN uint64, policy SyncPolicy, segmentBytes int64, interval time.Duration) (*Log, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = DefaultSegmentBytes
+	}
+	if interval <= 0 {
+		interval = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(segDir(dataDir), 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: segDir(dataDir), policy: policy, segmentBytes: segmentBytes, nextLSN: nextLSN}
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
+	}
+	if policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher(interval)
+	}
+	return l, nil
+}
+
+// rotateLocked closes the current segment (if any) and opens a new one named
+// after the next LSN. Callers hold l.mu (or own the log exclusively).
+//
+// O_TRUNC, not O_EXCL: an existing file with this name can only hold records
+// already covered by a snapshot (a checkpoint rotating before any append) or
+// records beyond a tear that recovery refused to replay — both discardable by
+// construction, never records the engine still depends on.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeMagic(f); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = int64(len(segMagic))
+	return syncDir(l.dir)
+}
+
+// Append logs one statement and returns its LSN. Under SyncAlways the record
+// is on stable storage when Append returns.
+func (l *Log) Append(sql string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	lsn := l.nextLSN
+	buf := appendRecord(nil, Record{LSN: lsn, SQL: sql})
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	l.size += int64(len(buf))
+	switch l.policy {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	if l.size >= l.segmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record, or
+// nextLSN-1 == the pre-open value when nothing has been appended yet.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Sync forces buffered records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	l.dirty = false
+	return l.f.Sync()
+}
+
+// Truncate deletes every segment whose records are all ≤ throughLSN (they
+// are covered by a snapshot) and starts a fresh segment. It is the log half
+// of a checkpoint.
+func (l *Log) Truncate(throughLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextLSN <= throughLSN {
+		l.nextLSN = throughLSN + 1
+	}
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	segs, err := listSegments(filepath.Dir(l.dir))
+	if err != nil {
+		return err
+	}
+	// A segment is disposable when the *next* segment starts at or below
+	// throughLSN+1 — then every record it holds is ≤ throughLSN. The fresh
+	// segment just opened starts at nextLSN > throughLSN, so it survives.
+	for i, s := range segs {
+		covered := false
+		if i+1 < len(segs) {
+			covered = segs[i+1].firstLSN <= throughLSN+1
+		}
+		if covered {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close stops the flusher, syncs, and closes the active segment.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func (l *Log) flusher(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+type segment struct {
+	path     string
+	firstLSN uint64
+}
+
+// listSegments returns the data directory's segments sorted by first LSN.
+func listSegments(dataDir string) ([]segment, error) {
+	entries, err := os.ReadDir(segDir(dataDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if lsn, ok := segFirstLSN(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(segDir(dataDir), e.Name()), firstLSN: lsn})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// ReadTail reads every record with LSN > afterLSN from the data directory's
+// segments, in order, applying the torn-tail rule: reading stops — without
+// error — at the first incomplete or corrupt record, and every later segment
+// is ignored (records after a tear are not trustworthy even if their CRCs
+// pass, because the sequence has a hole).
+func ReadTail(dataDir string, afterLSN uint64) ([]Record, error) {
+	segs, err := listSegments(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, s := range segs {
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, err
+		}
+		body, err := checkMagic(data)
+		if err != nil {
+			// A segment file without a valid header is a tear at offset 0.
+			return out, nil
+		}
+		recs, _, ok := readRecords(body)
+		for _, r := range recs {
+			if r.LSN > afterLSN {
+				out = append(out, r)
+			}
+		}
+		if !ok {
+			return out, nil // torn tail: stop here
+		}
+	}
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

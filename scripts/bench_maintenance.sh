@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench_maintenance.sh — §2.3 incremental maintenance vs. full refresh.
+#
+# Runs rfbench's maintenance experiment (50 single-row UPDATEs timed
+# individually, 5 REFRESH trials, medians per sequence size) and records the
+# JSON report in BENCH_maintenance.json at the repo root. The headline number
+# per size is refresh_over_incremental: how many times more expensive a full
+# REFRESH MATERIALIZED VIEW is than folding one base-table update into the
+# view through the §2.3 maintenance rules.
+#
+# Usage: scripts/bench_maintenance.sh [-quick]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+ARGS=()
+if [[ "${1:-}" == "-quick" ]]; then
+  ARGS+=(-quick)
+fi
+
+go run ./cmd/rfbench -exp maintenance -json "${ARGS[@]}" > "$ROOT/BENCH_maintenance.json"
+
+echo "wrote $ROOT/BENCH_maintenance.json" >&2
+python3 - "$ROOT/BENCH_maintenance.json" <<'PY' >&2
+import json, sys
+d = json.load(open(sys.argv[1]))
+for r in d["runs"]:
+    print(f'n={r["n"]}: incremental {r["incremental_median_ms"]} ms, '
+          f'refresh {r["refresh_median_ms"]} ms, '
+          f'ratio {r["refresh_over_incremental"]}x')
+PY
