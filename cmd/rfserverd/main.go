@@ -8,6 +8,12 @@
 //	          [-no-native-window] [-no-indexes] [-no-views]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
 //	          [-window-parallelism N]
+//	          [-metrics-addr host:port] [-slow-query-ms N]
+//
+// -metrics-addr starts an HTTP listener serving the engine's Prometheus
+// text exposition at /metrics (the same payload the protocol's "metrics" op
+// returns). -slow-query-ms logs every read statement slower than N
+// milliseconds, with its analyzed per-operator plan.
 //
 // With -data-dir the server is durable: every committed DDL/DML/REFRESH is
 // written ahead to a logical WAL under DIR, state is periodically
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +62,8 @@ func main() {
 	form := flag.String("form", "disjunctive", "derivation pattern form: disjunctive, union")
 	windowPar := flag.Int("window-parallelism", 0,
 		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
+	slowQueryMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds, with their analyzed plan (0 disables)")
 	flag.Parse()
 
 	opts := engine.DefaultOptions()
@@ -124,7 +133,28 @@ func main() {
 		log.Printf("init script %s applied", *initScript)
 	}
 
+	if *slowQueryMs > 0 {
+		threshold := time.Duration(*slowQueryMs) * time.Millisecond
+		e.SetSlowQueryLog(threshold, func(q engine.SlowQuery) {
+			log.Printf("slow query (%s > %s): %s\n%s", q.Elapsed.Round(time.Microsecond), threshold, q.SQL, q.Plan)
+		})
+	}
+
 	srv := server.New(e)
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", e.Metrics().Handler())
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, mux); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

@@ -11,15 +11,22 @@
 //	.tables          list tables
 //	.views           list materialized views
 //	.explain on|off  print plans alongside results
+//	.analyze on|off  print analyzed plans (per-operator rows/timings) alongside results
+//	.metrics         print the engine's Prometheus metrics
 //	.quit            exit
+//
+// Ctrl-C during a running statement cancels it (the statement fails with a
+// cancellation error); at the prompt it exits the shell.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"rfview/internal/engine"
@@ -86,6 +93,7 @@ type shell struct {
 	eng     *engine.Engine
 	out     io.Writer
 	explain bool
+	analyze bool
 }
 
 func (s *shell) repl(in *bufio.Reader) {
@@ -127,6 +135,8 @@ func (s *shell) meta(cmd string) bool {
   .tables          list tables
   .views           list materialized views
   .explain on|off  print plans alongside results
+  .analyze on|off  print analyzed plans (per-operator rows/timings)
+  .metrics         print the engine's Prometheus metrics
   .quit            exit`)
 	case cmd == ".tables":
 		for _, name := range s.eng.Cat.Tables() {
@@ -146,6 +156,12 @@ func (s *shell) meta(cmd string) bool {
 		s.explain = true
 	case cmd == ".explain off":
 		s.explain = false
+	case cmd == ".analyze on":
+		s.analyze = true
+	case cmd == ".analyze off":
+		s.analyze = false
+	case cmd == ".metrics":
+		fmt.Fprint(s.out, s.eng.Metrics().Expose())
 	default:
 		fmt.Fprintf(s.out, "unknown meta command %q (try .help)\n", cmd)
 	}
@@ -170,10 +186,20 @@ func (s *shell) execute(sql string) {
 			}
 		}
 	}
-	res, err := s.eng.Exec(stmt)
+	// Ctrl-C while the statement runs cancels it instead of killing the shell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var opts []engine.ExecOption
+	if s.analyze {
+		opts = append(opts, engine.WithAnalyze())
+	}
+	res, err := s.eng.ExecContext(ctx, stmt, opts...)
 	if err != nil {
 		fmt.Fprintf(s.out, "error: %v\n", err)
 		return
+	}
+	if s.analyze && res.Analyzed != "" {
+		fmt.Fprint(s.out, res.Analyzed)
 	}
 	s.printResult(res)
 }

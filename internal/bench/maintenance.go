@@ -136,9 +136,9 @@ func MaintenanceJSON(rows []MaintRow) (string, error) {
 	out := map[string]any{
 		"benchmark": "§2.3 incremental maintenance vs. full refresh",
 		"workload": map[string]any{
-			"view":             Table2ViewDDL,
-			"incremental_ops":  maintIncrementalOps,
-			"refresh_trials":   maintRefreshTrials,
+			"view":            Table2ViewDDL,
+			"incremental_ops": maintIncrementalOps,
+			"refresh_trials":  maintRefreshTrials,
 			"note": "each single-row UPDATE timed individually against a unique " +
 				"pos index; medians reported; view checked non-stale after the " +
 				"update stream",

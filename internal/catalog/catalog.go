@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	rferrors "rfview/errors"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
 )
@@ -180,7 +181,7 @@ func (c *Catalog) DropTable(name string) error {
 	defer c.mu.Unlock()
 	k := key(name)
 	if _, ok := c.tables[k]; !ok {
-		return fmt.Errorf("table %q does not exist", name)
+		return rferrors.New(rferrors.CodeUnknownTable, "table %q does not exist", name)
 	}
 	delete(c.tables, k)
 	c.schemaVersion++
@@ -198,7 +199,7 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	if v, ok := c.views[key(name)]; ok {
 		return v.Table, nil
 	}
-	return nil, fmt.Errorf("table %q does not exist", name)
+	return nil, rferrors.New(rferrors.CodeUnknownTable, "table %q does not exist", name)
 }
 
 // Tables returns all table names in sorted order.
@@ -280,7 +281,7 @@ func (c *Catalog) DropMatView(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.views[key(name)]; !ok {
-		return fmt.Errorf("materialized view %q does not exist", name)
+		return rferrors.New(rferrors.CodeUnknownView, "materialized view %q does not exist", name)
 	}
 	delete(c.views, key(name))
 	c.schemaVersion++

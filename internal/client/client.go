@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	rferrors "rfview/errors"
 	"rfview/internal/server"
 )
 
@@ -76,12 +77,30 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// RequestOption adjusts one request before it is sent.
+type RequestOption func(*server.Request)
+
+// WithTimeout bounds the statement's server-side execution; on expiry the
+// call fails with an error matching rfview/errors.ErrCancelled.
+func WithTimeout(d time.Duration) RequestOption {
+	return func(r *server.Request) { r.TimeoutMs = d.Milliseconds() }
+}
+
+// WithAnalyze asks for the instrumented plan (per-operator rows and timings)
+// in Result.Plan.
+func WithAnalyze() RequestOption {
+	return func(r *server.Request) { r.Analyze = true }
+}
+
 // roundTrip sends one request and reads its response.
-func (c *Client) roundTrip(op, sql string) (*server.Response, error) {
+func (c *Client) roundTrip(op, sql string, opts ...RequestOption) (*server.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
 	req := server.Request{ID: c.nextID, Op: op, SQL: sql}
+	for _, o := range opts {
+		o(&req)
+	}
 	if err := c.enc.Encode(&req); err != nil {
 		return nil, err
 	}
@@ -96,7 +115,9 @@ func (c *Client) roundTrip(op, sql string) (*server.Response, error) {
 		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("server: %s", resp.Error)
+		// Reconstruct the engine's typed error from the stable wire code, so
+		// errors.Is works identically against a remote or embedded engine.
+		return nil, rferrors.FromCode(rferrors.Code(resp.Code), "server: "+resp.Error)
 	}
 	return &resp, nil
 }
@@ -116,8 +137,8 @@ func (c *Client) Ping() error {
 }
 
 // Query executes a statement and returns columns and rows.
-func (c *Client) Query(sql string) (*Result, error) {
-	resp, err := c.roundTrip("query", sql)
+func (c *Client) Query(sql string, opts ...RequestOption) (*Result, error) {
+	resp, err := c.roundTrip("query", sql, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +146,8 @@ func (c *Client) Query(sql string) (*Result, error) {
 }
 
 // Exec executes a statement and returns the affected count.
-func (c *Client) Exec(sql string) (*Result, error) {
-	resp, err := c.roundTrip("exec", sql)
+func (c *Client) Exec(sql string, opts ...RequestOption) (*Result, error) {
+	resp, err := c.roundTrip("exec", sql, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -145,11 +166,21 @@ func (c *Client) Stats() (*server.StatsReply, error) {
 	return resp.Stats, nil
 }
 
-// Explain returns the plan text for a read statement.
-func (c *Client) Explain(sql string) (string, error) {
-	resp, err := c.roundTrip("explain", sql)
+// Explain returns the plan text for a read statement. Pass WithAnalyze for
+// the executed, instrumented plan (EXPLAIN ANALYZE).
+func (c *Client) Explain(sql string, opts ...RequestOption) (string, error) {
+	resp, err := c.roundTrip("explain", sql, opts...)
 	if err != nil {
 		return "", err
 	}
 	return resp.Plan, nil
+}
+
+// Metrics fetches the server's Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip("metrics", "")
+	if err != nil {
+		return "", err
+	}
+	return resp.Metrics, nil
 }

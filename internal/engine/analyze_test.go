@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rfview/internal/rewrite"
+)
+
+// buildSeqView loads seq(pos,val), indexes it, and materializes the (2,1)
+// sequence view the derivation tests run against.
+func buildSeqView(t *testing.T, opts Options, n int) *Engine {
+	t.Helper()
+	e := New(opts)
+	loadSeq(t, e, n, func(i int) int64 { return int64(i % 17) })
+	mustExec(t, e, `CREATE UNIQUE INDEX seq_pk ON seq (pos)`)
+	mustExec(t, e, `CREATE MATERIALIZED VIEW matseq AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	return e
+}
+
+// TestExplainAnalyzeStrategies runs EXPLAIN ANALYZE across every evaluation
+// strategy of the paper's Table 2 and checks the header (chosen strategy,
+// Δl/Δh overlap factors) and the per-operator actuals.
+func TestExplainAnalyzeStrategies(t *testing.T) {
+	const n = 20
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Engine
+		query string
+		want  []string
+	}{
+		{
+			name: "native",
+			build: func(t *testing.T) *Engine {
+				e := newEngine(t)
+				loadSeq(t, e, n, func(i int) int64 { return int64(i) })
+				return e
+			},
+			query: `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+			want:  []string{"-- strategy: native\n", "Window", "rows=20", "time="},
+		},
+		{
+			name: "selfjoin",
+			build: func(t *testing.T) *Engine {
+				opts := DefaultOptions()
+				opts.NativeWindow = false
+				opts.UseMatViews = false
+				e := New(opts)
+				loadSeq(t, e, n, func(i int) int64 { return int64(i) })
+				return e
+			},
+			query: `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+			want:  []string{"-- strategy: selfjoin\n", "-- rewritten: ", "rows=20", "time="},
+		},
+		{
+			name:  "exact",
+			build: func(t *testing.T) *Engine { return buildSeqView(t, DefaultOptions(), n) },
+			query: `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+			want:  []string{"-- strategy: exact", "view=matseq", "exact=true", "rows=20", "time="},
+		},
+		{
+			name: "maxoa",
+			build: func(t *testing.T) *Engine {
+				opts := DefaultOptions()
+				opts.Strategy = rewrite.StrategyMaxOA
+				return buildSeqView(t, opts, n)
+			},
+			// The paper's running example: (3,1) from the stored (2,1).
+			query: `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+			want:  []string{"-- strategy: maxoa", "view=matseq", "Δl=1 Δh=0", "rows=20", "time="},
+		},
+		{
+			name: "minoa",
+			build: func(t *testing.T) *Engine {
+				opts := DefaultOptions()
+				opts.Strategy = rewrite.StrategyMinOA
+				return buildSeqView(t, opts, n)
+			},
+			// Narrower than the stored window — only MinOA can do this.
+			query: `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+			want:  []string{"-- strategy: minoa", "view=matseq", "rows=20", "time="},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := c.build(t)
+			res, err := e.ExecContext(context.Background(), "EXPLAIN ANALYZE "+c.query)
+			if err != nil {
+				t.Fatalf("EXPLAIN ANALYZE: %v", err)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(res.Plan, w) {
+					t.Errorf("plan missing %q:\n%s", w, res.Plan)
+				}
+			}
+			if len(res.Rows) != 1 || len(res.Columns) != 1 || res.Columns[0] != "plan" {
+				t.Errorf("EXPLAIN ANALYZE shape: cols=%v rows=%d", res.Columns, len(res.Rows))
+			}
+		})
+	}
+}
+
+// TestWithAnalyzeOption checks the API variant: the statement returns its
+// normal rows and additionally carries the analyzed plan.
+func TestWithAnalyzeOption(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	res, err := e.ExecContext(context.Background(),
+		`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS c FROM seq`, WithAnalyze())
+	if err != nil {
+		t.Fatalf("ExecContext: %v", err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(res.Rows))
+	}
+	if !strings.Contains(res.Analyzed, "-- strategy: native") || !strings.Contains(res.Analyzed, "rows=20") {
+		t.Fatalf("Analyzed missing annotations:\n%s", res.Analyzed)
+	}
+	// Without the option the hot path stays uninstrumented.
+	res, err = e.ExecContext(context.Background(), `SELECT pos FROM seq`)
+	if err != nil {
+		t.Fatalf("ExecContext: %v", err)
+	}
+	if res.Analyzed != "" {
+		t.Fatalf("unrequested Analyzed populated:\n%s", res.Analyzed)
+	}
+}
+
+// TestExplainReplaysCachedPlan is the cache-annotation fix: once a statement's
+// plan is cached, EXPLAIN must replay the cached rendering (marked as a cache
+// hit), not an empty tree.
+func TestExplainReplaysCachedPlan(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	q := `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`
+	mustExec(t, e, q) // populates the plan cache
+	res, err := e.ExecContext(context.Background(), "EXPLAIN "+q)
+	if err != nil {
+		t.Fatalf("EXPLAIN: %v", err)
+	}
+	if !strings.Contains(res.Plan, "-- plan cache: hit") {
+		t.Fatalf("EXPLAIN did not replay the cached plan:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "Window") {
+		t.Fatalf("replayed plan lost its operator tree:\n%s", res.Plan)
+	}
+	// An analyzed cache hit re-executes instrumented and says so.
+	ares, err := e.ExecContext(context.Background(), q, WithAnalyze())
+	if err != nil {
+		t.Fatalf("ExecContext analyze: %v", err)
+	}
+	if !ares.CacheHit || !strings.Contains(ares.Analyzed, "-- plan cache: hit") {
+		t.Fatalf("analyzed re-run of cached statement: hit=%v\n%s", ares.CacheHit, ares.Analyzed)
+	}
+	if len(ares.Rows) != 10 {
+		t.Fatalf("analyzed cached run rows = %d, want 10", len(ares.Rows))
+	}
+}
+
+// TestQueryMetrics checks the per-strategy counters and the plan-cache gauges
+// land in the exposition.
+func TestQueryMetrics(t *testing.T) {
+	e := buildSeqView(t, DefaultOptions(), 20)
+	exact := `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`
+	native := `SELECT pos, val FROM seq`
+	mustExec(t, e, exact)
+	mustExec(t, e, native)
+	mustExec(t, e, native) // second run: plan cache hit
+	text := e.Metrics().Expose()
+	for _, want := range []string{
+		`rfview_queries_total{strategy="exact"} 1`,
+		`rfview_queries_total{strategy="native"}`,
+		"rfview_query_seconds_count",
+		"rfview_plan_cache_hit_ratio",
+		`rfview_view_staleness_seconds{view="matseq"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if st := e.PlanCacheStats(); st.Hits == 0 {
+		t.Errorf("expected a plan cache hit after repeating %q", native)
+	}
+	// Errors count by code.
+	if _, err := e.ExecContext(context.Background(), `SELECT nope FROM missing`); err == nil {
+		t.Fatalf("query against missing table succeeded")
+	}
+	if !strings.Contains(e.Metrics().Expose(), `rfview_query_errors_total{code="unknown_table"} 1`) {
+		t.Errorf("error counter missing:\n%s", e.Metrics().Expose())
+	}
+}
+
+// TestSlowQueryLog arms the log with a zero-distance threshold so every query
+// is slow, and checks the record carries the analyzed plan.
+func TestSlowQueryLog(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 20, func(i int) int64 { return int64(i) })
+	var got []SlowQuery
+	e.SetSlowQueryLog(time.Nanosecond, func(q SlowQuery) { got = append(got, q) })
+	q := `SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS c FROM seq`
+	mustExec(t, e, q)
+	if len(got) != 1 {
+		t.Fatalf("slow-query records = %d, want 1", len(got))
+	}
+	if got[0].SQL != q || got[0].Elapsed <= 0 {
+		t.Fatalf("record = %+v", got[0])
+	}
+	if !strings.Contains(got[0].Plan, "rows=20") {
+		t.Fatalf("record plan not analyzed:\n%s", got[0].Plan)
+	}
+	if !strings.Contains(e.Metrics().Expose(), "rfview_slow_queries_total 1") {
+		t.Fatalf("slow-query counter not incremented")
+	}
+	// Disarm: no further records, and the hot path is uninstrumented again.
+	e.SetSlowQueryLog(0, nil)
+	mustExec(t, e, q)
+	if len(got) != 1 {
+		t.Fatalf("disarmed log still recorded (%d records)", len(got))
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 
 	"rfview/internal/qcache"
@@ -49,6 +50,10 @@ type cachedPlan struct {
 	// derivation and rewrittenSQL replay the provenance of the first run.
 	derivation   *rewrite.Derivation
 	rewrittenSQL string
+	// planText is the plan rendering captured at store time, so EXPLAIN on a
+	// cached statement reports the plan that actually runs instead of
+	// replanning (or, worse, an empty tree).
+	planText string
 	// views are the materialized views the plan reads (freshness recheck).
 	views []string
 	// deps are the tables the plan reads, with their versions at cache time.
@@ -75,7 +80,7 @@ type planDep struct {
 // entry" and the caller takes the cold path. Called without the engine lock;
 // it acquires the shared lock itself so validation and execution see one
 // consistent state.
-func (e *Engine) execCached(sql string) (*Result, error, bool) {
+func (e *Engine) execCached(ctx context.Context, sql string, cfg execConfig) (*Result, error, bool) {
 	ent, hit := e.plans.Get(sql)
 	if !hit {
 		return nil, nil, false
@@ -86,7 +91,7 @@ func (e *Engine) execCached(sql string) (*Result, error, bool) {
 		e.plans.Remove(sql)
 		return nil, nil, false
 	}
-	res, err := e.execFromPlan(ent)
+	res, err := e.execFromPlan(ctx, ent, cfg)
 	return res, err, true
 }
 
@@ -105,26 +110,28 @@ func (e *Engine) planValid(p *cachedPlan) bool {
 }
 
 // execFromPlan runs a validated cache entry under the shared lock.
-func (e *Engine) execFromPlan(p *cachedPlan) (*Result, error) {
+func (e *Engine) execFromPlan(ctx context.Context, p *cachedPlan, cfg execConfig) (*Result, error) {
 	for _, v := range p.views {
 		if err := e.Views.CheckFresh(v); err != nil {
 			return nil, err
 		}
 	}
-	res := &Result{Derivation: p.derivation, Rewritten: p.rewrittenSQL, execStmt: p.exec}
-	if p.hasResult {
+	res := &Result{Derivation: p.derivation, Rewritten: p.rewrittenSQL, execStmt: p.exec, CacheHit: true, planText: p.planText}
+	if p.hasResult && !cfg.analyze {
 		// Version validation just proved nothing the query reads has
-		// changed, so the previous answer is still the answer.
+		// changed, so the previous answer is still the answer. Analyze
+		// requests skip the shortcut: rows must actually flow through the
+		// operators to be counted.
 		res.Columns = p.columns
 		res.Rows = p.rows
 		res.Affected = len(p.rows)
 		return res, nil
 	}
-	op, err := e.planPhysical(p.exec, res)
+	op, err := e.planPhysical(ctx, p.exec, res)
 	if err != nil {
 		return nil, err
 	}
-	return e.runOperator(op, res)
+	return e.runOperator(ctx, op, res, cfg)
 }
 
 // storePlan records a successfully executed read statement in the plan
@@ -145,6 +152,7 @@ func (e *Engine) storePlan(sql string, stmt sqlparser.Statement, res *Result) {
 		exec:         res.execStmt,
 		derivation:   res.Derivation,
 		rewrittenSQL: res.Rewritten,
+		planText:     res.planText,
 		views:        deps.views,
 		deps:         deps.tables,
 		schema:       e.Cat.SchemaVersion(),
@@ -156,6 +164,12 @@ func (e *Engine) storePlan(sql string, stmt sqlparser.Statement, res *Result) {
 		ent.rows = res.Rows
 	}
 	e.plans.Put(sql, ent)
+	// Also index under the canonical statement text: EXPLAIN parses its
+	// inner statement and can only look the plan up by String(), which may
+	// differ from the user's spelling in whitespace and case.
+	if canon := sel.String(); canon != sql {
+		e.plans.Put(canon, ent)
+	}
 }
 
 // PlanCacheStats returns a snapshot of the plan cache counters.

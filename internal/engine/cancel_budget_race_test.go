@@ -1,0 +1,10 @@
+//go:build race
+
+package engine
+
+import "time"
+
+// cancelLatencyBudget under the race detector: instrumentation slows every
+// partition compute by an order of magnitude, so the wall-clock bound is
+// relaxed; the normal build keeps the strict 100ms budget.
+const cancelLatencyBudget = time.Second

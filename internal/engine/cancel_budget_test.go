@@ -1,0 +1,9 @@
+//go:build !race
+
+package engine
+
+import "time"
+
+// cancelLatencyBudget bounds how long a statement may keep running after its
+// context is cancelled (the acceptance bound of the observability work).
+const cancelLatencyBudget = 100 * time.Millisecond

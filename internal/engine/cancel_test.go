@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	rferrors "rfview/errors"
+)
+
+// bulkInsert loads table with n rows in chunks, values from f.
+func bulkInsert(t *testing.T, e *Engine, table string, n int, f func(i int) string) {
+	t.Helper()
+	const chunk = 5000
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", table)
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			b.WriteString(f(i))
+		}
+		mustExec(t, e, b.String())
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecContext(ctx, `SELECT pos FROM seq`); !errors.Is(err, rferrors.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	// A deadline in the past behaves identically.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := e.ExecContext(dctx, `SELECT pos FROM seq`); !errors.Is(err, rferrors.ErrCancelled) {
+		t.Fatalf("expired deadline err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestCancelMidQuery cancels a long cross join mid-drain: the statement must
+// fail with ErrCancelled within 100ms of the cancel, and the engine must stay
+// fully usable.
+func TestCancelMidQuery(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, `CREATE TABLE a (x INTEGER)`)
+	mustExec(t, e, `CREATE TABLE b (y INTEGER)`)
+	bulkInsert(t, e, "a", 1500, func(i int) string { return fmt.Sprintf("(%d)", i) })
+	bulkInsert(t, e, "b", 1500, func(i int) string { return fmt.Sprintf("(%d)", i) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ExecContext(ctx, `SELECT x, y FROM a, b`) // 2.25M-row cross join
+		errc <- err
+	}()
+	time.Sleep(15 * time.Millisecond)
+	cancel()
+	cancelled := time.Now()
+	select {
+	case err := <-errc:
+		if took := time.Since(cancelled); took > cancelLatencyBudget {
+			t.Errorf("statement returned %v after cancel, want <%v", took, cancelLatencyBudget)
+		}
+		if !errors.Is(err, rferrors.ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("statement did not return after cancel")
+	}
+	// Engine state is intact: reads and writes still work.
+	res := mustExec(t, e, `SELECT COUNT(x) AS c FROM a`)
+	if res.Rows[0][0].Int() != 1500 {
+		t.Fatalf("count after cancel = %v", res.Rows[0][0])
+	}
+	mustExec(t, e, `INSERT INTO a VALUES (9999)`)
+}
+
+// TestCancelMidParallelWindow cancels while the parallel window pool is
+// grinding through partitions. Run under -race this doubles as the pool's
+// cancellation race test.
+func TestCancelMidParallelWindow(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WindowParallelism = 4
+	e := New(opts)
+	mustExec(t, e, `CREATE TABLE tx (grp INTEGER, pos INTEGER, val INTEGER)`)
+	const groups, per = 400, 250 // 100k rows, 400 partitions
+	bulkInsert(t, e, "tx", groups*per, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %d)", i%groups, i/groups, i%7)
+	})
+	q := `SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS BETWEEN 100 PRECEDING AND 100 FOLLOWING) AS w FROM tx`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ExecContext(ctx, q)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	cancelled := time.Now()
+	select {
+	case err := <-errc:
+		if took := time.Since(cancelled); took > cancelLatencyBudget {
+			t.Errorf("window query returned %v after cancel, want <%v", took, cancelLatencyBudget)
+		}
+		if !errors.Is(err, rferrors.ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("window query did not return after cancel")
+	}
+	// The same query completes untouched afterwards — no worker leaked, no
+	// partial state left behind.
+	res, err := e.ExecContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("re-run after cancel: %v", err)
+	}
+	if len(res.Rows) != groups*per {
+		t.Fatalf("re-run rows = %d, want %d", len(res.Rows), groups*per)
+	}
+}
+
+// TestCancelMidRefresh cancels a REFRESH that recomputes a large plain view.
+// The refresh must abort with ErrCancelled and leave the view usable; a
+// later uncancelled REFRESH succeeds.
+func TestCancelMidRefresh(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, `CREATE TABLE a (x INTEGER)`)
+	mustExec(t, e, `CREATE TABLE b (y INTEGER)`)
+	bulkInsert(t, e, "a", 400, func(i int) string { return fmt.Sprintf("(%d)", i) })
+	bulkInsert(t, e, "b", 400, func(i int) string { return fmt.Sprintf("(%d)", i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW big AS SELECT x, y FROM a, b`) // 160k rows
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ExecContext(ctx, `REFRESH MATERIALIZED VIEW big`)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, rferrors.ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("REFRESH did not return after cancel")
+	}
+	if _, err := e.ExecContext(context.Background(), `REFRESH MATERIALIZED VIEW big`); err != nil {
+		t.Fatalf("uncancelled REFRESH after cancel: %v", err)
+	}
+	res := mustExec(t, e, `SELECT COUNT(x) AS c FROM big`)
+	if res.Rows[0][0].Int() != 400*400 {
+		t.Fatalf("view count after refresh = %v", res.Rows[0][0])
+	}
+}

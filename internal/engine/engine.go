@@ -13,12 +13,16 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	rferrors "rfview/errors"
 	"rfview/internal/catalog"
 	"rfview/internal/exec"
+	"rfview/internal/metrics"
 	"rfview/internal/mview"
 	"rfview/internal/plan"
 	"rfview/internal/qcache"
@@ -99,6 +103,19 @@ type Engine struct {
 	// trigger checkpoints at record-count boundaries.
 	logWrite  func(sql string) error
 	postWrite func()
+
+	// reg/met expose the engine's operational counters; see metrics.go.
+	// winStats aggregates Window-operator parallelism across all queries.
+	reg      *metrics.Registry
+	met      *engineMetrics
+	winStats *exec.WindowStats
+
+	// Slow-query log configuration. These live outside Options because
+	// Options must stay comparable (the plan cache validates entries with
+	// `e.Opts != p.opts`) and a func field would break that.
+	slowMu     sync.Mutex
+	slowThresh time.Duration
+	slowSink   func(SlowQuery)
 }
 
 // Result is the outcome of one statement.
@@ -112,40 +129,93 @@ type Result struct {
 	Rewritten string
 	// Derivation records a §4/§5 view-derivation rewrite, when one fired.
 	Derivation *rewrite.Derivation
+	// Analyzed carries the annotated operator tree (per-node row counts and
+	// wall time) when the statement ran instrumented: EXPLAIN ANALYZE,
+	// WithAnalyze, or an armed slow-query log.
+	Analyzed string
+	// CacheHit reports that the plan cache answered this statement.
+	CacheHit bool
 
 	// execStmt is the statement that was actually planned (post-derivation,
 	// pre-self-join-fallback); the plan cache replans from it on a hit.
 	execStmt sqlparser.SelectStatement
+	// planText is the uninstrumented plan rendering captured at plan time,
+	// retained by the plan cache so EXPLAIN can replay it on a hit.
+	planText string
 }
+
+// ExecOption adjusts a single ExecContext call.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	// analyze requests the annotated plan in Result.Analyzed and bypasses
+	// result-row reuse (the rows must actually flow to be counted).
+	analyze bool
+	// trace instruments the operator tree; implied by analyze and by an
+	// armed slow-query log.
+	trace bool
+}
+
+// WithAnalyze executes the statement instrumented and fills Result.Analyzed
+// with the per-operator row counts and timings, as EXPLAIN ANALYZE does.
+func WithAnalyze() ExecOption { return func(c *execConfig) { c.analyze = true } }
 
 // New builds an engine with the given options.
 func New(opts Options) *Engine {
 	e := &Engine{Cat: catalog.New(), Opts: opts, plans: qcache.New[*cachedPlan](DefaultPlanCacheCapacity)}
-	e.Views = mview.NewManager(e.Cat, func(stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
-		res, err := e.execSelect(stmt)
+	e.Views = mview.NewManager(e.Cat, func(ctx context.Context, stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
+		res, err := e.execSelect(ctx, stmt, execConfig{})
 		if err != nil {
 			return nil, nil, err
 		}
 		return res.Columns, res.Rows, nil
 	})
+	e.initMetrics()
 	return e
 }
 
-// Exec parses and executes a single statement. For queries it consults the
-// plan cache first: a valid cached entry skips parse, view matching, and
-// derivation entirely.
+// Exec parses and executes a single statement without a deadline.
+//
+// Deprecated: new code should use ExecContext, which supports cancellation
+// and per-call options. Exec remains for compatibility and is equivalent to
+// ExecContext(context.Background(), sql).
 func (e *Engine) Exec(sql string) (*Result, error) {
-	if res, err, ok := e.execCached(sql); ok {
+	return e.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes a single statement. For queries it
+// consults the plan cache first: a valid cached entry skips parse, view
+// matching, and derivation entirely. Cancelling ctx aborts row production at
+// the next operator boundary and returns an error matching
+// rfview/errors.ErrCancelled; the engine's state is untouched by a cancelled
+// read (writes are not interruptible once logged).
+func (e *Engine) ExecContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
+	var cfg execConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.trace = cfg.analyze || e.slowLogArmed()
+	start := time.Now()
+	res, err := e.exec(ctx, sql, cfg)
+	e.observeQuery(sql, res, err, time.Since(start))
+	return res, err
+}
+
+func (e *Engine) exec(ctx context.Context, sql string, cfg execConfig) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
+	}
+	if res, err, ok := e.execCached(ctx, sql, cfg); ok {
 		return res, err
 	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, rferrors.Wrap(rferrors.CodeParse, err)
 	}
 	if isReadStmt(stmt) {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		res, err := e.execStmtLocked(stmt)
+		res, err := e.execStmtLocked(ctx, stmt, cfg)
 		if err == nil {
 			e.storePlan(sql, stmt, res)
 		}
@@ -153,21 +223,29 @@ func (e *Engine) Exec(sql string) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.execWriteLocked(stmt)
+	return e.execWriteLocked(ctx, stmt)
 }
 
 // ExecAll executes a semicolon-separated script, returning one result per
 // statement. Execution stops at the first error. Each statement acquires the
 // engine lock independently; a script is not one atomic unit with respect to
 // concurrent readers.
+//
+// Deprecated: new code should use ExecAllContext.
 func (e *Engine) ExecAll(sql string) ([]*Result, error) {
+	return e.ExecAllContext(context.Background(), sql)
+}
+
+// ExecAllContext is ExecAll with cancellation: the script stops at the first
+// error or at the first statement that observes a cancelled context.
+func (e *Engine) ExecAllContext(ctx context.Context, sql string) ([]*Result, error) {
 	stmts, err := sqlparser.ParseAll(sql)
 	if err != nil {
-		return nil, err
+		return nil, rferrors.Wrap(rferrors.CodeParse, err)
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, s := range stmts {
-		res, err := e.ExecStmt(s)
+		res, err := e.ExecStmtContext(ctx, s)
 		if err != nil {
 			return out, fmt.Errorf("in %q: %w", s.String(), err)
 		}
@@ -187,15 +265,30 @@ func isReadStmt(stmt sqlparser.Statement) bool {
 
 // ExecStmt executes a parsed statement under the engine's locking
 // discipline: shared for reads, exclusive for everything else.
+//
+// Deprecated: new code should use ExecStmtContext.
 func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	return e.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext is ExecStmt with cancellation and per-call options.
+func (e *Engine) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement, opts ...ExecOption) (*Result, error) {
+	var cfg execConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.trace = cfg.analyze || e.slowLogArmed()
+	if err := ctx.Err(); err != nil {
+		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
+	}
 	if isReadStmt(stmt) {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return e.execStmtLocked(stmt)
+		return e.execStmtLocked(ctx, stmt, cfg)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.execWriteLocked(stmt)
+	return e.execWriteLocked(ctx, stmt)
 }
 
 // SetWriteHooks installs the durability hooks: before receives the canonical
@@ -222,13 +315,13 @@ func (e *Engine) Quiesce(fn func() error) error {
 // statement. Callers hold the exclusive lock. Failed statements are logged
 // too: the engine is deterministic, so on replay they fail identically and
 // change nothing.
-func (e *Engine) execWriteLocked(stmt sqlparser.Statement) (*Result, error) {
+func (e *Engine) execWriteLocked(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
 	if e.logWrite != nil {
 		if err := e.logWrite(stmt.String()); err != nil {
 			return nil, fmt.Errorf("durability: %w", err)
 		}
 	}
-	res, err := e.execStmtLocked(stmt)
+	res, err := e.execStmtLocked(ctx, stmt, execConfig{})
 	if e.postWrite != nil {
 		e.postWrite()
 	}
@@ -237,12 +330,12 @@ func (e *Engine) execWriteLocked(stmt sqlparser.Statement) (*Result, error) {
 
 // execStmtLocked dispatches a parsed statement. Callers hold the engine lock
 // in the mode appropriate for the statement kind.
-func (e *Engine) execStmtLocked(stmt sqlparser.Statement) (*Result, error) {
+func (e *Engine) execStmtLocked(ctx context.Context, stmt sqlparser.Statement, cfg execConfig) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.Select, *sqlparser.Union:
-		return e.execSelect(s.(sqlparser.SelectStatement))
+		return e.execSelect(ctx, s.(sqlparser.SelectStatement), cfg)
 	case *sqlparser.Explain:
-		return e.explain(s.Stmt)
+		return e.explain(ctx, s, cfg)
 	case *sqlparser.CreateTable:
 		cols := make([]catalog.Column, len(s.Columns))
 		for i, c := range s.Columns {
@@ -258,7 +351,7 @@ func (e *Engine) execStmtLocked(stmt sqlparser.Statement) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *sqlparser.CreateMatView:
-		if err := e.Views.Create(s); err != nil {
+		if err := e.Views.CreateContext(ctx, s); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -278,28 +371,33 @@ func (e *Engine) execStmtLocked(stmt sqlparser.Statement) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *sqlparser.RefreshMatView:
-		if err := e.Views.Refresh(s.Name); err != nil {
+		if err := e.Views.RefreshContext(ctx, s.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *sqlparser.Insert:
-		return e.execInsert(s)
+		return e.execInsert(ctx, s)
 	case *sqlparser.Update:
 		return e.execUpdate(s)
 	case *sqlparser.Delete:
 		return e.execDelete(s)
 	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+		return nil, rferrors.New(rferrors.CodeUnsupported, "engine: unsupported statement %T", stmt)
 	}
 }
 
-// planner returns a fresh planner with the engine's current options.
-func (e *Engine) planner() *plan.Planner {
+// planner returns a fresh planner with the engine's current options. The
+// context rides into the Window operator so partition evaluation — the
+// longest-running phase of a reporting-function query — observes
+// cancellation; winStats aggregates its parallelism telemetry.
+func (e *Engine) planner(ctx context.Context) *plan.Planner {
 	return plan.New(e.Cat, plan.Options{
 		NativeWindow:      e.Opts.NativeWindow,
 		UseIndexes:        e.Opts.UseIndexes,
 		UseHashJoin:       e.Opts.UseHashJoin,
 		WindowParallelism: e.Opts.WindowParallelism,
+		Ctx:               ctx,
+		WindowStats:       e.winStats,
 	})
 }
 
@@ -335,7 +433,7 @@ func (e *Engine) rewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.Select
 	return stmt, nil, nil
 }
 
-func (e *Engine) planSelect(stmt sqlparser.SelectStatement) (exec.Operator, *Result, error) {
+func (e *Engine) planSelect(ctx context.Context, stmt sqlparser.SelectStatement) (exec.Operator, *Result, error) {
 	res := &Result{}
 	rewritten, d, err := e.rewriteSelect(stmt)
 	if err != nil {
@@ -350,19 +448,22 @@ func (e *Engine) planSelect(stmt sqlparser.SelectStatement) (exec.Operator, *Res
 	if err := e.checkFromFreshness(stmt); err != nil {
 		return nil, nil, err
 	}
-	op, err := e.planPhysical(stmt, res)
+	op, err := e.planPhysical(ctx, stmt, res)
 	if err != nil {
 		return nil, nil, err
 	}
 	res.execStmt = stmt
+	// Captured before any instrumentation so the plan cache can replay a
+	// clean EXPLAIN rendering on later hits.
+	res.planText = exec.FormatPlan(op)
 	return op, res, nil
 }
 
 // planPhysical turns a (post-derivation) statement into an operator tree,
 // falling back to the Fig. 2 self-join simulation when the native window
 // operator is disabled.
-func (e *Engine) planPhysical(stmt sqlparser.SelectStatement, res *Result) (exec.Operator, error) {
-	op, err := e.planner().PlanSelect(stmt)
+func (e *Engine) planPhysical(ctx context.Context, stmt sqlparser.SelectStatement, res *Result) (exec.Operator, error) {
+	op, err := e.planner(ctx).PlanSelect(stmt)
 	if errors.Is(err, plan.ErrWindowDisabled) {
 		sel, ok := stmt.(*sqlparser.Select)
 		if !ok {
@@ -373,48 +474,77 @@ func (e *Engine) planPhysical(stmt sqlparser.SelectStatement, res *Result) (exec
 			return nil, fmt.Errorf("%w; self-join simulation also failed: %v", err, rerr)
 		}
 		res.Rewritten = sj.String()
-		op, err = e.planner().PlanSelect(sj)
+		op, err = e.planner(ctx).PlanSelect(sj)
 	}
 	return op, err
 }
 
-func (e *Engine) execSelect(stmt sqlparser.SelectStatement) (*Result, error) {
-	op, res, err := e.planSelect(stmt)
+func (e *Engine) execSelect(ctx context.Context, stmt sqlparser.SelectStatement, cfg execConfig) (*Result, error) {
+	op, res, err := e.planSelect(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return e.runOperator(op, res)
+	return e.runOperator(ctx, op, res, cfg)
 }
 
-// runOperator drains an operator tree into res.
-func (e *Engine) runOperator(op exec.Operator, res *Result) (*Result, error) {
-	rows, err := exec.Collect(op)
+// runOperator drains an operator tree into res, instrumenting it first when
+// tracing is on.
+func (e *Engine) runOperator(ctx context.Context, op exec.Operator, res *Result, cfg execConfig) (*Result, error) {
+	if cfg.trace {
+		op = exec.Instrument(op)
+	}
+	rows, err := exec.CollectCtx(ctx, op)
 	if err != nil {
 		return nil, err
 	}
 	res.Columns = plan.OutputNames(op)
 	res.Rows = rows
 	res.Affected = len(rows)
+	if cfg.trace {
+		res.Analyzed = annotationHeader(res) + exec.FormatAnalyzedPlan(op)
+	}
 	return res, nil
 }
 
-func (e *Engine) explain(stmt sqlparser.Statement) (*Result, error) {
-	sel, ok := stmt.(sqlparser.SelectStatement)
+func (e *Engine) explain(ctx context.Context, s *sqlparser.Explain, cfg execConfig) (*Result, error) {
+	sel, ok := s.Stmt.(sqlparser.SelectStatement)
 	if !ok {
-		return nil, fmt.Errorf("EXPLAIN supports SELECT statements")
+		return nil, rferrors.New(rferrors.CodeUnsupported, "EXPLAIN supports SELECT statements")
 	}
-	op, res, err := e.planSelect(sel)
+	if s.Analyze {
+		// EXPLAIN ANALYZE executes the statement instrumented and reports
+		// the measured tree instead of the result rows.
+		cfg.analyze, cfg.trace = true, true
+		op, res, err := e.planSelect(ctx, sel)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.runOperator(ctx, op, res, cfg); err != nil {
+			return nil, err
+		}
+		return planResult(res, res.Analyzed), nil
+	}
+	// Plain EXPLAIN replays a valid cached plan's rendering when one exists —
+	// the annotation a user sees must match the plan that will actually run.
+	if ent, hit := e.plans.Get(sel.String()); hit && e.planValid(ent) && ent.planText != "" {
+		res := &Result{Derivation: ent.derivation, Rewritten: ent.rewrittenSQL, CacheHit: true}
+		return planResult(res, annotationHeader(res)+ent.planText), nil
+	}
+	op, res, err := e.planSelect(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
-	txt := exec.FormatPlan(op)
-	if res.Rewritten != "" {
-		txt = "-- rewritten: " + res.Rewritten + "\n" + txt
-	}
+	return planResult(res, annotationHeader(res)+exec.FormatPlan(op)), nil
+}
+
+// planResult packages an EXPLAIN rendering as a one-row result.
+func planResult(res *Result, txt string) *Result {
 	res.Plan = txt
 	res.Columns = []string{"plan"}
 	res.Rows = []sqltypes.Row{{sqltypes.NewString(txt)}}
-	return res, nil
+	res.Affected = len(res.Rows)
+	res.execStmt = nil // EXPLAIN results must never enter the plan cache
+	return res
 }
 
 // checkFromFreshness rejects queries whose FROM clause references a stale
@@ -462,7 +592,7 @@ func (e *Engine) checkFromFreshness(stmt sqlparser.SelectStatement) error {
 // DML
 // ---------------------------------------------------------------------------
 
-func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
+func (e *Engine) execInsert(ctx context.Context, s *sqlparser.Insert) (*Result, error) {
 	tbl, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -485,7 +615,7 @@ func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
 
 	var srcRows []sqltypes.Row
 	if s.Select != nil {
-		res, err := e.execSelect(s.Select)
+		res, err := e.execSelect(ctx, s.Select, execConfig{})
 		if err != nil {
 			return nil, err
 		}

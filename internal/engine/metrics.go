@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	rferrors "rfview/errors"
+	"rfview/internal/exec"
+	"rfview/internal/metrics"
+)
+
+// engineMetrics bundles the instruments the engine updates per statement.
+// Scrape-time values (plan-cache counters, view staleness, window-pool
+// telemetry) register as gauge funcs instead and read live state.
+type engineMetrics struct {
+	queries      *metrics.CounterVec
+	queryErrors  *metrics.CounterVec
+	querySeconds *metrics.Histogram
+	slowQueries  *metrics.Counter
+}
+
+// initMetrics builds the engine's registry. Each engine owns its registry, so
+// tests and embedded engines never share series; the server and WAL attach
+// their instruments to this same registry via Metrics().
+func (e *Engine) initMetrics() {
+	e.reg = metrics.NewRegistry()
+	e.winStats = &exec.WindowStats{}
+	e.met = &engineMetrics{
+		queries: e.reg.CounterVec("rfview_queries_total",
+			"Read statements executed, by evaluation strategy.", "strategy"),
+		queryErrors: e.reg.CounterVec("rfview_query_errors_total",
+			"Statements that returned an error, by error code.", "code"),
+		querySeconds: e.reg.Histogram("rfview_query_seconds",
+			"End-to-end statement latency.", metrics.DefBuckets),
+		slowQueries: e.reg.Counter("rfview_slow_queries_total",
+			"Statements that exceeded the slow-query threshold."),
+	}
+	e.reg.GaugeFunc("rfview_plan_cache_hits",
+		"Plan cache hits since start.", func() float64 { return float64(e.PlanCacheStats().Hits) })
+	e.reg.GaugeFunc("rfview_plan_cache_misses",
+		"Plan cache misses since start.", func() float64 { return float64(e.PlanCacheStats().Misses) })
+	e.reg.GaugeFunc("rfview_plan_cache_entries",
+		"Plan cache resident entries.", func() float64 { return float64(e.PlanCacheStats().Len) })
+	e.reg.GaugeFunc("rfview_plan_cache_hit_ratio",
+		"Plan cache hits / lookups, 0 when no lookups yet.", func() float64 {
+			st := e.PlanCacheStats()
+			if total := st.Hits + st.Misses; total > 0 {
+				return float64(st.Hits) / float64(total)
+			}
+			return 0
+		})
+	e.reg.GaugeSetFunc("rfview_view_staleness_seconds",
+		"Seconds each stale materialized view has been stale; fresh views report 0.",
+		"view", func() map[string]float64 { return e.Views.StalenessAges() })
+	e.reg.GaugeFunc("rfview_window_runs",
+		"Window operator executions since start.", func() float64 { return float64(e.winStats.Runs.Load()) })
+	e.reg.GaugeFunc("rfview_window_parallel_runs",
+		"Window executions that used more than one worker.", func() float64 { return float64(e.winStats.ParallelRuns.Load()) })
+	e.reg.GaugeFunc("rfview_window_partitions",
+		"Partitions evaluated by the window operator since start.", func() float64 { return float64(e.winStats.Partitions.Load()) })
+	e.reg.GaugeFunc("rfview_window_parallelism_utilization",
+		"Mean workers per window execution.", func() float64 {
+			runs := e.winStats.Runs.Load()
+			if runs == 0 {
+				return 0
+			}
+			return float64(e.winStats.WorkersUsed.Load()) / float64(runs)
+		})
+}
+
+// Metrics returns the engine's metrics registry, for exposition and for
+// other subsystems (server, WAL) to attach their own instruments to.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// SlowQuery is one slow-query log record.
+type SlowQuery struct {
+	SQL     string
+	Elapsed time.Duration
+	// Plan is the analyzed operator tree (per-node rows and timings) of the
+	// slow execution; empty for statements that produce no plan.
+	Plan string
+}
+
+// SetSlowQueryLog arms the slow-query log: read statements slower than
+// threshold are reported to sink, with their analyzed plan. While armed,
+// query execution runs instrumented (result-cache hits excepted — a cached
+// answer is never slow). A zero threshold or nil sink disarms.
+func (e *Engine) SetSlowQueryLog(threshold time.Duration, sink func(SlowQuery)) {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	e.slowThresh = threshold
+	e.slowSink = sink
+}
+
+func (e *Engine) slowLogArmed() bool {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	return e.slowThresh > 0 && e.slowSink != nil
+}
+
+func (e *Engine) slowLog() (time.Duration, func(SlowQuery)) {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	return e.slowThresh, e.slowSink
+}
+
+// observeQuery records one top-level statement outcome: strategy counters,
+// latency, and the slow-query log.
+func (e *Engine) observeQuery(sql string, res *Result, err error, elapsed time.Duration) {
+	if err != nil {
+		e.met.queryErrors.With(string(rferrors.CodeOf(err))).Inc()
+		return
+	}
+	if res == nil || res.execStmt == nil {
+		return // DDL/DML and EXPLAIN renderings are not query executions
+	}
+	e.met.queries.With(strategyLabel(res)).Inc()
+	e.met.querySeconds.Observe(elapsed.Seconds())
+	if th, sink := e.slowLog(); sink != nil && th > 0 && elapsed >= th {
+		e.met.slowQueries.Inc()
+		sink(SlowQuery{SQL: sql, Elapsed: elapsed, Plan: res.Analyzed})
+	}
+}
+
+// strategyLabel names how a statement was evaluated, for the per-strategy
+// counter and the EXPLAIN header: exact / maxoa / minoa view derivations,
+// the Fig. 2 selfjoin simulation, or the native window operator.
+func strategyLabel(res *Result) string {
+	switch {
+	case res.Derivation != nil && res.Derivation.Exact:
+		return "exact"
+	case res.Derivation != nil:
+		return strings.ToLower(res.Derivation.Strategy.String())
+	case res.Rewritten != "":
+		return "selfjoin"
+	default:
+		return "native"
+	}
+}
+
+// annotationHeader renders the provenance lines EXPLAIN [ANALYZE] prefixes
+// to the operator tree: the chosen strategy with the paper's Δl/Δh window
+// overlap factors, the rewritten SQL, and plan-cache provenance.
+func annotationHeader(res *Result) string {
+	var b strings.Builder
+	b.WriteString("-- strategy: " + strategyLabel(res))
+	if d := res.Derivation; d != nil {
+		fmt.Fprintf(&b, " view=%s form=%s Δl=%d Δh=%d wx=%d", d.View.Name, d.Form, d.DeltaL, d.DeltaH, d.Wx)
+		if d.Exact {
+			b.WriteString(" exact=true")
+		}
+	}
+	b.WriteString("\n")
+	if res.Rewritten != "" {
+		b.WriteString("-- rewritten: " + res.Rewritten + "\n")
+	}
+	if res.CacheHit {
+		b.WriteString("-- plan cache: hit\n")
+	}
+	return b.String()
+}

@@ -7,9 +7,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	rferrors "rfview/errors"
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
 )
@@ -32,12 +34,37 @@ type Operator interface {
 
 // Collect drains an operator into a slice, handling open/close.
 func Collect(op Operator) ([]sqltypes.Row, error) {
+	return CollectCtx(context.Background(), op)
+}
+
+// cancelCheckEvery is how many rows CollectCtx drains between context
+// checks: frequent enough that cancellation lands within milliseconds on any
+// realistic row rate, rare enough to keep the per-row cost at one counter
+// decrement.
+const cancelCheckEvery = 128
+
+// CollectCtx is Collect with cooperative cancellation: the context is checked
+// before opening and every cancelCheckEvery rows. A cancelled context aborts
+// the drain, closes the operator, and returns ErrCancelled (wrapping the
+// context's own error).
+func CollectCtx(ctx context.Context, op Operator) ([]sqltypes.Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := op.Open(); err != nil {
 		op.Close()
 		return nil, err
 	}
 	var out []sqltypes.Row
+	until := cancelCheckEvery
 	for {
+		if until--; until <= 0 {
+			until = cancelCheckEvery
+			if err := ctxErr(ctx); err != nil {
+				op.Close()
+				return nil, err
+			}
+		}
 		row, err := op.Next()
 		if err != nil {
 			op.Close()
@@ -52,6 +79,18 @@ func Collect(op Operator) ([]sqltypes.Row, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ctxErr maps a cancelled context onto the engine's coded error surface; nil
+// contexts and live contexts cost one branch.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return rferrors.Wrap(rferrors.CodeCancelled, err)
+	}
+	return nil
 }
 
 // FormatPlan renders an operator tree as an indented EXPLAIN listing.

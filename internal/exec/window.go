@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,19 @@ import (
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
 )
+
+// WindowStats aggregates window-operator executions for the engine's
+// parallelism-utilization metrics. One instance is shared by every Window
+// the engine plans; all fields are atomic, so workers update them lock-free.
+type WindowStats struct {
+	// Runs counts Window.Open executions; ParallelRuns the subset that used
+	// more than one worker.
+	Runs, ParallelRuns atomic.Int64
+	// Partitions counts partitions evaluated; WorkersUsed sums the worker
+	// count of each run, so WorkersUsed/Runs is the mean effective
+	// parallelism (utilization = mean / configured cap).
+	Partitions, WorkersUsed atomic.Int64
+}
 
 // FrameBoundKind mirrors the SQL ROWS frame bound kinds at the executor
 // level (kept separate from the parser's AST types so the executor does not
@@ -143,10 +157,24 @@ type Window struct {
 	// a single partition) always take the sequential fast path, and the pool
 	// never exceeds the partition count.
 	Parallelism int
+	// Ctx, when set, cancels the computation: the input drain, the worker
+	// pool, and per-partition evaluation all observe it. nil means
+	// context.Background().
+	Ctx context.Context
+	// Stats, when set, receives per-run observability counters.
+	Stats *WindowStats
 
 	schema *expr.Schema
 	out    []sqltypes.Row
 	pos    int
+}
+
+// ctx resolves the operator's context.
+func (w *Window) ctx() context.Context {
+	if w.Ctx != nil {
+		return w.Ctx
+	}
+	return context.Background()
 }
 
 // NewWindow builds the operator; its schema is the input schema plus one
@@ -172,7 +200,7 @@ func (w *Window) Schema() *expr.Schema { return w.schema }
 // Open implements Operator: materializes the input and computes every window
 // column.
 func (w *Window) Open() error {
-	rows, err := Collect(w.Input)
+	rows, err := CollectCtx(w.ctx(), w.Input)
 	if err != nil {
 		return err
 	}
@@ -247,14 +275,28 @@ func (w *Window) Open() error {
 // and need no locks. The first worker error closes the stop channel, which
 // drains the pool; remaining workers quit before claiming another partition.
 func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [][]sqltypes.Datum) error {
+	ctx := w.ctx()
 	workers := w.Parallelism
 	if workers > len(parts) {
 		workers = len(parts)
+	}
+	if w.Stats != nil {
+		w.Stats.Runs.Add(1)
+		w.Stats.Partitions.Add(int64(len(parts)))
+		if workers > 1 {
+			w.Stats.ParallelRuns.Add(1)
+			w.Stats.WorkersUsed.Add(int64(workers))
+		} else {
+			w.Stats.WorkersUsed.Add(1)
+		}
 	}
 	if workers <= 1 {
 		// Sequential fast path: ≤1 partition, parallelism off, or a pool
 		// that could only ever hold one worker.
 		for _, idx := range parts {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if err := w.computePartition(rows, idx, results); err != nil {
 				return err
 			}
@@ -275,6 +317,7 @@ func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [
 			close(stop)
 		})
 	}
+	done := ctx.Done()
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
@@ -282,6 +325,12 @@ func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [
 			for {
 				select {
 				case <-stop:
+					return
+				case <-done:
+					// A cancelled context drains the pool exactly like a
+					// worker error: workers quit before claiming another
+					// partition, and the first to notice records the error.
+					fail(ctxErr(ctx))
 					return
 				default:
 				}

@@ -1,0 +1,414 @@
+// Package metrics is a dependency-free instrumentation library: counters,
+// gauges, and histograms with Prometheus text exposition (version 0.0.4 of
+// the format, the one every Prometheus scraper accepts). The engine, the WAL,
+// and the query server register their series on one shared Registry, which is
+// served out-of-band on the -metrics-addr HTTP listener and in-band through
+// the "metrics" protocol op.
+//
+// Design constraints, in order:
+//
+//   - hot-path cost: incrementing a counter or observing a histogram sample
+//     is a handful of atomic operations, no locks, no allocation;
+//   - no dependencies: the container bakes in only the Go toolchain, so the
+//     exposition format is written by hand;
+//   - determinism: series render in registration order with sorted label
+//     values, so scrape tests can assert on stable output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets, in seconds: 100µs … 10s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Add atomically adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets are
+// cumulative upper bounds; an implicit +Inf bucket always exists.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ---------------------------------------------------------------------------
+// Labeled variants (single label, the only shape the engine needs)
+// ---------------------------------------------------------------------------
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Counter
+}
+
+// With returns (creating if needed) the counter for one label value.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.m[value]
+	if !ok {
+		c = &Counter{}
+		cv.m[value] = c
+	}
+	return c
+}
+
+// Values snapshots the family, keyed by label value.
+func (cv *CounterVec) Values() map[string]uint64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	out := make(map[string]uint64, len(cv.m))
+	for k, c := range cv.m {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms keyed by one label value.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// With returns (creating if needed) the histogram for one label value.
+func (hv *HistogramVec) With(value string) *Histogram {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	h, ok := hv.m[value]
+	if !ok {
+		h = newHistogram(hv.bounds)
+		hv.m[value] = h
+	}
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+// family is one named metric with its exposition metadata and backing
+// instrument.
+type family struct {
+	name, help, typ string
+	render          func(w io.Writer)
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. Registration is idempotent by name: asking for an already-registered
+// instrument of the same kind returns the existing one, so two subsystems
+// attached to the same engine share series instead of colliding.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]any // name -> instrument (for idempotent re-registration)
+	fams   []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any)}
+}
+
+// lookup returns an existing instrument under name, enforcing kind agreement.
+func lookup[T any](r *Registry, name string) (T, bool) {
+	var zero T
+	got, ok := r.byName[name]
+	if !ok {
+		return zero, false
+	}
+	t, ok := got.(T)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q re-registered as a different kind (%T)", name, got))
+	}
+	return t, true
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := lookup[*Counter](r, name); ok {
+		return c
+	}
+	c := &Counter{}
+	r.byName[name] = c
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "counter",
+		render: func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, c.Value()) }})
+	return c
+}
+
+// CounterVec registers (or returns) a single-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cv, ok := lookup[*CounterVec](r, name); ok {
+		return cv
+	}
+	cv := &CounterVec{label: label, m: make(map[string]*Counter)}
+	r.byName[name] = cv
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "counter",
+		render: func(w io.Writer) {
+			for _, kv := range sortedCounters(cv) {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, kv.k, kv.v)
+			}
+		}})
+	return cv
+}
+
+// Gauge registers (or returns) a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := lookup[*Gauge](r, name); ok {
+		return g
+	}
+	g := &Gauge{}
+	r.byName[name] = g
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "gauge",
+		render: func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value())) }})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering a name keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.byName[name] = fn
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "gauge",
+		render: func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn())) }})
+}
+
+// GaugeSetFunc registers a labeled gauge family whose series set is computed
+// at scrape time — one series per key of the returned map. Used for values
+// keyed by a dynamic population (per-view staleness ages).
+func (r *Registry) GaugeSetFunc(name, help, label string, fn func() map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.byName[name] = fn
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "gauge",
+		render: func(w io.Writer) {
+			vals := fn()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, k, formatFloat(vals[k]))
+			}
+		}})
+}
+
+// Histogram registers (or returns) a histogram. nil buckets means
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := lookup[*Histogram](r, name); ok {
+		return h
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.byName[name] = h
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "histogram",
+		render: func(w io.Writer) { renderHistogram(w, name, "", "", h) }})
+	return h
+}
+
+// HistogramVec registers (or returns) a single-label histogram family.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if hv, ok := lookup[*HistogramVec](r, name); ok {
+		return hv
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	hv := &HistogramVec{label: label, bounds: buckets, m: make(map[string]*Histogram)}
+	r.byName[name] = hv
+	r.fams = append(r.fams, &family{name: name, help: help, typ: "histogram",
+		render: func(w io.Writer) {
+			hv.mu.Lock()
+			keys := make([]string, 0, len(hv.m))
+			for k := range hv.m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			hists := make([]*Histogram, len(keys))
+			for i, k := range keys {
+				hists[i] = hv.m[k]
+			}
+			hv.mu.Unlock()
+			for i, k := range keys {
+				renderHistogram(w, name, label, k, hists[i])
+			}
+		}})
+	return hv
+}
+
+// WriteText renders every registered metric in the Prometheus text format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		f.render(w)
+	}
+}
+
+// Expose returns the text exposition as a string (the "metrics" protocol op).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler serves the exposition over HTTP (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers
+// ---------------------------------------------------------------------------
+
+type kv struct {
+	k string
+	v uint64
+}
+
+func sortedCounters(cv *CounterVec) []kv {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	out := make([]kv, 0, len(cv.m))
+	for k, c := range cv.m {
+		out = append(out, kv{k, c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+func renderHistogram(w io.Writer, name, label, labelVal string, h *Histogram) {
+	extra := ""
+	if label != "" {
+		extra = fmt.Sprintf("%s=%q,", label, labelVal)
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, cum)
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, labelVal)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest exact
+// decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

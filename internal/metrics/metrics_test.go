@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	g := NewRegistry().Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(1.0)
+	g.Add(-0.5)
+	if g.Value() != 3.0 {
+		t.Fatalf("Value = %v, want 3.0", g.Value())
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("g", "a gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("after balanced concurrent adds, Value = %v, want 0", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Fatalf("Sum = %v, want 105.65", h.Sum())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	cv := NewRegistry().CounterVec("q_total", "queries", "strategy")
+	cv.With("native").Inc()
+	cv.With("native").Inc()
+	cv.With("maxoa").Inc()
+	got := cv.Values()
+	if got["native"] != 2 || got["maxoa"] != 1 {
+		t.Fatalf("Values = %v", got)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(3)
+	cv := r.CounterVec("b_total", "counts b", "kind")
+	cv.With("y").Inc()
+	cv.With("x").Add(2)
+	g := r.Gauge("c_now", "gauges c")
+	g.Set(1.5)
+	r.GaugeFunc("d_now", "computed d", func() float64 { return 7 })
+	r.GaugeSetFunc("e_age", "ages", "view", func() map[string]float64 {
+		return map[string]float64{"v2": 2, "v1": 0.25}
+	})
+	h := r.Histogram("f_seconds", "latency", []float64{0.5, 2})
+	h.Observe(0.3)
+	h.Observe(1)
+	h.Observe(9)
+
+	text := r.Expose()
+	want := []string{
+		"# HELP a_total counts a",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b_total counter",
+		"b_total{kind=\"x\"} 2",
+		"b_total{kind=\"y\"} 1",
+		"# TYPE c_now gauge",
+		"c_now 1.5",
+		"d_now 7",
+		"e_age{view=\"v1\"} 0.25",
+		"e_age{view=\"v2\"} 2",
+		"# TYPE f_seconds histogram",
+		"f_seconds_bucket{le=\"0.5\"} 1",
+		"f_seconds_bucket{le=\"2\"} 2",
+		"f_seconds_bucket{le=\"+Inf\"} 3",
+		"f_seconds_sum 10.3",
+		"f_seconds_count 3",
+	}
+	idx := 0
+	for _, line := range strings.Split(text, "\n") {
+		if idx < len(want) && line == want[idx] {
+			idx++
+		}
+	}
+	if idx != len(want) {
+		t.Fatalf("exposition missing (or out of order) line %q; full text:\n%s", want[idx], text)
+	}
+	// Label values sort within a family regardless of creation order.
+	if strings.Index(text, `b_total{kind="x"}`) > strings.Index(text, `b_total{kind="y"}`) {
+		t.Fatalf("label values not sorted:\n%s", text)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("op_seconds", "per-op latency", "op", []float64{1})
+	hv.With("query").Observe(0.5)
+	hv.With("exec").Observe(2)
+	text := r.Expose()
+	for _, want := range []string{
+		`op_seconds_bucket{op="exec",le="1"} 0`,
+		`op_seconds_bucket{op="exec",le="+Inf"} 1`,
+		`op_seconds_bucket{op="query",le="1"} 1`,
+		`op_seconds_sum{op="query"} 0.5`,
+		`op_seconds_count{op="exec"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:          "1.5",
+		7:            "7",
+		0.25:         "0.25",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.000000001:  "0.000000001",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	if !strings.Contains(string(body), "hits_total 1") {
+		t.Fatalf("body missing series:\n%s", body)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "g")
+}

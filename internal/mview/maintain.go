@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rfview/internal/catalog"
 	"rfview/internal/core"
@@ -222,6 +223,9 @@ func (m *Manager) AfterDelete(table string, deleted []sqltypes.Row, cols []strin
 }
 
 func (m *Manager) markStale(sv *seqView, why string) {
+	if !sv.stale {
+		sv.staleSince = time.Now()
+	}
 	sv.stale = true
 	sv.staleWhy = why
 }

@@ -18,11 +18,14 @@
 package mview
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	rferrors "rfview/errors"
 	"rfview/internal/catalog"
 	"rfview/internal/core"
 	"rfview/internal/rewrite"
@@ -32,8 +35,9 @@ import (
 )
 
 // ExecFunc runs a select statement and returns (columns, rows). The engine
-// provides it; the manager uses it to materialize plain views.
-type ExecFunc func(stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error)
+// provides it; the manager uses it to materialize plain views. The context
+// carries cancellation into the view query's execution.
+type ExecFunc func(ctx context.Context, stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error)
 
 // seqView couples a catalog sequence view with its maintainer(s): one
 // core.Maintainer for simple sequence views, one per partition for
@@ -46,6 +50,9 @@ type seqView struct {
 	valType  sqltypes.Type
 	stale    bool
 	staleWhy string
+	// staleSince timestamps the transition to stale, for the staleness-age
+	// metric; zero while fresh.
+	staleSince time.Time
 }
 
 // partitioned reports whether the view keeps per-partition sequences.
@@ -78,6 +85,12 @@ func lower(s string) string { return strings.ToLower(s) }
 
 // Create materializes a view from its defining statement.
 func (m *Manager) Create(stmt *sqlparser.CreateMatView) error {
+	return m.CreateContext(context.Background(), stmt)
+}
+
+// CreateContext is Create with cancellation: materializing a plain view runs
+// the defining query through the engine, which observes ctx.
+func (m *Manager) CreateContext(ctx context.Context, stmt *sqlparser.CreateMatView) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if sel, ok := stmt.Select.(*sqlparser.Select); ok {
@@ -90,7 +103,7 @@ func (m *Manager) Create(stmt *sqlparser.CreateMatView) error {
 			}
 		}
 	}
-	return m.createPlainView(stmt)
+	return m.createPlainView(ctx, stmt)
 }
 
 // isSequenceViewShape accepts SELECT pos, agg(val) OVER (ORDER BY pos ROWS …)
@@ -285,11 +298,11 @@ func (sv *seqView) datum(v float64) sqltypes.Datum {
 	return sqltypes.NewFloat(v)
 }
 
-func (m *Manager) createPlainView(stmt *sqlparser.CreateMatView) error {
+func (m *Manager) createPlainView(ctx context.Context, stmt *sqlparser.CreateMatView) error {
 	if m.exec == nil {
 		return fmt.Errorf("mview: no executor wired for plain materialized views")
 	}
-	cols, rows, err := m.exec(stmt.Select)
+	cols, rows, err := m.exec(ctx, stmt.Select)
 	if err != nil {
 		return err
 	}
@@ -336,7 +349,7 @@ func (m *Manager) Drop(name string) error {
 	defer m.mu.Unlock()
 	mv, ok := m.cat.MatView(name)
 	if !ok {
-		return fmt.Errorf("materialized view %q does not exist", name)
+		return rferrors.New(rferrors.CodeUnknownView, "materialized view %q does not exist", name)
 	}
 	if err := m.cat.DropMatView(name); err != nil {
 		return err
@@ -348,6 +361,12 @@ func (m *Manager) Drop(name string) error {
 
 // Refresh fully recomputes a view (and clears staleness).
 func (m *Manager) Refresh(name string) error {
+	return m.RefreshContext(context.Background(), name)
+}
+
+// RefreshContext is Refresh with cancellation: a plain view's recompute runs
+// its defining query through the engine, which observes ctx.
+func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if sv, ok := m.seq[lower(name)]; ok {
@@ -373,11 +392,12 @@ func (m *Manager) Refresh(name string) error {
 		sv.maint = maint
 		sv.stale = false
 		sv.staleWhy = ""
+		sv.staleSince = time.Time{}
 		return m.fillBacking(sv, raw)
 	}
 	if stmt, ok := m.plain[lower(name)]; ok {
 		mv, _ := m.cat.MatView(name)
-		cols, rows, err := m.exec(stmt.Select)
+		cols, rows, err := m.exec(ctx, stmt.Select)
 		if err != nil {
 			return err
 		}
@@ -401,7 +421,7 @@ func (m *Manager) Refresh(name string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("materialized view %q does not exist", name)
+	return rferrors.New(rferrors.CodeUnknownView, "materialized view %q does not exist", name)
 }
 
 func windowOfSpec(w catalog.WindowSpec) core.Window {
@@ -417,10 +437,32 @@ func (m *Manager) CheckFresh(name string) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if sv, ok := m.seq[lower(name)]; ok && sv.stale {
-		return fmt.Errorf("materialized view %q is stale (%s); run REFRESH MATERIALIZED VIEW %s",
+		return rferrors.New(rferrors.CodeStaleView,
+			"materialized view %q is stale (%s); run REFRESH MATERIALIZED VIEW %s",
 			name, sv.staleWhy, name)
 	}
 	return nil
+}
+
+// StalenessAges reports, per materialized view, how long it has been stale
+// in seconds; fresh views report 0. The metrics registry scrapes this.
+func (m *Manager) StalenessAges() map[string]float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]float64, len(m.seq)+len(m.plain))
+	for _, sv := range m.seq {
+		age := 0.0
+		if sv.stale && !sv.staleSince.IsZero() {
+			age = time.Since(sv.staleSince).Seconds()
+		}
+		out[sv.mv.Name] = age
+	}
+	for name := range m.plain {
+		if mv, ok := m.cat.MatView(name); ok {
+			out[mv.Name] = 0
+		}
+	}
+	return out
 }
 
 // Stale reports whether a view is stale.

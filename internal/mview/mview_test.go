@@ -1,6 +1,7 @@
 package mview
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -352,7 +353,7 @@ func TestCumulativeViewMaintenance(t *testing.T) {
 // fakeExec materializes plain views without a full engine: it returns a
 // canned result set.
 func fakeExec(cols []string, rows []sqltypes.Row) ExecFunc {
-	return func(sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
+	return func(context.Context, sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
 		out := make([]sqltypes.Row, len(rows))
 		copy(out, rows)
 		return cols, out, nil

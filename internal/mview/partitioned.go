@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rfview/internal/catalog"
 	"rfview/internal/core"
@@ -396,5 +397,6 @@ func (m *Manager) refreshPartitioned(sv *seqView) error {
 	sv.parts = parts
 	sv.stale = false
 	sv.staleWhy = ""
+	sv.staleSince = time.Time{}
 	return m.fillPartitionedBacking(sv)
 }

@@ -2,6 +2,7 @@ package mview
 
 import (
 	"fmt"
+	"time"
 
 	"rfview/internal/catalog"
 	"rfview/internal/core"
@@ -79,6 +80,10 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 		valType = backing.Columns[vi].Type
 	}
 	sv := &seqView{mv: &mv, agg: agg, valType: valType, stale: spec.Stale, staleWhy: spec.StaleWhy}
+	if spec.Stale {
+		// Recovered staleness has unknown onset; age counts from restore.
+		sv.staleSince = time.Now()
+	}
 	if mv.PartColumn != "" {
 		// Partitioned views need a non-nil partition map even while stale so
 		// REFRESH takes the partitioned path.

@@ -489,3 +489,7 @@ func (r *requalify) Describe() string { return "Subquery AS " + r.alias }
 
 // Children implements exec.Operator.
 func (r *requalify) Children() []exec.Operator { return []exec.Operator{r.input} }
+
+// SetChildren implements exec.Rewirable, so EXPLAIN ANALYZE probes reach
+// inside derived tables.
+func (r *requalify) SetChildren(children []exec.Operator) { r.input = children[0] }

@@ -12,6 +12,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,6 +42,13 @@ type Options struct {
 	// evaluate partitions concurrently: 0 resolves to GOMAXPROCS at plan
 	// time, 1 forces sequential evaluation, N > 1 allows up to N workers.
 	WindowParallelism int
+	// Ctx, when set, is stamped onto planned Window operators so the worker
+	// pool (and the input drain) observe the caller's cancellation. Planners
+	// are per-query, so carrying the request context here is sound.
+	Ctx context.Context
+	// WindowStats, when set, is stamped onto planned Window operators to
+	// collect parallelism-utilization counters.
+	WindowStats *exec.WindowStats
 }
 
 // DefaultOptions enables everything; window parallelism resolves to
@@ -504,6 +512,8 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 		}
 		win := exec.NewWindow(op, pb, ob, funcs)
 		win.Parallelism = p.Opts.windowParallelism()
+		win.Ctx = p.Opts.Ctx
+		win.Stats = p.Opts.WindowStats
 		op = win
 	}
 	return op, newItems, nil

@@ -13,6 +13,13 @@
 //	exec     execute a statement, return the affected count
 //	explain  plan a read statement, return the plan text
 //	stats    server and session counters, plan cache stats, parallelism
+//	metrics  Prometheus text exposition of the engine's registry
+//
+// Failed requests carry a stable machine-readable "code" field (see
+// rfview/errors) alongside the human-readable "error" text; clients map the
+// code back onto the same error sentinels the embedded engine returns. A
+// request may set "timeout_ms" to bound its execution; statements that
+// exceed it abort with code "cancelled".
 //
 // Example session:
 //
@@ -30,17 +37,26 @@ import (
 type Request struct {
 	// ID is echoed verbatim in the response so clients can match replies.
 	ID uint64 `json:"id"`
-	// Op is one of "ping", "query", "exec", "explain", "stats".
+	// Op is one of "ping", "query", "exec", "explain", "stats", "metrics".
 	Op string `json:"op"`
-	// SQL is the statement text (unused for ping).
+	// SQL is the statement text (unused for ping/stats/metrics).
 	SQL string `json:"sql,omitempty"`
+	// TimeoutMs, when positive, cancels the statement after this many
+	// milliseconds; the response then carries code "cancelled".
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Analyze asks query/explain ops for the instrumented plan (per-operator
+	// rows and timings) in the response's "plan" field.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Response is one server→client message.
 type Response struct {
-	ID      uint64 `json:"id"`
-	OK      bool   `json:"ok"`
-	Error   string `json:"error,omitempty"`
+	ID    uint64 `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the stable machine-readable error classification (see
+	// rfview/errors.Code); empty on success.
+	Code    string `json:"code,omitempty"`
 	Session uint64 `json:"session,omitempty"`
 
 	Columns  []string `json:"columns,omitempty"`
@@ -53,6 +69,8 @@ type Response struct {
 	ElapsedUs int64 `json:"elapsed_us,omitempty"`
 	// Stats carries the answer to a "stats" request.
 	Stats *StatsReply `json:"stats,omitempty"`
+	// Metrics carries the Prometheus text exposition for a "metrics" request.
+	Metrics string `json:"metrics,omitempty"`
 }
 
 // StatsReply is the payload of a "stats" response: server-wide counters,

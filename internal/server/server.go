@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	rferrors "rfview/errors"
 	"rfview/internal/engine"
+	"rfview/internal/metrics"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
@@ -62,11 +64,29 @@ type Server struct {
 	accepted atomic.Uint64
 	requests atomic.Uint64
 	errors   atomic.Uint64
+
+	// opSeconds times each protocol op; inFlight counts requests currently
+	// being dispatched. Both live on the engine's registry so one scrape
+	// covers engine, WAL, and server.
+	opSeconds *metrics.HistogramVec
+	inFlight  *metrics.Gauge
 }
 
 // New wraps an engine in a server.
 func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, started: time.Now(), sessions: make(map[*Session]struct{})}
+	s := &Server{eng: eng, started: time.Now(), sessions: make(map[*Session]struct{})}
+	reg := eng.Metrics()
+	s.opSeconds = reg.HistogramVec("rfview_server_op_seconds",
+		"Server-side request latency, by protocol op.", "op", metrics.DefBuckets)
+	s.inFlight = reg.Gauge("rfview_server_in_flight_requests",
+		"Requests currently being dispatched.")
+	reg.GaugeFunc("rfview_server_active_sessions",
+		"Connections open right now.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+	return s
 }
 
 // Stats returns a snapshot of the server counters.
@@ -217,12 +237,17 @@ func (s *Server) serveConn(sess *Session) {
 func (s *Server) dispatch(sess *Session, req *Request) Response {
 	resp := Response{ID: req.ID, Session: sess.ID}
 	start := time.Now()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	switch req.Op {
 	case "ping":
 		resp.OK = true
 	case "stats":
 		resp.OK = true
 		resp.Stats = s.statsReply(sess)
+	case "metrics":
+		resp.OK = true
+		resp.Metrics = s.eng.Metrics().Expose()
 	case "query", "exec", "explain":
 		sql := req.SQL
 		if req.Op == "exec" {
@@ -231,11 +256,26 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 			sess.queries.Add(1)
 		}
 		if req.Op == "explain" {
-			sql = "EXPLAIN " + sql
+			if req.Analyze {
+				sql = "EXPLAIN ANALYZE " + sql
+			} else {
+				sql = "EXPLAIN " + sql
+			}
 		}
-		res, err := s.eng.Exec(sql)
+		ctx := context.Background()
+		if req.TimeoutMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+			defer cancel()
+		}
+		var opts []engine.ExecOption
+		if req.Analyze && req.Op != "explain" {
+			opts = append(opts, engine.WithAnalyze())
+		}
+		res, err := s.eng.ExecContext(ctx, sql, opts...)
 		if err != nil {
 			resp.Error = err.Error()
+			resp.Code = string(rferrors.CodeOf(err))
 			break
 		}
 		resp.OK = true
@@ -246,11 +286,22 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 		} else {
 			resp.Columns = res.Columns
 			resp.Rows = rowsToJSON(res.Rows)
+			resp.Plan = res.Analyzed
 		}
 	default:
 		resp.Error = fmt.Sprintf("unknown op %q", req.Op)
+		resp.Code = string(rferrors.CodeUnsupported)
 	}
 	resp.ElapsedUs = time.Since(start).Microseconds()
+	// Unknown ops share one label value: client-controlled strings must not
+	// mint unbounded series.
+	op := req.Op
+	switch op {
+	case "ping", "stats", "metrics", "query", "exec", "explain":
+	default:
+		op = "unknown"
+	}
+	s.opSeconds.With(op).ObserveDuration(time.Since(start))
 	return resp
 }
 

@@ -128,12 +128,22 @@ func (*RefreshMatView) stmt() {}
 
 func (s *RefreshMatView) String() string { return "REFRESH MATERIALIZED VIEW " + s.Name }
 
-// Explain wraps a statement to request its plan.
-type Explain struct{ Stmt Statement }
+// Explain wraps a statement to request its plan. With Analyze set the
+// statement is actually executed and the plan is annotated with per-operator
+// row counts and wall time.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 
-func (s *Explain) String() string { return "EXPLAIN " + s.Stmt.String() }
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}
 
 // ---------------------------------------------------------------------------
 // DML

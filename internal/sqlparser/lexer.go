@@ -36,7 +36,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
 	"MATERIALIZED": true, "VIEW": true, "DROP": true, "REFRESH": true,
 	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
-	"DELETE": true, "EXPLAIN": true, "ASC": true, "DESC": true,
+	"DELETE": true, "EXPLAIN": true, "ANALYZE": true, "ASC": true, "DESC": true,
 	"TRUE": true, "FALSE": true,
 	"INTEGER": true, "INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true,
 	"VARCHAR": true, "TEXT": true, "DATE": true, "BOOLEAN": true,

@@ -171,11 +171,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSelectStatement()
 	case p.atKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.acceptKeyword("ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case p.atKeyword("CREATE"):
 		return p.parseCreate()
 	case p.atKeyword("DROP"):

@@ -59,6 +59,11 @@ type Log struct {
 	nextLSN uint64
 	dirty   bool // unsynced appends under SyncInterval
 
+	// ObserveFsync, when set, receives the duration of every segment fsync.
+	// Set it before the log sees concurrent use (the manager wires it at
+	// open time).
+	ObserveFsync func(time.Duration)
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -115,7 +120,7 @@ func openLog(dataDir string, nextLSN uint64, policy SyncPolicy, segmentBytes int
 // construction, never records the engine still depends on.
 func (l *Log) rotateLocked() error {
 	if l.f != nil {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			return err
 		}
 		if err := l.f.Close(); err != nil {
@@ -154,7 +159,7 @@ func (l *Log) Append(sql string) (uint64, error) {
 	l.size += int64(len(buf))
 	switch l.policy {
 	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			return 0, err
 		}
 	case SyncInterval:
@@ -188,7 +193,18 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	l.dirty = false
-	return l.f.Sync()
+	return l.syncFile()
+}
+
+// syncFile fsyncs the active segment, timing it for the fsync-latency
+// histogram. Callers hold l.mu and have checked l.f != nil.
+func (l *Log) syncFile() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if l.ObserveFsync != nil {
+		l.ObserveFsync(time.Since(start))
+	}
+	return err
 }
 
 // Truncate deletes every segment whose records are all ≤ throughLSN (they

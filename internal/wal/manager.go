@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rfview/internal/engine"
+	"rfview/internal/metrics"
 )
 
 // Options configures a durability manager.
@@ -55,6 +56,10 @@ type Manager struct {
 	// exclusive lock (write hooks and Quiesce'd checkpoints).
 	sinceCheckpoint int
 	checkpointErr   error
+
+	// checkpoint instruments, wired by instrumentMetrics.
+	checkpointSeconds *metrics.Histogram
+	checkpoints       *metrics.Counter
 
 	closeOnce sync.Once
 	closeErr  error
@@ -111,6 +116,7 @@ func Open(opts Options, engOpts engine.Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.instrumentMetrics()
 	// Recovery ends with a checkpoint: the replayed tail is folded into a
 	// snapshot, bounding the next recovery and clearing any torn tail from
 	// disk. Nothing is concurrent yet, so no lock is needed.
@@ -169,6 +175,7 @@ func (m *Manager) Checkpoint() error {
 //     records;
 //  4. prune old snapshots, keeping one fallback.
 func (m *Manager) checkpointLocked() error {
+	start := time.Now()
 	lsn := m.log.LastLSN()
 	snap, err := captureState(m.eng, lsn)
 	if err != nil {
@@ -185,6 +192,10 @@ func (m *Manager) checkpointLocked() error {
 	}
 	m.sinceCheckpoint = 0
 	m.checkpointErr = nil
+	if m.checkpointSeconds != nil {
+		m.checkpointSeconds.Observe(time.Since(start).Seconds())
+		m.checkpoints.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,33 @@
+package wal
+
+import (
+	"time"
+
+	"rfview/internal/metrics"
+)
+
+// instrumentMetrics attaches the durability subsystem's instruments to the
+// engine's registry, so one /metrics scrape covers the whole stack. Called
+// from Open after the log exists and before any concurrent use.
+func (m *Manager) instrumentMetrics() {
+	reg := m.eng.Metrics()
+	fsync := reg.Histogram("rfview_wal_fsync_seconds",
+		"WAL segment fsync latency.", metrics.DefBuckets)
+	m.log.ObserveFsync = func(d time.Duration) { fsync.Observe(d.Seconds()) }
+	m.checkpointSeconds = reg.Histogram("rfview_wal_checkpoint_seconds",
+		"Checkpoint duration: snapshot write plus WAL truncation.", metrics.DefBuckets)
+	m.checkpoints = reg.Counter("rfview_wal_checkpoints_total",
+		"Checkpoints completed successfully.")
+	reg.GaugeFunc("rfview_wal_segments",
+		"WAL segment files on disk.", func() float64 {
+			segs, err := listSegments(m.opts.Dir)
+			if err != nil {
+				return 0
+			}
+			return float64(len(segs))
+		})
+	reg.GaugeFunc("rfview_wal_last_lsn",
+		"LSN of the most recently appended WAL record.", func() float64 {
+			return float64(m.log.LastLSN())
+		})
+}

@@ -46,8 +46,8 @@ type SnapColumn struct {
 
 // SnapTable is one dumped heap.
 type SnapTable struct {
-	Name    string       `json:"name"`
-	Columns []SnapColumn `json:"columns"`
+	Name    string        `json:"name"`
+	Columns []SnapColumn  `json:"columns"`
 	Rows    [][]SnapDatum `json:"rows"`
 }
 

@@ -21,8 +21,12 @@
 package rfview
 
 import (
+	"context"
+	"time"
+
 	"rfview/internal/core"
 	"rfview/internal/engine"
+	"rfview/internal/metrics"
 	"rfview/internal/rewrite"
 	"rfview/internal/sqltypes"
 )
@@ -69,14 +73,59 @@ func Open(opts Options) *DB { return &DB{eng: engine.New(opts)} }
 // OpenDefault creates an empty warehouse with DefaultOptions.
 func OpenDefault() *DB { return Open(DefaultOptions()) }
 
+// ExecOption adjusts one ExecContext/QueryContext call.
+type ExecOption = engine.ExecOption
+
+// WithAnalyze executes the statement instrumented and fills Result.Analyzed
+// with per-operator row counts and timings (as EXPLAIN ANALYZE reports).
+func WithAnalyze() ExecOption { return engine.WithAnalyze() }
+
+// SlowQuery re-exports the slow-query log record.
+type SlowQuery = engine.SlowQuery
+
 // Exec parses and executes one SQL statement.
+//
+// Deprecated: new code should use ExecContext, which supports cancellation
+// and per-call options.
 func (db *DB) Exec(sql string) (*Result, error) { return db.eng.Exec(sql) }
 
+// ExecContext parses and executes one SQL statement. Cancelling ctx aborts
+// execution at the next operator boundary with an error matching
+// rfview/errors.ErrCancelled.
+func (db *DB) ExecContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
+	return db.eng.ExecContext(ctx, sql, opts...)
+}
+
 // ExecAll executes a semicolon-separated script.
+//
+// Deprecated: new code should use ExecAllContext.
 func (db *DB) ExecAll(sql string) ([]*Result, error) { return db.eng.ExecAll(sql) }
 
+// ExecAllContext executes a semicolon-separated script under ctx.
+func (db *DB) ExecAllContext(ctx context.Context, sql string) ([]*Result, error) {
+	return db.eng.ExecAllContext(ctx, sql)
+}
+
 // Query is Exec for statements expected to return rows.
+//
+// Deprecated: new code should use QueryContext.
 func (db *DB) Query(sql string) (*Result, error) { return db.eng.Exec(sql) }
+
+// QueryContext is ExecContext for statements expected to return rows.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
+	return db.eng.ExecContext(ctx, sql, opts...)
+}
+
+// Metrics returns the engine's metrics registry: use Expose for the
+// Prometheus text rendering or Handler to serve it over HTTP.
+func (db *DB) Metrics() *metrics.Registry { return db.eng.Metrics() }
+
+// SetSlowQueryLog arms the slow-query log: read statements slower than
+// threshold are reported to sink with their analyzed plan. Zero threshold or
+// nil sink disarms.
+func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(SlowQuery)) {
+	db.eng.SetSlowQueryLog(threshold, sink)
+}
 
 // Engine exposes the underlying engine for advanced use (option toggling,
 // the view manager's ShiftInsert/ShiftDelete positional operations).
