@@ -5,15 +5,18 @@
 //
 //	rfserverd [-addr host:port] [-init script.sql] [-plan-cache N]
 //	          [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every N]
-//	          [-no-native-window] [-no-indexes] [-no-views]
+//	          [-no-native-window] [-no-indexes] [-no-views] [-no-vectorized]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
 //	          [-window-parallelism N]
-//	          [-metrics-addr host:port] [-slow-query-ms N]
+//	          [-metrics-addr host:port] [-pprof-addr host:port] [-slow-query-ms N]
 //
 // -metrics-addr starts an HTTP listener serving the engine's Prometheus
 // text exposition at /metrics (the same payload the protocol's "metrics" op
-// returns). -slow-query-ms logs every read statement slower than N
-// milliseconds, with its analyzed per-operator plan.
+// returns). -pprof-addr starts a net/http/pprof listener (intended for
+// loopback addresses: profiles expose query shapes) for CPU/heap profiling.
+// -slow-query-ms logs every read statement slower than N milliseconds, with
+// its analyzed per-operator plan. -no-vectorized forces the boxed executor
+// path, for A/B measurement against the typed columnar fast path.
 //
 // With -data-dir the server is durable: every committed DDL/DML/REFRESH is
 // written ahead to a logical WAL under DIR, state is periodically
@@ -35,6 +38,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served by -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -62,7 +66,9 @@ func main() {
 	form := flag.String("form", "disjunctive", "derivation pattern form: disjunctive, union")
 	windowPar := flag.Int("window-parallelism", 0,
 		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
+	noVectorized := flag.Bool("no-vectorized", false, "disable the typed columnar fast path (key-normalized sorts, typed window kernels)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof (empty = disabled; use a loopback address)")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds, with their analyzed plan (0 disables)")
 	flag.Parse()
 
@@ -71,6 +77,7 @@ func main() {
 	opts.WindowParallelism = *windowPar
 	opts.UseIndexes = !*noIndexes
 	opts.UseMatViews = !*noViews
+	opts.DisableVectorized = *noVectorized
 	switch strings.ToLower(*strategy) {
 	case "auto":
 		opts.Strategy = rewrite.StrategyAuto
@@ -152,6 +159,21 @@ func main() {
 		go func() {
 			if err := http.Serve(mlis, mux); err != nil {
 				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; serve that mux only on this listener, so the
+		// profiling surface never shares a port with metrics or the protocol.
+		plis, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", plis.Addr())
+		go func() {
+			if err := http.Serve(plis, nil); err != nil {
+				log.Printf("pprof: %v", err)
 			}
 		}()
 	}

@@ -29,16 +29,27 @@ type WindowConfig struct {
 	Seed             int64
 }
 
-// DefaultWindowConfig is the configuration bench_window.sh records.
+// DefaultWindowConfig is the configuration bench_window.sh records. Nine
+// trials (up from five) keep the medians stable enough to compare the
+// vectorized and boxed runs on a noisy shared host.
 func DefaultWindowConfig() WindowConfig {
-	return WindowConfig{Partitions: 64, RowsPerPartition: 500, Trials: 5, Seed: 20020301}
+	return WindowConfig{Partitions: 64, RowsPerPartition: 500, Trials: 9, Seed: 20020301}
 }
 
-// WindowRow is one measured worker setting.
+// WindowRow is one measured worker setting. AllocsPerOp and BytesPerOp are
+// per-trial medians of the runtime.MemStats Mallocs / TotalAlloc deltas
+// around one query execution, recording the allocation cost alongside wall
+// time (pooled executor buffers show up here long before a single-core host
+// shows a wall-time win). Boxed marks the DisableVectorized reference run:
+// the same workload at workers=1 with the typed columnar fast path off, so
+// the report carries its own before/after pair on the measuring host.
 type WindowRow struct {
-	Workers int
-	Median  time.Duration
-	Trials  []time.Duration
+	Workers     int
+	Median      time.Duration
+	Trials      []time.Duration
+	AllocsPerOp uint64
+	BytesPerOp  uint64
+	Boxed       bool
 }
 
 // windowBenchQuery is the measured statement.
@@ -84,27 +95,37 @@ func loadPartitionedTable(e *engine.Engine, cfg WindowConfig) error {
 // RunWindowParallel executes the workload at each worker setting and returns
 // one row per setting, with per-trial timings and the median. The sequential
 // (workers=1) result is additionally checked against every parallel result.
+// A final workers=1 run with DisableVectorized (the boxed Datum path) is
+// appended as the allocation/latency reference for the typed fast path.
 func RunWindowParallel(cfg WindowConfig, workerSettings []int) ([]WindowRow, error) {
-	out := make([]WindowRow, 0, len(workerSettings))
+	out := make([]WindowRow, 0, len(workerSettings)+1)
 	var reference []float64
-	for _, w := range workerSettings {
+
+	measure := func(workers int, boxed bool) (WindowRow, error) {
 		opts := engine.DefaultOptions()
 		opts.UseMatViews = false
-		opts.WindowParallelism = w
+		opts.WindowParallelism = workers
+		opts.DisableVectorized = boxed
 		e := engine.New(opts)
 		e.SetPlanCacheCapacity(0) // every trial must run the operator
 		if err := loadPartitionedTable(e, cfg); err != nil {
-			return nil, err
+			return WindowRow{}, err
 		}
-		row := WindowRow{Workers: w}
+		row := WindowRow{Workers: workers, Boxed: boxed}
 		var lastSums []float64
+		var allocs, bytes []uint64
 		for t := 0; t < cfg.Trials; t++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res, err := e.Exec(windowBenchQuery)
 			d := time.Since(start)
 			if err != nil {
-				return nil, err
+				return WindowRow{}, err
 			}
+			runtime.ReadMemStats(&after)
+			allocs = append(allocs, after.Mallocs-before.Mallocs)
+			bytes = append(bytes, after.TotalAlloc-before.TotalAlloc)
 			row.Trials = append(row.Trials, d)
 			if t == cfg.Trials-1 {
 				lastSums = make([]float64, 0, len(res.Rows))
@@ -117,15 +138,39 @@ func RunWindowParallel(cfg WindowConfig, workerSettings []int) ([]WindowRow, err
 		if reference == nil {
 			reference = lastSums
 		} else if !sameFloats(reference, lastSums) {
-			return nil, fmt.Errorf("workers=%d: result differs from workers=%d reference",
-				w, workerSettings[0])
+			return WindowRow{}, fmt.Errorf("workers=%d boxed=%v: result differs from reference",
+				workers, boxed)
 		}
 		sorted := append([]time.Duration(nil), row.Trials...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		row.Median = sorted[len(sorted)/2]
+		row.AllocsPerOp = medianU64(allocs)
+		row.BytesPerOp = medianU64(bytes)
+		return row, nil
+	}
+
+	for _, w := range workerSettings {
+		row, err := measure(w, false)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, row)
 	}
+	boxedRow, err := measure(1, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, boxedRow)
 	return out, nil
+}
+
+func medianU64(vals []uint64) uint64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 func sameFloats(a, b []float64) bool {
@@ -146,17 +191,26 @@ func sameFloats(a, b []float64) bool {
 // note that the serial cap, not the operator, bounds the number.
 func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 	type runJSON struct {
-		Workers  int       `json:"workers"`
-		MedianMs float64   `json:"median_ms"`
-		TrialsMs []float64 `json:"trials_ms"`
+		Workers     int       `json:"workers"`
+		MedianMs    float64   `json:"median_ms"`
+		TrialsMs    []float64 `json:"trials_ms"`
+		AllocsPerOp uint64    `json:"allocs_per_op"`
+		BPerOp      uint64    `json:"b_per_op"`
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	runs := make([]runJSON, 0, len(rows))
-	var seq, best runJSON
+	var seq, best, boxed runJSON
+	haveBoxed := false
 	for _, r := range rows {
-		rj := runJSON{Workers: r.Workers, MedianMs: ms(r.Median)}
+		rj := runJSON{Workers: r.Workers, MedianMs: ms(r.Median),
+			AllocsPerOp: r.AllocsPerOp, BPerOp: r.BytesPerOp}
 		for _, t := range r.Trials {
 			rj.TrialsMs = append(rj.TrialsMs, ms(t))
+		}
+		if r.Boxed {
+			boxed = rj
+			haveBoxed = true
+			continue
 		}
 		runs = append(runs, rj)
 		if r.Workers == 1 {
@@ -186,6 +240,26 @@ func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 		out["speedup_best_vs_sequential"] = roundTo(seq.MedianMs/best.MedianMs, 3)
 		out["best_workers"] = best.Workers
 	}
+	if haveBoxed && seq.Workers == 1 {
+		// The same workload with DisableVectorized — the pre-fast-path executor
+		// (boxed Datum sorts and accumulators) measured on this host, so the
+		// vectorized/boxed pair travels together in the report.
+		out["baseline_boxed"] = map[string]any{
+			"workers":       1,
+			"median_ms":     boxed.MedianMs,
+			"trials_ms":     boxed.TrialsMs,
+			"allocs_per_op": boxed.AllocsPerOp,
+			"b_per_op":      boxed.BPerOp,
+		}
+		if boxed.MedianMs > 0 && boxed.AllocsPerOp > 0 {
+			out["vectorized_vs_boxed"] = map[string]any{
+				"median_speedup": roundTo(boxed.MedianMs/seq.MedianMs, 3),
+				"allocs_ratio":   roundTo(float64(seq.AllocsPerOp)/float64(boxed.AllocsPerOp), 3),
+				"bytes_ratio":    roundTo(float64(seq.BPerOp)/float64(boxed.BPerOp), 3),
+				"note":           "workers=1 typed columnar fast path vs DisableVectorized on the same host",
+			}
+		}
+	}
 	if runtime.NumCPU() == 1 {
 		out["note"] = "single-CPU host: all pool workers share one core, so the " +
 			"parallel settings can only match the sequential median (§6 partitions " +
@@ -210,10 +284,10 @@ func roundTo(v float64, places int) float64 {
 // FormatWindow renders a human-readable table of the experiment.
 func FormatWindow(rows []WindowRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s  %-12s  %s\n", "workers", "median", "trials")
+	fmt.Fprintf(&b, "%-8s  %-12s  %-12s  %-12s  %s\n", "workers", "median", "allocs/op", "B/op", "trials")
 	var seq time.Duration
 	for _, r := range rows {
-		if r.Workers == 1 {
+		if r.Workers == 1 && !r.Boxed {
 			seq = r.Median
 		}
 	}
@@ -222,9 +296,13 @@ func FormatWindow(rows []WindowRow) string {
 		for i, t := range r.Trials {
 			parts[i] = t.Round(10 * time.Microsecond).String()
 		}
-		line := fmt.Sprintf("%-8d  %-12s  %s", r.Workers,
-			r.Median.Round(10*time.Microsecond), strings.Join(parts, " "))
-		if seq > 0 && r.Workers > 1 {
+		label := fmt.Sprintf("%d", r.Workers)
+		if r.Boxed {
+			label += " boxed"
+		}
+		line := fmt.Sprintf("%-8s  %-12s  %-12d  %-12d  %s", label,
+			r.Median.Round(10*time.Microsecond), r.AllocsPerOp, r.BytesPerOp, strings.Join(parts, " "))
+		if seq > 0 && r.Workers > 1 && !r.Boxed {
 			line += fmt.Sprintf("   (%.2fx vs sequential)", float64(seq)/float64(r.Median))
 		}
 		b.WriteString(line + "\n")

@@ -64,6 +64,11 @@ type Options struct {
 	// full refreshes, which re-execute the view query through the same
 	// planner.
 	WindowParallelism int
+	// DisableVectorized switches off the executor's typed columnar fast
+	// path (memcomparable key-normalized sorts and typed window kernels),
+	// forcing the boxed Datum path. Results are identical either way; the
+	// knob exists for measurement and as an escape hatch.
+	DisableVectorized bool
 }
 
 // DefaultOptions enables every feature with automatic strategy selection.
@@ -398,6 +403,7 @@ func (e *Engine) planner(ctx context.Context) *plan.Planner {
 		WindowParallelism: e.Opts.WindowParallelism,
 		Ctx:               ctx,
 		WindowStats:       e.winStats,
+		DisableVectorized: e.Opts.DisableVectorized,
 	})
 }
 

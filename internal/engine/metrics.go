@@ -67,6 +67,18 @@ func (e *Engine) initMetrics() {
 			}
 			return float64(e.winStats.WorkersUsed.Load()) / float64(runs)
 		})
+	e.reg.GaugeFunc("rfview_sort_normalized_total",
+		"Partition orderings that ran on memcomparable byte keys.",
+		func() float64 { return float64(e.winStats.NormalizedSorts.Load()) })
+	e.reg.GaugeFunc("rfview_sort_comparator_total",
+		"Partition orderings that fell back to the Compare-based sort.",
+		func() float64 { return float64(e.winStats.ComparatorSorts.Load()) })
+	e.reg.GaugeFunc("rfview_window_kernel_typed_total",
+		"Window-function evaluations served by a typed columnar kernel.",
+		func() float64 { return float64(e.winStats.TypedKernels.Load()) })
+	e.reg.GaugeFunc("rfview_window_kernel_boxed_total",
+		"Window-function evaluations that used the boxed accumulator path.",
+		func() float64 { return float64(e.winStats.BoxedKernels.Load()) })
 }
 
 // Metrics returns the engine's metrics registry, for exposition and for

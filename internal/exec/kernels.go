@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"rfview/internal/sqltypes"
+)
+
+// Typed window kernels: the §2.2 slide (Add/Remove) and the MIN/MAX monotonic
+// deque specialized to raw []int64 / []float64 argument columns. A kernel runs
+// only when the column is homogeneous and NULL-free (see runTypedKernel), so
+// the inner loops carry no Datum boxing, no NULL tests, and no per-step error
+// returns. Each kernel replicates the exact arithmetic sequence of the boxed
+// accumulators in expr/agg.go — same reseed condition, same grow-right-then-
+// shrink-left order, same float operation order — so typed and boxed paths
+// produce bit-identical results and the runtime fallback is invisible.
+
+// kernelCount fills COUNT over a NULL-free column (or COUNT(*)): the frame
+// size. Matches countAcc, which increments once per non-NULL Add.
+func kernelCount(frame FrameSpec, n int, out []sqltypes.Datum) {
+	for i := 0; i < n; i++ {
+		lo, hi := frame.rowRange(i, n)
+		if lo > hi {
+			out[i] = sqltypes.NewInt(0)
+			continue
+		}
+		out[i] = sqltypes.NewInt(int64(hi - lo + 1))
+	}
+}
+
+// kernelSumInt slides SUM over an all-int column. Integer sums are exact, so
+// only the empty-frame NULL and the reseed condition must mirror computeFrames.
+func kernelSumInt(frame FrameSpec, vals []int64, out []sqltypes.Datum) {
+	n := len(vals)
+	var sum int64
+	curLo, curHi := 0, -1
+	for i := 0; i < n; i++ {
+		lo, hi := frame.rowRange(i, n)
+		if lo > hi {
+			sum = 0
+			curLo, curHi = lo, lo-1
+			out[i] = sqltypes.NullDatum
+			continue
+		}
+		if lo < curLo || lo > curHi+1 || hi < curHi {
+			sum = 0
+			curLo, curHi = lo, lo-1
+		}
+		for curHi < hi {
+			curHi++
+			sum += vals[curHi]
+		}
+		for curLo < lo {
+			sum -= vals[curLo]
+			curLo++
+		}
+		out[i] = sqltypes.NewInt(sum)
+	}
+}
+
+// kernelSumFloat slides SUM over an all-float column. Float addition is not
+// associative, so the += / -= order must match sumAcc exactly: grow right with
+// Add, then shrink left with Remove, from a zero seed after every reseed.
+func kernelSumFloat(frame FrameSpec, vals []float64, out []sqltypes.Datum) {
+	n := len(vals)
+	var sum float64
+	curLo, curHi := 0, -1
+	for i := 0; i < n; i++ {
+		lo, hi := frame.rowRange(i, n)
+		if lo > hi {
+			sum = 0
+			curLo, curHi = lo, lo-1
+			out[i] = sqltypes.NullDatum
+			continue
+		}
+		if lo < curLo || lo > curHi+1 || hi < curHi {
+			sum = 0
+			curLo, curHi = lo, lo-1
+		}
+		for curHi < hi {
+			curHi++
+			sum += vals[curHi]
+		}
+		for curLo < lo {
+			sum -= vals[curLo]
+			curLo++
+		}
+		out[i] = sqltypes.NewFloat(sum)
+	}
+}
+
+// kernelAvg slides AVG over an all-int or all-float column. avgAcc accumulates
+// float64(d.Float()) regardless of input type, so one generic body reproduces
+// both: for float64 the conversion is the identity.
+func kernelAvg[T int64 | float64](frame FrameSpec, vals []T, out []sqltypes.Datum) {
+	n := len(vals)
+	var sum float64
+	var cnt int64
+	curLo, curHi := 0, -1
+	for i := 0; i < n; i++ {
+		lo, hi := frame.rowRange(i, n)
+		if lo > hi {
+			sum, cnt = 0, 0
+			curLo, curHi = lo, lo-1
+			out[i] = sqltypes.NullDatum
+			continue
+		}
+		if lo < curLo || lo > curHi+1 || hi < curHi {
+			sum, cnt = 0, 0
+			curLo, curHi = lo, lo-1
+		}
+		for curHi < hi {
+			curHi++
+			sum += float64(vals[curHi])
+			cnt++
+		}
+		for curLo < lo {
+			sum -= float64(vals[curLo])
+			cnt--
+			curLo++
+		}
+		out[i] = sqltypes.NewFloat(sum / float64(cnt))
+	}
+}
+
+// kernelMinMax runs the monotonic deque over a raw slice. dq is a pooled
+// position stack; head replaces the boxed version's dq = dq[1:] so the backing
+// array stays reusable. mk boxes the winning value (NewInt or NewFloat).
+// Returns (dq, false) if the frame ever moves backwards — the same pathological
+// case the boxed deque hands to its quadratic fallback — letting the caller
+// route the whole function through the boxed path.
+func kernelMinMax[T int64 | float64](frame FrameSpec, vals []T, isMin bool, mk func(T) sqltypes.Datum, out []sqltypes.Datum, dq []int) ([]int, bool) {
+	n := len(vals)
+	dq = dq[:0]
+	head := 0
+	next := 0
+	prevLo := 0
+	for i := 0; i < n; i++ {
+		lo, hi := frame.rowRange(i, n)
+		if lo < prevLo {
+			return dq, false
+		}
+		prevLo = lo
+		for next <= hi {
+			v := vals[next]
+			for len(dq) > head {
+				b := vals[dq[len(dq)-1]]
+				// Pop ties too (<= / >=), matching the boxed deque: the later
+				// of equal values survives. Indistinguishable in the output —
+				// equal raw values box to equal datums — but kept identical
+				// so the two paths walk the same states.
+				if (isMin && v <= b) || (!isMin && v >= b) {
+					dq = dq[:len(dq)-1]
+					continue
+				}
+				break
+			}
+			dq = append(dq, next)
+			next++
+		}
+		for head < len(dq) && dq[head] < lo {
+			head++
+		}
+		if lo > hi || head == len(dq) {
+			out[i] = sqltypes.NullDatum
+		} else {
+			out[i] = mk(vals[dq[head]])
+		}
+	}
+	return dq, true
+}

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"slices"
+	"sync"
+
+	"rfview/internal/sqltypes"
+)
+
+// This file is the shared ordering fast path of the executor: both exec.Sort
+// and Window.computePartition sort row sets by normalizing the ORDER BY keys
+// into memcomparable byte strings once per row and comparing with
+// bytes.Compare, instead of paying an interface-dispatched Expr.Eval plus an
+// error-checked sqltypes.Compare per key on every one of the N·log N
+// comparisons. Columns the encoding cannot represent faithfully (Int/Float
+// mixes, NaN floats) fall back to a Compare-based sort whose key types were
+// already validated, so no error can surface mid-sort — fixing the old
+// comparator bug where a failed Compare kept sorting on garbage ordering and
+// was only checked after sort.SliceStable returned.
+
+// sortScratch holds the reusable buffers of one normalization run. Buffers
+// are pooled (see scratchPool) because partition-parallel windows run many
+// computePartition calls concurrently and each used to allocate its own key
+// matrix and permutation.
+type sortScratch struct {
+	datums []sqltypes.Datum // flat n×k key matrix, row-major
+	types  []sqltypes.Type  // first non-NULL type per key column
+	enc    [][]byte         // per-row normalized keys, slices into buf
+	buf    []byte           // arena backing enc
+	offs   []int            // per-row start offsets into buf
+	perm   []int
+	tmp    []int
+}
+
+// scratchPool recycles per-sort (and per-partition, see partScratch) buffers
+// across operator executions and worker goroutines.
+var sortScratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
+func getSortScratch() *sortScratch  { return sortScratchPool.Get().(*sortScratch) }
+func putSortScratch(s *sortScratch) { sortScratchPool.Put(s) }
+
+// grow resizes a slice to length n, reusing capacity when it suffices.
+// Retained elements are stale scratch; callers overwrite before reading.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// sortRowsByKeys stably sorts idx — indices into rows — by the given keys,
+// in place. With vectorize set it normalizes every key into an
+// order-preserving byte string and sorts by bytes.Compare; when a key column
+// defeats the encoding (an Int/Float mix, a NaN) or vectorize is off, it
+// sorts by sqltypes.Compare over the pre-evaluated key matrix. Either way
+// every key is evaluated and type-checked once per row before the sort runs:
+// incomparable key types (e.g. INTEGER vs VARCHAR produced by a CASE) return
+// the type error here, never from inside the sort comparator. Returns
+// whether the normalized path was taken.
+func sortRowsByKeys(rows []sqltypes.Row, idx []int, keys []SortKey, sc *sortScratch, vectorize bool) (bool, error) {
+	n, k := len(idx), len(keys)
+	if n < 2 || k == 0 {
+		return vectorize, nil
+	}
+	// Evaluate every key for every row in one pass; the matrix is the input
+	// to both sort paths and to validation.
+	if cap(sc.datums) < n*k {
+		sc.datums = make([]sqltypes.Datum, n*k)
+	} else {
+		sc.datums = sc.datums[:n*k]
+	}
+	for i, ri := range idx {
+		row := rows[ri]
+		base := i * k
+		for ki := range keys {
+			v, err := keys[ki].Expr.Eval(row)
+			if err != nil {
+				return false, err
+			}
+			sc.datums[base+ki] = v
+		}
+	}
+	// Validate each key column: a single non-NULL type (or a numeric mix)
+	// sorts; anything else is a type error, surfaced before any ordering
+	// work. The numeric-mix and NaN cases stay comparable but defeat the
+	// byte encoding, so they force the comparator path.
+	if cap(sc.types) < k {
+		sc.types = make([]sqltypes.Type, k)
+	} else {
+		sc.types = sc.types[:k]
+	}
+	encodable := vectorize
+	for ki := 0; ki < k; ki++ {
+		first := sqltypes.Null
+		for i := 0; i < n; i++ {
+			d := sc.datums[i*k+ki]
+			t := d.Typ()
+			if t == sqltypes.Null {
+				continue
+			}
+			if t == sqltypes.Float && math.IsNaN(d.Float()) {
+				encodable = false // NaN: not a total order under Compare
+			}
+			if first == sqltypes.Null {
+				first = t
+				continue
+			}
+			if t == first {
+				continue
+			}
+			if !sqltypes.Comparable(first, t) {
+				return false, &sqltypes.ErrTypeMismatch{Op: "compare", Left: first, Right: t}
+			}
+			encodable = false // Int/Float mix: exact int pairs vs float cross pairs
+		}
+		sc.types[ki] = first
+	}
+
+	sc.perm = grow(sc.perm, n)
+	for i := range sc.perm {
+		sc.perm[i] = i
+	}
+
+	if encodable {
+		// Normalize: one concatenated memcomparable key per row, packed into
+		// a single arena so the encoding allocates at most once per run.
+		sc.buf = sc.buf[:0]
+		sc.offs = grow(sc.offs, n+1)
+		for i := 0; i < n; i++ {
+			sc.offs[i] = len(sc.buf)
+			base := i * k
+			for ki := range keys {
+				sc.buf = sqltypes.EncodeKey(sc.buf, sc.datums[base+ki], keys[ki].Desc)
+			}
+		}
+		sc.offs[n] = len(sc.buf)
+		if cap(sc.enc) < n {
+			sc.enc = make([][]byte, n)
+		} else {
+			sc.enc = sc.enc[:n]
+		}
+		for i := 0; i < n; i++ {
+			sc.enc[i] = sc.buf[sc.offs[i]:sc.offs[i+1]]
+		}
+		enc := sc.enc
+		slices.SortStableFunc(sc.perm, func(a, b int) int {
+			return bytes.Compare(enc[a], enc[b])
+		})
+	} else {
+		datums, perm := sc.datums, sc.perm
+		slices.SortStableFunc(perm, func(a, b int) int {
+			ba, bb := a*k, b*k
+			for ki := range keys {
+				// Validation above guarantees Compare cannot fail here.
+				cmp, _ := sqltypes.Compare(datums[ba+ki], datums[bb+ki])
+				if cmp == 0 {
+					continue
+				}
+				if keys[ki].Desc {
+					return -cmp
+				}
+				return cmp
+			}
+			return 0
+		})
+	}
+
+	sc.tmp = grow(sc.tmp, n)
+	for i, pi := range sc.perm {
+		sc.tmp[i] = idx[pi]
+	}
+	copy(idx, sc.tmp)
+	return encodable, nil
+}

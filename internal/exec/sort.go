@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
@@ -22,10 +21,15 @@ func (k SortKey) String() string {
 }
 
 // Sort materializes its input and emits it ordered by the keys (ascending by
-// default, NULLs first; stable).
+// default, NULLs first; stable). Keys are normalized into memcomparable byte
+// strings where the column types allow it, so the sort runs on bytes.Compare
+// instead of per-key Compare calls; see keys.go for the fallback contract.
 type Sort struct {
 	Input Operator
 	Keys  []SortKey
+	// NoVectorize forces the Compare-based sort path; the zero value keeps
+	// key normalization on.
+	NoVectorize bool
 
 	rows []sqltypes.Row
 	pos  int
@@ -40,46 +44,15 @@ func (s *Sort) Open() error {
 	if err != nil {
 		return err
 	}
-	// Precompute key values per row so comparison errors surface here.
-	keys := make([][]sqltypes.Datum, len(rows))
-	for i, r := range rows {
-		kv := make([]sqltypes.Datum, len(s.Keys))
-		for ki, k := range s.Keys {
-			v, err := k.Expr.Eval(r)
-			if err != nil {
-				return err
-			}
-			kv[ki] = v
-		}
-		keys[i] = kv
-	}
 	idx := make([]int, len(rows))
 	for i := range idx {
 		idx[i] = i
 	}
-	var sortErr error
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for ki := range s.Keys {
-			cmp, err := sqltypes.Compare(ka[ki], kb[ki])
-			if err != nil {
-				if sortErr == nil {
-					sortErr = err
-				}
-				return false
-			}
-			if cmp == 0 {
-				continue
-			}
-			if s.Keys[ki].Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return sortErr
+	sc := getSortScratch()
+	_, err = sortRowsByKeys(rows, idx, s.Keys, sc, !s.NoVectorize)
+	putSortScratch(sc)
+	if err != nil {
+		return err
 	}
 	s.rows = make([]sqltypes.Row, len(rows))
 	for i, j := range idx {
@@ -111,7 +84,11 @@ func (s *Sort) Describe() string {
 	for i, k := range s.Keys {
 		parts[i] = k.String()
 	}
-	return "Sort " + joinTrunc(parts, 6)
+	vec := ""
+	if !s.NoVectorize {
+		vec = " vectorized=true"
+	}
+	return "Sort " + joinTrunc(parts, 6) + vec
 }
 
 // Children implements Operator.

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqlparser"
+	"rfview/internal/sqltypes"
+)
+
+// Microbenchmarks for the typed columnar fast path: each pair runs the same
+// operator with vectorization on (key-normalized sorts, typed kernels) and
+// off (boxed Datum path), so `benchstat` or a CI artifact diff shows the
+// per-op time and allocation delta directly. No thresholds are enforced —
+// these are recorded measurements, not gates.
+
+func benchExpr(src string, schema *expr.Schema) expr.Expr {
+	ast, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	e, err := expr.Compile(ast, schema)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// benchSortRows builds n rows with a low-cardinality int key, a short string
+// key, and a payload column, per the given key shape.
+func benchSortRows(n int, shape string) ([]sqltypes.Row, *expr.Schema) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "k1", Type: sqltypes.Int},
+		expr.ColInfo{Name: "k2", Type: sqltypes.String},
+		expr.ColInfo{Name: "payload", Type: sqltypes.Int},
+	)
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		var k1 sqltypes.Datum
+		switch shape {
+		case "float":
+			k1 = sqltypes.NewFloat(rng.Float64() * 1000)
+		case "mixed":
+			if i%2 == 0 {
+				k1 = sqltypes.NewInt(int64(rng.Intn(1000)))
+			} else {
+				k1 = sqltypes.NewFloat(rng.Float64() * 1000)
+			}
+		default:
+			k1 = sqltypes.NewInt(int64(rng.Intn(1000)))
+		}
+		rows[i] = sqltypes.Row{
+			k1,
+			sqltypes.NewString(fmt.Sprintf("s%03d", rng.Intn(500))),
+			sqltypes.NewInt(int64(i)),
+		}
+	}
+	return rows, schema
+}
+
+// BenchmarkSortNormalizedVsCompare measures exec.Sort on both paths over
+// INT+STRING keys (byte-encodable), FLOAT keys, and an Int/Float-mixed key
+// column (which silently takes the comparator path on both settings).
+func BenchmarkSortNormalizedVsCompare(b *testing.B) {
+	const n = 4096
+	for _, shape := range []string{"int", "float", "mixed"} {
+		rows, schema := benchSortRows(n, shape)
+		keys := []SortKey{
+			{Expr: benchExpr("k1", schema)},
+			{Expr: benchExpr("k2", schema), Desc: true},
+		}
+		for _, mode := range []struct {
+			name  string
+			noVec bool
+		}{{"normalized", false}, {"compare", true}} {
+			b.Run(shape+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := &Sort{Input: NewValues(schema, rows), Keys: keys, NoVectorize: mode.noVec}
+					if _, err := Collect(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchWindowRows builds parts partitions of rowsPer rows each, with val
+// datums of the given shape ("mixed" alternates Int and Float — the
+// fallback-forcing DECIMAL stand-in).
+func benchWindowRows(parts, rowsPer int, shape string) []sqltypes.Row {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]sqltypes.Row, 0, parts*rowsPer)
+	for g := 0; g < parts; g++ {
+		for i := 1; i <= rowsPer; i++ {
+			var val sqltypes.Datum
+			switch shape {
+			case "float":
+				val = sqltypes.NewFloat(rng.Float64() * 100)
+			case "mixed":
+				if i%2 == 0 {
+					val = sqltypes.NewInt(int64(rng.Intn(100)))
+				} else {
+					val = sqltypes.NewFloat(rng.Float64() * 100)
+				}
+			default:
+				val = sqltypes.NewInt(int64(rng.Intn(100)))
+			}
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewInt(int64(g)), sqltypes.NewInt(int64(i)), val,
+			})
+		}
+	}
+	return rows
+}
+
+// BenchmarkWindowTypedVsBoxed measures the Window operator — sliding
+// SUM/MIN/AVG over 8 partitions of 512 rows — with typed kernels against the
+// boxed accumulator path, for INT, FLOAT, and mixed argument columns (mixed
+// falls back at runtime on both settings, so that pair bounds the fast-path
+// bookkeeping overhead).
+func BenchmarkWindowTypedVsBoxed(b *testing.B) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "grp", Type: sqltypes.Int},
+		expr.ColInfo{Name: "pos", Type: sqltypes.Int},
+		expr.ColInfo{Name: "val", Type: sqltypes.Float},
+	)
+	grpEx := benchExpr("grp", schema)
+	posEx := benchExpr("pos", schema)
+	valEx := benchExpr("val", schema)
+	frame := FrameSpec{
+		Start: FrameBound{Kind: BoundPreceding, Offset: 8},
+		End:   FrameBound{Kind: BoundFollowing, Offset: 8},
+	}
+	funcs := []WindowFunc{
+		{Name: "SUM", Arg: valEx, Frame: frame, OutName: "s"},
+		{Name: "MIN", Arg: valEx, Frame: frame, OutName: "m"},
+		{Name: "AVG", Arg: valEx, Frame: frame, OutName: "a"},
+	}
+	for _, shape := range []string{"int", "float", "mixed"} {
+		rows := benchWindowRows(8, 512, shape)
+		for _, mode := range []struct {
+			name  string
+			noVec bool
+		}{{"typed", false}, {"boxed", true}} {
+			b.Run(shape+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w := NewWindow(NewValues(schema, rows), []expr.Expr{grpEx},
+						[]SortKey{{Expr: posEx}}, funcs)
+					w.NoVectorize = mode.noVec
+					if _, err := Collect(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// vecWindow builds a Window over (grp, pos, val) rows — PARTITION BY grp,
+// ORDER BY pos (optionally DESC) — with one function per aggregate name, all
+// over the val column (COUNT becomes COUNT(*)).
+func vecWindow(t *testing.T, rows []sqltypes.Row, frame FrameSpec, desc, noVec bool, aggs ...string) *Window {
+	t.Helper()
+	schema := pwSchema()
+	grpEx := mustCompile(t, "grp", schema)
+	posEx := mustCompile(t, "pos", schema)
+	valEx := mustCompile(t, "val", schema)
+	funcs := make([]WindowFunc, len(aggs))
+	for i, a := range aggs {
+		arg := valEx
+		if a == "COUNT" {
+			arg = nil
+		}
+		funcs[i] = WindowFunc{Name: a, Arg: arg, Frame: frame, OutName: fmt.Sprintf("w%d", i)}
+	}
+	w := NewWindow(valuesOp(schema, rows...), []expr.Expr{grpEx},
+		[]SortKey{{Expr: posEx, Desc: desc}}, funcs)
+	w.NoVectorize = noVec
+	return w
+}
+
+// vecValue draws one val datum for the given column shape.
+func vecValue(rng *rand.Rand, shape string) sqltypes.Datum {
+	if strings.Contains(shape, "null") && rng.Intn(4) == 0 {
+		return sqltypes.NullDatum // NULLs mid-column force the boxed kernel
+	}
+	switch {
+	case strings.HasPrefix(shape, "int"):
+		return sqltypes.NewInt(int64(rng.Intn(200) - 100))
+	case strings.HasPrefix(shape, "float"):
+		return sqltypes.NewFloat((rng.Float64() - 0.5) * 100)
+	default: // "mixed": the DECIMAL stand-in — Int/Float heterogeneous column
+		if rng.Intn(2) == 0 {
+			return sqltypes.NewInt(int64(rng.Intn(200) - 100))
+		}
+		return sqltypes.NewFloat((rng.Float64() - 0.5) * 100)
+	}
+}
+
+// TestWindowTypedMatchesBoxed is the fast-path/fallback boundary oracle at
+// the operator level: for every column shape (homogeneous INT and FLOAT —
+// typed kernels; NULL-bearing and Int/Float-mixed — boxed fallback), every
+// frame shape, and ASC/DESC ordering, the vectorized operator must produce
+// exactly the rows of the forced-boxed operator.
+func TestWindowTypedMatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	frames := []FrameSpec{
+		DefaultFrame(true),
+		DefaultFrame(false),
+		{Start: FrameBound{Kind: BoundPreceding, Offset: 2}, End: FrameBound{Kind: BoundFollowing, Offset: 1}},
+		{Start: FrameBound{Kind: BoundFollowing, Offset: 1}, End: FrameBound{Kind: BoundFollowing, Offset: 3}},
+		// Far-preceding band: empty frames on every short partition.
+		{Start: FrameBound{Kind: BoundPreceding, Offset: 9}, End: FrameBound{Kind: BoundPreceding, Offset: 4}},
+	}
+	aggs := []string{"SUM", "COUNT", "MIN", "MAX", "AVG"}
+	for _, shape := range []string{"int", "float", "int-null", "float-null", "mixed", "mixed-null"} {
+		t.Run(shape, func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				var rows []sqltypes.Row
+				groups := 1 + rng.Intn(5)
+				for g := 0; g < groups; g++ {
+					n := rng.Intn(20)
+					for i := 1; i <= n; i++ {
+						rows = append(rows, sqltypes.Row{
+							sqltypes.NewInt(int64(g)),
+							sqltypes.NewInt(int64(i)),
+							vecValue(rng, shape),
+						})
+					}
+				}
+				rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+				frame := frames[trial%len(frames)]
+				desc := trial%2 == 1
+				ctx := fmt.Sprintf("shape=%s trial=%d frame=%d desc=%v rows=%d",
+					shape, trial, trial%len(frames), desc, len(rows))
+				fast := mustCollect(t, vecWindow(t, rows, frame, desc, false, aggs...))
+				slow := mustCollect(t, vecWindow(t, rows, frame, desc, true, aggs...))
+				requireSameRows(t, slow, fast, ctx)
+			}
+		})
+	}
+}
+
+// TestWindowVectorizedStats pins the eligibility contract through the stats
+// counters: clean INT columns run typed kernels and normalized sorts; a NULL
+// in the argument column falls back to the boxed kernel but keeps the
+// normalized sort (NULL order keys still encode); NoVectorize forces both
+// fallbacks.
+func TestWindowVectorizedStats(t *testing.T) {
+	clean := []sqltypes.Row{intRow(1, 1, 10), intRow(1, 2, 20), intRow(2, 1, 5), intRow(2, 2, 6)}
+	withNull := []sqltypes.Row{
+		intRow(1, 1, 10),
+		{sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NullDatum},
+	}
+	run := func(rows []sqltypes.Row, noVec bool) *WindowStats {
+		st := &WindowStats{}
+		w := vecWindow(t, rows, DefaultFrame(true), false, noVec, "SUM", "COUNT")
+		w.Stats = st
+		mustCollect(t, w)
+		return st
+	}
+	st := run(clean, false)
+	if st.TypedKernels.Load() == 0 || st.BoxedKernels.Load() != 0 {
+		t.Fatalf("clean INT column: typed=%d boxed=%d", st.TypedKernels.Load(), st.BoxedKernels.Load())
+	}
+	if st.NormalizedSorts.Load() == 0 || st.ComparatorSorts.Load() != 0 {
+		t.Fatalf("clean INT keys: normalized=%d comparator=%d", st.NormalizedSorts.Load(), st.ComparatorSorts.Load())
+	}
+	st = run(withNull, false)
+	if st.BoxedKernels.Load() == 0 {
+		t.Fatalf("NULL in arg column must use the boxed kernel (typed=%d boxed=%d)",
+			st.TypedKernels.Load(), st.BoxedKernels.Load())
+	}
+	if st.TypedKernels.Load() == 0 {
+		t.Fatalf("COUNT(*) stays typed even with NULL args (typed=%d)", st.TypedKernels.Load())
+	}
+	if st.NormalizedSorts.Load() == 0 {
+		t.Fatalf("NULL-free order keys must still normalize")
+	}
+	st = run(clean, true)
+	if st.TypedKernels.Load() != 0 || st.NormalizedSorts.Load() != 0 {
+		t.Fatalf("NoVectorize must force boxed+comparator: typed=%d normalized=%d",
+			st.TypedKernels.Load(), st.NormalizedSorts.Load())
+	}
+	if st.BoxedKernels.Load() == 0 || st.ComparatorSorts.Load() == 0 {
+		t.Fatalf("NoVectorize counters missing: boxed=%d comparator=%d",
+			st.BoxedKernels.Load(), st.ComparatorSorts.Load())
+	}
+}
+
+// TestSortNormalizedMatchesComparator: the Sort operator must order random
+// heterogeneous-typed multi-key inputs identically on both paths, including
+// stable tie order (the payload column tracks input position) and Int/Float-
+// mixed key columns, which silently use the comparator path even when
+// vectorization is on.
+func TestSortNormalizedMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "a", Type: sqltypes.Int},
+		expr.ColInfo{Name: "b", Type: sqltypes.String},
+		expr.ColInfo{Name: "c", Type: sqltypes.Float},
+		expr.ColInfo{Name: "payload", Type: sqltypes.Int},
+	)
+	mkKey := func(col string, desc bool) SortKey {
+		return SortKey{Expr: mustCompile(t, col, schema), Desc: desc}
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(120)
+		rows := make([]sqltypes.Row, n)
+		for i := range rows {
+			a := sqltypes.NewInt(int64(rng.Intn(5))) // heavy ties
+			if rng.Intn(8) == 0 {
+				a = sqltypes.NullDatum
+			}
+			b := sqltypes.NewString(string([]byte{byte(rng.Intn(3)), byte(rng.Intn(3))}))
+			c := sqltypes.NewFloat(float64(rng.Intn(4)))
+			if rng.Intn(3) == 0 {
+				c = sqltypes.NewInt(int64(rng.Intn(4))) // mixed Int/Float key column
+			}
+			rows[i] = sqltypes.Row{a, b, c, sqltypes.NewInt(int64(i))}
+		}
+		keys := []SortKey{mkKey("a", trial%2 == 0), mkKey("b", trial%3 == 0), mkKey("c", trial%5 == 0)}
+		fast := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys})
+		slow := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys, NoVectorize: true})
+		requireSameRows(t, slow, fast, fmt.Sprintf("trial %d n=%d", trial, n))
+	}
+}
+
+// TestSortKeyTypeMismatchSurfaces is the satellite bug fix: a key column
+// mixing incomparable types (INT and VARCHAR) must fail with a type error
+// before any ordering happens — on both paths, in both Sort and Window. The
+// old comparator recorded the error but finished sorting on garbage order.
+func TestSortKeyTypeMismatchSurfaces(t *testing.T) {
+	schema := pwSchema()
+	rows := []sqltypes.Row{
+		intRow(1, 1, 10),
+		{sqltypes.NewInt(1), sqltypes.NewString("oops"), sqltypes.NewInt(20)}, // pos is a string
+		intRow(1, 3, 30),
+	}
+	for _, noVec := range []bool{false, true} {
+		s := &Sort{Input: valuesOp(schema, rows...), Keys: []SortKey{{Expr: mustCompile(t, "pos", schema)}}, NoVectorize: noVec}
+		_, err := Collect(s)
+		var tm *sqltypes.ErrTypeMismatch
+		if !errors.As(err, &tm) {
+			t.Fatalf("Sort noVec=%v: want ErrTypeMismatch, got %v", noVec, err)
+		}
+		w := vecWindow(t, rows, DefaultFrame(true), false, noVec, "SUM")
+		if _, err := Collect(w); !errors.As(err, &tm) {
+			t.Fatalf("Window noVec=%v: want ErrTypeMismatch, got %v", noVec, err)
+		}
+	}
+}
+
+// TestSortNaNKeyFallsBack: a NaN order key defeats the byte encoding (its
+// Compare ordering is not total) but must not error and must match the
+// comparator path exactly.
+func TestSortNaNKeyFallsBack(t *testing.T) {
+	schema := expr.NewSchema(
+		expr.ColInfo{Name: "k", Type: sqltypes.Float},
+		expr.ColInfo{Name: "payload", Type: sqltypes.Int},
+	)
+	rows := []sqltypes.Row{
+		{sqltypes.NewFloat(2), sqltypes.NewInt(0)},
+		{sqltypes.NewFloat(math.NaN()), sqltypes.NewInt(1)},
+		{sqltypes.NewFloat(1), sqltypes.NewInt(2)},
+		{sqltypes.NewFloat(math.NaN()), sqltypes.NewInt(3)},
+	}
+	keys := []SortKey{{Expr: mustCompile(t, "k", schema)}}
+	fast := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys})
+	slow := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys, NoVectorize: true})
+	requireSameRows(t, slow, fast, "NaN keys")
+}
+
+// TestWindowNegativeZeroMinMax: -0.0 and +0.0 are ties under Compare, so the
+// typed MIN/MAX deque must pick the same representative (the later of the
+// tied pair, matching the boxed deque's pop-on-tie) on both paths.
+func TestWindowNegativeZeroMinMax(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(1), sqltypes.NewFloat(negZero)},
+		{sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NewFloat(0)},
+		{sqltypes.NewInt(1), sqltypes.NewInt(3), sqltypes.NewFloat(negZero)},
+	}
+	frame := DefaultFrame(false)
+	fast := mustCollect(t, vecWindow(t, rows, frame, false, false, "MIN", "MAX"))
+	slow := mustCollect(t, vecWindow(t, rows, frame, false, true, "MIN", "MAX"))
+	requireSameRows(t, slow, fast, "-0.0 ties")
+}
+
+// TestWindowEmptyPartitionScratch drives many tiny partitions through the
+// pooled scratch with parallelism, checking buffer reuse across goroutines
+// cannot bleed state between partitions.
+func TestWindowEmptyPartitionScratch(t *testing.T) {
+	var rows []sqltypes.Row
+	for g := int64(0); g < 40; g++ {
+		rows = append(rows, intRow(g, 1, g))
+	}
+	frame := DefaultFrame(true)
+	seq := mustCollect(t, vecWindow(t, rows, frame, false, true, "SUM", "MIN", "AVG"))
+	w := vecWindow(t, rows, frame, false, false, "SUM", "MIN", "AVG")
+	w.Parallelism = 8
+	par := mustCollect(t, w)
+	requireSameRows(t, seq, par, "tiny partitions, pooled scratch, workers=8")
+}

@@ -3,7 +3,6 @@ package exec
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +21,15 @@ type WindowStats struct {
 	// count of each run, so WorkersUsed/Runs is the mean effective
 	// parallelism (utilization = mean / configured cap).
 	Partitions, WorkersUsed atomic.Int64
+	// NormalizedSorts counts partition orderings that ran on memcomparable
+	// byte keys; ComparatorSorts the ones that fell back to sqltypes.Compare
+	// (vectorization off, Int/Float-mixed key column, or a NaN key).
+	NormalizedSorts, ComparatorSorts atomic.Int64
+	// TypedKernels counts window-function evaluations that ran a typed
+	// kernel; BoxedKernels the ones that used the Datum accumulator path
+	// (vectorization off, NULLs in the argument column, a mixed or
+	// non-numeric argument type, or a NaN).
+	TypedKernels, BoxedKernels atomic.Int64
 }
 
 // FrameBoundKind mirrors the SQL ROWS frame bound kinds at the executor
@@ -163,10 +171,21 @@ type Window struct {
 	Ctx context.Context
 	// Stats, when set, receives per-run observability counters.
 	Stats *WindowStats
+	// NoVectorize disables the typed columnar fast path (key-normalized
+	// sorts and typed kernels), forcing the boxed Datum path everywhere. The
+	// zero value keeps vectorization on; even then ineligible partitions
+	// fall back per-partition at runtime with identical results.
+	NoVectorize bool
 
 	schema *expr.Schema
 	out    []sqltypes.Row
 	pos    int
+	// argExprs are the distinct non-nil window-function arguments; argSlots
+	// maps each func to its column in argExprs (-1 for COUNT(*)). Built by
+	// prepareArgs before partitions are evaluated, so worker goroutines only
+	// read them.
+	argExprs []expr.Expr
+	argSlots []int
 }
 
 // ctx resolves the operator's context.
@@ -276,6 +295,7 @@ func (w *Window) Open() error {
 // drains the pool; remaining workers quit before claiming another partition.
 func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [][]sqltypes.Datum) error {
 	ctx := w.ctx()
+	w.prepareArgs()
 	workers := w.Parallelism
 	if workers > len(parts) {
 		workers = len(parts)
@@ -349,83 +369,184 @@ func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [
 	return firstErr
 }
 
-// computePartition orders one partition and fills results for every func.
+// prepareArgs dedupes the window functions' argument expressions so each
+// distinct argument is evaluated once per partition row (SUM(x) and AVG(x)
+// share one extraction). Dedup key is the canonical expression rendering —
+// compiled expressions are pure functions of the row, so equal renderings are
+// interchangeable. Called once per Open, before any worker starts.
+func (w *Window) prepareArgs() {
+	w.argExprs = w.argExprs[:0]
+	w.argSlots = grow(w.argSlots, len(w.Funcs))
+	seen := make(map[string]int, len(w.Funcs))
+	for fi, fn := range w.Funcs {
+		if fn.Arg == nil {
+			w.argSlots[fi] = -1 // COUNT(*)
+			continue
+		}
+		key := fn.Arg.String()
+		slot, ok := seen[key]
+		if !ok {
+			slot = len(w.argExprs)
+			w.argExprs = append(w.argExprs, fn.Arg)
+			seen[key] = slot
+		}
+		w.argSlots[fi] = slot
+	}
+}
+
+// partScratch holds one partition evaluation's reusable buffers: the sort
+// scratch, the ordered index copy, the flat argument matrix, the per-argument
+// column vectors, and the kernel output. Pooled because a parallel run
+// evaluates many partitions concurrently, each of which used to allocate all
+// of these per call.
+type partScratch struct {
+	sort    sortScratch
+	ordered []int
+	args    []sqltypes.Datum // flat n × len(argExprs), row-major
+	col     []sqltypes.Datum // one argument column, boxed-fallback input
+	out     []sqltypes.Datum // kernel output, one value per partition row
+	vecs    []sqltypes.ColVec
+	dq      []int // MIN/MAX deque positions
+}
+
+var partScratchPool = sync.Pool{New: func() any { return new(partScratch) }}
+
+// computePartition orders one partition (stable: ties keep input order,
+// making frames deterministic) and fills results for every func. Ordering and
+// argument extraction run through pooled buffers; each function then runs a
+// typed kernel when its argument column qualifies, or the boxed accumulator
+// path when it does not — the two produce bit-identical results.
 func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sqltypes.Datum) error {
-	// Sort partition members by the ORDER BY keys (stable: ties keep input
-	// order, making frames deterministic).
-	var sortErr error
-	ordered := append([]int(nil), idx...)
+	n := len(idx)
+	ps := partScratchPool.Get().(*partScratch)
+	defer partScratchPool.Put(ps)
+	ps.ordered = grow(ps.ordered, n)
+	copy(ps.ordered, idx)
+	ordered := ps.ordered
+	vectorize := !w.NoVectorize
 	if len(w.OrderBy) > 0 {
-		keys := make([][]sqltypes.Datum, len(ordered))
-		for i, ri := range ordered {
-			kv := make([]sqltypes.Datum, len(w.OrderBy))
-			for ki, k := range w.OrderBy {
-				v, err := k.Expr.Eval(rows[ri])
-				if err != nil {
-					return err
-				}
-				kv[ki] = v
+		normalized, err := sortRowsByKeys(rows, ordered, w.OrderBy, &ps.sort, vectorize)
+		if err != nil {
+			return err
+		}
+		if w.Stats != nil {
+			if normalized {
+				w.Stats.NormalizedSorts.Add(1)
+			} else {
+				w.Stats.ComparatorSorts.Add(1)
 			}
-			keys[i] = kv
 		}
-		perm := make([]int, len(ordered))
-		for i := range perm {
-			perm[i] = i
-		}
-		sort.SliceStable(perm, func(a, b int) bool {
-			ka, kb := keys[perm[a]], keys[perm[b]]
-			for ki := range w.OrderBy {
-				cmp, err := sqltypes.Compare(ka[ki], kb[ki])
-				if err != nil {
-					if sortErr == nil {
-						sortErr = err
-					}
-					return false
-				}
-				if cmp == 0 {
-					continue
-				}
-				if w.OrderBy[ki].Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
-		})
-		if sortErr != nil {
-			return sortErr
-		}
-		tmp := make([]int, len(ordered))
-		for i, pi := range perm {
-			tmp[i] = ordered[pi]
-		}
-		ordered = tmp
 	}
 
-	n := len(ordered)
-	// Evaluate each function's argument once per partition row.
-	for fi, fn := range w.Funcs {
-		args := make([]sqltypes.Datum, n)
-		for i, ri := range ordered {
-			if fn.Arg == nil {
-				args[i] = sqltypes.NewInt(1) // COUNT(*)
-				continue
-			}
-			v, err := fn.Arg.Eval(rows[ri])
+	// Batched argument extraction: one expression walk per distinct argument
+	// per row, instead of one per function per row.
+	na := len(w.argExprs)
+	ps.args = grow(ps.args, n*na)
+	for i, ri := range ordered {
+		row := rows[ri]
+		base := i * na
+		for ai, e := range w.argExprs {
+			v, err := e.Eval(row)
 			if err != nil {
 				return err
 			}
-			args[i] = v
+			ps.args[base+ai] = v
 		}
-		vals, err := computeFrames(fn, args)
-		if err != nil {
-			return err
+	}
+	ps.vecs = grow(ps.vecs, na)
+	if vectorize {
+		for ai := range ps.vecs {
+			vec := &ps.vecs[ai]
+			vec.Reset(n)
+			for i := 0; i < n; i++ {
+				vec.Append(ps.args[i*na+ai])
+			}
+		}
+	}
+
+	ps.out = grow(ps.out, n)
+	for fi, fn := range w.Funcs {
+		slot := w.argSlots[fi]
+		typed := vectorize && w.runTypedKernel(fn, slot, ps, n)
+		if w.Stats != nil {
+			if typed {
+				w.Stats.TypedKernels.Add(1)
+			} else {
+				w.Stats.BoxedKernels.Add(1)
+			}
+		}
+		vals := ps.out
+		if !typed {
+			ps.col = grow(ps.col, n)
+			if slot < 0 {
+				for i := range ps.col {
+					ps.col[i] = sqltypes.NewInt(1) // COUNT(*)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					ps.col[i] = ps.args[i*na+slot]
+				}
+			}
+			var err error
+			vals, err = computeFrames(fn, ps.col)
+			if err != nil {
+				return err
+			}
 		}
 		for i, ri := range ordered {
 			results[fi][ri] = vals[i]
 		}
 	}
 	return nil
+}
+
+// runTypedKernel dispatches fn to a typed kernel when its argument column is
+// eligible: COUNT(*) always (its synthesized argument is a non-NULL
+// constant), otherwise a valid ColVec with no NULLs and an Int or Float
+// element type. Any NULL, any type mix, a NaN, or a non-numeric element type
+// routes the function to the boxed accumulator path instead. Reports whether
+// a kernel ran and filled ps.out.
+func (w *Window) runTypedKernel(fn WindowFunc, slot int, ps *partScratch, n int) bool {
+	if slot < 0 {
+		kernelCount(fn.Frame, n, ps.out)
+		return true
+	}
+	vec := &ps.vecs[slot]
+	if !vec.Valid() || vec.Nulls.Any() {
+		return false
+	}
+	ok := true
+	switch vec.Typ {
+	case sqltypes.Int:
+		switch fn.Name {
+		case "COUNT":
+			kernelCount(fn.Frame, n, ps.out)
+		case "SUM":
+			kernelSumInt(fn.Frame, vec.Ints, ps.out)
+		case "AVG":
+			kernelAvg(fn.Frame, vec.Ints, ps.out)
+		case "MIN", "MAX":
+			ps.dq, ok = kernelMinMax(fn.Frame, vec.Ints, fn.Name == "MIN", sqltypes.NewInt, ps.out, ps.dq)
+		default:
+			return false
+		}
+	case sqltypes.Float:
+		switch fn.Name {
+		case "COUNT":
+			kernelCount(fn.Frame, n, ps.out)
+		case "SUM":
+			kernelSumFloat(fn.Frame, vec.Floats, ps.out)
+		case "AVG":
+			kernelAvg(fn.Frame, vec.Floats, ps.out)
+		case "MIN", "MAX":
+			ps.dq, ok = kernelMinMax(fn.Frame, vec.Floats, fn.Name == "MIN", sqltypes.NewFloat, ps.out, ps.dq)
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	return ok
 }
 
 // computeFrames computes the window aggregate for every position. Frame
@@ -578,9 +699,20 @@ func (w *Window) Describe() string {
 	if w.Parallelism > 1 {
 		par = fmt.Sprintf(" parallel=%d", w.Parallelism)
 	}
-	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s",
-		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par)
+	vec := ""
+	if w.Vectorizable() {
+		vec = " vectorized=true"
+	}
+	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s%s",
+		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par, vec)
 }
+
+// Vectorizable reports whether the typed columnar fast path is enabled for
+// this operator — the plan-time eligibility surfaced by EXPLAIN as
+// vectorized=true. Individual partitions may still fall back to the boxed
+// path at runtime (NULLs, mixed types, NaN) with identical results; the
+// fallback counts are visible in Stats.
+func (w *Window) Vectorizable() bool { return !w.NoVectorize }
 
 // Children implements Operator.
 func (w *Window) Children() []Operator { return []Operator{w.Input} }

@@ -49,6 +49,11 @@ type Options struct {
 	// WindowStats, when set, is stamped onto planned Window operators to
 	// collect parallelism-utilization counters.
 	WindowStats *exec.WindowStats
+	// DisableVectorized forces the boxed Datum path in planned Sort and
+	// Window operators, switching off key-normalized sorts and typed window
+	// kernels. Off by default: vectorization is on, with per-partition
+	// runtime fallback for ineligible data.
+	DisableVectorized bool
 }
 
 // DefaultOptions enables everything; window parallelism resolves to
@@ -111,7 +116,7 @@ func (p *Planner) planUnion(u *sqlparser.Union) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = &exec.Sort{Input: op, Keys: keys}
+		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized}
 	}
 	return p.applyLimit(op, u.Limit)
 }
@@ -251,7 +256,7 @@ func (p *Planner) planSelectCore(sel *sqlparser.Select) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = &exec.Sort{Input: op, Keys: keys}
+		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized}
 	}
 
 	// ---- projection ----
@@ -514,6 +519,7 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 		win.Parallelism = p.Opts.windowParallelism()
 		win.Ctx = p.Opts.Ctx
 		win.Stats = p.Opts.WindowStats
+		win.NoVectorize = p.Opts.DisableVectorized
 		op = win
 	}
 	return op, newItems, nil

@@ -1,0 +1,32 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"rfview/internal/exec"
+)
+
+// TestVectorizedInPlan: planned Window and Sort operators advertise the
+// typed columnar fast path in EXPLAIN as vectorized=true, and the
+// DisableVectorized option removes both the marker and the fast path.
+func TestVectorizedInPlan(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	sortSQL := windowSQL + " ORDER BY pos DESC"
+
+	op := planQuery(t, cat, DefaultOptions(), sortSQL)
+	txt := exec.FormatPlan(op)
+	if !strings.Contains(txt, "Window") || !strings.Contains(txt, "Sort") {
+		t.Fatalf("plan misses expected operators:\n%s", txt)
+	}
+	if strings.Count(txt, "vectorized=true") < 2 {
+		t.Fatalf("Window and Sort must both advertise vectorized=true:\n%s", txt)
+	}
+
+	opts := DefaultOptions()
+	opts.DisableVectorized = true
+	op = planQuery(t, cat, opts, sortSQL)
+	if txt := exec.FormatPlan(op); strings.Contains(txt, "vectorized") {
+		t.Fatalf("DisableVectorized plan must not advertise vectorization:\n%s", txt)
+	}
+}

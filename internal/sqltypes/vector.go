@@ -1,0 +1,267 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file is the columnar half of the value system: ColVec accumulates a
+// column of datums into typed storage ([]int64 / []float64 / []string plus a
+// null bitmap) so hot executor loops can run over raw machine values, and
+// EncodeKey produces memcomparable byte strings so ORDER BY / PARTITION BY
+// sorts become one bytes.Compare per pair instead of N interface-dispatched,
+// error-checked Compare calls.
+
+// NullBitmap records which positions of a column are SQL NULL. The zero
+// value is an empty bitmap; it grows as positions are set.
+type NullBitmap struct {
+	bits []uint64
+	any  bool
+}
+
+// Reset clears the bitmap, keeping capacity for n positions.
+func (b *NullBitmap) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(b.bits) < words {
+		b.bits = make([]uint64, words)
+	} else {
+		b.bits = b.bits[:words]
+		for i := range b.bits {
+			b.bits[i] = 0
+		}
+	}
+	b.any = false
+}
+
+// Set marks position i as NULL. i must be within the Reset size.
+func (b *NullBitmap) Set(i int) {
+	b.bits[i>>6] |= 1 << (uint(i) & 63)
+	b.any = true
+}
+
+// Get reports whether position i is NULL.
+func (b *NullBitmap) Get(i int) bool {
+	return b.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Any reports whether any position is NULL.
+func (b *NullBitmap) Any() bool { return b.any }
+
+// ColVec accumulates one column of datums into typed storage. The first
+// non-NULL value fixes the element type; a later value of a different type
+// (or a float NaN, whose ordering under Compare is not a total order) marks
+// the vector invalid, which tells the caller to stay on the boxed Datum
+// path. NULLs are recorded in the bitmap and hold a zero slot so positions
+// stay aligned with the input.
+type ColVec struct {
+	// Typ is the element type: Int, Float, or String once a non-NULL value
+	// has been seen; Null while the column is empty or all-NULL. Bool and
+	// Date store their int64 payloads under their own Typ.
+	Typ Type
+	// Ints / Floats / Strs hold the payloads; only the slice matching Typ is
+	// populated.
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Nulls marks the NULL positions.
+	Nulls NullBitmap
+
+	n       int
+	invalid bool
+}
+
+// Reset clears the vector for reuse, keeping capacity for n rows.
+func (v *ColVec) Reset(n int) {
+	v.Typ = Null
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+	v.Nulls.Reset(n)
+	v.n = 0
+	v.invalid = false
+}
+
+// Len returns the number of appended positions.
+func (v *ColVec) Len() int { return v.n }
+
+// Valid reports whether the typed views are usable: every non-NULL value
+// shared one type and no float was NaN. Invalid vectors still track Len so
+// callers can fall back positionally.
+func (v *ColVec) Valid() bool { return !v.invalid }
+
+// Append adds one datum. After the vector has gone invalid, only the
+// position count advances.
+func (v *ColVec) Append(d Datum) {
+	i := v.n
+	v.n++
+	if d.typ == Null {
+		v.Nulls.Set(i)
+		if v.invalid {
+			return
+		}
+		// Hold a zero slot so typed positions stay aligned.
+		switch v.Typ {
+		case Int, Bool, Date:
+			v.Ints = append(v.Ints, 0)
+		case Float:
+			v.Floats = append(v.Floats, 0)
+		case String:
+			v.Strs = append(v.Strs, "")
+		}
+		return
+	}
+	if v.invalid {
+		return
+	}
+	if v.Typ == Null {
+		// First non-NULL value fixes the type; backfill zero slots for any
+		// NULLs already seen.
+		v.Typ = d.typ
+		switch d.typ {
+		case Int, Bool, Date:
+			for j := 0; j < i; j++ {
+				v.Ints = append(v.Ints, 0)
+			}
+		case Float:
+			for j := 0; j < i; j++ {
+				v.Floats = append(v.Floats, 0)
+			}
+		case String:
+			for j := 0; j < i; j++ {
+				v.Strs = append(v.Strs, "")
+			}
+		}
+	}
+	if d.typ != v.Typ {
+		v.invalid = true
+		return
+	}
+	switch d.typ {
+	case Int, Bool, Date:
+		v.Ints = append(v.Ints, d.i)
+	case Float:
+		if math.IsNaN(d.f) {
+			v.invalid = true
+			return
+		}
+		v.Floats = append(v.Floats, d.f)
+	case String:
+		v.Strs = append(v.Strs, d.s)
+	default:
+		v.invalid = true
+	}
+}
+
+// Datum reconstructs the datum at position i. Valid only while the vector is
+// Valid.
+func (v *ColVec) Datum(i int) Datum {
+	if v.Nulls.Get(i) {
+		return NullDatum
+	}
+	switch v.Typ {
+	case Int, Bool, Date:
+		return Datum{typ: v.Typ, i: v.Ints[i]}
+	case Float:
+		return NewFloat(v.Floats[i])
+	case String:
+		return NewString(v.Strs[i])
+	default:
+		return NullDatum
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Memcomparable key encoding
+// ---------------------------------------------------------------------------
+
+// Key-encoding tags. NULL gets the smallest tag so it sorts before every
+// non-NULL value, matching Compare; DESC inverts the whole segment, which
+// flips NULLs to the end, matching a reversed comparator.
+const (
+	keyTagNull    byte = 0x00
+	keyTagValue   byte = 0x01
+	keyStrEscape  byte = 0x00 // a 0x00 payload byte becomes 0x00 0xFF
+	keyStrEscaped byte = 0xFF
+	keyStrTermLo  byte = 0x00 // terminator 0x00 0x01: below every escaped byte
+	keyStrTermHi  byte = 0x01
+)
+
+// EncodeKey appends an order-preserving encoding of d to dst and returns the
+// extended slice: for two datums a, b of one comparable column,
+// bytes.Compare(EncodeKey(nil, a, desc), EncodeKey(nil, b, desc)) has the
+// same sign as Compare(a, b) (negated under desc), and encodings are equal
+// exactly when Compare reports 0. The caller guarantees column homogeneity —
+// a single non-NULL type per column, no NaN floats, no Int/Float mixing —
+// which is what makes a bytewise total order agree with Compare (mixed
+// numeric columns compare Int pairs exactly but cross pairs via float64, an
+// ordering no single encoding can reproduce). -0.0 encodes as +0.0 so the
+// pair stays a tie and stable sorts preserve input order, as the comparator
+// path does. Strings are escaped and terminated so a later key segment can
+// follow without breaking prefix ordering.
+func EncodeKey(dst []byte, d Datum, desc bool) []byte {
+	start := len(dst)
+	switch d.typ {
+	case Null:
+		dst = append(dst, keyTagNull)
+	case Int, Bool, Date:
+		dst = append(dst, keyTagValue)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(d.i)^(1<<63))
+		dst = append(dst, buf[:]...)
+	case Float:
+		dst = append(dst, keyTagValue)
+		f := d.f
+		if f == 0 {
+			f = 0 // normalize -0.0 to +0.0: Compare treats them as equal
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		dst = append(dst, buf[:]...)
+	case String:
+		dst = append(dst, keyTagValue)
+		s := d.s
+		for i := 0; i < len(s); i++ {
+			if s[i] == keyStrEscape {
+				dst = append(dst, keyStrEscape, keyStrEscaped)
+			} else {
+				dst = append(dst, s[i])
+			}
+		}
+		dst = append(dst, keyStrTermLo, keyStrTermHi)
+	}
+	if desc {
+		for i := start; i < len(dst); i++ {
+			dst[i] = ^dst[i]
+		}
+	}
+	return dst
+}
+
+// KeyEncodable reports whether a homogeneous column of type t can be key-
+// normalized by EncodeKey. Every type in the lattice qualifies; what
+// disqualifies a column is heterogeneity, which the caller detects while
+// gathering values (see ColVec).
+func KeyEncodable(t Type) bool {
+	switch t {
+	case Null, Bool, Int, Float, String, Date:
+		return true
+	default:
+		return false
+	}
+}
+
+// Comparable reports whether datums of types a and b can be ordered by
+// Compare without a type error: identical types always can, and Int/Float
+// compare numerically with each other. NULL is comparable with everything.
+func Comparable(a, b Type) bool {
+	if a == Null || b == Null || a == b {
+		return true
+	}
+	return a.Numeric() && b.Numeric()
+}

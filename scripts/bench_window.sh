@@ -25,9 +25,16 @@ python3 - "$ROOT/BENCH_window.json" <<'PY' >&2
 import json, sys
 d = json.load(open(sys.argv[1]))
 meds = {r["workers"]: r["median_ms"] for r in d["runs"]}
+allocs = {r["workers"]: r.get("allocs_per_op") for r in d["runs"]}
 print("median ms by workers:", meds,
       "| best:", d.get("best_workers"),
       "| speedup vs sequential:", d.get("speedup_best_vs_sequential"))
+print("allocs/op by workers:", allocs,
+      "| b/op by workers:", {r["workers"]: r.get("b_per_op") for r in d["runs"]})
+if "vectorized_vs_boxed" in d:
+    v = d["vectorized_vs_boxed"]
+    print("vectorized vs boxed (workers=1): median speedup", v["median_speedup"],
+          "| allocs ratio", v["allocs_ratio"], "| bytes ratio", v["bytes_ratio"])
 if "note" in d:
     print("note:", d["note"])
 PY
