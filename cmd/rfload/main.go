@@ -5,12 +5,15 @@
 // Usage:
 //
 //	rfload -addr host:port [-clients N] [-duration 3s] [-sql QUERY]
-//	       [-setup script.sql] [-warmup 50] [-json] [-probe]
+//	       [-setup script.sql] [-warmup 50] [-json] [-probe] [-mem-budget SIZE]
 //
 // -setup executes a SQL script through one connection before the load phase
 // (statement by statement). -probe just pings once and exits 0/1, for
 // scripts waiting on server start. -json prints a single machine-readable
-// result line instead of the human summary.
+// result line instead of the human summary. -mem-budget asserts the server
+// runs under that executor memory budget (start rfserverd with the same
+// flag) and appends the server's spill counters to the result, so a serve
+// benchmark can confirm the out-of-core path actually ran end-to-end.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"rfview/internal/client"
+	"rfview/internal/spill"
 	"rfview/internal/sqlparser"
 )
 
@@ -40,6 +44,12 @@ type runResult struct {
 	MeanUs     int64   `json:"mean_us"`
 	ServerUsP  int64   `json:"server_p50_us"`
 	RowsPerRes int     `json:"rows_per_result"`
+	// Spill fields are filled only under -mem-budget: the server-reported
+	// budget and cumulative spill counters after the run.
+	MemBudget     int64 `json:"mem_budget_bytes,omitempty"`
+	SpillRuns     int64 `json:"spill_runs,omitempty"`
+	SpillRunBytes int64 `json:"spill_run_bytes,omitempty"`
+	SpillOps      int64 `json:"spill_operators,omitempty"`
 }
 
 func main() {
@@ -52,6 +62,7 @@ func main() {
 	warmup := flag.Int("warmup", 50, "per-client warmup queries excluded from measurement")
 	jsonOut := flag.Bool("json", false, "print one JSON result line instead of the human summary")
 	probe := flag.Bool("probe", false, "ping once and exit 0 on success, 1 on failure")
+	memBudget := flag.String("mem-budget", "", "expected server executor memory budget, e.g. 64MiB; reports the server's spill counters after the run")
 	flag.Parse()
 
 	if *probe {
@@ -74,6 +85,9 @@ func main() {
 	}
 
 	res := runLoad(*addr, *clients, *duration, *op, *sqlText, *warmup)
+	if *memBudget != "" {
+		attachSpillStats(*addr, *memBudget, &res)
+	}
 	if *jsonOut {
 		b, err := json.Marshal(res)
 		if err != nil {
@@ -86,6 +100,36 @@ func main() {
 		res.Clients, res.DurationS, res.Queries, res.Errors, res.QPS)
 	fmt.Printf("latency: mean=%dus p50=%dus p95=%dus p99=%dus (server p50=%dus), %d rows/result\n",
 		res.MeanUs, res.P50Us, res.P95Us, res.P99Us, res.ServerUsP, res.RowsPerRes)
+	if res.MemBudget > 0 || res.SpillRuns > 0 {
+		fmt.Printf("spill: budget=%dB runs=%d bytes=%d operators=%d\n",
+			res.MemBudget, res.SpillRuns, res.SpillRunBytes, res.SpillOps)
+	}
+}
+
+// attachSpillStats verifies the server runs under the expected memory budget
+// and folds its spill counters into the result.
+func attachSpillStats(addr, budget string, res *runResult) {
+	want, err := spill.ParseBytes(budget)
+	if err != nil {
+		log.Fatalf("rfload: -mem-budget: %v", err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatalf("rfload: stats: %v", err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatalf("rfload: stats: %v", err)
+	}
+	if st.Spill.BudgetBytes != want {
+		log.Printf("rfload: warning: server mem budget is %dB, expected %dB (start rfserverd with -mem-budget %s)",
+			st.Spill.BudgetBytes, want, budget)
+	}
+	res.MemBudget = st.Spill.BudgetBytes
+	res.SpillRuns = st.Spill.Runs
+	res.SpillRunBytes = st.Spill.RunBytes
+	res.SpillOps = st.Spill.Operators
 }
 
 // runSetup replays a SQL script statement by statement over one connection.

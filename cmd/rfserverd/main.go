@@ -7,7 +7,7 @@
 //	          [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every N]
 //	          [-no-native-window] [-no-indexes] [-no-views] [-no-vectorized]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
-//	          [-window-parallelism N]
+//	          [-window-parallelism N] [-mem-budget SIZE]
 //	          [-metrics-addr host:port] [-pprof-addr host:port] [-slow-query-ms N]
 //
 // -metrics-addr starts an HTTP listener serving the engine's Prometheus
@@ -17,6 +17,11 @@
 // -slow-query-ms logs every read statement slower than N milliseconds, with
 // its analyzed per-operator plan. -no-vectorized forces the boxed executor
 // path, for A/B measurement against the typed columnar fast path.
+// -mem-budget caps executor working memory (e.g. 64MiB): sorts and window
+// partition orderings over the budget spill memcomparable runs to disk —
+// under <data-dir>/tmp when durable, else a private temp directory — and
+// merge them back with bit-identical results. Stale run files from a
+// crashed process are swept at startup; a clean shutdown removes them all.
 //
 // With -data-dir the server is durable: every committed DDL/DML/REFRESH is
 // written ahead to a logical WAL under DIR, state is periodically
@@ -41,6 +46,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served by -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +54,7 @@ import (
 	"rfview/internal/engine"
 	"rfview/internal/rewrite"
 	"rfview/internal/server"
+	"rfview/internal/spill"
 	"rfview/internal/wal"
 )
 
@@ -67,6 +74,7 @@ func main() {
 	windowPar := flag.Int("window-parallelism", 0,
 		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
 	noVectorized := flag.Bool("no-vectorized", false, "disable the typed columnar fast path (key-normalized sorts, typed window kernels)")
+	memBudget := flag.String("mem-budget", "", "executor memory budget, e.g. 64MiB; sorts and window partitions over budget spill to disk (empty = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof (empty = disabled; use a loopback address)")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds, with their analyzed plan (0 disables)")
@@ -78,6 +86,16 @@ func main() {
 	opts.UseIndexes = !*noIndexes
 	opts.UseMatViews = !*noViews
 	opts.DisableVectorized = *noVectorized
+	if *memBudget != "" {
+		n, err := spill.ParseBytes(*memBudget)
+		if err != nil {
+			log.Fatalf("-mem-budget: %v", err)
+		}
+		opts.MemoryBudgetBytes = n
+	}
+	if *dataDir != "" {
+		opts.SpillDir = filepath.Join(*dataDir, "tmp")
+	}
 	switch strings.ToLower(*strategy) {
 	case "auto":
 		opts.Strategy = rewrite.StrategyAuto
@@ -129,6 +147,13 @@ func main() {
 		e = engine.New(opts)
 	}
 	e.SetPlanCacheCapacity(*planCache)
+	if opts.SpillDir != "" {
+		if n, err := e.SweepSpill(); err != nil {
+			log.Printf("spill: startup sweep: %v", err)
+		} else if n > 0 {
+			log.Printf("spill: swept %d stale run file(s) from %s", n, opts.SpillDir)
+		}
+	}
 	if runInit {
 		sql, err := os.ReadFile(*initScript)
 		if err != nil {
@@ -204,6 +229,9 @@ func main() {
 			if err := mgr.Close(); err != nil {
 				log.Printf("durability: final checkpoint: %v", err)
 			}
+		}
+		if err := e.Close(); err != nil {
+			log.Printf("spill cleanup: %v", err)
 		}
 		st := srv.Stats()
 		cs := e.PlanCacheStats()

@@ -27,6 +27,10 @@ type WindowConfig struct {
 	RowsPerPartition int
 	Trials           int // timed repetitions per worker setting; medians reported
 	Seed             int64
+	// MemBudgetBytes sizes the executor memory budget of the spill reference
+	// run (workers=1 with out-of-core execution forced); 0 picks a tiny
+	// default that guarantees spilling at any workload size.
+	MemBudgetBytes int64
 }
 
 // DefaultWindowConfig is the configuration bench_window.sh records. Nine
@@ -50,6 +54,12 @@ type WindowRow struct {
 	AllocsPerOp uint64
 	BytesPerOp  uint64
 	Boxed       bool
+	// Spill marks the memory-budgeted reference run; SpillRuns / SpillBytes
+	// are the engine's cumulative spill counters after its trials (zero in
+	// every other run).
+	Spill      bool
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // windowBenchQuery is the measured statement.
@@ -95,23 +105,28 @@ func loadPartitionedTable(e *engine.Engine, cfg WindowConfig) error {
 // RunWindowParallel executes the workload at each worker setting and returns
 // one row per setting, with per-trial timings and the median. The sequential
 // (workers=1) result is additionally checked against every parallel result.
-// A final workers=1 run with DisableVectorized (the boxed Datum path) is
-// appended as the allocation/latency reference for the typed fast path.
+// Two workers=1 reference runs are appended: DisableVectorized (the boxed
+// Datum path) as the allocation/latency baseline for the typed fast path,
+// and a tiny-memory-budget run that forces the out-of-core spill path — its
+// results are cross-checked against the in-memory reference like every
+// other setting.
 func RunWindowParallel(cfg WindowConfig, workerSettings []int) ([]WindowRow, error) {
 	out := make([]WindowRow, 0, len(workerSettings)+1)
 	var reference []float64
 
-	measure := func(workers int, boxed bool) (WindowRow, error) {
+	measure := func(workers int, boxed bool, memBudget int64) (WindowRow, error) {
 		opts := engine.DefaultOptions()
 		opts.UseMatViews = false
 		opts.WindowParallelism = workers
 		opts.DisableVectorized = boxed
+		opts.MemoryBudgetBytes = memBudget
 		e := engine.New(opts)
+		defer e.Close()
 		e.SetPlanCacheCapacity(0) // every trial must run the operator
 		if err := loadPartitionedTable(e, cfg); err != nil {
 			return WindowRow{}, err
 		}
-		row := WindowRow{Workers: workers, Boxed: boxed}
+		row := WindowRow{Workers: workers, Boxed: boxed, Spill: memBudget > 0}
 		var lastSums []float64
 		var allocs, bytes []uint64
 		for t := 0; t < cfg.Trials; t++ {
@@ -146,21 +161,35 @@ func RunWindowParallel(cfg WindowConfig, workerSettings []int) ([]WindowRow, err
 		row.Median = sorted[len(sorted)/2]
 		row.AllocsPerOp = medianU64(allocs)
 		row.BytesPerOp = medianU64(bytes)
+		row.SpillRuns = e.SpillStats().Runs.Load()
+		row.SpillBytes = e.SpillStats().RunBytes.Load()
 		return row, nil
 	}
 
 	for _, w := range workerSettings {
-		row, err := measure(w, false)
+		row, err := measure(w, false, 0)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, row)
 	}
-	boxedRow, err := measure(1, true)
+	boxedRow, err := measure(1, true, 0)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, boxedRow)
+	// The spill reference: the same workload, workers=1, under a tiny memory
+	// budget so the ordering goes external. The shared result cross-check
+	// above doubles as the bit-identity oracle for the out-of-core path.
+	budget := cfg.MemBudgetBytes
+	if budget <= 0 {
+		budget = 64 << 10
+	}
+	spillRow, err := measure(1, false, budget)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, spillRow)
 	return out, nil
 }
 
@@ -199,8 +228,9 @@ func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	runs := make([]runJSON, 0, len(rows))
-	var seq, best, boxed runJSON
-	haveBoxed := false
+	var seq, best, boxed, spillRun runJSON
+	haveBoxed, haveSpill := false, false
+	var spillRuns, spillBytes int64
 	for _, r := range rows {
 		rj := runJSON{Workers: r.Workers, MedianMs: ms(r.Median),
 			AllocsPerOp: r.AllocsPerOp, BPerOp: r.BytesPerOp}
@@ -210,6 +240,12 @@ func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 		if r.Boxed {
 			boxed = rj
 			haveBoxed = true
+			continue
+		}
+		if r.Spill {
+			spillRun = rj
+			haveSpill = true
+			spillRuns, spillBytes = r.SpillRuns, r.SpillBytes
 			continue
 		}
 		runs = append(runs, rj)
@@ -260,6 +296,25 @@ func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 			}
 		}
 	}
+	if haveSpill {
+		// The out-of-core reference: workers=1 under a tiny memory budget, so
+		// every partition ordering runs through the external merge sort. The
+		// slowdown prices the disk round-trip against the in-memory run at the
+		// same row count; results were cross-checked identical.
+		spill := map[string]any{
+			"workers":       1,
+			"median_ms":     spillRun.MedianMs,
+			"trials_ms":     spillRun.TrialsMs,
+			"allocs_per_op": spillRun.AllocsPerOp,
+			"b_per_op":      spillRun.BPerOp,
+			"spill_runs":    spillRuns,
+			"spill_bytes":   spillBytes,
+		}
+		if seq.Workers == 1 && seq.MedianMs > 0 {
+			spill["slowdown_vs_in_memory"] = roundTo(spillRun.MedianMs/seq.MedianMs, 3)
+		}
+		out["spill"] = spill
+	}
 	if runtime.NumCPU() == 1 {
 		out["note"] = "single-CPU host: all pool workers share one core, so the " +
 			"parallel settings can only match the sequential median (§6 partitions " +
@@ -287,7 +342,7 @@ func FormatWindow(rows []WindowRow) string {
 	fmt.Fprintf(&b, "%-8s  %-12s  %-12s  %-12s  %s\n", "workers", "median", "allocs/op", "B/op", "trials")
 	var seq time.Duration
 	for _, r := range rows {
-		if r.Workers == 1 && !r.Boxed {
+		if r.Workers == 1 && !r.Boxed && !r.Spill {
 			seq = r.Median
 		}
 	}
@@ -300,10 +355,16 @@ func FormatWindow(rows []WindowRow) string {
 		if r.Boxed {
 			label += " boxed"
 		}
+		if r.Spill {
+			label += " spill"
+		}
 		line := fmt.Sprintf("%-8s  %-12s  %-12d  %-12d  %s", label,
 			r.Median.Round(10*time.Microsecond), r.AllocsPerOp, r.BytesPerOp, strings.Join(parts, " "))
 		if seq > 0 && r.Workers > 1 && !r.Boxed {
 			line += fmt.Sprintf("   (%.2fx vs sequential)", float64(seq)/float64(r.Median))
+		}
+		if r.Spill {
+			line += fmt.Sprintf("   (spilled %d runs, %d bytes)", r.SpillRuns, r.SpillBytes)
 		}
 		b.WriteString(line + "\n")
 	}

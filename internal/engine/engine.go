@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"rfview/internal/plan"
 	"rfview/internal/qcache"
 	"rfview/internal/rewrite"
+	"rfview/internal/spill"
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
@@ -69,6 +71,18 @@ type Options struct {
 	// forcing the boxed Datum path. Results are identical either way; the
 	// knob exists for measurement and as an escape hatch.
 	DisableVectorized bool
+	// MemoryBudgetBytes caps executor working memory: Sort buffers and
+	// window partition orderings charge a shared spill.Budget, and an
+	// operator whose charge would exceed the cap goes external — spilling
+	// memcomparable sort runs to disk and merging them back (internal/spill).
+	// 0 means unlimited (nothing ever spills); the RFVIEW_TEST_MEM_BUDGET
+	// environment variable supplies a default when unset, so the whole test
+	// suite can be forced through the spill path.
+	MemoryBudgetBytes int64
+	// SpillDir is where spill run files live; empty means a private
+	// directory under os.TempDir. Servers point it at <data-dir>/tmp so
+	// stale runs from a crashed process are swept on restart.
+	SpillDir string
 }
 
 // DefaultOptions enables every feature with automatic strategy selection.
@@ -114,6 +128,14 @@ type Engine struct {
 	reg      *metrics.Registry
 	met      *engineMetrics
 	winStats *exec.WindowStats
+
+	// spillCfg carries the out-of-core execution state shared by every
+	// operator this engine plans: the memory budget, the run-file directory,
+	// and the spill counters. Always non-nil; with no budget configured it is
+	// simply never enabled. spillEnv is owned here so Close can remove run
+	// files.
+	spillCfg *spill.Config
+	spillEnv *spill.Env
 
 	// Slow-query log configuration. These live outside Options because
 	// Options must stay comparable (the plan cache validates entries with
@@ -167,7 +189,21 @@ func WithAnalyze() ExecOption { return func(c *execConfig) { c.analyze = true } 
 
 // New builds an engine with the given options.
 func New(opts Options) *Engine {
+	if opts.MemoryBudgetBytes == 0 {
+		// Test knob: force a budget (and thus the spill path) suite-wide.
+		if env := os.Getenv("RFVIEW_TEST_MEM_BUDGET"); env != "" {
+			if n, err := spill.ParseBytes(env); err == nil {
+				opts.MemoryBudgetBytes = n
+			}
+		}
+	}
 	e := &Engine{Cat: catalog.New(), Opts: opts, plans: qcache.New[*cachedPlan](DefaultPlanCacheCapacity)}
+	e.spillEnv = spill.NewEnv(opts.SpillDir)
+	e.spillCfg = &spill.Config{
+		Budget: spill.NewBudget(opts.MemoryBudgetBytes),
+		Env:    e.spillEnv,
+		Stats:  &spill.Stats{},
+	}
 	e.Views = mview.NewManager(e.Cat, func(ctx context.Context, stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
 		res, err := e.execSelect(ctx, stmt, execConfig{})
 		if err != nil {
@@ -404,7 +440,29 @@ func (e *Engine) planner(ctx context.Context) *plan.Planner {
 		Ctx:               ctx,
 		WindowStats:       e.winStats,
 		DisableVectorized: e.Opts.DisableVectorized,
+		Spill:             e.spillCfg,
 	})
+}
+
+// SpillStats returns the engine's out-of-core execution counters.
+func (e *Engine) SpillStats() *spill.Stats { return e.spillCfg.Stats }
+
+// SpillBudget returns the engine's shared executor memory budget.
+func (e *Engine) SpillBudget() *spill.Budget { return e.spillCfg.Budget }
+
+// SweepSpill eagerly resolves the spill directory, removing stale run files
+// a dead process left behind, and reports how many were swept. Servers call
+// it at startup; engines that never spill otherwise never touch the disk.
+func (e *Engine) SweepSpill() (int, error) { return e.spillEnv.Sweep() }
+
+// Close releases engine-owned disk state: every spill run file (and the
+// private spill directory, when no SpillDir was configured) is removed. The
+// engine itself remains usable for in-memory work only in tests; servers
+// call Close once, at shutdown, after the last query finished.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spillEnv.Close()
 }
 
 // RewriteSelect applies the engine's rewrite pipeline to a select statement

@@ -79,6 +79,24 @@ func (e *Engine) initMetrics() {
 	e.reg.GaugeFunc("rfview_window_kernel_boxed_total",
 		"Window-function evaluations that used the boxed accumulator path.",
 		func() float64 { return float64(e.winStats.BoxedKernels.Load()) })
+	spillStats := e.spillCfg.Stats
+	e.reg.GaugeFunc("rfview_spill_runs_total",
+		"Sort runs flushed to disk by the out-of-core executor.",
+		func() float64 { return float64(spillStats.Runs.Load()) })
+	e.reg.GaugeFunc("rfview_spill_bytes_total",
+		"Bytes written to spill run files (initial runs and merge passes).",
+		func() float64 { return float64(spillStats.RunBytes.Load()) })
+	e.reg.GaugeFunc("rfview_spill_operators_total",
+		"Operator executions that spilled at least one run.",
+		func() float64 { return float64(spillStats.Spills.Load()) })
+	e.reg.GaugeFunc("rfview_spill_budget_limit_bytes",
+		"Configured executor memory budget; 0 = unlimited.",
+		func() float64 { return float64(e.spillCfg.Budget.Limit()) })
+	e.reg.GaugeFunc("rfview_spill_budget_used_bytes",
+		"Executor memory currently charged against the budget.",
+		func() float64 { return float64(e.spillCfg.Budget.Used()) })
+	e.spillCfg.ObserveMerge = e.reg.Histogram("rfview_spill_merge_seconds",
+		"Wall time of external-sort merge passes.", metrics.DefBuckets).Observe
 }
 
 // Metrics returns the engine's metrics registry, for exposition and for

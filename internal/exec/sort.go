@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"rfview/internal/expr"
+	"rfview/internal/spill"
 	"rfview/internal/sqltypes"
 )
 
@@ -30,19 +33,51 @@ type Sort struct {
 	// NoVectorize forces the Compare-based sort path; the zero value keeps
 	// key normalization on.
 	NoVectorize bool
+	// Ctx, when set, cancels the sort (input drain and external merge). nil
+	// means context.Background().
+	Ctx context.Context
+	// Spill, when enabled, lets the sort go external: rows stream through a
+	// budget-tracked spill.Sorter as (memcomparable key, encoded row) records
+	// and come back from a merge of on-disk runs instead of one in-memory
+	// permutation. Only key-encodable orderings go external; see spill.go.
+	Spill *spill.Config
 
 	rows []sqltypes.Row
 	pos  int
+	it   spill.Iterator // external path: streaming merge, nil otherwise
+	// spillRuns / spillBytes record external activity for EXPLAIN ANALYZE.
+	spillRuns  int
+	spillBytes int64
 }
 
 // Schema implements Operator.
 func (s *Sort) Schema() *expr.Schema { return s.Input.Schema() }
 
+// ctx resolves the operator's context.
+func (s *Sort) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
 // Open implements Operator.
 func (s *Sort) Open() error {
-	rows, err := Collect(s.Input)
+	rows, err := CollectCtx(s.ctx(), s.Input)
 	if err != nil {
 		return err
+	}
+	if spillEligible(s.Spill, s.Keys, s.NoVectorize, len(rows)) {
+		handled, err := s.openExternal(rows)
+		if err != nil {
+			return err
+		}
+		if handled {
+			return nil
+		}
+		// The ordering defeated the key encoding mid-stream; the external
+		// state is released and the in-memory comparator path below sorts the
+		// rows we still hold.
 	}
 	idx := make([]int, len(rows))
 	for i := range idx {
@@ -62,8 +97,58 @@ func (s *Sort) Open() error {
 	return nil
 }
 
+// openExternal streams rows through a spill.Sorter keyed by the concatenated
+// memcomparable encoding, with the whole encoded row as payload. On success
+// the operator serves Next from the merge iterator. handled=false means a
+// row defeated the key encoding and nothing external remains to clean up.
+func (s *Sort) openExternal(rows []sqltypes.Row) (handled bool, err error) {
+	sorter := spill.NewSorter(s.ctx(), s.Spill)
+	defer func() {
+		if !handled || err != nil {
+			sorter.Close()
+		}
+	}()
+	ks := newKeyStreamer(s.Keys)
+	var payload []byte
+	for _, row := range rows {
+		key, ok, err := ks.encode(row)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		payload = sqltypes.EncodeRowData(payload[:0], row)
+		if err := sorter.Add(key, payload); err != nil {
+			return false, err
+		}
+	}
+	it, err := sorter.Finish()
+	if err != nil {
+		return false, err
+	}
+	s.it = it
+	s.spillRuns = sorter.RunCount()
+	s.spillBytes = sorter.SpillBytes()
+	s.pos = 0
+	return true, nil
+}
+
 // Next implements Operator.
 func (s *Sort) Next() (sqltypes.Row, error) {
+	if s.it != nil {
+		_, payload, err := s.it.Next()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			if cerr := ctxErr(s.ctx()); cerr != nil {
+				return nil, cerr
+			}
+			return nil, err
+		}
+		return sqltypes.DecodeRowData(payload)
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
@@ -75,6 +160,11 @@ func (s *Sort) Next() (sqltypes.Row, error) {
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.rows = nil
+	if s.it != nil {
+		it := s.it
+		s.it = nil
+		return it.Close()
+	}
 	return nil
 }
 
@@ -88,7 +178,11 @@ func (s *Sort) Describe() string {
 	if !s.NoVectorize {
 		vec = " vectorized=true"
 	}
-	return "Sort " + joinTrunc(parts, 6) + vec
+	sp := ""
+	if s.spillRuns > 0 {
+		sp = fmt.Sprintf(" spilled=true runs=%d spill_bytes=%d", s.spillRuns, s.spillBytes)
+	}
+	return "Sort " + joinTrunc(parts, 6) + vec + sp
 }
 
 // Children implements Operator.

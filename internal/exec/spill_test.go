@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	rferrors "rfview/errors"
+	"rfview/internal/expr"
+	"rfview/internal/spill"
+	"rfview/internal/sqltypes"
+)
+
+// spillCfg builds an enabled spill config with a tiny budget so every sort of
+// more than a handful of rows goes external.
+func spillCfg(t *testing.T, budget int64) *spill.Config {
+	t.Helper()
+	env := spill.NewEnv(t.TempDir())
+	t.Cleanup(func() { env.Close() })
+	return &spill.Config{Budget: spill.NewBudget(budget), Env: env, Stats: &spill.Stats{}, MinRunRows: 8}
+}
+
+// spillValue draws datums for the named column shape; "mixed" defeats the key
+// encoding (Int/Float heterogeneous), the others are encodable.
+func spillValue(rng *rand.Rand, shape string) sqltypes.Datum {
+	if rng.Intn(5) == 0 {
+		return sqltypes.NullDatum // NULL-heavy throughout
+	}
+	switch shape {
+	case "int":
+		return sqltypes.NewInt(int64(rng.Intn(40) - 20))
+	case "float":
+		return sqltypes.NewFloat(float64(rng.Intn(40)-20) / 4)
+	case "string":
+		return sqltypes.NewString(fmt.Sprintf("s%02d", rng.Intn(30)))
+	default: // mixed
+		if rng.Intn(2) == 0 {
+			return sqltypes.NewInt(int64(rng.Intn(40) - 20))
+		}
+		return sqltypes.NewFloat(float64(rng.Intn(40)-20) / 4)
+	}
+}
+
+// TestSortExternalMatchesInMemory: for encodable key shapes (NULL-heavy,
+// ASC and DESC), a Sort forced external by a tiny budget returns exactly the
+// rows of the untracked in-memory Sort, and releases its budget at Close.
+func TestSortExternalMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	schema := pwSchema()
+	for _, shape := range []string{"int", "float", "string"} {
+		for _, desc := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/desc=%v", shape, desc), func(t *testing.T) {
+				var rows []sqltypes.Row
+				for i := 0; i < 400; i++ {
+					rows = append(rows, sqltypes.Row{
+						spillValue(rng, shape),
+						sqltypes.NewInt(int64(i)),
+						sqltypes.NewInt(int64(rng.Intn(100))),
+					})
+				}
+				keys := []SortKey{{Expr: mustCompile(t, "grp", schema), Desc: desc}}
+				want := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys})
+				cfg := spillCfg(t, 2<<10)
+				ext := &Sort{Input: valuesOp(schema, rows...), Keys: keys, Spill: cfg}
+				got := mustCollect(t, ext)
+				requireSameRows(t, want, got, shape)
+				if ext.spillRuns == 0 || ext.spillBytes == 0 {
+					t.Fatalf("sort did not spill: runs=%d bytes=%d", ext.spillRuns, ext.spillBytes)
+				}
+				if used := cfg.Budget.Used(); used != 0 {
+					t.Fatalf("%d budget bytes leaked after Close", used)
+				}
+			})
+		}
+	}
+}
+
+// TestSortExternalFallbackMixedKeys: an Int/Float-mixed key column defeats
+// the key encoding mid-stream; the sort must abandon the external path
+// (releasing everything) and still produce the comparator-path answer.
+func TestSortExternalFallbackMixedKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	schema := pwSchema()
+	var rows []sqltypes.Row
+	for i := 0; i < 300; i++ {
+		rows = append(rows, sqltypes.Row{
+			spillValue(rng, "mixed"),
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(0),
+		})
+	}
+	keys := []SortKey{{Expr: mustCompile(t, "grp", schema)}}
+	want := mustCollect(t, &Sort{Input: valuesOp(schema, rows...), Keys: keys, NoVectorize: true})
+	cfg := spillCfg(t, 2<<10)
+	ext := &Sort{Input: valuesOp(schema, rows...), Keys: keys, Spill: cfg}
+	got := mustCollect(t, ext)
+	requireSameRows(t, want, got, "mixed keys")
+	if ext.spillRuns != 0 {
+		t.Fatalf("encoding-defeated sort reported %d spill runs", ext.spillRuns)
+	}
+	if used := cfg.Budget.Used(); used != 0 {
+		t.Fatalf("%d budget bytes leaked after fallback", used)
+	}
+}
+
+// TestSortExternalCancelled: cancelling the context fails the external sort
+// with the engine's cancelled code and leaks no budget.
+func TestSortExternalCancelled(t *testing.T) {
+	schema := pwSchema()
+	var rows []sqltypes.Row
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, intRow(int64(i%7), int64(i), int64(i%13)))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := spillCfg(t, 2<<10)
+	s := &Sort{
+		Input: valuesOp(schema, rows...),
+		Keys:  []SortKey{{Expr: mustCompile(t, "pos", schema)}},
+		Ctx:   ctx,
+		Spill: cfg,
+	}
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var err error
+	for i := 0; i < len(rows); i++ {
+		var row sqltypes.Row
+		row, err = s.Next()
+		if err != nil || row == nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("cancelled external sort drained cleanly")
+	}
+	if rferrors.CodeOf(err) != rferrors.CodeCancelled {
+		t.Fatalf("want code %q, got %q (%v)", rferrors.CodeCancelled, rferrors.CodeOf(err), err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if used := cfg.Budget.Used(); used != 0 {
+		t.Fatalf("%d budget bytes leaked after cancel", used)
+	}
+}
+
+// TestWindowSpillMatchesInMemory: window partitions forced external (tiny
+// budget, one hot partition) must produce exactly the in-memory operator's
+// rows, sequentially and with parallel workers.
+func TestWindowSpillMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var rows []sqltypes.Row
+	for i := 0; i < 1200; i++ {
+		// Two partitions, one 4× the other: both spill under a 2KiB budget.
+		g := int64(0)
+		if i%5 == 0 {
+			g = 1
+		}
+		rows = append(rows, intRow(g, int64(rng.Intn(1000)), int64(rng.Intn(100)-50)))
+	}
+	frame := FrameSpec{
+		Start: FrameBound{Kind: BoundPreceding, Offset: 3},
+		End:   FrameBound{Kind: BoundFollowing, Offset: 2},
+	}
+	want := mustCollect(t, pwWindow(t, rows, frame, 1, "SUM", "COUNT", "MIN", "AVG"))
+	for _, par := range []int{1, 4} {
+		cfg := spillCfg(t, 2<<10)
+		w := pwWindow(t, rows, frame, par, "SUM", "COUNT", "MIN", "AVG")
+		w.Spill = cfg
+		got := mustCollect(t, w)
+		requireSameRows(t, want, got, fmt.Sprintf("parallelism=%d", par))
+		if w.spillRuns.Load() == 0 {
+			t.Fatalf("parallelism=%d: window did not spill", par)
+		}
+		if used := cfg.Budget.Used(); used != 0 {
+			t.Fatalf("parallelism=%d: %d budget bytes leaked", par, used)
+		}
+	}
+}
+
+// TestWindowSpillMixedOrderKeysFallsBack: Int/Float-mixed ORDER BY values
+// defeat the encoding; partitions must fall back to the comparator sort and
+// still match the untracked operator.
+func TestWindowSpillMixedOrderKeysFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	schema := pwSchema()
+	var rows []sqltypes.Row
+	for i := 0; i < 600; i++ {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewInt(int64(i % 2)),
+			spillValue(rng, "mixed"),
+			sqltypes.NewInt(int64(rng.Intn(100))),
+		})
+	}
+	build := func() *Window {
+		return NewWindow(valuesOp(schema, rows...),
+			[]expr.Expr{mustCompile(t, "grp", schema)},
+			[]SortKey{{Expr: mustCompile(t, "pos", schema)}},
+			[]WindowFunc{{Name: "SUM", Arg: mustCompile(t, "val", schema), Frame: DefaultFrame(true), OutName: "w0"}})
+	}
+	want := mustCollect(t, build())
+	cfg := spillCfg(t, 2<<10)
+	w := build()
+	w.Spill = cfg
+	got := mustCollect(t, w)
+	requireSameRows(t, want, got, "mixed order keys")
+	if used := cfg.Budget.Used(); used != 0 {
+		t.Fatalf("%d budget bytes leaked after fallback", used)
+	}
+}

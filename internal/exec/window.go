@@ -2,11 +2,14 @@ package exec
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
 	"rfview/internal/expr"
+	"rfview/internal/spill"
 	"rfview/internal/sqltypes"
 )
 
@@ -176,10 +179,21 @@ type Window struct {
 	// zero value keeps vectorization on; even then ineligible partitions
 	// fall back per-partition at runtime with identical results.
 	NoVectorize bool
+	// Spill, when enabled, bounds per-partition ordering memory: oversized
+	// partitions sort externally through a budget-tracked spill.Sorter of
+	// (key, row-index) records instead of holding the full key arena and
+	// datum matrix, and pooled per-worker scratch is trimmed back to the
+	// budgeted ceiling instead of growing without bound (see spill.go).
+	Spill *spill.Config
 
 	schema *expr.Schema
 	out    []sqltypes.Row
 	pos    int
+	// spillRuns / spillBytes record external-sort activity across all
+	// partitions of the run, for EXPLAIN ANALYZE; atomics because parallel
+	// workers update them concurrently.
+	spillRuns  atomic.Int64
+	spillBytes atomic.Int64
 	// argExprs are the distinct non-nil window-function arguments; argSlots
 	// maps each func to its column in argExprs (-1 for COUNT(*)). Built by
 	// prepareArgs before partitions are evaluated, so worker goroutines only
@@ -419,15 +433,28 @@ var partScratchPool = sync.Pool{New: func() any { return new(partScratch) }}
 func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sqltypes.Datum) error {
 	n := len(idx)
 	ps := partScratchPool.Get().(*partScratch)
-	defer partScratchPool.Put(ps)
+	defer w.putPartScratch(ps)
 	ps.ordered = grow(ps.ordered, n)
 	copy(ps.ordered, idx)
 	ordered := ps.ordered
 	vectorize := !w.NoVectorize
 	if len(w.OrderBy) > 0 {
-		normalized, err := sortRowsByKeys(rows, ordered, w.OrderBy, &ps.sort, vectorize)
-		if err != nil {
-			return err
+		normalized := false
+		handled := false
+		if spillEligible(w.Spill, w.OrderBy, w.NoVectorize, n) {
+			var err error
+			handled, err = w.sortPartitionExternal(rows, ordered)
+			if err != nil {
+				return err
+			}
+			normalized = handled
+		}
+		if !handled {
+			var err error
+			normalized, err = sortRowsByKeys(rows, ordered, w.OrderBy, &ps.sort, vectorize)
+			if err != nil {
+				return err
+			}
 		}
 		if w.Stats != nil {
 			if normalized {
@@ -439,8 +466,17 @@ func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sq
 	}
 
 	// Batched argument extraction: one expression walk per distinct argument
-	// per row, instead of one per function per row.
+	// per row, instead of one per function per row. The matrix is an
+	// unavoidable per-partition allocation, so it is force-charged against the
+	// budget — the usage gauge reflects window pressure even when nothing
+	// spills.
 	na := len(w.argExprs)
+	var chargedArgs int64
+	if w.Spill.Enabled() {
+		chargedArgs = int64(n*na) * datumMemSize
+		w.Spill.Budget.Force(chargedArgs)
+		defer w.Spill.Budget.Release(chargedArgs)
+	}
 	ps.args = grow(ps.args, n*na)
 	for i, ri := range ordered {
 		row := rows[ri]
@@ -498,6 +534,86 @@ func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sq
 		}
 	}
 	return nil
+}
+
+// datumMemSize approximates one resident sqltypes.Datum for budget
+// accounting (tag + int64 + float64 + string header, rounded up).
+const datumMemSize = 40
+
+// maxPooledScratchBytes caps how much buffer capacity a partScratch may
+// carry back into the pool when a memory budget is configured. Without the
+// cap, N parallel workers each retain buffers sized to the largest partition
+// they ever saw — unbounded residency the budget knows nothing about.
+const maxPooledScratchBytes = 256 << 10
+
+// putPartScratch returns scratch to the pool, trimming oversized buffers
+// first when a budget is in force.
+func (w *Window) putPartScratch(ps *partScratch) {
+	if w.Spill.Enabled() {
+		if int64(cap(ps.args))*datumMemSize > maxPooledScratchBytes {
+			ps.args = nil
+			ps.col = nil
+			ps.out = nil
+			ps.vecs = nil
+		}
+		if int64(cap(ps.sort.datums))*datumMemSize > maxPooledScratchBytes ||
+			int64(cap(ps.sort.buf)) > maxPooledScratchBytes {
+			ps.sort = sortScratch{}
+		}
+	}
+	partScratchPool.Put(ps)
+}
+
+// sortPartitionExternal orders one partition through a budget-tracked
+// spill.Sorter: records are (concatenated key encoding, uvarint row index),
+// so the merge streams the permutation back without the in-memory key arena
+// or datum matrix. handled=false means the ordering defeated the key
+// encoding mid-stream; external state is released and the caller re-sorts in
+// memory (the comparator path still has every row).
+func (w *Window) sortPartitionExternal(rows []sqltypes.Row, ordered []int) (handled bool, err error) {
+	sorter := spill.NewSorter(w.ctx(), w.Spill)
+	defer sorter.Close()
+	ks := newKeyStreamer(w.OrderBy)
+	var pay [binary.MaxVarintLen64]byte
+	for _, ri := range ordered {
+		key, ok, err := ks.encode(rows[ri])
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		if err := sorter.Add(key, pay[:binary.PutUvarint(pay[:], uint64(ri))]); err != nil {
+			return false, err
+		}
+	}
+	it, err := sorter.Finish()
+	if err != nil {
+		return false, err
+	}
+	defer it.Close()
+	for i := range ordered {
+		_, payload, err := it.Next()
+		if err != nil {
+			if err == io.EOF {
+				return false, fmt.Errorf("exec: external partition sort lost rows")
+			}
+			if cerr := ctxErr(w.ctx()); cerr != nil {
+				return false, cerr
+			}
+			return false, err
+		}
+		ri, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return false, fmt.Errorf("exec: corrupt external sort payload")
+		}
+		ordered[i] = int(ri)
+	}
+	if sorter.Spilled() {
+		w.spillRuns.Add(int64(sorter.RunCount()))
+		w.spillBytes.Add(sorter.SpillBytes())
+	}
+	return true, nil
 }
 
 // runTypedKernel dispatches fn to a typed kernel when its argument column is
@@ -703,8 +819,12 @@ func (w *Window) Describe() string {
 	if w.Vectorizable() {
 		vec = " vectorized=true"
 	}
-	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s%s",
-		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par, vec)
+	sp := ""
+	if runs := w.spillRuns.Load(); runs > 0 {
+		sp = fmt.Sprintf(" spilled=true runs=%d spill_bytes=%d", runs, w.spillBytes.Load())
+	}
+	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s%s%s",
+		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par, vec, sp)
 }
 
 // Vectorizable reports whether the typed columnar fast path is enabled for

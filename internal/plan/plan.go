@@ -20,6 +20,7 @@ import (
 	"rfview/internal/catalog"
 	"rfview/internal/exec"
 	"rfview/internal/expr"
+	"rfview/internal/spill"
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
 )
@@ -54,6 +55,9 @@ type Options struct {
 	// kernels. Off by default: vectorization is on, with per-partition
 	// runtime fallback for ineligible data.
 	DisableVectorized bool
+	// Spill, when enabled, is stamped onto planned Sort and Window operators
+	// so oversized orderings go external under the engine's memory budget.
+	Spill *spill.Config
 }
 
 // DefaultOptions enables everything; window parallelism resolves to
@@ -116,7 +120,7 @@ func (p *Planner) planUnion(u *sqlparser.Union) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized}
+		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized, Ctx: p.Opts.Ctx, Spill: p.Opts.Spill}
 	}
 	return p.applyLimit(op, u.Limit)
 }
@@ -256,7 +260,7 @@ func (p *Planner) planSelectCore(sel *sqlparser.Select) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized}
+		op = &exec.Sort{Input: op, Keys: keys, NoVectorize: p.Opts.DisableVectorized, Ctx: p.Opts.Ctx, Spill: p.Opts.Spill}
 	}
 
 	// ---- projection ----
@@ -520,6 +524,7 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 		win.Ctx = p.Opts.Ctx
 		win.Stats = p.Opts.WindowStats
 		win.NoVectorize = p.Opts.DisableVectorized
+		win.Spill = p.Opts.Spill
 		op = win
 	}
 	return op, newItems, nil

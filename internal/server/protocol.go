@@ -99,6 +99,25 @@ type StatsReply struct {
 	// WindowParallelism is the resolved partition-worker count the window
 	// operator uses (GOMAXPROCS substituted for the ≤0 "auto" setting).
 	WindowParallelism int `json:"window_parallelism"`
+
+	// Spill mirrors the engine's out-of-core execution counters, so wire
+	// clients (rfload -mem-budget) can confirm the spill path actually ran.
+	Spill SpillStats `json:"spill"`
+}
+
+// SpillStats is the wire form of the engine's spill counters.
+type SpillStats struct {
+	// BudgetBytes is the configured executor memory budget (0 = unlimited);
+	// BudgetUsedBytes is the memory currently charged against it.
+	BudgetBytes     int64 `json:"budget_bytes"`
+	BudgetUsedBytes int64 `json:"budget_used_bytes"`
+	// Runs counts run files flushed to disk, RunBytes the bytes written to
+	// them, Merges the merge passes, and Operators the operator executions
+	// that spilled at least once.
+	Runs      int64 `json:"runs"`
+	RunBytes  int64 `json:"run_bytes"`
+	Merges    int64 `json:"merges"`
+	Operators int64 `json:"operators"`
 }
 
 // CacheStats is the wire form of the engine's plan/result cache counters.

@@ -328,5 +328,13 @@ func (s *Server) statsReply(sess *Session) *StatsReply {
 			Evictions: cs.Evictions, Invalidations: cs.Invalidations,
 		},
 		WindowParallelism: par,
+		Spill: SpillStats{
+			BudgetBytes:     s.eng.SpillBudget().Limit(),
+			BudgetUsedBytes: s.eng.SpillBudget().Used(),
+			Runs:            s.eng.SpillStats().Runs.Load(),
+			RunBytes:        s.eng.SpillStats().RunBytes.Load(),
+			Merges:          s.eng.SpillStats().Merges.Load(),
+			Operators:       s.eng.SpillStats().Spills.Load(),
+		},
 	}
 }

@@ -1,0 +1,520 @@
+package spill
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"context"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	// defaultMinRunRows is the floor below which a Sorter overdrafts the
+	// budget instead of flushing: with a pathologically small limit (or a
+	// busy shared budget) flushing one-record runs would turn the external
+	// sort into one syscall per row.
+	defaultMinRunRows = 128
+	// defaultMaxFanIn bounds how many runs one merge pass reads at once;
+	// more runs than this triggers intermediate passes that merge batches
+	// back into single runs.
+	defaultMaxFanIn = 16
+	// recOverhead approximates the per-record bookkeeping (offsets slice
+	// entry, arena slack) charged on top of the key and payload bytes.
+	recOverhead = 32
+	// cancelCheckEvery is how many records pass between context checks in
+	// Add and merge loops.
+	cancelCheckEvery = 256
+)
+
+// Stats aggregates spill activity across every Sorter of one engine; the
+// engine exposes the counters as rfview_spill_* metrics.
+type Stats struct {
+	// Runs counts run files flushed to disk.
+	Runs atomic.Int64
+	// RunBytes counts bytes written to run files (initial runs and
+	// intermediate merge passes both count: it is real disk traffic).
+	RunBytes atomic.Int64
+	// Merges counts merge passes (intermediate and final).
+	Merges atomic.Int64
+	// MergeNanos accumulates wall time spent inside merge passes.
+	MergeNanos atomic.Int64
+	// Spills counts operators that spilled at least one run.
+	Spills atomic.Int64
+}
+
+// Config carries everything a Sorter needs from its engine. The zero value
+// (and a nil pointer) disable spilling entirely.
+type Config struct {
+	// Budget is the shared engine budget; a nil budget or one without a
+	// limit means Add never trips and nothing is written to disk.
+	Budget *Budget
+	// Env owns the temp directory run files are created in.
+	Env *Env
+	// Stats receives counters; may be nil.
+	Stats *Stats
+	// ObserveMerge, when set, receives the wall-seconds of each merge pass
+	// (the engine points it at the rfview_spill_merge_seconds histogram).
+	ObserveMerge func(seconds float64)
+	// MinRunRows overrides defaultMinRunRows when positive.
+	MinRunRows int
+	// MaxFanIn overrides defaultMaxFanIn when > 1.
+	MaxFanIn int
+}
+
+// Enabled reports whether this configuration can actually spill: it needs a
+// directory owner and a budget with a limit to trip.
+func (c *Config) Enabled() bool {
+	return c != nil && c.Env != nil && c.Budget.Limit() > 0
+}
+
+func (c *Config) minRunRows() int {
+	if c.MinRunRows > 0 {
+		return c.MinRunRows
+	}
+	return defaultMinRunRows
+}
+
+func (c *Config) maxFanIn() int {
+	if c.MaxFanIn > 1 {
+		return c.MaxFanIn
+	}
+	return defaultMaxFanIn
+}
+
+func (c *Config) observeMerge(d time.Duration) {
+	if c.Stats != nil {
+		c.Stats.Merges.Add(1)
+		c.Stats.MergeNanos.Add(int64(d))
+	}
+	if c.ObserveMerge != nil {
+		c.ObserveMerge(d.Seconds())
+	}
+}
+
+// recRef locates one record inside a Sorter's arena.
+type recRef struct {
+	off    int32
+	keyLen int32
+	len    int32
+}
+
+// Iterator streams (key, payload) records in stable key order. Next returns
+// io.EOF after the last record; the returned slices are valid only until the
+// following Next. Close releases budget and removes run files and must be
+// called even after an error.
+type Iterator interface {
+	Next() (key, payload []byte, err error)
+	Close() error
+}
+
+// Sorter is a budget-tracked external merge sorter over (key, payload) byte
+// pairs. Keys compare with bytes.Compare; records with equal keys come back
+// in insertion order (the stable-sort contract the executor relies on).
+//
+// The lifecycle is Add* → Finish → iterate → Close the iterator; Close on
+// the Sorter itself is an abort path that releases everything (safe to defer
+// alongside a successful Finish — it becomes a no-op once the iterator owns
+// the state).
+type Sorter struct {
+	ctx context.Context
+	cfg *Config
+
+	arena   []byte
+	recs    []recRef
+	charged int64
+	adds    int
+
+	runs        []*os.File // flushed, finished (rewound) run files
+	runsFlushed int64      // initial runs only (not intermediate merge outputs)
+	runBytes    int64      // bytes in initial runs, for EXPLAIN annotations
+	finished    bool
+	closed      bool
+}
+
+// NewSorter returns a sorter charging cfg.Budget and spilling through
+// cfg.Env. ctx is checked periodically during Add and merge; cancellation
+// surfaces as ctx.Err() from the failing call.
+func NewSorter(ctx context.Context, cfg *Config) *Sorter {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	return &Sorter{ctx: ctx, cfg: cfg}
+}
+
+// Spilled reports whether any run hit the disk.
+func (s *Sorter) Spilled() bool { return len(s.runs) > 0 || s.runBytes > 0 }
+
+// RunCount returns how many initial runs were flushed.
+func (s *Sorter) RunCount() int { return int(s.runsFlushed) }
+
+// SpillBytes returns bytes written to initial runs.
+func (s *Sorter) SpillBytes() int64 { return s.runBytes }
+
+// Add appends one record. The key and payload are copied; callers may reuse
+// their buffers.
+func (s *Sorter) Add(key, payload []byte) error {
+	if s.finished || s.closed {
+		return fmt.Errorf("spill: Add after Finish/Close")
+	}
+	s.adds++
+	if s.adds%cancelCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	n := int64(len(key)+len(payload)) + recOverhead
+	if !s.cfg.Budget.Charge(n) {
+		if s.cfg.Enabled() && len(s.recs) >= s.cfg.minRunRows() {
+			if err := s.flushRun(); err != nil {
+				return err
+			}
+		}
+		// Either the run was just flushed (freeing our own charge) or the
+		// record must be held regardless; overdraft rather than losing it.
+		if !s.cfg.Budget.Charge(n) {
+			s.cfg.Budget.Force(n)
+		}
+	}
+	s.charged += n
+	off := len(s.arena)
+	s.arena = append(s.arena, key...)
+	s.arena = append(s.arena, payload...)
+	s.recs = append(s.recs, recRef{off: int32(off), keyLen: int32(len(key)), len: int32(len(key) + len(payload))})
+	return nil
+}
+
+// sortRecs stable-sorts the in-memory records by key bytes.
+func (s *Sorter) sortRecs() {
+	arena := s.arena
+	sort.SliceStable(s.recs, func(i, j int) bool {
+		a, b := s.recs[i], s.recs[j]
+		return bytes.Compare(arena[a.off:a.off+a.keyLen], arena[b.off:b.off+b.keyLen]) < 0
+	})
+}
+
+// flushRun sorts the buffered records, writes them as one run file, and
+// resets the in-memory state (releasing its budget charge).
+func (s *Sorter) flushRun() error {
+	if len(s.recs) == 0 {
+		return nil
+	}
+	s.sortRecs()
+	f, err := s.cfg.Env.CreateRun()
+	if err != nil {
+		return err
+	}
+	w := newRunWriter(f)
+	for _, r := range s.recs {
+		rec := s.arena[r.off : r.off+r.len]
+		if err := w.append(rec[:r.keyLen], rec[r.keyLen:]); err != nil {
+			closeAndRemove(f)
+			return err
+		}
+	}
+	if err := w.finish(); err != nil {
+		closeAndRemove(f)
+		return err
+	}
+	if !s.Spilled() {
+		if s.cfg.Stats != nil {
+			s.cfg.Stats.Spills.Add(1)
+		}
+	}
+	s.runs = append(s.runs, f)
+	s.runsFlushed++
+	s.runBytes += w.bytes
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.Runs.Add(1)
+		s.cfg.Stats.RunBytes.Add(w.bytes)
+	}
+	s.cfg.Budget.Release(s.charged)
+	s.charged = 0
+	s.recs = s.recs[:0]
+	s.arena = s.arena[:0]
+	return nil
+}
+
+// Finish seals the sorter and returns the merged iterator. On success the
+// iterator owns the budget charge and run files; the Sorter's own Close
+// becomes a no-op.
+func (s *Sorter) Finish() (Iterator, error) {
+	if s.finished || s.closed {
+		return nil, fmt.Errorf("spill: Finish after Finish/Close")
+	}
+	if len(s.runs) == 0 {
+		// Pure in-memory sort: nothing ever hit the disk.
+		s.sortRecs()
+		s.finished = true
+		it := &memIter{budget: s.cfg.Budget, charged: s.charged, arena: s.arena, recs: s.recs}
+		s.charged = 0
+		return it, nil
+	}
+	if err := s.flushRun(); err != nil {
+		return nil, err
+	}
+	s.finished = true
+	runs := s.runs
+	s.runs = nil
+	// Intermediate passes keep the final fan-in bounded. Each pass merges
+	// consecutive batches and keeps the outputs in batch order: run order is
+	// insertion order, and the tie-break in the merge heap leans on it, so
+	// reordering runs here would break the stable-sort contract.
+	fanIn := s.cfg.maxFanIn()
+	for len(runs) > fanIn {
+		next := runs[:0]
+		for start := 0; start < len(runs); start += fanIn {
+			end := start + fanIn
+			if end > len(runs) {
+				end = len(runs)
+			}
+			if end-start == 1 {
+				next = append(next, runs[start])
+				continue
+			}
+			batch := append([]*os.File(nil), runs[start:end]...)
+			merged, err := s.mergePass(batch) // removes the batch's inputs
+			if err != nil {
+				closeAndRemoveAll(next)
+				closeAndRemoveAll(runs[end:])
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return newMergeIter(s.ctx, s.cfg, runs), nil
+}
+
+// mergePass merges a batch of runs into one new run file, removing the
+// inputs.
+func (s *Sorter) mergePass(in []*os.File) (*os.File, error) {
+	start := time.Now()
+	out, err := s.cfg.Env.CreateRun()
+	if err != nil {
+		return nil, err
+	}
+	w := newRunWriter(out)
+	err = mergeRuns(s.ctx, in, func(key, payload []byte) error {
+		return w.append(key, payload)
+	})
+	if err == nil {
+		err = w.finish()
+	}
+	closeAndRemoveAll(in)
+	if err != nil {
+		closeAndRemove(out)
+		return nil, err
+	}
+	if s.cfg.Stats != nil {
+		// Intermediate output is real disk traffic but not a fresh spill run.
+		s.cfg.Stats.RunBytes.Add(w.bytes)
+	}
+	s.cfg.observeMerge(time.Since(start))
+	return out, nil
+}
+
+// Close aborts the sorter: budget released, run files removed. A no-op after
+// a successful Finish (the iterator owns cleanup then).
+func (s *Sorter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.cfg.Budget.Release(s.charged)
+	s.charged = 0
+	s.arena = nil
+	s.recs = nil
+	closeAndRemoveAll(s.runs)
+	s.runs = nil
+	return nil
+}
+
+func closeAndRemove(f *os.File) {
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+}
+
+func closeAndRemoveAll(fs []*os.File) {
+	for _, f := range fs {
+		closeAndRemove(f)
+	}
+}
+
+// memIter iterates the pure in-memory case.
+type memIter struct {
+	budget  *Budget
+	charged int64
+	arena   []byte
+	recs    []recRef
+	pos     int
+}
+
+func (m *memIter) Next() (key, payload []byte, err error) {
+	if m.pos >= len(m.recs) {
+		return nil, nil, io.EOF
+	}
+	r := m.recs[m.pos]
+	m.pos++
+	rec := m.arena[r.off : r.off+r.len]
+	return rec[:r.keyLen], rec[r.keyLen:], nil
+}
+
+func (m *memIter) Close() error {
+	m.budget.Release(m.charged)
+	m.charged = 0
+	m.arena = nil
+	m.recs = nil
+	m.pos = 0
+	return nil
+}
+
+// cursor is one run's head inside the merge heap.
+type cursor struct {
+	r       *runReader
+	f       *os.File
+	idx     int // run index; ties break toward the earlier run (stability)
+	key     []byte
+	payload []byte
+}
+
+// mergeHeap orders cursors by (key bytes, run index).
+type mergeHeap []*cursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].key, h[j].key); c != 0 {
+		return c < 0
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*cursor)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+func (h mergeHeap) peek() *cursor { return h[0] }
+
+// buildHeap opens a cursor per run and heapifies.
+func buildHeap(files []*os.File) (mergeHeap, error) {
+	h := make(mergeHeap, 0, len(files))
+	for i, f := range files {
+		c := &cursor{r: newRunReader(f), f: f, idx: i}
+		key, payload, err := c.r.next()
+		if err == io.EOF {
+			continue // empty run (shouldn't happen, but harmless)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.key, c.payload = key, payload
+		h = append(h, c)
+	}
+	heap.Init(&h)
+	return h, nil
+}
+
+// advance moves the heap root to its run's next record (or drops the run at
+// EOF) and restores heap order.
+func (h *mergeHeap) advance() error {
+	c := h.peek()
+	key, payload, err := c.r.next()
+	if err == io.EOF {
+		heap.Pop(h)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.key, c.payload = key, payload
+	heap.Fix(h, 0)
+	return nil
+}
+
+// mergeRuns streams the merged record sequence of files through emit.
+func mergeRuns(ctx context.Context, files []*os.File, emit func(key, payload []byte) error) error {
+	h, err := buildHeap(files)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for len(h) > 0 {
+		n++
+		if n%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		c := h.peek()
+		if err := emit(c.key, c.payload); err != nil {
+			return err
+		}
+		if err := h.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeIter is the streaming final merge over the surviving runs.
+type mergeIter struct {
+	ctx    context.Context
+	cfg    *Config
+	files  []*os.File
+	h      mergeHeap
+	opened bool
+	n      int
+	start  time.Time
+	closed bool
+}
+
+func newMergeIter(ctx context.Context, cfg *Config, files []*os.File) *mergeIter {
+	return &mergeIter{ctx: ctx, cfg: cfg, files: files, start: time.Now()}
+}
+
+func (m *mergeIter) Next() (key, payload []byte, err error) {
+	if m.closed {
+		return nil, nil, fmt.Errorf("spill: iterator closed")
+	}
+	if !m.opened {
+		m.opened = true
+		h, err := buildHeap(m.files)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.h = h
+	} else if len(m.h) > 0 {
+		// The previous record aliased the root reader's buffer; only now that
+		// the caller is done with it may the reader advance.
+		if err := m.h.advance(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(m.h) == 0 {
+		return nil, nil, io.EOF
+	}
+	m.n++
+	if m.n%cancelCheckEvery == 0 {
+		if err := m.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	c := m.h.peek()
+	return c.key, c.payload, nil
+}
+
+func (m *mergeIter) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.h = nil
+	closeAndRemoveAll(m.files)
+	m.files = nil
+	m.cfg.observeMerge(time.Since(m.start))
+	return nil
+}

@@ -1,0 +1,505 @@
+package spill
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// --------------------------------------------------------------------------
+// Budget
+// --------------------------------------------------------------------------
+
+func TestBudgetChargeReleaseForce(t *testing.T) {
+	b := NewBudget(100)
+	if !b.Charge(60) {
+		t.Fatal("first charge within limit refused")
+	}
+	if b.Charge(50) {
+		t.Fatal("charge past the limit accepted")
+	}
+	if b.Used() != 60 {
+		t.Fatalf("failed charge changed usage: %d", b.Used())
+	}
+	b.Force(50) // overdraft
+	if b.Used() != 110 {
+		t.Fatalf("Force not accounted: %d", b.Used())
+	}
+	b.Release(110)
+	if b.Used() != 0 {
+		t.Fatalf("usage after full release: %d", b.Used())
+	}
+	b.Release(10) // over-release clamps
+	if b.Used() != 0 {
+		t.Fatalf("over-release went negative: %d", b.Used())
+	}
+}
+
+func TestBudgetNilAndUnlimited(t *testing.T) {
+	var nilB *Budget
+	if !nilB.Charge(1 << 40) {
+		t.Fatal("nil budget refused a charge")
+	}
+	nilB.Force(1)
+	nilB.Release(1)
+	if nilB.Limit() != 0 || nilB.Used() != 0 {
+		t.Fatal("nil budget reported nonzero state")
+	}
+	u := NewBudget(0)
+	if !u.Charge(1 << 40) {
+		t.Fatal("unlimited budget refused a charge")
+	}
+	if u.Used() != 1<<40 {
+		t.Fatal("unlimited budget must still account usage")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"64KiB":  64 << 10,
+		"64kib":  64 << 10,
+		"2MiB":   2 << 20,
+		"1GiB":   1 << 30,
+		"64K":    64 << 10,
+		"2M":     2 << 20,
+		"1G":     1 << 30,
+		"5KB":    5000,
+		"5MB":    5000000,
+		"1GB":    1000000000,
+		"100B":   100,
+		" 7KiB ": 7 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5", "-1KiB", "1.5MiB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Fatalf("ParseBytes(%q) did not fail", bad)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Run framing
+// --------------------------------------------------------------------------
+
+func TestRunFramingRoundTrip(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "run-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := newRunWriter(f)
+	type rec struct{ key, payload string }
+	recs := []rec{
+		{"", ""}, // empty key and payload must frame (uvarint keylen keeps len >= 1)
+		{"a", "payload-a"},
+		{strings.Repeat("k", 3000), strings.Repeat("v", 70000)},
+		{"\x00\x01\xff", "\x00"},
+	}
+	for _, r := range recs {
+		if err := w.append([]byte(r.key), []byte(r.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	rr := newRunReader(f)
+	for i, want := range recs {
+		key, payload, err := rr.next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(key) != want.key || string(payload) != want.payload {
+			t.Fatalf("record %d mismatch: key %d bytes, payload %d bytes", i, len(key), len(payload))
+		}
+	}
+	if _, _, err := rr.next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRunReaderDetectsCorruption(t *testing.T) {
+	build := func(corrupt func([]byte) []byte) error {
+		f, err := os.CreateTemp(t.TempDir(), "run-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w := newRunWriter(f)
+		if err := w.append([]byte("key"), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.finish(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = corrupt(data)
+		if err := f.Truncate(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		rr := newRunReader(f)
+		for {
+			if _, _, err := rr.next(); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	if err := build(func(b []byte) []byte { return b }); err != nil {
+		t.Fatalf("clean run read failed: %v", err)
+	}
+	if err := build(func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }); err == nil {
+		t.Fatal("flipped payload byte not detected")
+	} else if !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("want CRC error, got %v", err)
+	}
+	if err := build(func(b []byte) []byte { return b[:len(b)-3] }); err == nil {
+		t.Fatal("truncated record not detected")
+	}
+	if err := build(func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[0:4], uint32(maxSpillRecordBytes+1))
+		return b
+	}); err == nil {
+		t.Fatal("implausible length not detected")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Env hygiene
+// --------------------------------------------------------------------------
+
+func TestEnvSweepsStaleRunsOnce(t *testing.T) {
+	dir := t.TempDir()
+	// A dead process left orphans; unrelated files must survive.
+	for _, n := range []string{"run-123-1.spill", "run-999-7.spill"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("stale"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "wal-0001.seg")
+	if err := os.WriteFile(keep, []byte("wal"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(dir)
+	n, err := env.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d stale runs, want 2", n)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+	// New files created by this env must NOT be swept by later Dir calls.
+	f, err := env.CreateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := f.Name()
+	f.Close()
+	if _, err := env.Dir(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("our own run file disappeared: %v", err)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatal("Close left a run file behind")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("Close removed an unrelated file: %v", err)
+	}
+}
+
+func TestEnvPrivateDirRemovedOnClose(t *testing.T) {
+	env := NewEnv("")
+	f, err := env.CreateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Dir(f.Name())
+	f.Close()
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("private spill dir survived Close")
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal("Close not idempotent")
+	}
+	if _, err := env.CreateRun(); err == nil {
+		t.Fatal("CreateRun after Close succeeded")
+	}
+}
+
+// TestKillMidSpillLeavesNoOrphans simulates a process dying mid-spill: runs
+// are flushed and simply abandoned (no Close), as after a kill -9. The next
+// owner of the directory must sweep them all.
+func TestKillMidSpillLeavesNoOrphans(t *testing.T) {
+	dir := t.TempDir()
+	env := NewEnv(dir)
+	cfg := &Config{Budget: NewBudget(256), Env: env, MinRunRows: 4}
+	s := NewSorter(context.Background(), cfg)
+	for i := 0; i < 200; i++ {
+		if err := s.Add([]byte(fmt.Sprintf("key-%04d", i)), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Finish, no Close: the "process" dies here.
+	ents, _ := os.ReadDir(dir)
+	orphans := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), runFilePrefix) {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Fatal("test setup: nothing spilled before the simulated kill")
+	}
+	// Recovery: a fresh env (new process) sweeps the directory.
+	env2 := NewEnv(dir)
+	n, err := env2.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != orphans {
+		t.Fatalf("swept %d, want %d", n, orphans)
+	}
+	ents, _ = os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), runFilePrefix) {
+			t.Fatalf("orphan survived recovery: %s", e.Name())
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Sorter
+// --------------------------------------------------------------------------
+
+type testRec struct {
+	key     []byte
+	payload []byte
+	seq     int // insertion order, to verify stability
+}
+
+// runSorter pushes recs through a Sorter and drains the iterator.
+func runSorter(t *testing.T, cfg *Config, recs []testRec) []testRec {
+	t.Helper()
+	s := NewSorter(context.Background(), cfg)
+	defer s.Close()
+	for _, r := range recs {
+		if err := s.Add(r.key, r.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []testRec
+	for {
+		key, payload, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, testRec{key: append([]byte(nil), key...), payload: append([]byte(nil), payload...)})
+	}
+	return out
+}
+
+// refSort is the in-memory reference: stable sort by key bytes.
+func refSort(recs []testRec) []testRec {
+	out := append([]testRec(nil), recs...)
+	sort.SliceStable(out, func(i, j int) bool { return bytes.Compare(out[i].key, out[j].key) < 0 })
+	return out
+}
+
+// TestSorterMatchesInMemoryReference is the external-merge property test:
+// random records under random budgets (including 0 = unlimited and huge)
+// must come back byte-identical — keys, payloads, and tie order — to a
+// stable in-memory sort.
+func TestSorterMatchesInMemoryReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020301))
+	budgets := []int64{0, 1, 64, 512, 4 << 10, 1 << 30}
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(800)
+		recs := make([]testRec, n)
+		for i := range recs {
+			// Few distinct keys → many ties → stability is actually exercised.
+			// NULL-heavy orderings at the executor level produce the encoded
+			// NULL tag 0x00; the empty and 0x00-prefixed keys here cover the
+			// same byte shapes.
+			keyLen := rng.Intn(12)
+			key := make([]byte, keyLen)
+			for j := range key {
+				key[j] = byte(rng.Intn(4))
+			}
+			recs[i] = testRec{key: key, payload: binary.AppendUvarint(nil, uint64(i)), seq: i}
+		}
+		want := refSort(recs)
+		budget := budgets[trial%len(budgets)]
+		cfg := &Config{Budget: NewBudget(budget), Env: NewEnv(t.TempDir()), Stats: &Stats{}, MinRunRows: 8}
+		got := runSorter(t, cfg, recs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d budget=%d: %d records out, want %d", trial, budget, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i].key, want[i].key) || !bytes.Equal(got[i].payload, want[i].payload) {
+				t.Fatalf("trial %d budget=%d: record %d differs (key %x vs %x, payload %x vs %x)",
+					trial, budget, i, got[i].key, want[i].key, got[i].payload, want[i].payload)
+			}
+		}
+		if used := cfg.Budget.Used(); used != 0 {
+			t.Fatalf("trial %d budget=%d: %d bytes still charged after Close", trial, budget, used)
+		}
+	}
+}
+
+// TestSorterMultiPassMerge forces more runs than MaxFanIn so intermediate
+// merge passes execute, and verifies order, stability, and stats.
+func TestSorterMultiPassMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 5000
+	recs := make([]testRec, n)
+	for i := range recs {
+		key := []byte(fmt.Sprintf("%03d", rng.Intn(50)))
+		recs[i] = testRec{key: key, payload: binary.AppendUvarint(nil, uint64(i)), seq: i}
+	}
+	stats := &Stats{}
+	cfg := &Config{Budget: NewBudget(512), Env: NewEnv(t.TempDir()), Stats: stats, MinRunRows: 16, MaxFanIn: 3}
+	got := runSorter(t, cfg, recs)
+	want := refSort(recs)
+	for i := range want {
+		if !bytes.Equal(got[i].key, want[i].key) || !bytes.Equal(got[i].payload, want[i].payload) {
+			t.Fatalf("record %d differs after multi-pass merge", i)
+		}
+	}
+	if stats.Runs.Load() <= 3 {
+		t.Fatalf("want many runs, got %d", stats.Runs.Load())
+	}
+	if stats.Merges.Load() < 2 {
+		t.Fatalf("want intermediate merge passes, got %d merges", stats.Merges.Load())
+	}
+	if stats.Spills.Load() != 1 {
+		t.Fatalf("one sorter spilled, Spills = %d", stats.Spills.Load())
+	}
+	if stats.RunBytes.Load() == 0 {
+		t.Fatal("RunBytes not counted")
+	}
+}
+
+// TestSorterCancelMidMerge cancels the context between Finish and the merge
+// drain: Next must fail with the context error and Close must release every
+// charge and remove every file.
+func TestSorterCancelMidMerge(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	budget := NewBudget(512)
+	cfg := &Config{Budget: budget, Env: NewEnv(dir), Stats: &Stats{}, MinRunRows: 8}
+	s := NewSorter(ctx, cfg)
+	for i := 0; i < 4000; i++ {
+		if err := s.Add([]byte(fmt.Sprintf("k%05d", i)), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var nexts int
+	for {
+		_, _, err = it.Next()
+		if err != nil {
+			break
+		}
+		nexts++
+		if nexts > 100000 {
+			t.Fatal("iterator never observed cancellation")
+		}
+	}
+	if err == io.EOF {
+		t.Fatal("merge drained to EOF despite cancelled context")
+	}
+	if ctx.Err() == nil || !strings.Contains(err.Error(), ctx.Err().Error()) {
+		t.Fatalf("want context error, got %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("%d bytes still charged after cancel+close", used)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), runFilePrefix) {
+			t.Fatalf("run file %s survived cancel+close", e.Name())
+		}
+	}
+}
+
+// TestSorterAbortReleasesEverything covers the abort path: Close without
+// Finish frees the budget and the run files.
+func TestSorterAbortReleasesEverything(t *testing.T) {
+	dir := t.TempDir()
+	budget := NewBudget(256)
+	cfg := &Config{Budget: budget, Env: NewEnv(dir), MinRunRows: 4}
+	s := NewSorter(context.Background(), cfg)
+	for i := 0; i < 500; i++ {
+		if err := s.Add([]byte{byte(i)}, []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Spilled() {
+		t.Fatal("test setup: sorter did not spill")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if budget.Used() != 0 {
+		t.Fatalf("%d bytes still charged after abort", budget.Used())
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), runFilePrefix) {
+			t.Fatalf("run file %s survived abort", e.Name())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row value codec for the spill layer: a compact, self-delimiting encoding
+// of a whole row, paired with the memcomparable EncodeKey bytes inside a
+// spill run record. Unlike EncodeKey this encoding is not order-preserving —
+// it only needs to round-trip exactly, so every datum decodes back to a
+// value Equal (and bit-identical for floats, NaN included) to the original.
+//
+// Layout: uvarint column count, then per column a type tag byte followed by
+//
+//	Null          nothing
+//	Bool/Int/Date zigzag varint
+//	Float         8 bytes little-endian IEEE 754 bits
+//	String        uvarint length ++ bytes
+
+// EncodeRowData appends the encoding of r to dst and returns the extended
+// slice.
+func EncodeRowData(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, d := range r {
+		dst = append(dst, byte(d.typ))
+		switch d.typ {
+		case Null:
+		case Bool, Int, Date:
+			dst = binary.AppendVarint(dst, d.i)
+		case Float:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.f))
+		case String:
+			dst = binary.AppendUvarint(dst, uint64(len(d.s)))
+			dst = append(dst, d.s...)
+		}
+	}
+	return dst
+}
+
+// DecodeRowData decodes one row from data, which must contain exactly one
+// encoded row (the spill record framing delimits it).
+func DecodeRowData(data []byte) (Row, error) {
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("sqltypes: corrupt row (column count)")
+	}
+	if n > uint64(len(data)) { // each column needs at least its tag byte
+		return nil, fmt.Errorf("sqltypes: corrupt row (%d columns in %d bytes)", n, len(data))
+	}
+	row := make(Row, n)
+	for i := range row {
+		if off >= len(data) {
+			return nil, fmt.Errorf("sqltypes: corrupt row (truncated at column %d)", i)
+		}
+		typ := Type(data[off])
+		off++
+		switch typ {
+		case Null:
+		case Bool, Int, Date:
+			v, k := binary.Varint(data[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("sqltypes: corrupt row (bad varint at column %d)", i)
+			}
+			off += k
+			row[i] = Datum{typ: typ, i: v}
+		case Float:
+			if len(data)-off < 8 {
+				return nil, fmt.Errorf("sqltypes: corrupt row (truncated float at column %d)", i)
+			}
+			row[i] = Datum{typ: Float, f: math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))}
+			off += 8
+		case String:
+			l, k := binary.Uvarint(data[off:])
+			if k <= 0 || uint64(len(data)-off-k) < l {
+				return nil, fmt.Errorf("sqltypes: corrupt row (bad string at column %d)", i)
+			}
+			off += k
+			row[i] = Datum{typ: String, s: string(data[off : off+int(l)])}
+			off += int(l)
+		default:
+			return nil, fmt.Errorf("sqltypes: corrupt row (type tag %d at column %d)", typ, i)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("sqltypes: corrupt row (%d trailing bytes)", len(data)-off)
+	}
+	return row, nil
+}
+
+// MemSize estimates the resident bytes of the row for budget accounting:
+// the Datum headers plus string payloads. An estimate, not an exact
+// allocator count — the budget only needs proportionality.
+func (r Row) MemSize() int64 {
+	const datumSize = 40 // struct Datum: tag + int64 + float64 + string header
+	n := int64(24) + int64(len(r))*datumSize
+	for _, d := range r {
+		if d.typ == String {
+			n += int64(len(d.s))
+		}
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randDatum draws one datum covering every type, NULL-heavy.
+func randDatum(rng *rand.Rand) Datum {
+	switch rng.Intn(8) {
+	case 0, 1:
+		return Datum{} // NULL
+	case 2:
+		return NewBool(rng.Intn(2) == 0)
+	case 3:
+		return NewInt(rng.Int63() - rng.Int63())
+	case 4:
+		switch rng.Intn(4) {
+		case 0:
+			return NewFloat(math.NaN())
+		case 1:
+			return NewFloat(math.Inf(1 - 2*rng.Intn(2)))
+		case 2:
+			return NewFloat(math.Copysign(0, -1))
+		default:
+			return NewFloat(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20)))
+		}
+	case 5:
+		return NewDate(int64(rng.Intn(100000) - 50000))
+	default:
+		n := rng.Intn(50)
+		b := make([]byte, n)
+		rng.Read(b)
+		return NewString(string(b))
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf []byte
+	for trial := 0; trial < 500; trial++ {
+		row := make(Row, rng.Intn(12))
+		for i := range row {
+			row[i] = randDatum(rng)
+		}
+		buf = EncodeRowData(buf[:0], row)
+		got, err := DecodeRowData(buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(row) {
+			t.Fatalf("trial %d: %d columns, want %d", trial, len(got), len(row))
+		}
+		for i := range row {
+			w, g := row[i], got[i]
+			if w.Typ() != g.Typ() {
+				t.Fatalf("trial %d col %d: type %v, want %v", trial, i, g.Typ(), w.Typ())
+			}
+			switch w.Typ() {
+			case Null:
+			case Bool:
+				if w.Bool() != g.Bool() {
+					t.Fatalf("trial %d col %d: bool mismatch", trial, i)
+				}
+			case Int:
+				if w.Int() != g.Int() {
+					t.Fatalf("trial %d col %d: %d, want %d", trial, i, g.Int(), w.Int())
+				}
+			case Float:
+				// Bit identity, so NaN payloads and -0 survive the disk trip.
+				if math.Float64bits(w.Float()) != math.Float64bits(g.Float()) {
+					t.Fatalf("trial %d col %d: float bits %x, want %x",
+						trial, i, math.Float64bits(g.Float()), math.Float64bits(w.Float()))
+				}
+			case String:
+				if w.Str() != g.Str() {
+					t.Fatalf("trial %d col %d: string mismatch", trial, i)
+				}
+			case Date:
+				if w.i != g.i {
+					t.Fatalf("trial %d col %d: date mismatch", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRowCodecEmptyRow(t *testing.T) {
+	buf := EncodeRowData(nil, Row{})
+	got, err := DecodeRowData(buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty row: %v, %d cols", err, len(got))
+	}
+}
+
+func TestRowCodecRejectsCorruption(t *testing.T) {
+	row := Row{NewInt(42), NewString(strings.Repeat("x", 20)), NewFloat(3.5), Datum{}}
+	clean := EncodeRowData(nil, row)
+	if _, err := DecodeRowData(clean); err != nil {
+		t.Fatalf("clean decode failed: %v", err)
+	}
+	// Every truncation must fail, never panic or return a short row.
+	for n := 0; n < len(clean); n++ {
+		if _, err := DecodeRowData(clean[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeRowData(append(append([]byte(nil), clean...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad type tag.
+	bad := append([]byte(nil), clean...)
+	bad[1] = 0xee
+	if _, err := DecodeRowData(bad); err == nil {
+		t.Fatal("bad type tag accepted")
+	}
+	// Implausible column count must not allocate or decode.
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, err := DecodeRowData(huge); err == nil {
+		t.Fatal("huge column count accepted")
+	}
+}

@@ -35,6 +35,11 @@ if "vectorized_vs_boxed" in d:
     v = d["vectorized_vs_boxed"]
     print("vectorized vs boxed (workers=1): median speedup", v["median_speedup"],
           "| allocs ratio", v["allocs_ratio"], "| bytes ratio", v["bytes_ratio"])
+if "spill" in d:
+    s = d["spill"]
+    print("spill (workers=1, tiny budget): median ms", s["median_ms"],
+          "| runs", s["spill_runs"], "| bytes", s["spill_bytes"],
+          "| slowdown vs in-memory:", s.get("slowdown_vs_in_memory"))
 if "note" in d:
     print("note:", d["note"])
 PY
