@@ -58,14 +58,26 @@ func main() {
 		if err != nil {
 			fatalf("maintenance: %v", err)
 		}
+		ratioSizes := bench.DeltaRatioSizes
+		if *quick {
+			ratioSizes = []int{2000, 10000}
+		}
+		fmt.Fprintf(os.Stderr, "Running delta-vs-full grid (sizes %v, fracs %v)\n",
+			ratioSizes, bench.DeltaRatioFracs)
+		ratios, err := bench.RunDeltaRatios(ratioSizes, bench.DeltaRatioFracs)
+		if err != nil {
+			fatalf("maintenance: %v", err)
+		}
 		if *jsonOut {
-			s, err := bench.MaintenanceJSON(rows)
+			s, err := bench.MaintenanceJSON(rows, ratios)
 			if err != nil {
 				fatalf("maintenance: %v", err)
 			}
 			fmt.Print(s)
 		} else {
 			fmt.Print(bench.FormatMaintenance(rows))
+			fmt.Println()
+			fmt.Print(bench.FormatDeltaRatios(ratios))
 		}
 		return
 	}

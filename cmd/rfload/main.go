@@ -50,6 +50,11 @@ type runResult struct {
 	SpillRuns     int64 `json:"spill_runs,omitempty"`
 	SpillRunBytes int64 `json:"spill_run_bytes,omitempty"`
 	SpillOps      int64 `json:"spill_operators,omitempty"`
+	// View-maintenance counters, as reported by the server after the run.
+	MaintMode    string `json:"maintenance_mode,omitempty"`
+	MaintDelta   int64  `json:"maintenance_delta_applied,omitempty"`
+	MaintFull    int64  `json:"maintenance_full_refreshes,omitempty"`
+	MaintPending int64  `json:"maintenance_pending,omitempty"`
 }
 
 func main() {
@@ -88,6 +93,7 @@ func main() {
 	if *memBudget != "" {
 		attachSpillStats(*addr, *memBudget, &res)
 	}
+	attachMaintenanceStats(*addr, &res)
 	if *jsonOut {
 		b, err := json.Marshal(res)
 		if err != nil {
@@ -104,6 +110,29 @@ func main() {
 		fmt.Printf("spill: budget=%dB runs=%d bytes=%d operators=%d\n",
 			res.MemBudget, res.SpillRuns, res.SpillRunBytes, res.SpillOps)
 	}
+	if res.MaintMode != "" {
+		fmt.Printf("maintenance: mode=%s delta_applied=%d full_refreshes=%d pending=%d\n",
+			res.MaintMode, res.MaintDelta, res.MaintFull, res.MaintPending)
+	}
+}
+
+// attachMaintenanceStats folds the server's view-maintenance counters into
+// the result. Best-effort: a server predating the stats block just leaves the
+// fields empty.
+func attachMaintenanceStats(addr string, res *runResult) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return
+	}
+	res.MaintMode = st.Maintenance.Mode
+	res.MaintDelta = st.Maintenance.DeltaApplied
+	res.MaintFull = st.Maintenance.FullRefreshes
+	res.MaintPending = st.Maintenance.Pending
 }
 
 // attachSpillStats verifies the server runs under the expected memory budget

@@ -8,6 +8,7 @@
 //	          [-no-native-window] [-no-indexes] [-no-views] [-no-vectorized]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
 //	          [-window-parallelism N] [-mem-budget SIZE]
+//	          [-view-maintenance eager|deferred|off] [-maintenance-interval D]
 //	          [-metrics-addr host:port] [-pprof-addr host:port] [-slow-query-ms N]
 //
 // -metrics-addr starts an HTTP listener serving the engine's Prometheus
@@ -22,6 +23,11 @@
 // under <data-dir>/tmp when durable, else a private temp directory — and
 // merge them back with bit-identical results. Stale run files from a
 // crashed process are swept at startup; a clean shutdown removes them all.
+// -view-maintenance selects how DML reaches materialized sequence views:
+// eager (default) folds the delta in inside the write, deferred queues
+// deltas and applies them before the next read (read-repair) or on the
+// -maintenance-interval background tick, off marks views stale and leaves
+// REFRESH as the only repair.
 //
 // With -data-dir the server is durable: every committed DDL/DML/REFRESH is
 // written ahead to a logical WAL under DIR, state is periodically
@@ -52,6 +58,7 @@ import (
 	"time"
 
 	"rfview/internal/engine"
+	"rfview/internal/mview"
 	"rfview/internal/rewrite"
 	"rfview/internal/server"
 	"rfview/internal/spill"
@@ -75,6 +82,8 @@ func main() {
 		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
 	noVectorized := flag.Bool("no-vectorized", false, "disable the typed columnar fast path (key-normalized sorts, typed window kernels)")
 	memBudget := flag.String("mem-budget", "", "executor memory budget, e.g. 64MiB; sorts and window partitions over budget spill to disk (empty = unlimited)")
+	viewMaint := flag.String("view-maintenance", "eager", "view maintenance mode: eager, deferred, off")
+	maintInterval := flag.Duration("maintenance-interval", time.Second, "background drain cadence for deferred view maintenance (0 disables; reads still drain)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "HTTP listen address for net/http/pprof (empty = disabled; use a loopback address)")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds, with their analyzed plan (0 disables)")
@@ -96,6 +105,10 @@ func main() {
 	if *dataDir != "" {
 		opts.SpillDir = filepath.Join(*dataDir, "tmp")
 	}
+	if _, err := mview.ParseMode(*viewMaint); err != nil {
+		log.Fatalf("-view-maintenance: %v", err)
+	}
+	opts.ViewMaintenance = *viewMaint
 	switch strings.ToLower(*strategy) {
 	case "auto":
 		opts.Strategy = rewrite.StrategyAuto
@@ -172,6 +185,24 @@ func main() {
 		})
 	}
 
+	// Deferred maintenance converges on reads; the background ticker bounds
+	// how long queued deltas can sit when no reads arrive.
+	stopDrain := make(chan struct{})
+	if e.MaintenanceMode() == mview.ModeDeferred && *maintInterval > 0 {
+		go func() {
+			t := time.NewTicker(*maintInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					e.DrainMaintenance()
+				case <-stopDrain:
+					return
+				}
+			}
+		}()
+	}
+
 	srv := server.New(e)
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -220,6 +251,7 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case s := <-sig:
 		log.Printf("signal %v: draining", s)
+		close(stopDrain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -89,6 +89,105 @@ func RunMaintenance(sizes []int) ([]MaintRow, error) {
 	return out, nil
 }
 
+// DeltaRatioRow is one measured point of the delta-vs-full experiment: a
+// batch of single-row UPDATEs sized as a fraction of the table, folded into
+// the view through eager maintenance, against a full REFRESH of the same
+// view. The ratio is the §2.3 payoff: refresh cost scales with the table,
+// delta cost with the delta.
+type DeltaRatioRow struct {
+	N           int
+	DeltaFrac   float64
+	DeltaOps    int
+	DeltaTotal  time.Duration // wall time for the whole delta batch
+	FullRefresh time.Duration // median over REFRESH trials at this size
+}
+
+// Ratio is FullRefresh over the delta batch.
+func (r DeltaRatioRow) Ratio() float64 {
+	if r.DeltaTotal <= 0 {
+		return 0
+	}
+	return float64(r.FullRefresh) / float64(r.DeltaTotal)
+}
+
+// DeltaRatioSizes and DeltaRatioFracs span the growth grid: table sizes
+// 10k/100k/1M, delta sizes 0.1%/1%/10% of the table.
+var (
+	DeltaRatioSizes = []int{10_000, 100_000, 1_000_000}
+	DeltaRatioFracs = []float64{0.001, 0.01, 0.1}
+)
+
+// deltaRefreshTrials is how many REFRESH executions each size times.
+const deltaRefreshTrials = 3
+
+// RunDeltaRatios measures the delta-vs-full grid. One engine per size: the
+// refresh median is measured once, then each delta fraction's UPDATE batch
+// is timed as a whole (the per-op dispatch overhead is part of the cost of
+// the eager write path and belongs in the number).
+func RunDeltaRatios(sizes []int, fracs []float64) ([]DeltaRatioRow, error) {
+	var out []DeltaRatioRow
+	for _, n := range sizes {
+		opts := engine.DefaultOptions()
+		opts.ViewMaintenance = "eager"
+		e := engine.New(opts)
+		if err := LoadSequenceTable(e, n, 29); err != nil {
+			return nil, err
+		}
+		if _, err := e.Exec(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
+			return nil, err
+		}
+		if _, err := e.Exec(Table2ViewDDL); err != nil {
+			return nil, err
+		}
+
+		var refreshes []time.Duration
+		for t := 0; t < deltaRefreshTrials; t++ {
+			start := time.Now()
+			if _, err := e.Exec(`REFRESH MATERIALIZED VIEW matseq`); err != nil {
+				return nil, err
+			}
+			refreshes = append(refreshes, time.Since(start))
+		}
+		refresh := medianDuration(refreshes)
+
+		for _, frac := range fracs {
+			ops := int(float64(n) * frac)
+			if ops < 1 {
+				ops = 1
+			}
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				pos := 1 + (i*7919)%n
+				sql := fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, (i*13)%1000, pos)
+				if _, err := e.Exec(sql); err != nil {
+					return nil, err
+				}
+			}
+			total := time.Since(start)
+			if e.Views.Stale("matseq") {
+				return nil, fmt.Errorf("delta ratios: view went stale at n=%d frac=%g", n, frac)
+			}
+			out = append(out, DeltaRatioRow{
+				N: n, DeltaFrac: frac, DeltaOps: ops,
+				DeltaTotal: total, FullRefresh: refresh,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatDeltaRatios renders the delta-vs-full grid.
+func FormatDeltaRatios(rows []DeltaRatioRow) string {
+	var b strings.Builder
+	b.WriteString("Delta vs. full refresh (§2.3): UPDATE batch folded eagerly vs. REFRESH\n")
+	b.WriteString("  # seq values   delta    ops      delta batch    full refresh   refresh/delta\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %12d   %5.1f%%  %7d  %-14s %-14s %10.1fx\n",
+			r.N, r.DeltaFrac*100, r.DeltaOps, fmtDur(r.DeltaTotal), fmtDur(r.FullRefresh), r.Ratio())
+	}
+	return b.String()
+}
+
 // FormatMaintenance renders the experiment.
 func FormatMaintenance(rows []MaintRow) string {
 	var b strings.Builder
@@ -105,7 +204,7 @@ func FormatMaintenance(rows []MaintRow) string {
 // MaintenanceJSON renders the experiment in the BENCH_*.json convention used
 // by scripts/bench_window.sh: workload description, host facts, per-size
 // medians with raw trials, and the headline refresh-to-incremental ratios.
-func MaintenanceJSON(rows []MaintRow) (string, error) {
+func MaintenanceJSON(rows []MaintRow, ratios []DeltaRatioRow) (string, error) {
 	type runJSON struct {
 		N                   int       `json:"n"`
 		IncrementalMedianMs float64   `json:"incremental_median_ms"`
@@ -133,8 +232,25 @@ func MaintenanceJSON(rows []MaintRow) (string, error) {
 		}
 		runs = append(runs, rj)
 	}
+	type ratioJSON struct {
+		N            int     `json:"n"`
+		DeltaFrac    float64 `json:"delta_frac"`
+		DeltaOps     int     `json:"delta_ops"`
+		DeltaTotalMs float64 `json:"delta_total_ms"`
+		RefreshMs    float64 `json:"refresh_median_ms"`
+		Ratio        float64 `json:"refresh_over_delta"`
+	}
+	var ratioRuns []ratioJSON
+	for _, r := range ratios {
+		ratioRuns = append(ratioRuns, ratioJSON{
+			N: r.N, DeltaFrac: r.DeltaFrac, DeltaOps: r.DeltaOps,
+			DeltaTotalMs: ms(r.DeltaTotal), RefreshMs: ms(r.FullRefresh),
+			Ratio: roundTo(r.Ratio(), 3),
+		})
+	}
 	out := map[string]any{
 		"benchmark": "§2.3 incremental maintenance vs. full refresh",
+		"delta_ratios": ratioRuns,
 		"workload": map[string]any{
 			"view":            Table2ViewDDL,
 			"incremental_ops": maintIncrementalOps,

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Maintainer keeps a materialized sequence synchronized with its raw data
 // under point updates, inserts and deletes, using the incremental rules of
@@ -15,9 +18,47 @@ type Maintainer struct {
 	raw []float64
 	seq *Sequence
 
+	// exotic counts raw values whose bit pattern the incremental rules cannot
+	// reproduce exactly: NaN and ±Inf poison running sums, and −0 creates
+	// ties that MIN/MAX band recomputes and pipelined refreshes break
+	// differently. While any such value is present, every mutation falls back
+	// to a full pipelined recompute, which is bit-identical to REFRESH by
+	// construction.
+	exotic int
+
 	// Touched counts sequence positions written by incremental maintenance
 	// since the last ResetStats — the "locality" the paper argues for.
 	Touched int
+
+	// lastFull records whether the most recent mutation took the
+	// recomputeAll fallback instead of patching the §2.3 band. Callers that
+	// mirror the sequence elsewhere need to know: NaN and Inf poison the
+	// pipelined running sums past the band, so the rebuilt sequence can
+	// differ at every stored position.
+	lastFull bool
+}
+
+// FullRecompute reports whether the most recent Update/Insert/Delete rebuilt
+// the whole sequence (the exotic-value fallback) rather than patching the
+// local band.
+func (m *Maintainer) FullRecompute() bool { return m.lastFull }
+
+// exoticVal reports whether v defeats bit-exact incremental maintenance.
+func exoticVal(v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return true
+	}
+	return v == 0 && math.Signbit(v) // −0: compares equal to +0, differs bitwise
+}
+
+func countExotic(raw []float64) int {
+	n := 0
+	for _, v := range raw {
+		if exoticVal(v) {
+			n++
+		}
+	}
+	return n
 }
 
 // NewMaintainer materializes the sequence for w/agg over raw and returns a
@@ -32,16 +73,41 @@ func NewMaintainer(raw []float64, w Window, agg Agg) (*Maintainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Maintainer{raw: append([]float64(nil), raw...), seq: seq}
+	m := &Maintainer{raw: append([]float64(nil), raw...), seq: seq, exotic: countExotic(raw)}
 	return m, nil
 }
 
 // Seq returns the maintained sequence. Callers must not mutate it.
 func (m *Maintainer) Seq() *Sequence { return m.seq }
 
-// Raw returns a copy of the current raw data.
-func (m *Maintainer) Raw() []float64 {
+// Raw returns a read-only view of the current raw data. The slice aliases
+// the maintainer's internal state: callers must not mutate it or hold it
+// across maintenance operations (use RawCopy for an owned copy). The hot
+// callers only need Len or a transient read, and the old copy-per-call
+// behavior dominated maintenance profiles.
+func (m *Maintainer) Raw() []float64 { return m.raw }
+
+// RawCopy returns an owned copy of the current raw data.
+func (m *Maintainer) RawCopy() []float64 {
 	return append([]float64(nil), m.raw...)
+}
+
+// Len returns the raw cardinality n.
+func (m *Maintainer) Len() int { return len(m.raw) }
+
+// recomputeAll rebuilds the whole sequence with the pipelined algorithm —
+// the fallback while exotic values (NaN, ±Inf, −0) are present. The result
+// is bit-identical to a full refresh, which is exactly the contract
+// incremental maintenance must preserve.
+func (m *Maintainer) recomputeAll() error {
+	seq, err := ComputePipelined(m.raw, m.seq.Win, m.seq.Agg)
+	if err != nil {
+		return err
+	}
+	m.seq = seq
+	m.Touched += seq.Len()
+	m.lastFull = true
+	return nil
 }
 
 // ResetStats zeroes the Touched counter.
@@ -74,11 +140,24 @@ func (m *Maintainer) affected(k int) (lo, hi int) {
 // minimum (resp. lower a maximum); otherwise the affected band is
 // recomputed — still local, as the paper's footnote concedes.
 func (m *Maintainer) Update(k int, v float64) error {
+	m.lastFull = false
 	if k < 1 || k > len(m.raw) {
 		return fmt.Errorf("update position %d out of range [1,%d]", k, len(m.raw))
 	}
 	old := m.raw[k-1]
 	m.raw[k-1] = v
+	if exoticVal(old) {
+		m.exotic--
+	}
+	if exoticVal(v) {
+		m.exotic++
+	}
+	// An exotic value anywhere in the raw data — or one leaving right now,
+	// whose bits still contaminate the old sequence values the incremental
+	// rules difference against — forces the refresh-identical fallback.
+	if m.exotic > 0 || exoticVal(old) || exoticVal(v) {
+		return m.recomputeAll()
+	}
 	lo, hi := m.affected(k)
 	switch m.seq.Agg {
 	case Sum:
@@ -119,6 +198,7 @@ func (m *Maintainer) Update(k int, v float64) error {
 // The raw values on the right-hand side are the *pre-insert* ones. The
 // sequence grows by one position at each end of its stored range.
 func (m *Maintainer) Insert(k int, v float64) error {
+	m.lastFull = false
 	n := len(m.raw)
 	if k < 1 || k > n+1 {
 		return fmt.Errorf("insert position %d out of range [1,%d]", k, n+1)
@@ -130,6 +210,12 @@ func (m *Maintainer) Insert(k int, v float64) error {
 	m.raw = append(m.raw, oldRaw[:k-1]...)
 	m.raw = append(m.raw, v)
 	m.raw = append(m.raw, oldRaw[k-1:]...)
+	if exoticVal(v) {
+		m.exotic++
+	}
+	if m.exotic > 0 {
+		return m.recomputeAll()
+	}
 
 	if m.seq.Win.Cumulative {
 		// Cumulative insert: prefix unchanged, suffix shifts and gains v.
@@ -194,6 +280,7 @@ func (m *Maintainer) Insert(k int, v float64) error {
 //
 // with pre-delete raw values on the right.
 func (m *Maintainer) Delete(k int) error {
+	m.lastFull = false
 	n := len(m.raw)
 	if k < 1 || k > n {
 		return fmt.Errorf("delete position %d out of range [1,%d]", k, n)
@@ -202,6 +289,12 @@ func (m *Maintainer) Delete(k int) error {
 	oldSeq := m.seq
 	deleted := oldRaw[k-1]
 	m.raw = append(append([]float64(nil), oldRaw[:k-1]...), oldRaw[k:]...)
+	if exoticVal(deleted) {
+		m.exotic--
+	}
+	if m.exotic > 0 || exoticVal(deleted) {
+		return m.recomputeAll()
+	}
 
 	if oldSeq.Win.Cumulative {
 		ns := newSequence(Cumul(), oldSeq.Agg, n-1)

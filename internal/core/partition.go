@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionedMaintainer maintains one complete simple sequence per partition
+// — §6.2's complete reporting function — under the same density-preserving
+// DML a single Maintainer accepts: value updates at any position, appends at
+// n_p+1 (including position 1 of a brand-new partition, a partition birth),
+// and suffix deletes of position n_p (deleting the last row kills the
+// partition). Keys are opaque strings; callers that partition by SQL datums
+// key by their rendered form and keep the datum themselves.
+type PartitionedMaintainer struct {
+	win   Window
+	agg   Agg
+	parts map[string]*Maintainer
+}
+
+// NewPartitionedMaintainer builds an empty partitioned maintainer. Like
+// NewMaintainer it rejects AVG: maintain SUM and COUNT views and derive AVG.
+func NewPartitionedMaintainer(w Window, agg Agg) (*PartitionedMaintainer, error) {
+	if agg == Avg {
+		return nil, fmt.Errorf("maintain SUM and COUNT views and derive AVG; AVG alone is not incrementally maintainable")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &PartitionedMaintainer{win: w, agg: agg, parts: make(map[string]*Maintainer)}, nil
+}
+
+// SetPartition (re)materializes one partition's sequence from raw data.
+func (pm *PartitionedMaintainer) SetPartition(key string, raw []float64) error {
+	m, err := NewMaintainer(raw, pm.win, pm.agg)
+	if err != nil {
+		return err
+	}
+	pm.parts[key] = m
+	return nil
+}
+
+// Partition returns the maintainer for key, or nil when the partition does
+// not exist.
+func (pm *PartitionedMaintainer) Partition(key string) *Maintainer { return pm.parts[key] }
+
+// N returns the raw cardinality of a partition and whether it exists.
+func (pm *PartitionedMaintainer) N(key string) (int, bool) {
+	m, ok := pm.parts[key]
+	if !ok {
+		return 0, false
+	}
+	return m.Len(), true
+}
+
+// Len returns the number of live partitions.
+func (pm *PartitionedMaintainer) Len() int { return len(pm.parts) }
+
+// Keys returns the live partition keys in sorted order, for deterministic
+// materialization.
+func (pm *PartitionedMaintainer) Keys() []string {
+	keys := make([]string, 0, len(pm.parts))
+	for k := range pm.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Touched sums the touched-position counters across partitions.
+func (pm *PartitionedMaintainer) Touched() int {
+	t := 0
+	for _, m := range pm.parts {
+		t += m.Touched
+	}
+	return t
+}
+
+// Update changes the raw value at position pos of a partition.
+func (pm *PartitionedMaintainer) Update(key string, pos int, v float64) error {
+	m, ok := pm.parts[key]
+	if !ok {
+		return fmt.Errorf("update in unknown partition %q", key)
+	}
+	return m.Update(pos, v)
+}
+
+// Append folds an insert at position pos into partition key. Only appends at
+// n_p+1 preserve density; position 1 of an unknown key births the partition.
+// It returns the partition's maintainer and whether the partition was born.
+func (pm *PartitionedMaintainer) Append(key string, pos int, v float64) (*Maintainer, bool, error) {
+	m, ok := pm.parts[key]
+	if !ok {
+		if pos != 1 {
+			return nil, false, fmt.Errorf("insert at position %d opens partition %q non-densely", pos, key)
+		}
+		nm, err := NewMaintainer([]float64{v}, pm.win, pm.agg)
+		if err != nil {
+			return nil, false, err
+		}
+		nm.Touched += nm.Seq().Len() // the birth materializes every stored position
+		pm.parts[key] = nm
+		return nm, true, nil
+	}
+	n := m.Len()
+	if pos != n+1 {
+		return nil, false, fmt.Errorf("insert at position %d of partition %q is not an append (n=%d)", pos, key, n)
+	}
+	if err := m.Insert(pos, v); err != nil {
+		return nil, false, err
+	}
+	return m, false, nil
+}
+
+// DeleteSuffix folds a delete of position pos into partition key. Only the
+// last position n_p keeps density; deleting the only row removes the
+// partition and reports died=true.
+func (pm *PartitionedMaintainer) DeleteSuffix(key string, pos int) (died bool, err error) {
+	m, ok := pm.parts[key]
+	if !ok {
+		return false, fmt.Errorf("delete in unknown partition %q", key)
+	}
+	n := m.Len()
+	if pos != n {
+		return false, fmt.Errorf("delete at position %d of partition %q is not a suffix delete (n=%d)", pos, key, n)
+	}
+	if err := m.Delete(pos); err != nil {
+		return false, err
+	}
+	if m.Len() == 0 {
+		delete(pm.parts, key)
+		return true, nil
+	}
+	return false, nil
+}

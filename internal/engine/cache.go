@@ -116,7 +116,7 @@ func (e *Engine) execFromPlan(ctx context.Context, p *cachedPlan, cfg execConfig
 			return nil, err
 		}
 	}
-	res := &Result{Derivation: p.derivation, Rewritten: p.rewrittenSQL, execStmt: p.exec, CacheHit: true, planText: p.planText}
+	res := &Result{Derivation: p.derivation, Rewritten: p.rewrittenSQL, execStmt: p.exec, CacheHit: true, planText: p.planText, MaintenanceDrained: cfg.drained}
 	if p.hasResult && !cfg.analyze {
 		// Version validation just proved nothing the query reads has
 		// changed, so the previous answer is still the answer. Analyze

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -83,6 +84,16 @@ type Options struct {
 	// directory under os.TempDir. Servers point it at <data-dir>/tmp so
 	// stale runs from a crashed process are swept on restart.
 	SpillDir string
+	// ViewMaintenance selects how base-table DML reaches materialized
+	// sequence views: "eager" (the default, also the empty string) folds the
+	// §2.3 delta into each view inside the write itself; "deferred" queues
+	// per-view deltas and applies them before the next read that could
+	// observe the view (read-repair), on background ticks, and at WAL
+	// checkpoints; "off" marks views stale on every base-table write, leaving
+	// REFRESH as the only repair. The RFVIEW_TEST_VIEW_MAINTENANCE
+	// environment variable supplies a default when unset, so the whole test
+	// suite can be forced through the deferred path.
+	ViewMaintenance string
 }
 
 // DefaultOptions enables every feature with automatic strategy selection.
@@ -123,6 +134,11 @@ type Engine struct {
 	logWrite  func(sql string) error
 	postWrite func()
 
+	// maintMode is Opts.ViewMaintenance parsed once at construction; the
+	// deferred-drain fast path on every read statement checks it without
+	// re-parsing the string.
+	maintMode mview.Mode
+
 	// reg/met expose the engine's operational counters; see metrics.go.
 	// winStats aggregates Window-operator parallelism across all queries.
 	reg      *metrics.Registry
@@ -162,6 +178,9 @@ type Result struct {
 	Analyzed string
 	// CacheHit reports that the plan cache answered this statement.
 	CacheHit bool
+	// MaintenanceDrained is the number of deferred view deltas the
+	// read-repair drain applied immediately before this statement ran.
+	MaintenanceDrained int
 
 	// execStmt is the statement that was actually planned (post-derivation,
 	// pre-self-join-fallback); the plan cache replans from it on a hit.
@@ -181,6 +200,9 @@ type execConfig struct {
 	// trace instruments the operator tree; implied by analyze and by an
 	// armed slow-query log.
 	trace bool
+	// drained is the deferred-delta count the read-repair drain applied
+	// before this statement; it rides into Result.MaintenanceDrained.
+	drained int
 }
 
 // WithAnalyze executes the statement instrumented and fills Result.Analyzed
@@ -197,7 +219,14 @@ func New(opts Options) *Engine {
 			}
 		}
 	}
-	e := &Engine{Cat: catalog.New(), Opts: opts, plans: qcache.New[*cachedPlan](DefaultPlanCacheCapacity)}
+	if opts.ViewMaintenance == "" {
+		// Test knob: force every engine into one maintenance mode suite-wide.
+		opts.ViewMaintenance = os.Getenv("RFVIEW_TEST_VIEW_MAINTENANCE")
+	}
+	// Commands validate the flag with mview.ParseMode and fail fast; a
+	// library caller's unknown string degrades to the eager default.
+	maintMode, _ := mview.ParseMode(opts.ViewMaintenance)
+	e := &Engine{Cat: catalog.New(), Opts: opts, maintMode: maintMode, plans: qcache.New[*cachedPlan](DefaultPlanCacheCapacity)}
 	e.spillEnv = spill.NewEnv(opts.SpillDir)
 	e.spillCfg = &spill.Config{
 		Budget: spill.NewBudget(opts.MemoryBudgetBytes),
@@ -211,8 +240,62 @@ func New(opts Options) *Engine {
 		}
 		return res.Columns, res.Rows, nil
 	})
+	e.Views.SetMode(maintMode)
 	e.initMetrics()
 	return e
+}
+
+// MaintenanceMode returns the engine's view-maintenance mode.
+func (e *Engine) MaintenanceMode() mview.Mode { return e.maintMode }
+
+// DrainMaintenance applies every queued deferred view delta now, under the
+// exclusive lock, and reports how many were applied. Servers call it on
+// background ticks; tests use it to force convergence without issuing a read.
+// It is a no-op outside deferred mode (nothing is ever queued).
+func (e *Engine) DrainMaintenance() int {
+	if e.Views.PendingTotal() == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Views.Drain()
+}
+
+// drainIfPending is the read-repair half of deferred maintenance: called
+// before a read statement takes the shared lock (and before the plan cache is
+// consulted — applying deltas bumps backing-table versions, which is exactly
+// what invalidates cached results that predate the queued DML). The common
+// no-pending case is one atomic load. Between the drain and the read's shared
+// lock a concurrent writer may enqueue fresh deltas; deferred mode promises
+// each read observes the deltas queued before it began, not a serializable
+// schedule.
+func (e *Engine) drainIfPending() int {
+	if e.maintMode != mview.ModeDeferred || e.Views.PendingTotal() == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Views.Drain()
+}
+
+// leadingRead reports whether sql's first keyword starts a read statement
+// (SELECT, including UNIONs, or EXPLAIN) without parsing. Used only to decide
+// whether to drain deferred maintenance before consulting the plan cache;
+// ExecStmtContext re-checks on the parsed statement.
+func leadingRead(sql string) bool {
+	i := 0
+	for i < len(sql) && (sql[i] == ' ' || sql[i] == '\t' || sql[i] == '\n' || sql[i] == '\r' || sql[i] == ';' || sql[i] == '(') {
+		i++
+	}
+	j := i
+	for j < len(sql) && ((sql[j] >= 'a' && sql[j] <= 'z') || (sql[j] >= 'A' && sql[j] <= 'Z')) {
+		j++
+	}
+	switch strings.ToUpper(sql[i:j]) {
+	case "SELECT", "EXPLAIN":
+		return true
+	}
+	return false
 }
 
 // Exec parses and executes a single statement without a deadline.
@@ -245,6 +328,9 @@ func (e *Engine) ExecContext(ctx context.Context, sql string, opts ...ExecOption
 func (e *Engine) exec(ctx context.Context, sql string, cfg execConfig) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
+	}
+	if leadingRead(sql) {
+		cfg.drained = e.drainIfPending()
 	}
 	if res, err, ok := e.execCached(ctx, sql, cfg); ok {
 		return res, err
@@ -323,6 +409,7 @@ func (e *Engine) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement, 
 		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
 	}
 	if isReadStmt(stmt) {
+		cfg.drained = e.drainIfPending()
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 		return e.execStmtLocked(ctx, stmt, cfg)
@@ -564,6 +651,7 @@ func (e *Engine) runOperator(ctx context.Context, op exec.Operator, res *Result,
 	res.Columns = plan.OutputNames(op)
 	res.Rows = rows
 	res.Affected = len(rows)
+	res.MaintenanceDrained = cfg.drained
 	if cfg.trace {
 		res.Analyzed = annotationHeader(res) + exec.FormatAnalyzedPlan(op)
 	}
@@ -591,13 +679,14 @@ func (e *Engine) explain(ctx context.Context, s *sqlparser.Explain, cfg execConf
 	// Plain EXPLAIN replays a valid cached plan's rendering when one exists —
 	// the annotation a user sees must match the plan that will actually run.
 	if ent, hit := e.plans.Get(sel.String()); hit && e.planValid(ent) && ent.planText != "" {
-		res := &Result{Derivation: ent.derivation, Rewritten: ent.rewrittenSQL, CacheHit: true}
+		res := &Result{Derivation: ent.derivation, Rewritten: ent.rewrittenSQL, CacheHit: true, MaintenanceDrained: cfg.drained}
 		return planResult(res, annotationHeader(res)+ent.planText), nil
 	}
 	op, res, err := e.planSelect(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
+	res.MaintenanceDrained = cfg.drained
 	return planResult(res, annotationHeader(res)+exec.FormatPlan(op)), nil
 }
 

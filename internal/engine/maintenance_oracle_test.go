@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"rfview/internal/rewrite"
+	"rfview/internal/sqltypes"
+)
+
+// This file is the randomized maintenance oracle: the differential proof that
+// delta-incremental view maintenance (§2.3) is indistinguishable from full
+// recomputation. Each trial builds THREE engines over identical data and a
+// materialized window view:
+//
+//	eager    — deltas fold into the view inside each DML statement;
+//	deferred — deltas queue and apply on drain / read-repair;
+//	reference— maintenance off: every DML marks the view stale and a full
+//	           REFRESH rebuilds it from the base table before comparisons.
+//
+// The same random DML stream (skewed value updates, appends, tail deletes,
+// partition births and deaths, and — in chaos trials — density-breaking
+// operations that must degrade to staleness identically everywhere) is
+// applied to all three. After convergence, the view backing tables and a
+// window query answered under one of five evaluation strategies must be
+// BIT-identical across the three engines: values are compared through the
+// memcomparable row codec, not epsilon comparison. Integer data keeps every
+// sum exact in float64, so any bit difference is a maintenance bug.
+
+// oracleEncode renders a result as sorted memcomparable-encoded rows; two
+// results encode equal iff they are bit-identical up to row order.
+func oracleEncode(t *testing.T, res *Result, err error) string {
+	t.Helper()
+	if err != nil {
+		return "ERROR: " + err.Error()
+	}
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		lines[i] = string(sqltypes.EncodeRowData(nil, r))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x00")
+}
+
+// oracleConfig is one evaluation strategy the comparison queries run under.
+type oracleConfig struct {
+	name    string
+	derives bool // uses the materialized view to answer the window query
+	apply   func(*Options)
+}
+
+var oracleConfigs = []oracleConfig{
+	{"native-seq", false, func(o *Options) { o.UseMatViews = false; o.WindowParallelism = 1 }},
+	{"native-par", false, func(o *Options) { o.UseMatViews = false; o.WindowParallelism = 4 }},
+	{"selfjoin", false, func(o *Options) { o.UseMatViews = false; o.NativeWindow = false }},
+	{"maxoa", true, func(o *Options) { o.Strategy = rewrite.StrategyMaxOA }},
+	{"minoa", true, func(o *Options) { o.Strategy = rewrite.StrategyMinOA }},
+}
+
+func oracleEngine(t *testing.T, cfg oracleConfig, maintenance string) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	cfg.apply(&opts)
+	opts.ViewMaintenance = maintenance
+	return New(opts)
+}
+
+// oracleModel tracks the logical table state so the generator only emits DML
+// the §2.3 rules accept (or deliberately violates them, in chaos trials).
+type oracleModel struct {
+	partitioned bool
+	keys        []string       // live partition keys, insertion order ("" for simple)
+	n           map[string]int // rows per key
+	born        int            // partitions birthed, for fresh key names
+}
+
+func (m *oracleModel) pickKey(rng *rand.Rand) string {
+	// Skew: favor early partitions, so some queues run hot while others idle.
+	i := rng.Intn(len(m.keys))
+	if j := rng.Intn(len(m.keys)); j < i {
+		i = j
+	}
+	return m.keys[i]
+}
+
+// step emits one maintainable DML statement and applies it to the model.
+func (m *oracleModel) step(rng *rand.Rand) string {
+	key := m.pickKey(rng)
+	val := rng.Intn(100) - 50
+	roll := rng.Float64()
+	switch {
+	case roll < 0.15 && m.partitioned: // partition birth
+		m.born++
+		k := fmt.Sprintf("n%d", m.born)
+		m.keys = append(m.keys, k)
+		m.n[k] = 1
+		return fmt.Sprintf(`INSERT INTO %s VALUES ('%s', 1, %d)`, m.table(), k, val)
+	case roll < 0.35: // append
+		m.n[key]++
+		return m.insertSQL(key, m.n[key], val)
+	case roll < 0.50 && m.deletable(key): // tail delete (possibly a death)
+		pos := m.n[key]
+		m.n[key]--
+		if m.n[key] == 0 {
+			for i, k := range m.keys {
+				if k == key {
+					m.keys = append(m.keys[:i], m.keys[i+1:]...)
+					break
+				}
+			}
+			delete(m.n, key)
+		}
+		return m.deleteSQL(key, pos)
+	default: // value update
+		return m.updateSQL(key, 1+rng.Intn(m.n[key]), val)
+	}
+}
+
+// chaos emits a density-breaking statement — a middle delete, or an insert
+// past the end — plus the repair that restores density afterwards. Every
+// engine must answer the break with staleness, identically; the repair lets
+// REFRESH rebuild from a dense base so the trial can still compare results.
+func (m *oracleModel) chaos(rng *rand.Rand) (broken, repair string) {
+	key := m.pickKey(rng)
+	if rng.Intn(2) == 0 && m.n[key] >= 4 {
+		pos := m.n[key] / 2 // middle delete, then put a row back at the gap
+		return m.deleteSQL(key, pos), m.insertSQL(key, pos, rng.Intn(100)-50)
+	}
+	pos := m.n[key] + 5 // gap insert, then remove the orphan
+	return m.insertSQL(key, pos, rng.Intn(100)-50), m.deleteSQL(key, pos)
+}
+
+func (m *oracleModel) deletable(key string) bool {
+	if m.partitioned {
+		return m.n[key] >= 1 && (len(m.keys) > 1 || m.n[key] > 1)
+	}
+	return m.n[key] > 3 // keep simple sequences comfortably non-empty
+}
+
+func (m *oracleModel) table() string {
+	if m.partitioned {
+		return "pt"
+	}
+	return "seq"
+}
+
+func (m *oracleModel) insertSQL(key string, pos, val int) string {
+	if m.partitioned {
+		return fmt.Sprintf(`INSERT INTO pt VALUES ('%s', %d, %d)`, key, pos, val)
+	}
+	return fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, pos, val)
+}
+
+func (m *oracleModel) updateSQL(key string, pos, val int) string {
+	if m.partitioned {
+		return fmt.Sprintf(`UPDATE pt SET val = %d WHERE grp = '%s' AND pos = %d`, val, key, pos)
+	}
+	return fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, val, pos)
+}
+
+func (m *oracleModel) deleteSQL(key string, pos int) string {
+	if m.partitioned {
+		return fmt.Sprintf(`DELETE FROM pt WHERE grp = '%s' AND pos = %d`, key, pos)
+	}
+	return fmt.Sprintf(`DELETE FROM seq WHERE pos = %d`, pos)
+}
+
+// TestMaintenanceOracle is the randomized maintenance oracle described above.
+func TestMaintenanceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020528)) // §2.3's incremental rules, ICDE 2002
+	trials := 200
+	if testing.Short() {
+		trials = 30
+	}
+	derivationsFired := map[string]int{}
+	deltasApplied := 0
+	for trial := 0; trial < trials; trial++ {
+		cfg := oracleConfigs[trial%len(oracleConfigs)]
+		partitioned := rng.Intn(3) == 0
+		aggs := []string{"SUM", "SUM", "COUNT", "MIN", "MAX", "AVG"}
+		if partitioned {
+			aggs = []string{"SUM", "SUM", "COUNT", "MIN", "MAX"} // partitioned AVG views are rejected by design
+		}
+		agg := aggs[rng.Intn(len(aggs))]
+		cumulative := !partitioned && agg != "AVG" && rng.Intn(4) == 0
+		lx, hx := rng.Intn(3), rng.Intn(3)
+		if lx+hx == 0 {
+			lx = 1
+		}
+		ly, hy := lx+rng.Intn(4), hx+rng.Intn(4)
+		if agg == "MIN" || agg == "MAX" {
+			// MIN/MAX derivation needs a covering extension of bounded width.
+			dl, dh := rng.Intn(lx+hx+1), rng.Intn(lx+hx+1)
+			if dl+dh > lx+hx+1 {
+				dh = 0
+			}
+			ly, hy = lx+dl, hx+dh
+		}
+		chaosTrial := rng.Intn(5) == 0
+		drainByRead := trial%2 == 0 // alternate DrainMaintenance() and read-repair
+		seed := rng.Int63()
+
+		frame := fmt.Sprintf("ROWS BETWEEN %d PRECEDING AND %d FOLLOWING", lx, hx)
+		qframe := fmt.Sprintf("ROWS BETWEEN %d PRECEDING AND %d FOLLOWING", ly, hy)
+		if cumulative {
+			frame = "ROWS UNBOUNDED PRECEDING"
+			qframe = frame // identical window: the exact-match derivation
+		}
+		var viewDDL, q, backingQ string
+		if partitioned {
+			viewDDL = fmt.Sprintf(`CREATE MATERIALIZED VIEW mv AS
+			  SELECT grp, pos, %s(val) OVER (PARTITION BY grp ORDER BY pos %s) AS val FROM pt`, agg, frame)
+			q = fmt.Sprintf(`SELECT grp, pos, %s(val) OVER (PARTITION BY grp ORDER BY pos %s) AS w FROM pt`, agg, qframe)
+			backingQ = `SELECT part, pos, val, body FROM mv`
+		} else {
+			viewDDL = fmt.Sprintf(`CREATE MATERIALIZED VIEW mv AS
+			  SELECT pos, %s(val) OVER (ORDER BY pos %s) AS val FROM seq`, agg, frame)
+			q = fmt.Sprintf(`SELECT pos, %s(val) OVER (ORDER BY pos %s) AS w FROM seq`, agg, qframe)
+			backingQ = `SELECT pos, val FROM mv`
+		}
+		ctx := fmt.Sprintf("trial %d: cfg=%s part=%v agg=%s cum=%v x̃=(%d,%d) ỹ=(%d,%d) chaos=%v",
+			trial, cfg.name, partitioned, agg, cumulative, lx, hx, ly, hy, chaosTrial)
+
+		model := &oracleModel{partitioned: partitioned, n: map[string]int{}}
+		load := func(e *Engine) {
+			t.Helper()
+			local := rand.New(rand.NewSource(seed))
+			if partitioned {
+				mustExec(t, e, `CREATE TABLE pt (grp VARCHAR(8), pos INTEGER, val INTEGER)`)
+				mustExec(t, e, `CREATE UNIQUE INDEX pt_pk ON pt (grp, pos)`)
+			} else {
+				mustExec(t, e, `CREATE TABLE seq (pos INTEGER, val INTEGER)`)
+				mustExec(t, e, `CREATE UNIQUE INDEX seq_pk ON seq (pos)`)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "INSERT INTO %s VALUES ", model.table())
+			first := true
+			for _, k := range model.keys {
+				for i := 1; i <= model.n[k]; i++ {
+					if !first {
+						b.WriteString(", ")
+					}
+					first = false
+					if partitioned {
+						fmt.Fprintf(&b, "('%s', %d, %d)", k, i, local.Intn(100)-50)
+					} else {
+						fmt.Fprintf(&b, "(%d, %d)", i, local.Intn(100)-50)
+					}
+				}
+			}
+			mustExec(t, e, b.String())
+			mustExec(t, e, viewDDL)
+		}
+		if partitioned {
+			groups := 1 + rng.Intn(3)
+			for g := 0; g < groups; g++ {
+				k := fmt.Sprintf("g%d", g)
+				model.keys = append(model.keys, k)
+				model.n[k] = 2 + rng.Intn(10)
+			}
+		} else {
+			model.keys = []string{""}
+			model.n[""] = 6 + rng.Intn(25)
+		}
+
+		eager := oracleEngine(t, cfg, "eager")
+		deferredE := oracleEngine(t, cfg, "deferred")
+		reference := oracleEngine(t, cfg, "off")
+		engines := []*Engine{eager, deferredE, reference}
+		for _, e := range engines {
+			load(e)
+		}
+
+		// The random DML stream, identical on all three engines.
+		steps := 10 + rng.Intn(20)
+		var stmts []string
+		for i := 0; i < steps; i++ {
+			stmts = append(stmts, model.step(rng))
+		}
+		if chaosTrial {
+			broken, repair := model.chaos(rng)
+			stmts = append(stmts, broken, repair)
+		}
+		for _, sql := range stmts {
+			for _, e := range engines {
+				mustExec(t, e, sql)
+			}
+		}
+
+		// Converge the deferred engine; in read-repair trials the drain rides
+		// on the backing read below instead.
+		if !drainByRead {
+			deferredE.DrainMaintenance()
+		}
+
+		if chaosTrial {
+			// Density is broken: all three engines must refuse derivation
+			// identically, and REFRESH must heal all three into agreement.
+			deferredE.DrainMaintenance() // staleness surfaces at apply time
+			if !eager.Views.Stale("mv") || !deferredE.Views.Stale("mv") || !reference.Views.Stale("mv") {
+				t.Fatalf("%s: chaos op did not stale all engines (eager=%v deferred=%v reference=%v)",
+					ctx, eager.Views.Stale("mv"), deferredE.Views.Stale("mv"), reference.Views.Stale("mv"))
+			}
+			for _, e := range engines {
+				mustExec(t, e, `REFRESH MATERIALIZED VIEW mv`)
+			}
+		} else {
+			// The incremental path must have held: no engine but the
+			// reference may be stale.
+			if eager.Views.Stale("mv") {
+				_, why := eager.Views.StaleInfo("mv")
+				t.Fatalf("%s: eager engine went stale on maintainable DML: %s", ctx, why)
+			}
+			if !reference.Views.Stale("mv") {
+				t.Fatalf("%s: off-mode reference never went stale — the comparison would be vacuous", ctx)
+			}
+			mustExec(t, reference, `REFRESH MATERIALIZED VIEW mv`)
+		}
+
+		// Backing tables must be bit-identical. This read is also the
+		// read-repair drain for the deferred engine in alternate trials.
+		want := oracleEncode(t, mustExec(t, reference, backingQ), nil)
+		for i, e := range []*Engine{eager, deferredE} {
+			name := []string{"eager", "deferred"}[i]
+			got := oracleEncode(t, mustExec(t, e, backingQ), nil)
+			if got != want {
+				t.Fatalf("%s: %s backing diverged from full REFRESH\n got: %q\nwant: %q", ctx, name, got, want)
+			}
+		}
+		if !chaosTrial {
+			if pending := deferredE.Views.PendingTotal(); pending != 0 {
+				t.Fatalf("%s: deferred engine still has %d deltas queued after convergence", ctx, pending)
+			}
+			if deferredE.Views.Stale("mv") {
+				_, why := deferredE.Views.StaleInfo("mv")
+				t.Fatalf("%s: deferred engine went stale on maintainable DML: %s", ctx, why)
+			}
+			deltasApplied += int(eager.Views.Stats().DeltaApplied.Load())
+		}
+
+		// The window query must agree bit-exactly across all three engines
+		// under this trial's evaluation strategy.
+		qwant := oracleEncode(t, mustExec(t, reference, q), nil)
+		for i, e := range []*Engine{eager, deferredE} {
+			name := []string{"eager", "deferred"}[i]
+			res := mustExec(t, e, q)
+			if cfg.derives && res.Derivation != nil {
+				derivationsFired[cfg.name]++
+			}
+			if got := oracleEncode(t, res, nil); got != qwant {
+				t.Fatalf("%s: %s window query diverged from reference\n got: %q\nwant: %q", ctx, name, got, qwant)
+			}
+		}
+	}
+	if deltasApplied == 0 {
+		t.Fatal("no incremental deltas applied across all trials — oracle is not exercising maintenance")
+	}
+	for _, cfg := range oracleConfigs {
+		if cfg.derives && derivationsFired[cfg.name] == 0 {
+			t.Fatalf("%s never derived from the view across %d trials — oracle is not exercising derivation", cfg.name, trials)
+		}
+	}
+}
+
+// TestExplainShowsMaintenanceDrain pins the EXPLAIN surfacing: a read that
+// drains deferred deltas reports how many it applied.
+func TestExplainShowsMaintenanceDrain(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ViewMaintenance = "deferred"
+	e := New(opts)
+	loadSeq(t, e, 10, func(i int) int64 { return int64(i) })
+	mustExec(t, e, `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	mustExec(t, e, `UPDATE seq SET val = 99 WHERE pos = 4`)
+	mustExec(t, e, `INSERT INTO seq VALUES (11, 7)`)
+	if e.Views.PendingTotal() == 0 {
+		t.Fatal("expected queued deltas")
+	}
+	res := mustExec(t, e, `EXPLAIN SELECT pos, val FROM mv`)
+	if !strings.Contains(res.Plan, "-- maintenance: drained 2 deferred delta(s)") {
+		t.Fatalf("EXPLAIN did not report the drain:\n%s", res.Plan)
+	}
+	if e.Views.PendingTotal() != 0 {
+		t.Fatal("EXPLAIN read should have drained the queue")
+	}
+}

@@ -97,6 +97,22 @@ func (e *Engine) initMetrics() {
 		func() float64 { return float64(e.spillCfg.Budget.Used()) })
 	e.spillCfg.ObserveMerge = e.reg.Histogram("rfview_spill_merge_seconds",
 		"Wall time of external-sort merge passes.", metrics.DefBuckets).Observe
+	mstats := e.Views.Stats()
+	e.reg.GaugeFunc("rfview_maintenance_delta_total",
+		"DML deltas folded into materialized sequence views incrementally (§2.3).",
+		func() float64 { return float64(mstats.DeltaApplied.Load()) })
+	e.reg.GaugeFunc("rfview_maintenance_full_total",
+		"Full REFRESH recomputes of materialized sequence views.",
+		func() float64 { return float64(mstats.FullRefreshes.Load()) })
+	e.reg.GaugeFunc("rfview_maintenance_pending",
+		"Deferred maintenance deltas currently queued across all views.",
+		func() float64 { return float64(e.Views.PendingTotal()) })
+	e.reg.GaugeSetFunc("rfview_maintenance_queue_depth",
+		"Deferred maintenance deltas queued, per view.",
+		"view", e.Views.QueueDepths)
+	e.Views.SetTouchedObserver(e.reg.Histogram("rfview_maintenance_touched_rows",
+		"View sequence positions rewritten per applied maintenance delta.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}).Observe)
 }
 
 // Metrics returns the engine's metrics registry, for exposition and for
@@ -187,6 +203,9 @@ func annotationHeader(res *Result) string {
 	}
 	if res.CacheHit {
 		b.WriteString("-- plan cache: hit\n")
+	}
+	if res.MaintenanceDrained > 0 {
+		fmt.Fprintf(&b, "-- maintenance: drained %d deferred delta(s) before execution\n", res.MaintenanceDrained)
 	}
 	return b.String()
 }

@@ -1,0 +1,180 @@
+package mview
+
+import (
+	"math"
+	"testing"
+
+	"rfview/internal/catalog"
+	"rfview/internal/core"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// AVG is not incrementally maintainable on its own (core.NewMaintainer
+// rejects it): an AVG sequence view is maintained as a SUM/COUNT maintainer
+// PAIR and every materialized value is derived as sum/count at write time.
+// These tests pin that derivation bit-exactly against the pipelined refresh
+// computation — including NaN and −0 flowing through the pair, where the
+// SUM side must fall back to its refresh-identical recompute.
+
+// floatFixture builds seq(pos INTEGER, val FLOAT) with the given values at
+// positions 1…n.
+func floatFixture(t *testing.T, vals []float64) (*catalog.Catalog, *Manager, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := cat.CreateTable("seq", []catalog.Column{
+		{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		tbl.Heap.Insert(sqltypes.Row{sqltypes.NewInt(int64(i + 1)), sqltypes.NewFloat(v)})
+	}
+	return cat, NewManager(cat, nil), tbl
+}
+
+const avgViewDDL = `CREATE MATERIALIZED VIEW avgmv AS
+  SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`
+
+var seqCols = []string{"pos", "val"}
+
+// avgUpdate mutates the heap and fires the maintenance hook, like the
+// engine's UPDATE path does.
+func avgUpdate(t *testing.T, m *Manager, tbl *catalog.Table, pos int, v float64) {
+	t.Helper()
+	var id storage.RowID
+	var old sqltypes.Row
+	tbl.Heap.Scan(func(rid storage.RowID, row sqltypes.Row) bool {
+		if row[0].Int() == int64(pos) {
+			id, old = rid, row.Clone()
+			return false
+		}
+		return true
+	})
+	if old == nil {
+		t.Fatalf("no base row at position %d", pos)
+	}
+	nrow := sqltypes.Row{sqltypes.NewInt(int64(pos)), sqltypes.NewFloat(v)}
+	if err := tbl.Heap.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Heap.Insert(nrow); err != nil {
+		t.Fatal(err)
+	}
+	m.AfterUpdate("seq", []sqltypes.Row{old}, []sqltypes.Row{nrow.Clone()}, seqCols)
+}
+
+func avgAppend(t *testing.T, m *Manager, tbl *catalog.Table, pos int, v float64) {
+	t.Helper()
+	row := sqltypes.Row{sqltypes.NewInt(int64(pos)), sqltypes.NewFloat(v)}
+	if _, err := tbl.Heap.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	m.AfterInsert("seq", []sqltypes.Row{row.Clone()}, seqCols)
+}
+
+func avgDelete(t *testing.T, m *Manager, tbl *catalog.Table, pos int) {
+	t.Helper()
+	var id storage.RowID
+	var old sqltypes.Row
+	tbl.Heap.Scan(func(rid storage.RowID, row sqltypes.Row) bool {
+		if row[0].Int() == int64(pos) {
+			id, old = rid, row.Clone()
+			return false
+		}
+		return true
+	})
+	if old == nil {
+		t.Fatalf("no base row at position %d", pos)
+	}
+	if err := tbl.Heap.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	m.AfterDelete("seq", []sqltypes.Row{old}, seqCols)
+}
+
+// checkAvgBitExact compares the backing table bit-for-bit against a
+// pipelined AVG computation over the base table's current contents.
+func checkAvgBitExact(t *testing.T, cat *catalog.Catalog, m *Manager, ctx string) {
+	t.Helper()
+	if m.Stale("avgmv") {
+		_, why := m.StaleInfo("avgmv")
+		t.Fatalf("%s: view went stale on maintainable DML: %s", ctx, why)
+	}
+	base, err := cat.Table("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := readDenseSequence(base, "pos", "val")
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	want, err := core.ComputePipelined(raw, core.Sliding(2, 1), core.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := viewValues(t, cat, "avgmv")
+	rows := 0
+	for k := want.Lo(); k <= want.Hi(); k++ {
+		wv, ok := want.AtOK(k)
+		if !ok {
+			continue
+		}
+		rows++
+		gv, present := got[int64(k)]
+		if !present || math.Float64bits(gv) != math.Float64bits(wv) {
+			t.Fatalf("%s: avg at pos %d = (%v,%v) [bits %016x], want %v [bits %016x]",
+				ctx, k, gv, present, math.Float64bits(gv), wv, math.Float64bits(wv))
+		}
+	}
+	if len(got) != rows {
+		t.Fatalf("%s: backing has %d rows, want %d", ctx, len(got), rows)
+	}
+}
+
+// TestAvgViewMaintainedAsSumCountPair: ordinary maintainable DML on an AVG
+// view stays bit-identical to refresh through the derived pair.
+func TestAvgViewMaintainedAsSumCountPair(t *testing.T) {
+	cat, m, tbl := floatFixture(t, []float64{3, 1, 4, 1, 5, 9, 2, 6})
+	createView(t, m, avgViewDDL)
+	sv := m.seq["avgmv"]
+	if sv == nil || sv.cnt == nil || sv.maint.Seq().Agg != core.Sum || sv.cnt.Seq().Agg != core.Count {
+		t.Fatal("AVG view must be backed by a SUM maintainer and a COUNT maintainer")
+	}
+	checkAvgBitExact(t, cat, m, "initial fill")
+
+	avgUpdate(t, m, tbl, 4, 10)
+	checkAvgBitExact(t, cat, m, "update")
+	avgAppend(t, m, tbl, 9, -7)
+	checkAvgBitExact(t, cat, m, "append")
+	avgDelete(t, m, tbl, 9)
+	checkAvgBitExact(t, cat, m, "tail delete")
+	avgUpdate(t, m, tbl, 1, 0.5) // non-integral: division must still match refresh
+	checkAvgBitExact(t, cat, m, "fractional update")
+}
+
+// TestAvgViewExoticValues pushes NaN and −0 through the pair. While either
+// is present in the raw data, the SUM maintainer recomputes instead of
+// differencing — sum/count must track the refresh bits the whole way, NaN
+// contamination included.
+func TestAvgViewExoticValues(t *testing.T) {
+	cat, m, tbl := floatFixture(t, []float64{2, 4, 6, 8, 10, 12})
+	createView(t, m, avgViewDDL)
+
+	avgUpdate(t, m, tbl, 3, math.NaN())
+	checkAvgBitExact(t, cat, m, "NaN enters")
+	avgUpdate(t, m, tbl, 5, 7) // NaN still present elsewhere
+	checkAvgBitExact(t, cat, m, "update beside NaN")
+	avgAppend(t, m, tbl, 7, 1)
+	checkAvgBitExact(t, cat, m, "append with NaN present")
+	avgUpdate(t, m, tbl, 3, 6) // NaN leaves; sums must lose the contamination
+	checkAvgBitExact(t, cat, m, "NaN leaves")
+
+	avgUpdate(t, m, tbl, 2, math.Copysign(0, -1))
+	checkAvgBitExact(t, cat, m, "−0 enters")
+	avgDelete(t, m, tbl, 7)
+	checkAvgBitExact(t, cat, m, "tail delete with −0 present")
+	avgUpdate(t, m, tbl, 2, 4)
+	checkAvgBitExact(t, cat, m, "−0 leaves")
+}

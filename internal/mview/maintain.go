@@ -2,19 +2,22 @@ package mview
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
 
 	"rfview/internal/catalog"
-	"rfview/internal/core"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
 )
 
 // This file folds base-table DML into materialized sequence views using the
 // incremental rules of §2.3. Density-preserving changes patch only the
-// affected band of view rows; anything else marks the view stale.
+// affected band of view rows; anything else marks the view stale. The After*
+// hooks run under the engine's exclusive lock; depending on the manager's
+// mode they apply the delta immediately (eager), queue it (deferred), or
+// mark the view stale (off).
 
 // AfterInsert is called by the engine once rows have been inserted into a
 // base table.
@@ -25,7 +28,43 @@ func (m *Manager) AfterInsert(table string, rows []sqltypes.Row, cols []string) 
 		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
 			continue
 		}
-		m.applyInserts(sv, rows, cols)
+		m.dispatch(sv, pendingDelta{kind: deltaInsert, rows: rows, cols: cols})
+	}
+}
+
+// AfterUpdate is called with the before/after images of updated base rows.
+func (m *Manager) AfterUpdate(table string, before, after []sqltypes.Row, cols []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sv := range m.seq {
+		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+			continue
+		}
+		m.dispatch(sv, pendingDelta{kind: deltaUpdate, before: before, after: after, cols: cols})
+	}
+}
+
+// AfterDelete is called with the images of deleted base rows.
+func (m *Manager) AfterDelete(table string, deleted []sqltypes.Row, cols []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sv := range m.seq {
+		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+			continue
+		}
+		m.dispatch(sv, pendingDelta{kind: deltaDelete, rows: deleted, cols: cols})
+	}
+}
+
+// dispatch routes one DML delta for one view according to the mode.
+func (m *Manager) dispatch(sv *seqView, d pendingDelta) {
+	switch m.mode {
+	case ModeOff:
+		m.markStale(sv, "view maintenance is off")
+	case ModeDeferred:
+		m.enqueue(sv, d)
+	default:
+		m.applyDelta(sv, d)
 	}
 }
 
@@ -77,16 +116,12 @@ func (m *Manager) applyInserts(sv *seqView, rows []sqltypes.Row, cols []string) 
 			m.markStale(sv, "inserted row has non-integer position or non-numeric value")
 			return
 		}
-		n := len(sv.maint.Raw())
+		n := sv.maint.Len()
 		if p.Int() != int64(n+1) {
 			m.markStale(sv, fmt.Sprintf("insert at position %d is not an append (n=%d)", p.Int(), n))
 			return
 		}
-		if sv.agg == core.Avg {
-			m.markStale(sv, "AVG views refresh only")
-			return
-		}
-		if err := sv.maint.Insert(n+1, v.Float()); err != nil {
+		if err := m.seqInsert(sv, n+1, v.Float()); err != nil {
 			m.markStale(sv, err.Error())
 			return
 		}
@@ -98,128 +133,149 @@ func (m *Manager) applyInserts(sv *seqView, rows []sqltypes.Row, cols []string) 
 	}
 }
 
-// AfterUpdate is called with the before/after images of updated base rows.
-func (m *Manager) AfterUpdate(table string, before, after []sqltypes.Row, cols []string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, sv := range m.seq {
-		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
+func (m *Manager) applyUpdates(sv *seqView, before, after []sqltypes.Row, cols []string) {
+	pi := colIndex(cols, sv.mv.PosColumn)
+	vi := colIndex(cols, sv.mv.ValColumn)
+	if pi < 0 || vi < 0 {
+		m.markStale(sv, "update on untracked columns")
+		return
+	}
+	gi := -1
+	if sv.partitioned() {
+		gi = colIndex(cols, sv.mv.PartColumn)
+		if gi < 0 {
+			m.markStale(sv, "update without partition column")
+			return
+		}
+	}
+	for i := range before {
+		bp, ap := before[i][pi], after[i][pi]
+		bv, av := before[i][vi], after[i][vi]
+		if !sqltypes.Equal(bp, ap) {
+			m.markStale(sv, "position column updated")
+			return
+		}
+		if valueUnchanged(bv, av) {
 			continue
 		}
-		pi := colIndex(cols, sv.mv.PosColumn)
-		vi := colIndex(cols, sv.mv.ValColumn)
-		if pi < 0 || vi < 0 {
-			m.markStale(sv, "update on untracked columns")
-			continue
+		if av.IsNull() || !av.Typ().Numeric() {
+			m.markStale(sv, "value updated to non-numeric")
+			return
 		}
-		gi := -1
 		if sv.partitioned() {
-			gi = colIndex(cols, sv.mv.PartColumn)
-			if gi < 0 {
-				m.markStale(sv, "update without partition column")
-				continue
+			if !sqltypes.Equal(before[i][gi], after[i][gi]) {
+				m.markStale(sv, "partition column updated")
+				return
 			}
+			m.applyPartitionedUpdate(sv, after[i][gi], int(ap.Int()), av.Float())
+			if sv.stale {
+				return
+			}
+			continue
 		}
-		for i := range before {
-			bp, ap := before[i][pi], after[i][pi]
-			bv, av := before[i][vi], after[i][vi]
-			if !sqltypes.Equal(bp, ap) {
-				m.markStale(sv, "position column updated")
-				break
-			}
-			if sqltypes.Equal(bv, av) {
-				continue
-			}
-			if av.IsNull() || !av.Typ().Numeric() {
-				m.markStale(sv, "value updated to non-numeric")
-				break
-			}
-			if sv.agg == core.Avg {
-				m.markStale(sv, "AVG views refresh only")
-				break
-			}
-			if sv.partitioned() {
-				if !sqltypes.Equal(before[i][gi], after[i][gi]) {
-					m.markStale(sv, "partition column updated")
-					break
-				}
-				m.applyPartitionedUpdate(sv, after[i][gi], int(ap.Int()), av.Float())
-				if sv.stale {
-					break
-				}
-				continue
-			}
-			k := int(ap.Int())
-			if err := sv.maint.Update(k, av.Float()); err != nil {
-				m.markStale(sv, err.Error())
-				break
-			}
-			m.MaintenanceEvents++
-			if err := m.patchBand(sv, k); err != nil {
-				m.markStale(sv, err.Error())
-				break
-			}
+		k := int(ap.Int())
+		if err := m.seqUpdate(sv, k, av.Float()); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+		m.MaintenanceEvents++
+		if err := m.patchBand(sv, k); err != nil {
+			m.markStale(sv, err.Error())
+			return
 		}
 	}
 }
 
-// AfterDelete is called with the images of deleted base rows.
-func (m *Manager) AfterDelete(table string, deleted []sqltypes.Row, cols []string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, sv := range m.seq {
-		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
-			continue
+// valueUnchanged reports whether an updated value carries the same bits.
+// sqltypes.Equal is a SQL comparison: it calls NaN equal to any float and −0
+// equal to +0, which would silently drop exactly the updates whose bit
+// patterns the view must track to stay refresh-identical.
+func valueUnchanged(a, b sqltypes.Datum) bool {
+	if (a.Typ() == sqltypes.Float || b.Typ() == sqltypes.Float) &&
+		!a.IsNull() && !b.IsNull() && a.Typ().Numeric() && b.Typ().Numeric() {
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	}
+	return sqltypes.Equal(a, b)
+}
+
+func (m *Manager) applyDeletes(sv *seqView, deleted []sqltypes.Row, cols []string) {
+	pi := colIndex(cols, sv.mv.PosColumn)
+	if pi < 0 {
+		m.markStale(sv, "delete without position column")
+		return
+	}
+	if sv.partitioned() {
+		gi := colIndex(cols, sv.mv.PartColumn)
+		if gi < 0 {
+			m.markStale(sv, "delete without partition column")
+			return
 		}
-		pi := colIndex(cols, sv.mv.PosColumn)
-		if pi < 0 {
-			m.markStale(sv, "delete without position column")
-			continue
-		}
-		if sv.partitioned() {
-			gi := colIndex(cols, sv.mv.PartColumn)
-			if gi < 0 {
-				m.markStale(sv, "delete without partition column")
-				continue
-			}
-			ordered := append([]sqltypes.Row(nil), deleted...)
-			sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() > ordered[b][pi].Int() })
-			for _, row := range ordered {
-				if row[pi].IsNull() || row[gi].IsNull() {
-					m.markStale(sv, "deleted row lacks position or partition key")
-					break
-				}
-				m.applyPartitionedDelete(sv, row[gi], int(row[pi].Int()))
-				if sv.stale {
-					break
-				}
-			}
-			continue
-		}
-		// Deleting a suffix (n, n−1, …) keeps positions dense.
 		ordered := append([]sqltypes.Row(nil), deleted...)
 		sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() > ordered[b][pi].Int() })
 		for _, row := range ordered {
-			n := len(sv.maint.Raw())
-			if row[pi].IsNull() || row[pi].Int() != int64(n) {
-				m.markStale(sv, fmt.Sprintf("delete at position %v is not a suffix delete (n=%d)", row[pi], n))
-				break
+			if row[pi].IsNull() || row[gi].IsNull() {
+				m.markStale(sv, "deleted row lacks position or partition key")
+				return
 			}
-			if sv.agg == core.Avg {
-				m.markStale(sv, "AVG views refresh only")
-				break
-			}
-			if err := sv.maint.Delete(n); err != nil {
-				m.markStale(sv, err.Error())
-				break
-			}
-			m.MaintenanceEvents++
-			if err := m.patchShrink(sv, n); err != nil {
-				m.markStale(sv, err.Error())
-				break
+			m.applyPartitionedDelete(sv, row[gi], int(row[pi].Int()))
+			if sv.stale {
+				return
 			}
 		}
+		return
 	}
+	// Deleting a suffix (n, n−1, …) keeps positions dense.
+	ordered := append([]sqltypes.Row(nil), deleted...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a][pi].Int() > ordered[b][pi].Int() })
+	for _, row := range ordered {
+		n := sv.maint.Len()
+		if row[pi].IsNull() || row[pi].Int() != int64(n) {
+			m.markStale(sv, fmt.Sprintf("delete at position %v is not a suffix delete (n=%d)", row[pi], n))
+			return
+		}
+		if err := m.seqDelete(sv, n); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+		m.MaintenanceEvents++
+		if err := m.patchShrink(sv, n); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
+	}
+}
+
+// seqUpdate / seqInsert / seqDelete mutate a simple view's maintainer pair:
+// AVG views carry a COUNT maintainer alongside the SUM one (§2.1), and both
+// must track the raw data.
+func (m *Manager) seqUpdate(sv *seqView, k int, v float64) error {
+	if err := sv.maint.Update(k, v); err != nil {
+		return err
+	}
+	if sv.cnt != nil {
+		return sv.cnt.Update(k, v)
+	}
+	return nil
+}
+
+func (m *Manager) seqInsert(sv *seqView, k int, v float64) error {
+	if err := sv.maint.Insert(k, v); err != nil {
+		return err
+	}
+	if sv.cnt != nil {
+		return sv.cnt.Insert(k, v)
+	}
+	return nil
+}
+
+func (m *Manager) seqDelete(sv *seqView, k int) error {
+	if err := sv.maint.Delete(k); err != nil {
+		return err
+	}
+	if sv.cnt != nil {
+		return sv.cnt.Delete(k)
+	}
+	return nil
 }
 
 func (m *Manager) markStale(sv *seqView, why string) {
@@ -274,7 +330,7 @@ func (m *Manager) syncRange(sv *seqView, lo, hi int) error {
 			}
 			continue
 		}
-		v, ok := seq.AtOK(k)
+		v, ok := sv.valueAt(k)
 		if err := m.upsert(sv, k, v, ok); err != nil {
 			return err
 		}
@@ -283,21 +339,35 @@ func (m *Manager) syncRange(sv *seqView, lo, hi int) error {
 	return nil
 }
 
+// fullRecomputed reports whether the last mutation of sv's maintainer(s)
+// took the exotic-value fallback: NaN and Inf poison the pipelined running
+// sums past the §2.3 band, so the rebuilt sequence can differ at every
+// stored position and the backing must resync in full.
+func fullRecomputed(sv *seqView) bool {
+	return sv.maint.FullRecompute() || (sv.cnt != nil && sv.cnt.FullRecompute())
+}
+
 // patchBand handles a value update at position k: only the §2.3 band
 // [k−h, k+l] changes.
 func (m *Manager) patchBand(sv *seqView, k int) error {
-	w := sv.maint.Seq().Win
-	if w.Cumulative {
-		// Cumulative updates ripple right: [k, hi].
-		return m.syncRange(sv, k, sv.maint.Seq().Hi())
+	seq := sv.maint.Seq()
+	if fullRecomputed(sv) {
+		return m.syncRange(sv, seq.Lo(), seq.Hi())
 	}
-	return m.syncRange(sv, k-w.Following, k+w.Preceding)
+	if seq.Win.Cumulative {
+		// Cumulative updates ripple right: [k, hi].
+		return m.syncRange(sv, k, seq.Hi())
+	}
+	return m.syncRange(sv, k-seq.Win.Following, k+seq.Win.Preceding)
 }
 
 // patchAppend handles an append at position k = n+1: the band plus the one
 // new trailer position.
 func (m *Manager) patchAppend(sv *seqView, k int) error {
 	seq := sv.maint.Seq()
+	if fullRecomputed(sv) {
+		return m.syncRange(sv, seq.Lo(), seq.Hi())
+	}
 	if seq.Win.Cumulative {
 		return m.syncRange(sv, k, seq.Hi())
 	}
@@ -308,6 +378,15 @@ func (m *Manager) patchAppend(sv *seqView, k int) error {
 // vanished trailer position.
 func (m *Manager) patchShrink(sv *seqView, oldN int) error {
 	seq := sv.maint.Seq()
+	if fullRecomputed(sv) {
+		// The old stored range extended past the new Hi; cover both so the
+		// vanished trailer rows are deleted too.
+		hi := oldN + seq.Win.Preceding
+		if seq.Win.Cumulative {
+			hi = oldN
+		}
+		return m.syncRange(sv, seq.Lo(), hi)
+	}
 	if seq.Win.Cumulative {
 		return m.syncRange(sv, oldN, oldN)
 	}
@@ -330,9 +409,6 @@ func (m *Manager) ShiftInsert(viewName string, k int, val float64) error {
 	if sv.partitioned() {
 		return fmt.Errorf("positional shifts apply to simple sequence views only")
 	}
-	if sv.agg == core.Avg {
-		return fmt.Errorf("AVG views refresh only")
-	}
 	base, err := m.cat.Table(sv.mv.BaseTable)
 	if err != nil {
 		return err
@@ -340,7 +416,7 @@ func (m *Manager) ShiftInsert(viewName string, k int, val float64) error {
 	if err := shiftBase(base, sv.mv.PosColumn, sv.mv.ValColumn, k, &val, true); err != nil {
 		return err
 	}
-	if err := sv.maint.Insert(k, val); err != nil {
+	if err := m.seqInsert(sv, k, val); err != nil {
 		return err
 	}
 	m.MaintenanceEvents++
@@ -363,9 +439,6 @@ func (m *Manager) ShiftDelete(viewName string, k int) error {
 	if sv.partitioned() {
 		return fmt.Errorf("positional shifts apply to simple sequence views only")
 	}
-	if sv.agg == core.Avg {
-		return fmt.Errorf("AVG views refresh only")
-	}
 	base, err := m.cat.Table(sv.mv.BaseTable)
 	if err != nil {
 		return err
@@ -374,7 +447,7 @@ func (m *Manager) ShiftDelete(viewName string, k int) error {
 	if err := shiftBase(base, sv.mv.PosColumn, sv.mv.ValColumn, k, nil, false); err != nil {
 		return err
 	}
-	if err := sv.maint.Delete(k); err != nil {
+	if err := m.seqDelete(sv, k); err != nil {
 		return err
 	}
 	m.MaintenanceEvents++

@@ -40,12 +40,16 @@ import (
 type ExecFunc func(ctx context.Context, stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error)
 
 // seqView couples a catalog sequence view with its maintainer(s): one
-// core.Maintainer for simple sequence views, one per partition for
-// partitioned views (§6.2's complete reporting functions).
+// core.Maintainer for simple sequence views (AVG views maintain the SUM side
+// here plus a COUNT maintainer, deriving AVG = SUM/COUNT per §2.1), one
+// core.PartitionedMaintainer for partitioned views (§6.2's complete
+// reporting functions).
 type seqView struct {
 	mv       *catalog.MatView
-	maint    *core.Maintainer      // simple views
-	parts    map[string]*partState // partitioned views (nil otherwise)
+	maint    *core.Maintainer            // simple views (SUM side for AVG)
+	cnt      *core.Maintainer            // simple AVG views: the COUNT side
+	pm       *core.PartitionedMaintainer // partitioned views (nil otherwise)
+	partKeys map[string]sqltypes.Datum   // partition render key -> datum
 	agg      core.Agg
 	valType  sqltypes.Type
 	stale    bool
@@ -53,10 +57,43 @@ type seqView struct {
 	// staleSince timestamps the transition to stale, for the staleness-age
 	// metric; zero while fresh.
 	staleSince time.Time
+	// pending is the deferred-mode delta queue: DML deltas enqueued by the
+	// After* hooks, applied in order by Drain. Guarded by the manager mutex.
+	pending []pendingDelta
 }
 
 // partitioned reports whether the view keeps per-partition sequences.
-func (sv *seqView) partitioned() bool { return sv.parts != nil }
+func (sv *seqView) partitioned() bool { return sv.pm != nil }
+
+// touchedTotal sums the touched-position counters across the view's
+// maintainers; deltas of this value feed the touched-rows histogram.
+func (sv *seqView) touchedTotal() int {
+	if sv.pm != nil {
+		return sv.pm.Touched()
+	}
+	t := 0
+	if sv.maint != nil {
+		t += sv.maint.Touched
+	}
+	if sv.cnt != nil {
+		t += sv.cnt.Touched
+	}
+	return t
+}
+
+// valueAt returns the view's value at sequence position k. For AVG views it
+// derives SUM/COUNT, bit-matching core.ComputePipelined's AVG (count 0 maps
+// to 0, the paper's zero-extension convention).
+func (sv *seqView) valueAt(k int) (float64, bool) {
+	if sv.agg == core.Avg {
+		c := sv.cnt.Seq().At(k)
+		if c == 0 {
+			return 0, true
+		}
+		return sv.maint.Seq().At(k) / c, true
+	}
+	return sv.maint.Seq().AtOK(k)
+}
 
 // Manager owns all materialized views of one engine.
 //
@@ -71,6 +108,18 @@ type Manager struct {
 	plain map[string]*sqlparser.CreateMatView
 	exec  ExecFunc
 
+	// mode selects how base-table DML reaches sequence views: folded in
+	// eagerly inside the write (the default), enqueued per view and drained
+	// on read or on demand (deferred), or not at all (off: every DML marks
+	// matching views stale, REFRESH is the only repair).
+	mode Mode
+	// observeTouched, when set, receives the number of view sequence
+	// positions each applied delta touched (the histogram feed).
+	observeTouched func(float64)
+	// stats carries the maintenance counters the metrics registry and the
+	// stats protocol op scrape.
+	stats Stats
+
 	// MaintenanceEvents counts incremental maintenance operations applied,
 	// for tests and the maintenance example.
 	MaintenanceEvents int
@@ -79,6 +128,29 @@ type Manager struct {
 // NewManager builds a manager over the catalog.
 func NewManager(cat *catalog.Catalog, exec ExecFunc) *Manager {
 	return &Manager{cat: cat, seq: make(map[string]*seqView), plain: make(map[string]*sqlparser.CreateMatView), exec: exec}
+}
+
+// SetMode selects the maintenance mode. Engines call it once at
+// construction; switching modes mid-flight is safe (a leftover deferred
+// queue still drains via Drain or REFRESH).
+func (m *Manager) SetMode(mode Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mode = mode
+}
+
+// Mode returns the manager's maintenance mode.
+func (m *Manager) Mode() Mode {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.mode
+}
+
+// SetTouchedObserver installs the touched-rows histogram feed.
+func (m *Manager) SetTouchedObserver(fn func(float64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observeTouched = fn
 }
 
 func lower(s string) string { return strings.ToLower(s) }
@@ -208,12 +280,7 @@ func (m *Manager) createSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.
 		return err
 	}
 	win := windowOf(wq.Shape)
-	maintAgg := agg
-	if agg == core.Avg {
-		// AVG views are snapshots of SUM/COUNT; maintain via recompute-only.
-		maintAgg = core.Sum
-	}
-	maint, err := core.NewMaintainer(raw, win, maintAgg)
+	maint, cnt, err := newSeqMaintainers(raw, win, agg)
 	if err != nil {
 		return err
 	}
@@ -245,12 +312,33 @@ func (m *Manager) createSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.
 		m.cat.DropTable(backingName)
 		return err
 	}
-	sv := &seqView{mv: mv, maint: maint, agg: agg, valType: valType}
-	if err := m.fillBacking(sv, raw); err != nil {
+	sv := &seqView{mv: mv, maint: maint, cnt: cnt, agg: agg, valType: valType}
+	if err := m.fillBacking(sv); err != nil {
 		return err
 	}
 	m.seq[lower(stmt.Name)] = sv
 	return nil
+}
+
+// newSeqMaintainers builds the maintainer pair for a simple sequence view:
+// AVG views maintain SUM and COUNT and derive (§2.1); every other aggregate
+// maintains itself directly.
+func newSeqMaintainers(raw []float64, win core.Window, agg core.Agg) (maint, cnt *core.Maintainer, err error) {
+	maintAgg := agg
+	if agg == core.Avg {
+		maintAgg = core.Sum
+	}
+	maint, err = core.NewMaintainer(raw, win, maintAgg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if agg == core.Avg {
+		cnt, err = core.NewMaintainer(raw, win, core.Count)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return maint, cnt, nil
 }
 
 func toSpec(w core.Window) catalog.WindowSpec {
@@ -258,7 +346,7 @@ func toSpec(w core.Window) catalog.WindowSpec {
 }
 
 // fillBacking rewrites the backing table from the maintained sequence.
-func (m *Manager) fillBacking(sv *seqView, raw []float64) error {
+func (m *Manager) fillBacking(sv *seqView) error {
 	// Clear existing rows.
 	var ids []storage.RowID
 	sv.mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
@@ -271,15 +359,8 @@ func (m *Manager) fillBacking(sv *seqView, raw []float64) error {
 		}
 	}
 	seq := sv.maint.Seq()
-	if sv.agg == core.Avg {
-		avg, err := core.ComputePipelined(raw, seq.Win, core.Avg)
-		if err != nil {
-			return err
-		}
-		seq = avg
-	}
 	for k := seq.Lo(); k <= seq.Hi(); k++ {
-		v, ok := seq.AtOK(k)
+		v, ok := sv.valueAt(k)
 		if !ok {
 			continue // MIN/MAX empty windows are not materialized
 		}
@@ -354,6 +435,9 @@ func (m *Manager) Drop(name string) error {
 	if err := m.cat.DropMatView(name); err != nil {
 		return err
 	}
+	if sv, ok := m.seq[lower(name)]; ok {
+		m.clearPending(sv)
+	}
 	delete(m.seq, lower(name))
 	delete(m.plain, lower(name))
 	return m.cat.DropTable(mv.Table.Name)
@@ -370,6 +454,10 @@ func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if sv, ok := m.seq[lower(name)]; ok {
+		// A full refresh supersedes any queued deltas: the recompute reads
+		// the current base table, which already includes their effects.
+		m.clearPending(sv)
+		m.stats.FullRefreshes.Add(1)
 		if sv.partitioned() {
 			return m.refreshPartitioned(sv)
 		}
@@ -381,19 +469,16 @@ func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 		if err != nil {
 			return err
 		}
-		maintAgg := sv.agg
-		if maintAgg == core.Avg {
-			maintAgg = core.Sum
-		}
-		maint, err := core.NewMaintainer(raw, windowOfSpec(sv.mv.Window), maintAgg)
+		maint, cnt, err := newSeqMaintainers(raw, windowOfSpec(sv.mv.Window), sv.agg)
 		if err != nil {
 			return err
 		}
 		sv.maint = maint
+		sv.cnt = cnt
 		sv.stale = false
 		sv.staleWhy = ""
 		sv.staleSince = time.Time{}
-		return m.fillBacking(sv, raw)
+		return m.fillBacking(sv)
 	}
 	if stmt, ok := m.plain[lower(name)]; ok {
 		mv, _ := m.cat.MatView(name)

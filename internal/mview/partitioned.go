@@ -18,13 +18,9 @@ import (
 // one complete simple sequence (header + body + trailer) per partition,
 // materialized into a backing table (part, pos, val, body). The position
 // column must hold the dense integers 1…n_p *within each partition* — the
-// per-partition rank the paper's reporting sequences order by.
-
-// partState is one partition's maintained sequence.
-type partState struct {
-	key   sqltypes.Datum
-	maint *core.Maintainer
-}
+// per-partition rank the paper's reporting sequences order by. The
+// per-partition maintenance itself lives in core.PartitionedMaintainer; this
+// file binds it to SQL datum keys and the backing table.
 
 // isPartitionedSequenceShape accepts
 // SELECT part, pos, agg(val) OVER (PARTITION BY part ORDER BY pos ROWS …).
@@ -95,6 +91,21 @@ func readPartitionedSequences(base *catalog.Table, posCol, partCol, valCol strin
 	return keys, raws, nil
 }
 
+// buildPartitionedMaintainer materializes one PartitionedMaintainer from the
+// per-partition raw sequences.
+func buildPartitionedMaintainer(win core.Window, agg core.Agg, raws map[string][]float64) (*core.PartitionedMaintainer, error) {
+	pm, err := core.NewPartitionedMaintainer(win, agg)
+	if err != nil {
+		return nil, err
+	}
+	for k, raw := range raws {
+		if err := pm.SetPartition(k, raw); err != nil {
+			return nil, err
+		}
+	}
+	return pm, nil
+}
+
 func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.WindowQuery) error {
 	base, err := m.cat.Table(wq.Table)
 	if err != nil {
@@ -117,13 +128,9 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 		return err
 	}
 	win := windowOf(wq.Shape)
-	parts := make(map[string]*partState, len(raws))
-	for k, raw := range raws {
-		maint, err := core.NewMaintainer(raw, win, agg)
-		if err != nil {
-			return err
-		}
-		parts[k] = &partState{key: keys[k], maint: maint}
+	pm, err := buildPartitionedMaintainer(win, agg, raws)
+	if err != nil {
+		return err
 	}
 
 	valType := sqltypes.Int
@@ -154,7 +161,7 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 		m.cat.DropTable(backingName)
 		return err
 	}
-	sv := &seqView{mv: mv, agg: agg, valType: valType, parts: parts}
+	sv := &seqView{mv: mv, agg: agg, valType: valType, pm: pm, partKeys: keys}
 	if err := m.fillPartitionedBacking(sv); err != nil {
 		return err
 	}
@@ -175,14 +182,15 @@ func (m *Manager) fillPartitionedBacking(sv *seqView) error {
 			return err
 		}
 	}
-	for _, ps := range sortedParts(sv) {
-		seq := ps.maint.Seq()
+	for _, key := range sv.pm.Keys() {
+		seq := sv.pm.Partition(key).Seq()
+		part := sv.partKeys[key]
 		for k := seq.Lo(); k <= seq.Hi(); k++ {
 			v, ok := seq.AtOK(k)
 			if !ok {
 				continue
 			}
-			row := sqltypes.Row{ps.key, sqltypes.NewInt(int64(k)), sv.datum(v),
+			row := sqltypes.Row{part, sqltypes.NewInt(int64(k)), sv.datum(v),
 				sqltypes.NewBool(k >= 1 && k <= seq.N)}
 			if _, err := sv.mv.Table.Heap.Insert(row); err != nil {
 				return err
@@ -192,26 +200,13 @@ func (m *Manager) fillPartitionedBacking(sv *seqView) error {
 	return nil
 }
 
-func sortedParts(sv *seqView) []*partState {
-	keys := make([]string, 0, len(sv.parts))
-	for k := range sv.parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]*partState, len(keys))
-	for i, k := range keys {
-		out[i] = sv.parts[k]
-	}
-	return out
-}
-
 // upsertPart writes (part, pos, val, body) through the (part, pos) index.
-func (m *Manager) upsertPart(sv *seqView, ps *partState, pos int, val float64, ok bool) error {
+func (m *Manager) upsertPart(sv *seqView, part sqltypes.Datum, maint *core.Maintainer, pos int, val float64, ok bool) error {
 	h := sv.mv.Table.Heap.IndexOn([]int{0, 1})
 	if h == nil {
 		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 	}
-	key := sqltypes.Row{ps.key, sqltypes.NewInt(int64(pos))}
+	key := sqltypes.Row{part, sqltypes.NewInt(int64(pos))}
 	id, found := h.Idx.First(key)
 	if !ok {
 		if found {
@@ -219,8 +214,8 @@ func (m *Manager) upsertPart(sv *seqView, ps *partState, pos int, val float64, o
 		}
 		return nil
 	}
-	n := ps.maint.Seq().N
-	row := sqltypes.Row{ps.key, sqltypes.NewInt(int64(pos)), sv.datum(val),
+	n := maint.Seq().N
+	row := sqltypes.Row{part, sqltypes.NewInt(int64(pos)), sv.datum(val),
 		sqltypes.NewBool(pos >= 1 && pos <= n)}
 	if found {
 		return sv.mv.Table.Heap.Update(id, row)
@@ -231,15 +226,15 @@ func (m *Manager) upsertPart(sv *seqView, ps *partState, pos int, val float64, o
 
 // syncPartRange re-writes backing rows for positions [lo, hi] of one
 // partition.
-func (m *Manager) syncPartRange(sv *seqView, ps *partState, lo, hi int) error {
-	seq := ps.maint.Seq()
+func (m *Manager) syncPartRange(sv *seqView, part sqltypes.Datum, maint *core.Maintainer, lo, hi int) error {
+	seq := maint.Seq()
 	for k := lo; k <= hi; k++ {
 		if k < seq.Lo() || k > seq.Hi() {
 			h := sv.mv.Table.Heap.IndexOn([]int{0, 1})
 			if h == nil {
 				return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 			}
-			if id, found := h.Idx.First(sqltypes.Row{ps.key, sqltypes.NewInt(int64(k))}); found {
+			if id, found := h.Idx.First(sqltypes.Row{part, sqltypes.NewInt(int64(k))}); found {
 				if err := sv.mv.Table.Heap.Delete(id); err != nil {
 					return err
 				}
@@ -247,7 +242,7 @@ func (m *Manager) syncPartRange(sv *seqView, ps *partState, lo, hi int) error {
 			continue
 		}
 		v, ok := seq.AtOK(k)
-		if err := m.upsertPart(sv, ps, k, v, ok); err != nil {
+		if err := m.upsertPart(sv, part, maint, k, v, ok); err != nil {
 			return err
 		}
 	}
@@ -256,22 +251,23 @@ func (m *Manager) syncPartRange(sv *seqView, ps *partState, lo, hi int) error {
 
 // applyPartitionedUpdate folds one base-row value update into the view.
 func (m *Manager) applyPartitionedUpdate(sv *seqView, part sqltypes.Datum, pos int, val float64) {
-	ps, ok := sv.parts[part.String()]
-	if !ok {
-		m.markStale(sv, fmt.Sprintf("update in unknown partition %v", part))
-		return
-	}
-	if err := ps.maint.Update(pos, val); err != nil {
+	key := part.String()
+	if err := sv.pm.Update(key, pos, val); err != nil {
 		m.markStale(sv, err.Error())
 		return
 	}
 	m.MaintenanceEvents++
-	w := ps.maint.Seq().Win
+	maint := sv.pm.Partition(key)
+	w := maint.Seq().Win
 	var err error
-	if w.Cumulative {
-		err = m.syncPartRange(sv, ps, pos, ps.maint.Seq().Hi())
-	} else {
-		err = m.syncPartRange(sv, ps, pos-w.Following, pos+w.Preceding)
+	switch {
+	case maint.FullRecompute():
+		// The exotic-value fallback rebuilt the partition's whole sequence.
+		err = m.syncPartRange(sv, part, maint, maint.Seq().Lo(), maint.Seq().Hi())
+	case w.Cumulative:
+		err = m.syncPartRange(sv, part, maint, pos, maint.Seq().Hi())
+	default:
+		err = m.syncPartRange(sv, part, maint, pos-w.Following, pos+w.Preceding)
 	}
 	if err != nil {
 		m.markStale(sv, err.Error())
@@ -279,46 +275,33 @@ func (m *Manager) applyPartitionedUpdate(sv *seqView, part sqltypes.Datum, pos i
 }
 
 // applyPartitionedInsert folds one inserted base row into the view: appends
-// at n_p+1 (including position 1 of a brand-new partition) stay incremental.
+// at n_p+1 (including position 1 of a brand-new partition, a partition
+// birth) stay incremental.
 func (m *Manager) applyPartitionedInsert(sv *seqView, part sqltypes.Datum, pos int, val float64) {
-	k := part.String()
-	ps, ok := sv.parts[k]
-	if !ok {
-		if pos != 1 {
-			m.markStale(sv, fmt.Sprintf("insert at position %d opens partition %v non-densely", pos, part))
-			return
-		}
-		maint, err := core.NewMaintainer([]float64{val}, windowOfSpec(sv.mv.Window), sv.agg)
-		if err != nil {
-			m.markStale(sv, err.Error())
-			return
-		}
-		ps = &partState{key: part, maint: maint}
-		sv.parts[k] = ps
-		m.MaintenanceEvents++
-		if err := m.syncPartRange(sv, ps, ps.maint.Seq().Lo(), ps.maint.Seq().Hi()); err != nil {
-			m.markStale(sv, err.Error())
-		}
-		return
-	}
-	n := ps.maint.Seq().N
-	if pos != n+1 {
-		m.markStale(sv, fmt.Sprintf("insert at position %d of partition %v is not an append (n=%d)", pos, part, n))
-		return
-	}
-	if err := ps.maint.Insert(pos, val); err != nil {
+	key := part.String()
+	maint, born, err := sv.pm.Append(key, pos, val)
+	if err != nil {
 		m.markStale(sv, err.Error())
 		return
 	}
 	m.MaintenanceEvents++
-	seq := ps.maint.Seq()
-	var err error
-	if seq.Win.Cumulative {
-		err = m.syncPartRange(sv, ps, pos, seq.Hi())
-	} else {
+	if born {
+		sv.partKeys[key] = part
+		if err := m.syncPartRange(sv, part, maint, maint.Seq().Lo(), maint.Seq().Hi()); err != nil {
+			m.markStale(sv, err.Error())
+		}
+		return
+	}
+	seq := maint.Seq()
+	switch {
+	case maint.FullRecompute():
+		err = m.syncPartRange(sv, part, maint, seq.Lo(), seq.Hi())
+	case seq.Win.Cumulative:
+		err = m.syncPartRange(sv, part, maint, pos, seq.Hi())
+	default:
 		// The body flag of former trailer rows changes too; sync the band
 		// plus the new trailer.
-		err = m.syncPartRange(sv, ps, pos-seq.Win.Following, seq.Hi())
+		err = m.syncPartRange(sv, part, maint, pos-seq.Win.Following, seq.Hi())
 	}
 	if err != nil {
 		m.markStale(sv, err.Error())
@@ -328,30 +311,25 @@ func (m *Manager) applyPartitionedInsert(sv *seqView, part sqltypes.Datum, pos i
 // applyPartitionedDelete folds one deleted base row into the view (suffix
 // deletes only).
 func (m *Manager) applyPartitionedDelete(sv *seqView, part sqltypes.Datum, pos int) {
-	ps, ok := sv.parts[part.String()]
-	if !ok {
-		m.markStale(sv, fmt.Sprintf("delete in unknown partition %v", part))
-		return
+	key := part.String()
+	maint := sv.pm.Partition(key)
+	var oldHi int
+	if maint != nil {
+		oldHi = maint.Seq().Hi()
 	}
-	n := ps.maint.Seq().N
-	if pos != n {
-		m.markStale(sv, fmt.Sprintf("delete at position %d of partition %v is not a suffix delete (n=%d)", pos, part, n))
-		return
-	}
-	oldHi := ps.maint.Seq().Hi()
-	if err := ps.maint.Delete(pos); err != nil {
+	died, err := sv.pm.DeleteSuffix(key, pos)
+	if err != nil {
 		m.markStale(sv, err.Error())
 		return
 	}
 	m.MaintenanceEvents++
-	seq := ps.maint.Seq()
-	if seq.N == 0 {
+	if died {
 		// The partition vanished: remove every remaining backing row (an
 		// empty sequence would otherwise materialize zero-valued
 		// header/trailer rows).
 		var ids []storage.RowID
 		sv.mv.Table.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
-			if sqltypes.Equal(row[0], ps.key) {
+			if sqltypes.Equal(row[0], part) {
 				ids = append(ids, id)
 			}
 			return true
@@ -362,14 +340,17 @@ func (m *Manager) applyPartitionedDelete(sv *seqView, part sqltypes.Datum, pos i
 				return
 			}
 		}
-		delete(sv.parts, part.String())
+		delete(sv.partKeys, key)
 		return
 	}
-	var err error
-	if seq.Win.Cumulative {
-		err = m.syncPartRange(sv, ps, pos, oldHi)
-	} else {
-		err = m.syncPartRange(sv, ps, pos-seq.Win.Following, oldHi)
+	seq := maint.Seq()
+	switch {
+	case maint.FullRecompute():
+		err = m.syncPartRange(sv, part, maint, seq.Lo(), oldHi)
+	case seq.Win.Cumulative:
+		err = m.syncPartRange(sv, part, maint, pos, oldHi)
+	default:
+		err = m.syncPartRange(sv, part, maint, pos-seq.Win.Following, oldHi)
 	}
 	if err != nil {
 		m.markStale(sv, err.Error())
@@ -386,15 +367,12 @@ func (m *Manager) refreshPartitioned(sv *seqView) error {
 	if err != nil {
 		return err
 	}
-	parts := make(map[string]*partState, len(raws))
-	for k, raw := range raws {
-		maint, err := core.NewMaintainer(raw, windowOfSpec(sv.mv.Window), sv.agg)
-		if err != nil {
-			return err
-		}
-		parts[k] = &partState{key: keys[k], maint: maint}
+	pm, err := buildPartitionedMaintainer(windowOfSpec(sv.mv.Window), sv.agg, raws)
+	if err != nil {
+		return err
 	}
-	sv.parts = parts
+	sv.pm = pm
+	sv.partKeys = keys
 	sv.stale = false
 	sv.staleWhy = ""
 	sv.staleSince = time.Time{}

@@ -1,0 +1,191 @@
+package mview
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"rfview/internal/sqltypes"
+)
+
+// Maintenance modes. Eager folds DML deltas into sequence views inside the
+// write itself; Deferred enqueues them per view and applies them on Drain
+// (the engine drains before reads and on background ticks — read-repair);
+// Off marks views stale on every base-table write, leaving REFRESH as the
+// only repair. Deferred queues survive a crash without being persisted:
+// deltas re-enqueue when WAL replay re-executes the DML past the last
+// checkpoint, and checkpoints drain before snapshotting.
+type Mode int
+
+const (
+	ModeEager Mode = iota
+	ModeDeferred
+	ModeOff
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDeferred:
+		return "deferred"
+	case ModeOff:
+		return "off"
+	default:
+		return "eager"
+	}
+}
+
+// ParseMode parses a maintenance-mode name. The empty string is the eager
+// default, so an unset Options field or flag needs no special-casing.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "eager":
+		return ModeEager, nil
+	case "deferred":
+		return ModeDeferred, nil
+	case "off":
+		return ModeOff, nil
+	}
+	return ModeEager, fmt.Errorf("mview: unknown maintenance mode %q (want eager, deferred, or off)", s)
+}
+
+// maxPendingDeltas caps one view's deferred queue. Overflow falls back to
+// staleness — REFRESH recomputes from the base table, so dropping the queue
+// loses no information, only incrementality.
+const maxPendingDeltas = 4096
+
+// Stats carries the maintenance counters, readable without the manager lock.
+type Stats struct {
+	// DeltaApplied counts DML deltas folded into a view incrementally
+	// (eager applications and deferred drains alike).
+	DeltaApplied atomic.Int64
+	// FullRefreshes counts REFRESH MATERIALIZED VIEW recomputes of sequence
+	// views — the §2.3 alternative the delta path avoids.
+	FullRefreshes atomic.Int64
+	// Pending is the number of queued deferred deltas across all views.
+	Pending atomic.Int64
+}
+
+// Stats returns the manager's maintenance counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// PendingTotal returns the number of queued deferred deltas. It is
+// lock-free: the engine checks it on every read statement.
+func (m *Manager) PendingTotal() int64 { return m.stats.Pending.Load() }
+
+// QueueDepths reports the deferred queue depth per sequence view, for the
+// per-view gauge.
+func (m *Manager) QueueDepths() map[string]float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]float64, len(m.seq))
+	for _, sv := range m.seq {
+		out[sv.mv.Name] = float64(len(sv.pending))
+	}
+	return out
+}
+
+// deltaKind discriminates pendingDelta payloads.
+type deltaKind int
+
+const (
+	deltaInsert deltaKind = iota
+	deltaUpdate
+	deltaDelete
+)
+
+// pendingDelta is one DML event queued for deferred application. Row images
+// are cloned at enqueue time: the queue outlives the statement that produced
+// them, and later writes may mutate the heap rows the images alias.
+type pendingDelta struct {
+	kind          deltaKind
+	rows          []sqltypes.Row // insert / delete images
+	before, after []sqltypes.Row // update images
+	cols          []string
+}
+
+func cloneRows(rows []sqltypes.Row) []sqltypes.Row {
+	out := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// enqueue appends a delta to one view's deferred queue, cloning row images.
+// Callers hold the manager lock. A full queue falls back to staleness.
+func (m *Manager) enqueue(sv *seqView, d pendingDelta) {
+	if len(sv.pending) >= maxPendingDeltas {
+		m.clearPending(sv)
+		m.markStale(sv, "deferred maintenance queue overflowed")
+		return
+	}
+	d.rows = cloneRows(d.rows)
+	d.before = cloneRows(d.before)
+	d.after = cloneRows(d.after)
+	sv.pending = append(sv.pending, d)
+	m.stats.Pending.Add(1)
+}
+
+// clearPending drops a view's queue (refresh, overflow, drop). Callers hold
+// the manager lock.
+func (m *Manager) clearPending(sv *seqView) {
+	if n := len(sv.pending); n > 0 {
+		sv.pending = nil
+		m.stats.Pending.Add(-int64(n))
+	}
+}
+
+// Drain applies every queued deferred delta, in enqueue order per view, and
+// returns how many were applied. A delta that cannot be folded marks its
+// view stale and the rest of that view's queue is dropped (REFRESH
+// supersedes it). The engine calls Drain under its exclusive lock — before
+// read statements when deltas are pending, on background ticks, and before
+// WAL checkpoints capture a snapshot.
+func (m *Manager) Drain() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, sv := range m.seq {
+		total += m.drainView(sv)
+	}
+	return total
+}
+
+func (m *Manager) drainView(sv *seqView) int {
+	if len(sv.pending) == 0 {
+		return 0
+	}
+	q := sv.pending
+	sv.pending = nil
+	m.stats.Pending.Add(-int64(len(q)))
+	applied := 0
+	for _, d := range q {
+		if sv.stale {
+			break // the remainder is moot; REFRESH rebuilds from the base
+		}
+		m.applyDelta(sv, d)
+		applied++
+	}
+	return applied
+}
+
+// applyDelta folds one delta into a fresh view, updating the stats counters
+// and the touched-rows observer. Callers hold the manager lock.
+func (m *Manager) applyDelta(sv *seqView, d pendingDelta) {
+	before := sv.touchedTotal()
+	switch d.kind {
+	case deltaInsert:
+		m.applyInserts(sv, d.rows, d.cols)
+	case deltaUpdate:
+		m.applyUpdates(sv, d.before, d.after, d.cols)
+	case deltaDelete:
+		m.applyDeletes(sv, d.rows, d.cols)
+	}
+	if sv.stale {
+		return
+	}
+	m.stats.DeltaApplied.Add(1)
+	if m.observeTouched != nil {
+		m.observeTouched(float64(sv.touchedTotal() - before))
+	}
+}

@@ -85,9 +85,14 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 		sv.staleSince = time.Now()
 	}
 	if mv.PartColumn != "" {
-		// Partitioned views need a non-nil partition map even while stale so
+		// Partitioned views need a non-nil maintainer even while stale so
 		// REFRESH takes the partitioned path.
-		sv.parts = make(map[string]*partState)
+		pm, err := core.NewPartitionedMaintainer(windowOfSpec(mv.Window), agg)
+		if err != nil {
+			return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
+		}
+		sv.pm = pm
+		sv.partKeys = make(map[string]sqltypes.Datum)
 	}
 	if !spec.Stale {
 		base, err := m.cat.Table(mv.BaseTable)
@@ -100,22 +105,17 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 			}
 			for k, raw := range raws {
-				maint, err := core.NewMaintainer(raw, windowOfSpec(mv.Window), agg)
-				if err != nil {
+				if err := sv.pm.SetPartition(k, raw); err != nil {
 					return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 				}
-				sv.parts[k] = &partState{key: keys[k], maint: maint}
 			}
+			sv.partKeys = keys
 		} else {
 			raw, err := readDenseSequence(base, mv.PosColumn, mv.ValColumn)
 			if err != nil {
 				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 			}
-			maintAgg := agg
-			if agg == core.Avg {
-				maintAgg = core.Sum
-			}
-			if sv.maint, err = core.NewMaintainer(raw, windowOfSpec(mv.Window), maintAgg); err != nil {
+			if sv.maint, sv.cnt, err = newSeqMaintainers(raw, windowOfSpec(mv.Window), agg); err != nil {
 				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 			}
 		}

@@ -336,5 +336,11 @@ func (s *Server) statsReply(sess *Session) *StatsReply {
 			Merges:          s.eng.SpillStats().Merges.Load(),
 			Operators:       s.eng.SpillStats().Spills.Load(),
 		},
+		Maintenance: MaintenanceStats{
+			Mode:          s.eng.MaintenanceMode().String(),
+			DeltaApplied:  s.eng.Views.Stats().DeltaApplied.Load(),
+			FullRefreshes: s.eng.Views.Stats().FullRefreshes.Load(),
+			Pending:       s.eng.Views.PendingTotal(),
+		},
 	}
 }

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"rfview/internal/engine"
+)
+
+// Deferred view maintenance keeps its delta queue in memory only. These tests
+// pin down the two durability obligations that make that safe:
+//
+//  1. a crash with deltas still queued loses nothing, because replaying the
+//     WAL tail re-executes the DML — which re-enqueues the deltas — and the
+//     recovery-ending checkpoint drains them;
+//  2. a checkpoint drains the queue BEFORE capturing state, because the
+//     snapshot supersedes exactly the WAL records whose deltas are queued —
+//     truncating them with the queue still pending would lose the deltas.
+
+func deferredOpts() engine.Options {
+	o := engine.DefaultOptions()
+	o.ViewMaintenance = "deferred"
+	return o
+}
+
+// deferredWorkload is maintainable DML only (appends, value updates, a tail
+// delete), so in eager mode every statement folds into the views
+// incrementally and in deferred mode every statement enqueues.
+func deferredWorkloadSetup() []string {
+	stmts := []string{
+		`CREATE TABLE seq (pos INTEGER, val INTEGER)`,
+		`CREATE UNIQUE INDEX seq_pk ON seq (pos)`,
+	}
+	for i := 1; i <= 20; i++ {
+		stmts = append(stmts, fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, i, (i*31)%60-30))
+	}
+	stmts = append(stmts,
+		`CREATE MATERIALIZED VIEW matseq AS SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`,
+		`CREATE MATERIALIZED VIEW avgseq AS SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq`,
+	)
+	return stmts
+}
+
+func deferredWorkloadDeltas() []string {
+	var stmts []string
+	for i := 0; i < 8; i++ {
+		stmts = append(stmts, fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, i*5-17, 1+(i*7)%20))
+	}
+	for i := 21; i <= 24; i++ {
+		stmts = append(stmts, fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, i, i%9))
+	}
+	stmts = append(stmts, `DELETE FROM seq WHERE pos = 24`)
+	return stmts
+}
+
+var deferredQueries = []string{
+	`SELECT pos, val FROM matseq`,
+	`SELECT pos, val FROM avgseq`,
+	`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+	`SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS w FROM seq`,
+	`SELECT pos, val FROM seq`,
+}
+
+// TestCrashRecoveryDeferredQueue crashes with deltas still queued and checks
+// the recovered engine converges to the uncrashed eager reference.
+func TestCrashRecoveryDeferredQueue(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := Open(Options{Dir: dir, Sync: SyncOff}, deferredOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerOpts := engine.DefaultOptions()
+	eagerOpts.ViewMaintenance = "eager"
+	reference := engine.New(eagerOpts)
+
+	for _, sql := range deferredWorkloadSetup() {
+		applyBoth(t, mgr.Engine(), reference, sql)
+	}
+	// Checkpoint so recovery exercises snapshot + tail replay, with every
+	// queued delta living strictly in the tail.
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range deferredWorkloadDeltas() {
+		applyBoth(t, mgr.Engine(), reference, sql)
+	}
+	if pending := mgr.Engine().Views.PendingTotal(); pending == 0 {
+		t.Fatal("setup produced no queued deltas; the test would prove nothing")
+	}
+	// Crash: abandon the manager with the queue pending. The queue is
+	// volatile; only the WAL survives.
+	mgr = nil
+
+	re, err := Open(Options{Dir: dir, Sync: SyncOff}, deferredOpts())
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer re.Close()
+	if pending := re.Engine().Views.PendingTotal(); pending != 0 {
+		t.Fatalf("recovery left %d deltas queued; the recovery checkpoint must drain", pending)
+	}
+	compareEnginesOn(t, re.Engine(), reference, deferredQueries, "deferred queue after crash")
+
+	// The recovered engine keeps maintaining: more deltas, then read-repair.
+	for i := 25; i <= 28; i++ {
+		applyBoth(t, re.Engine(), reference, fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, i, i%5))
+	}
+	compareEnginesOn(t, re.Engine(), reference, deferredQueries, "deferred post-recovery traffic")
+}
+
+// TestCheckpointDrainsDeferredQueue checks the checkpoint-order obligation
+// directly: Checkpoint must fold queued deltas into the snapshot before
+// truncating the WAL records that produced them.
+func TestCheckpointDrainsDeferredQueue(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := Open(Options{Dir: dir, Sync: SyncOff}, deferredOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerOpts := engine.DefaultOptions()
+	eagerOpts.ViewMaintenance = "eager"
+	reference := engine.New(eagerOpts)
+
+	for _, sql := range append(deferredWorkloadSetup(), deferredWorkloadDeltas()...) {
+		applyBoth(t, mgr.Engine(), reference, sql)
+	}
+	if pending := mgr.Engine().Views.PendingTotal(); pending == 0 {
+		t.Fatal("setup produced no queued deltas; the test would prove nothing")
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if pending := mgr.Engine().Views.PendingTotal(); pending != 0 {
+		t.Fatalf("checkpoint left %d deltas queued", pending)
+	}
+	// Crash immediately after the checkpoint: recovery has ONLY the snapshot
+	// (the WAL records behind the queued deltas are truncated). If the
+	// snapshot had been captured pre-drain, the deltas would now be lost.
+	mgr = nil
+
+	re, err := Open(Options{Dir: dir, Sync: SyncOff}, deferredOpts())
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer re.Close()
+	if re.Recovery().RecordsReplayed != 0 {
+		t.Fatalf("expected snapshot-only recovery, replayed %d records", re.Recovery().RecordsReplayed)
+	}
+	compareEnginesOn(t, re.Engine(), reference, deferredQueries, "snapshot-only after drained checkpoint")
+}

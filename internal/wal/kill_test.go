@@ -24,6 +24,28 @@ import (
 // asserts acked ≤ recovered ≤ sent and then requires bit-identical answers
 // for the recovered prefix.
 func TestKillServerRecovery(t *testing.T) {
+	runKillServerRecovery(t, nil, engine.DefaultOptions())
+}
+
+// TestKillServerRecoveryDeferred reruns the SIGKILL harness with deferred
+// view maintenance and an aggressive background drain, so the kill can land
+// mid-queue-drain: some acknowledged deltas are folded into the matseq
+// backing table already, others still sit in the volatile queue. Recovery
+// must converge regardless — replaying the WAL tail re-enqueues the lost
+// deltas and the recovery-ending checkpoint drains them — and the recovered
+// answers must match the uncrashed reference bit for bit.
+func TestKillServerRecoveryDeferred(t *testing.T) {
+	engOpts := engine.DefaultOptions()
+	engOpts.ViewMaintenance = "deferred"
+	runKillServerRecovery(t,
+		[]string{"-view-maintenance", "deferred", "-maintenance-interval", "10ms"},
+		engOpts)
+}
+
+// runKillServerRecovery is the harness body: serverFlags are appended to the
+// rfserverd command line, engOpts configure both the in-process recovery and
+// the reference engine.
+func runKillServerRecovery(t *testing.T, serverFlags []string, engOpts engine.Options) {
 	if testing.Short() {
 		t.Skip("process-level kill test skipped in -short mode")
 	}
@@ -35,12 +57,14 @@ func TestKillServerRecovery(t *testing.T) {
 	}
 
 	dataDir := t.TempDir()
-	srv := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-data-dir", dataDir,
 		"-fsync", "always",
 		"-checkpoint-every", "40",
-	)
+	}
+	args = append(args, serverFlags...)
+	srv := exec.Command(bin, args...)
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -131,11 +155,14 @@ func TestKillServerRecovery(t *testing.T) {
 	}
 
 	// Recover the data directory in-process.
-	mgr, err := Open(Options{Dir: dataDir, Sync: SyncOff}, engine.DefaultOptions())
+	mgr, err := Open(Options{Dir: dataDir, Sync: SyncOff}, engOpts)
 	if err != nil {
 		t.Fatalf("recovery after SIGKILL: %v", err)
 	}
 	defer mgr.Close()
+	if pending := mgr.Engine().Views.PendingTotal(); pending != 0 {
+		t.Fatalf("recovery left %d deferred deltas queued; the recovery checkpoint must drain", pending)
+	}
 	res, err := mgr.Engine().Exec(`SELECT COUNT(*) AS c FROM seq`)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +178,7 @@ func TestKillServerRecovery(t *testing.T) {
 
 	// Reference: a never-crashed engine running the schema plus exactly the
 	// recovered prefix of the insert stream.
-	reference := engine.New(engine.DefaultOptions())
+	reference := engine.New(engOpts)
 	for _, sql := range schema {
 		if _, err := reference.Exec(sql); err != nil {
 			t.Fatal(err)

@@ -216,11 +216,15 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 // refusal to answer derivation queries — and that REFRESH heals it.
 func TestCrashRecoveryStaleView(t *testing.T) {
 	dir := t.TempDir()
-	mgr, err := Open(Options{Dir: dir, Sync: SyncOff}, engine.DefaultOptions())
+	// Pin eager maintenance: the test asserts staleness appears inside the
+	// DML itself, which deferred mode postpones to the next drain.
+	engOpts := engine.DefaultOptions()
+	engOpts.ViewMaintenance = "eager"
+	mgr, err := Open(Options{Dir: dir, Sync: SyncOff}, engOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reference := engine.New(engine.DefaultOptions())
+	reference := engine.New(engOpts)
 	setup := []string{
 		`CREATE TABLE seq (pos INTEGER, val INTEGER)`,
 		`INSERT INTO seq VALUES (1, 10), (2, 20), (3, 30), (4, 40)`,

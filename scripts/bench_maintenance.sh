@@ -2,11 +2,13 @@
 # bench_maintenance.sh — §2.3 incremental maintenance vs. full refresh.
 #
 # Runs rfbench's maintenance experiment (50 single-row UPDATEs timed
-# individually, 5 REFRESH trials, medians per sequence size) and records the
-# JSON report in BENCH_maintenance.json at the repo root. The headline number
-# per size is refresh_over_incremental: how many times more expensive a full
-# REFRESH MATERIALIZED VIEW is than folding one base-table update into the
-# view through the §2.3 maintenance rules.
+# individually, 5 REFRESH trials, medians per sequence size) plus the
+# delta-vs-full grid (UPDATE batches of 0.1%/1%/10% of the table at
+# 10k/100k/1M rows, folded eagerly, against a full REFRESH) and records the
+# JSON report in BENCH_maintenance.json at the repo root. The headline
+# numbers are refresh_over_incremental (one update vs. one refresh) and
+# refresh_over_delta (a whole delta batch vs. one refresh — the §2.3 payoff
+# that must stay ≥5x at the 1M-row/0.1%-delta point).
 #
 # Usage: scripts/bench_maintenance.sh [-quick]
 set -euo pipefail
@@ -29,4 +31,8 @@ for r in d["runs"]:
     print(f'n={r["n"]}: incremental {r["incremental_median_ms"]} ms, '
           f'refresh {r["refresh_median_ms"]} ms, '
           f'ratio {r["refresh_over_incremental"]}x')
+for r in d.get("delta_ratios") or []:
+    print(f'n={r["n"]} delta={r["delta_frac"]:.1%} ({r["delta_ops"]} ops): '
+          f'batch {r["delta_total_ms"]} ms, refresh {r["refresh_median_ms"]} ms, '
+          f'ratio {r["refresh_over_delta"]}x')
 PY
