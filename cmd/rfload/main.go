@@ -5,7 +5,8 @@
 // Usage:
 //
 //	rfload -addr host:port [-clients N] [-duration 3s] [-sql QUERY]
-//	       [-setup script.sql] [-warmup 50] [-json] [-probe] [-mem-budget SIZE]
+//	       [-mixed RATIO -write-sql DML] [-setup script.sql] [-warmup 50]
+//	       [-json] [-probe] [-mem-budget SIZE]
 //
 // -setup executes a SQL script through one connection before the load phase
 // (statement by statement). -probe just pings once and exits 0/1, for
@@ -14,6 +15,15 @@
 // runs under that executor memory budget (start rfserverd with the same
 // flag) and appends the server's spill counters to the result, so a serve
 // benchmark can confirm the out-of-core path actually ran end-to-end.
+//
+// -mixed R turns each client into a mixed reader/writer: every iteration is
+// the -sql read with probability R, otherwise the -write-sql statement.
+// Every "{i}" in -write-sql is replaced with a process-wide unique integer,
+// so inserts can mint fresh keys ("INSERT INTO seq (pos, val) VALUES ({i},
+// 1)"). Reads and writes are reported separately, write-write conflict
+// aborts are counted rather than treated as errors, and the server's
+// transaction counters are appended to the result — together they show
+// readers scaling while writers commit (MVCC snapshot isolation).
 package main
 
 import (
@@ -21,12 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	rferrors "rfview/errors"
 	"rfview/internal/client"
 	"rfview/internal/spill"
 	"rfview/internal/sqlparser"
@@ -55,6 +69,20 @@ type runResult struct {
 	MaintDelta   int64  `json:"maintenance_delta_applied,omitempty"`
 	MaintFull    int64  `json:"maintenance_full_refreshes,omitempty"`
 	MaintPending int64  `json:"maintenance_pending,omitempty"`
+	// Mixed-workload fields, filled only under -mixed: the configured read
+	// ratio, the read/write split of the measured iterations, and write-write
+	// conflict aborts (counted apart from Errors).
+	MixedRatio float64 `json:"mixed_ratio,omitempty"`
+	Reads      uint64  `json:"reads,omitempty"`
+	Writes     uint64  `json:"writes,omitempty"`
+	Conflicts  uint64  `json:"conflicts,omitempty"`
+	ReadQPS    float64 `json:"read_qps,omitempty"`
+	WriteQPS   float64 `json:"write_qps,omitempty"`
+	// Transaction counters, as reported by the server after the run.
+	TxnBegins    int64 `json:"txn_begins,omitempty"`
+	TxnCommits   int64 `json:"txn_commits,omitempty"`
+	TxnRollbacks int64 `json:"txn_rollbacks,omitempty"`
+	TxnConflicts int64 `json:"txn_conflict_aborts,omitempty"`
 }
 
 func main() {
@@ -68,6 +96,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print one JSON result line instead of the human summary")
 	probe := flag.Bool("probe", false, "ping once and exit 0 on success, 1 on failure")
 	memBudget := flag.String("mem-budget", "", "expected server executor memory budget, e.g. 64MiB; reports the server's spill counters after the run")
+	mixed := flag.Float64("mixed", 0, "mixed workload: probability in (0,1] that an iteration is the -sql read; the rest issue -write-sql")
+	writeSQL := flag.String("write-sql", "", `DML statement for the write side of -mixed; every "{i}" becomes a unique integer`)
 	flag.Parse()
 
 	if *probe {
@@ -88,12 +118,21 @@ func main() {
 	if *op != "ping" && *sqlText == "" {
 		log.Fatal("rfload: -sql is required (or use -op ping / -probe / -setup alone)")
 	}
+	if *mixed < 0 || *mixed > 1 {
+		log.Fatal("rfload: -mixed must be in (0,1]")
+	}
+	if *mixed > 0 && *writeSQL == "" {
+		log.Fatal("rfload: -mixed requires -write-sql")
+	}
 
-	res := runLoad(*addr, *clients, *duration, *op, *sqlText, *warmup)
+	res := runLoad(*addr, *clients, *duration, *op, *sqlText, *warmup, *mixed, *writeSQL)
 	if *memBudget != "" {
 		attachSpillStats(*addr, *memBudget, &res)
 	}
 	attachMaintenanceStats(*addr, &res)
+	if *mixed > 0 {
+		attachTxnStats(*addr, &res)
+	}
 	if *jsonOut {
 		b, err := json.Marshal(res)
 		if err != nil {
@@ -114,6 +153,30 @@ func main() {
 		fmt.Printf("maintenance: mode=%s delta_applied=%d full_refreshes=%d pending=%d\n",
 			res.MaintMode, res.MaintDelta, res.MaintFull, res.MaintPending)
 	}
+	if res.MixedRatio > 0 {
+		fmt.Printf("mixed: ratio=%.2f reads=%d (%.0f/s) writes=%d (%.0f/s) conflicts=%d\n",
+			res.MixedRatio, res.Reads, res.ReadQPS, res.Writes, res.WriteQPS, res.Conflicts)
+		fmt.Printf("txn: begins=%d commits=%d rollbacks=%d conflict_aborts=%d\n",
+			res.TxnBegins, res.TxnCommits, res.TxnRollbacks, res.TxnConflicts)
+	}
+}
+
+// attachTxnStats folds the server's transaction counters into the result.
+// Best-effort, like attachMaintenanceStats.
+func attachTxnStats(addr string, res *runResult) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return
+	}
+	res.TxnBegins = st.Txn.Begins
+	res.TxnCommits = st.Txn.Commits
+	res.TxnRollbacks = st.Txn.Rollbacks
+	res.TxnConflicts = st.Txn.ConflictAborts
 }
 
 // attachMaintenanceStats folds the server's view-maintenance counters into
@@ -183,13 +246,16 @@ func runSetup(addr, path string) {
 	}
 }
 
-func runLoad(addr string, clients int, duration time.Duration, op, sql string, warmup int) runResult {
+func runLoad(addr string, clients int, duration time.Duration, op, sql string, warmup int, mixed float64, writeSQL string) runResult {
 	type worker struct {
 		latencies []time.Duration
 		serverUs  []int64
 		queries   uint64
 		errors    uint64
 		rows      int
+		reads     uint64
+		writes    uint64
+		conflicts uint64
 	}
 	workers := make([]worker, clients)
 	conns := make([]*client.Client, clients)
@@ -202,19 +268,34 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 		conns[i] = c
 	}
 
-	// one round-trip of the configured operation on conn i.
-	issue := func(i int) (*client.Result, error) {
+	// writeSeq mints process-wide unique integers for "{i}" in -write-sql,
+	// so concurrent inserts never collide on a unique key by construction.
+	var writeSeq atomic.Int64
+	expand := func(tmpl string) string {
+		if !strings.Contains(tmpl, "{i}") {
+			return tmpl
+		}
+		return strings.ReplaceAll(tmpl, "{i}", strconv.FormatInt(writeSeq.Add(1), 10))
+	}
+
+	// one round-trip of the configured operation on conn i; isWrite picks the
+	// write side of a mixed workload.
+	issue := func(i int, isWrite bool) (*client.Result, error) {
 		if op == "ping" {
 			return &client.Result{}, conns[i].Ping()
+		}
+		if isWrite {
+			return conns[i].Exec(expand(writeSQL))
 		}
 		return conns[i].Query(sql)
 	}
 
 	// Warmup outside the measurement window; it also fills the server's
-	// plan cache so the measured phase is the steady state.
+	// plan cache so the measured phase is the steady state. Mixed runs warm
+	// up read-only: warmup writes would mutate the table before measurement.
 	for i := 0; i < clients; i++ {
 		for j := 0; j < warmup; j++ {
-			if _, err := issue(i); err != nil {
+			if _, err := issue(i, false); err != nil {
 				log.Fatalf("warmup: %v", err)
 			}
 		}
@@ -228,17 +309,28 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 		go func(i int) {
 			defer wg.Done()
 			w := &workers[i]
+			rng := rand.New(rand.NewSource(int64(i)*2654435761 + 1))
 			for !stop.Load() {
+				isWrite := mixed > 0 && rng.Float64() >= mixed
 				t0 := time.Now()
-				res, err := issue(i)
+				res, err := issue(i, isWrite)
 				if err != nil {
-					w.errors++
+					if rferrors.CodeOf(err) == rferrors.CodeConflict {
+						w.conflicts++
+					} else {
+						w.errors++
+					}
 					continue
 				}
 				w.latencies = append(w.latencies, time.Since(t0))
 				w.serverUs = append(w.serverUs, res.ElapsedUs)
 				w.queries++
-				w.rows = len(res.Rows)
+				if isWrite {
+					w.writes++
+				} else {
+					w.reads++
+					w.rows = len(res.Rows)
+				}
 			}
 		}(i)
 	}
@@ -247,13 +339,16 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var total, errs uint64
+	var total, errs, reads, writes, conflicts uint64
 	var all []time.Duration
 	var allServer []int64
 	rows := 0
 	for i := range workers {
 		total += workers[i].queries
 		errs += workers[i].errors
+		reads += workers[i].reads
+		writes += workers[i].writes
+		conflicts += workers[i].conflicts
 		all = append(all, workers[i].latencies...)
 		allServer = append(allServer, workers[i].serverUs...)
 		if workers[i].rows > 0 {
@@ -280,7 +375,7 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 	if len(allServer) > 0 {
 		serverP50 = allServer[len(allServer)/2]
 	}
-	return runResult{
+	res := runResult{
 		Clients:    clients,
 		DurationS:  elapsed.Seconds(),
 		Queries:    total,
@@ -293,4 +388,13 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 		ServerUsP:  serverP50,
 		RowsPerRes: rows,
 	}
+	if mixed > 0 {
+		res.MixedRatio = mixed
+		res.Reads = reads
+		res.Writes = writes
+		res.Conflicts = conflicts
+		res.ReadQPS = float64(reads) / elapsed.Seconds()
+		res.WriteQPS = float64(writes) / elapsed.Seconds()
+	}
+	return res
 }

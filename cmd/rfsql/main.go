@@ -69,7 +69,7 @@ func main() {
 	}
 
 	e := engine.New(opts)
-	sh := &shell{eng: e, out: os.Stdout}
+	sh := &shell{eng: e, sess: e.NewSession(), out: os.Stdout}
 
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -91,6 +91,7 @@ func main() {
 
 type shell struct {
 	eng     *engine.Engine
+	sess    *engine.Session // holds the shell's open transaction, if any
 	out     io.Writer
 	explain bool
 	analyze bool
@@ -169,7 +170,7 @@ func (s *shell) meta(cmd string) bool {
 }
 
 func (s *shell) runScript(script string) error {
-	results, err := s.eng.ExecAll(script)
+	results, err := s.sess.ExecAll(script)
 	for _, res := range results {
 		s.printResult(res)
 	}
@@ -193,7 +194,7 @@ func (s *shell) execute(sql string) {
 	if s.analyze {
 		opts = append(opts, engine.WithAnalyze())
 	}
-	res, err := s.eng.ExecContext(ctx, stmt, opts...)
+	res, err := s.sess.ExecContext(ctx, stmt, opts...)
 	if err != nil {
 		fmt.Fprintf(s.out, "error: %v\n", err)
 		return

@@ -11,7 +11,8 @@ import (
 
 func newTestShell() (*shell, *strings.Builder) {
 	var out strings.Builder
-	return &shell{eng: engine.New(engine.DefaultOptions()), out: &out}, &out
+	e := engine.New(engine.DefaultOptions())
+	return &shell{eng: e, sess: e.NewSession(), out: &out}, &out
 }
 
 func TestShellRunScript(t *testing.T) {

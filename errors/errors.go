@@ -46,6 +46,15 @@ const (
 	// CodeUnsupported marks statements the engine recognizes but does not
 	// implement.
 	CodeUnsupported Code = "unsupported"
+	// CodeConflict marks write-write conflicts under snapshot isolation:
+	// the statement tried to modify a row version another transaction has
+	// already updated or deleted (first-committer-wins). The transaction is
+	// rolled back; clients can safely retry it from the top.
+	CodeConflict Code = "conflict"
+	// CodeTxnState marks transaction-control misuse: COMMIT or ROLLBACK
+	// outside a transaction, BEGIN inside one, or a statement kind that is
+	// not allowed inside an explicit transaction (DDL, REFRESH).
+	CodeTxnState Code = "txn_state"
 	// CodeInternal is the catch-all for errors without a more specific class.
 	CodeInternal Code = "internal"
 )
@@ -90,6 +99,8 @@ var (
 	ErrNotDerivable = &Error{Code: CodeNotDerivable, Msg: "not derivable"}
 	ErrCancelled    = &Error{Code: CodeCancelled, Msg: "statement cancelled"}
 	ErrUnsupported  = &Error{Code: CodeUnsupported, Msg: "unsupported"}
+	ErrConflict     = &Error{Code: CodeConflict, Msg: "write-write conflict"}
+	ErrTxnState     = &Error{Code: CodeTxnState, Msg: "invalid transaction state"}
 )
 
 // New builds a coded error from a format string.
@@ -137,7 +148,8 @@ func CodeOf(err error) Code {
 func FromCode(code Code, msg string) error {
 	switch code {
 	case CodeParse, CodeUnknownTable, CodeUnknownView, CodeStaleView,
-		CodeNotDerivable, CodeCancelled, CodeUnsupported:
+		CodeNotDerivable, CodeCancelled, CodeUnsupported, CodeConflict,
+		CodeTxnState:
 		return &Error{Code: code, Msg: msg}
 	default:
 		return &Error{Code: CodeInternal, Msg: msg}

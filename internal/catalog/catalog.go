@@ -10,10 +10,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	rferrors "rfview/errors"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // Column describes one column of a table schema.
@@ -110,8 +112,11 @@ type MatView struct {
 	Window     WindowSpec // the materialized window
 	// BaseRows is the base-table cardinality n at the last (full or
 	// incremental) refresh; view positions 1…n are the sequence body, the
-	// rest are header/trailer (§3.2).
-	BaseRows int
+	// rest are header/trailer (§3.2). It is atomic because the derivation
+	// rewriter reads it lock-free while commits publish new values; the
+	// engine updates it inside the commit-publication window so it flips
+	// together with the backing rows' visibility.
+	BaseRows atomic.Int64
 	// SQL text the view was created from (for SHOW / debugging).
 	Definition string
 }
@@ -121,6 +126,9 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	views  map[string]*MatView
+	// clock is the shared commit clock every table created through this
+	// catalog stamps row versions from, so one snapshot spans all tables.
+	clock *txn.Clock
 	// schemaVersion counts DDL operations (table/index/view creation and
 	// removal). Cached plans record it and revalidate on reuse: any DDL —
 	// notably CREATE MATERIALIZED VIEW, which can make a better derivation
@@ -133,8 +141,12 @@ func New() *Catalog {
 	return &Catalog{
 		tables: make(map[string]*Table),
 		views:  make(map[string]*MatView),
+		clock:  txn.NewClock(),
 	}
 }
+
+// Clock returns the shared commit clock of this catalog's tables.
+func (c *Catalog) Clock() *txn.Clock { return c.clock }
 
 func key(name string) string { return strings.ToLower(name) }
 
@@ -169,7 +181,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		seen[ck] = true
 	}
-	t := &Table{Name: name, Columns: append([]Column(nil), cols...), Heap: storage.NewTable()}
+	t := &Table{Name: name, Columns: append([]Column(nil), cols...), Heap: storage.NewTableWithClock(c.clock)}
 	c.tables[k] = t
 	c.schemaVersion++
 	return t, nil

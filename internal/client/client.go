@@ -166,6 +166,30 @@ func (c *Client) Stats() (*server.StatsReply, error) {
 	return resp.Stats, nil
 }
 
+// Begin opens a transaction on this connection. Statements executed through
+// the client until Commit or Rollback read at the transaction's snapshot and
+// stay invisible to other connections. The server rejects a nested Begin
+// with code "txn_state".
+func (c *Client) Begin() error {
+	_, err := c.roundTrip("exec", "BEGIN")
+	return err
+}
+
+// Commit publishes the connection's open transaction atomically. A
+// first-committer-wins conflict surfaces here (or on the conflicting
+// statement) with code "conflict"; the transaction is then already rolled
+// back.
+func (c *Client) Commit() error {
+	_, err := c.roundTrip("exec", "COMMIT")
+	return err
+}
+
+// Rollback discards the connection's open transaction.
+func (c *Client) Rollback() error {
+	_, err := c.roundTrip("exec", "ROLLBACK")
+	return err
+}
+
 // Explain returns the plan text for a read statement. Pass WithAnalyze for
 // the executed, instrumented plan (EXPLAIN ANALYZE).
 func (c *Client) Explain(sql string, opts ...RequestOption) (string, error) {

@@ -77,21 +77,27 @@ type planDep struct {
 }
 
 // execCached answers sql from the plan cache. ok=false means "no valid
-// entry" and the caller takes the cold path. Called without the engine lock;
-// it acquires the shared lock itself so validation and execution see one
-// consistent state.
+// entry" and the caller takes the cold path. Validation and execution run
+// inside readStable, so the versions checked and the rows read belong to one
+// published state even though no lock is held.
 func (e *Engine) execCached(ctx context.Context, sql string, cfg execConfig) (*Result, error, bool) {
 	ent, hit := e.plans.Get(sql)
 	if !hit {
 		return nil, nil, false
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if !e.planValid(ent) {
+	var invalid bool
+	res, err := e.readStable(cfg, func(c execConfig) (*Result, error) {
+		invalid = false
+		if !e.planValid(ent) {
+			invalid = true
+			return nil, nil
+		}
+		return e.execFromPlan(ctx, ent, c)
+	})
+	if invalid {
 		e.plans.Remove(sql)
 		return nil, nil, false
 	}
-	res, err := e.execFromPlan(ctx, ent, cfg)
 	return res, err, true
 }
 
@@ -127,20 +133,23 @@ func (e *Engine) execFromPlan(ctx context.Context, p *cachedPlan, cfg execConfig
 		res.Affected = len(p.rows)
 		return res, nil
 	}
-	op, err := e.planPhysical(ctx, p.exec, res)
+	op, err := e.planPhysical(ctx, p.exec, res, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return e.runOperator(ctx, op, res, cfg)
 }
 
-// storePlan records a successfully executed read statement in the plan
-// cache. Called under the shared lock, so the captured versions are
-// consistent with the execution that just happened.
-func (e *Engine) storePlan(sql string, stmt sqlparser.Statement, res *Result) {
+// preparePlan captures a cache entry for a just-executed read statement.
+// It must run inside the same readStable attempt as the execution, so the
+// recorded dependency versions are consistent with the rows the execution
+// read; the caller publishes the entry with putPlan only after the attempt
+// validated against the seqlock — a torn entry (old rows, new versions)
+// would otherwise validate forever.
+func (e *Engine) preparePlan(stmt sqlparser.Statement, res *Result) *cachedPlan {
 	sel, ok := stmt.(sqlparser.SelectStatement)
 	if !ok || res.execStmt == nil {
-		return // EXPLAIN and friends stay uncached
+		return nil // EXPLAIN and friends stay uncached
 	}
 	deps := newDepSet(e)
 	deps.addStmt(sel)          // base tables of the original query
@@ -163,12 +172,19 @@ func (e *Engine) storePlan(sql string, stmt sqlparser.Statement, res *Result) {
 		ent.columns = res.Columns
 		ent.rows = res.Rows
 	}
+	return ent
+}
+
+// putPlan publishes a prepared cache entry.
+func (e *Engine) putPlan(sql string, stmt sqlparser.Statement, ent *cachedPlan) {
 	e.plans.Put(sql, ent)
 	// Also index under the canonical statement text: EXPLAIN parses its
 	// inner statement and can only look the plan up by String(), which may
 	// differ from the user's spelling in whitespace and case.
-	if canon := sel.String(); canon != sql {
-		e.plans.Put(canon, ent)
+	if sel, ok := stmt.(sqlparser.SelectStatement); ok {
+		if canon := sel.String(); canon != sql {
+			e.plans.Put(canon, ent)
+		}
 	}
 }
 

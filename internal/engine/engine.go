@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	rferrors "rfview/errors"
@@ -33,6 +34,7 @@ import (
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // Options configures an engine.
@@ -119,8 +121,20 @@ type Engine struct {
 	Views *mview.Manager
 	Opts  Options
 
-	// mu is the engine-level reader/writer lock described above.
+	// mu is the engine-level reader/writer lock described above. Since the
+	// MVCC rework it serializes commits and DDL against each other; read
+	// statements normally never touch it (see readStable in txn.go) and fall
+	// back to the shared mode only after repeated torn optimistic attempts.
 	mu sync.RWMutex
+	// commitSeq is the seqlock guarding non-row-versioned read state (view
+	// freshness, table version counters, schema); odd while a commit or DDL
+	// publication is in flight. See txn.go.
+	commitSeq atomic.Uint64
+	// txnIDs mints transaction identifiers; these stamp pending row versions
+	// and must never be zero (zero means "no owner").
+	txnIDs atomic.Uint64
+	// Transaction counters, exposed as metrics and by TxnStats().
+	txnBegins, txnCommits, txnRollbacks, txnConflicts atomic.Int64
 	// plans caches parse/match/derive work keyed by SQL text; see cache.go.
 	plans *qcache.Cache[*cachedPlan]
 
@@ -203,6 +217,14 @@ type execConfig struct {
 	// drained is the deferred-delta count the read-repair drain applied
 	// before this statement; it rides into Result.MaintenanceDrained.
 	drained int
+	// tx is the transaction this statement runs inside: the enclosing
+	// explicit transaction, or the statement's own auto-commit transaction
+	// for DML. nil for auto-commit reads.
+	tx *txn.Txn
+	// snap resolves the snapshot every scan and index probe of this
+	// statement reads at. Set by the read path (readStable) or derived from
+	// tx; planSelect fills in a latest-committed default when unset.
+	snap func() txn.Snapshot
 }
 
 // WithAnalyze executes the statement instrumented and fills Result.Analyzed
@@ -258,7 +280,28 @@ func (e *Engine) DrainMaintenance() int {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.Views.Drain()
+	return e.drainLocked()
+}
+
+// DrainMaintenanceLocked is DrainMaintenance for callers that already hold
+// the exclusive engine lock — the WAL checkpoint, which runs under Quiesce,
+// drains queued deltas before capturing a snapshot.
+func (e *Engine) DrainMaintenanceLocked() int {
+	if e.Views.PendingTotal() == 0 {
+		return 0
+	}
+	return e.drainLocked()
+}
+
+// drainLocked applies queued deferred deltas inside an internal transaction,
+// so their backing-table patches publish atomically. Callers hold the
+// exclusive lock. Internal transactions write no commit record — replaying
+// the DML records that enqueued the deltas re-derives them.
+func (e *Engine) drainLocked() int {
+	tx := e.newTxn(false)
+	n := e.Views.DrainTx(tx)
+	e.commitTxnLocked(tx, false) // cannot fail: no log write
+	return n
 }
 
 // drainIfPending is the read-repair half of deferred maintenance: called
@@ -275,7 +318,7 @@ func (e *Engine) drainIfPending() int {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.Views.Drain()
+	return e.drainLocked()
 }
 
 // leadingRead reports whether sql's first keyword starts a read statement
@@ -329,6 +372,9 @@ func (e *Engine) exec(ctx context.Context, sql string, cfg execConfig) (*Result,
 	if err := ctx.Err(); err != nil {
 		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
 	}
+	if cfg.tx != nil {
+		return e.execInTxn(ctx, sql, cfg)
+	}
 	if leadingRead(sql) {
 		cfg.drained = e.drainIfPending()
 	}
@@ -340,17 +386,44 @@ func (e *Engine) exec(ctx context.Context, sql string, cfg execConfig) (*Result,
 		return nil, rferrors.Wrap(rferrors.CodeParse, err)
 	}
 	if isReadStmt(stmt) {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		res, err := e.execStmtLocked(ctx, stmt, cfg)
-		if err == nil {
-			e.storePlan(sql, stmt, res)
+		// Lock-free: execute optimistically against the seqlock, and cache
+		// the plan only after the attempt proved stable — a torn attempt
+		// could otherwise pair pre-commit rows with post-commit versions.
+		var ent *cachedPlan
+		res, err := e.readStable(cfg, func(c execConfig) (*Result, error) {
+			ent = nil
+			r, err := e.execStmtLocked(ctx, stmt, c)
+			if err == nil {
+				ent = e.preparePlan(stmt, r)
+			}
+			return r, err
+		})
+		if err == nil && ent != nil {
+			e.putPlan(sql, stmt, ent)
 		}
 		return res, err
 	}
+	lockStart := time.Now()
 	e.mu.Lock()
+	e.met.commitWait.Observe(time.Since(lockStart).Seconds())
 	defer e.mu.Unlock()
 	return e.execWriteLocked(ctx, stmt)
+}
+
+// execInTxn runs one statement inside an explicit transaction: reads at the
+// transaction's fixed snapshot without any engine lock (no drain, no plan
+// cache — both track latest-committed state, not the snapshot), DML through
+// the lock-free pending-version path.
+func (e *Engine) execInTxn(ctx context.Context, sql string, cfg execConfig) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, rferrors.Wrap(rferrors.CodeParse, err)
+	}
+	if isReadStmt(stmt) {
+		cfg.snap = e.newSnapCell(cfg.tx)
+		return e.execStmtLocked(ctx, stmt, cfg)
+	}
+	return e.execTxnWrite(ctx, stmt, cfg)
 }
 
 // ExecAll executes a semicolon-separated script, returning one result per
@@ -410,11 +483,13 @@ func (e *Engine) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement, 
 	}
 	if isReadStmt(stmt) {
 		cfg.drained = e.drainIfPending()
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		return e.execStmtLocked(ctx, stmt, cfg)
+		return e.readStable(cfg, func(c execConfig) (*Result, error) {
+			return e.execStmtLocked(ctx, stmt, c)
+		})
 	}
+	lockStart := time.Now()
 	e.mu.Lock()
+	e.met.commitWait.Observe(time.Since(lockStart).Seconds())
 	defer e.mu.Unlock()
 	return e.execWriteLocked(ctx, stmt)
 }
@@ -439,21 +514,85 @@ func (e *Engine) Quiesce(fn func() error) error {
 	return fn()
 }
 
-// execWriteLocked applies the write-ahead discipline around a mutating
-// statement. Callers hold the exclusive lock. Failed statements are logged
-// too: the engine is deterministic, so on replay they fail identically and
-// change nothing.
+// execWriteLocked dispatches a mutating statement. Callers hold the
+// exclusive lock. The durability discipline differs by class:
+//
+//   - DML runs inside an auto-commit transaction and reaches the log as a
+//     commit record, only on success — failed or conflicted statements leave
+//     no trace, in memory or on disk.
+//   - DDL and REFRESH log their canonical SQL ahead of applying (a failed
+//     statement replays to the same failure — the engine is deterministic),
+//     and publish inside a commitSeq window so lock-free readers never
+//     observe a half-applied schema change.
 func (e *Engine) execWriteLocked(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
-	if e.logWrite != nil {
-		if err := e.logWrite(stmt.String()); err != nil {
-			return nil, fmt.Errorf("durability: %w", err)
+	switch s := stmt.(type) {
+	case *sqlparser.Begin, *sqlparser.Commit, *sqlparser.Rollback:
+		return nil, rferrors.New(rferrors.CodeTxnState,
+			"transaction control requires a session (server connections hold one; library callers use engine.NewSession)")
+	case *sqlparser.Insert, *sqlparser.Update, *sqlparser.Delete:
+		tx := e.newTxn(false)
+		cfg := execConfig{tx: tx, snap: e.newSnapCell(tx)}
+		res, err := e.execDML(ctx, stmt, cfg)
+		if err != nil {
+			tx.Abort()
+			e.txnRollbacks.Add(1)
+			if rferrors.CodeOf(err) == rferrors.CodeConflict {
+				e.txnConflicts.Add(1)
+			}
+			return nil, err
 		}
+		if err := e.commitTxnLocked(tx, true); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case *sqlparser.RefreshMatView:
+		if e.logWrite != nil {
+			if err := e.logWrite(stmt.String()); err != nil {
+				return nil, fmt.Errorf("durability: %w", err)
+			}
+		}
+		tx := e.newTxn(false)
+		err := e.Views.RefreshTx(ctx, tx, s.Name)
+		if err != nil {
+			tx.Abort()
+			e.txnRollbacks.Add(1)
+		} else {
+			err = e.commitTxnLocked(tx, false) // the logged SQL is the replay
+		}
+		if e.postWrite != nil {
+			e.postWrite()
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default:
+		if e.logWrite != nil {
+			if err := e.logWrite(stmt.String()); err != nil {
+				return nil, fmt.Errorf("durability: %w", err)
+			}
+		}
+		e.commitSeq.Add(1)
+		res, err := e.execStmtLocked(ctx, stmt, execConfig{})
+		e.commitSeq.Add(1)
+		if e.postWrite != nil {
+			e.postWrite()
+		}
+		return res, err
 	}
-	res, err := e.execStmtLocked(ctx, stmt, execConfig{})
-	if e.postWrite != nil {
-		e.postWrite()
+}
+
+// execDML routes a DML statement into its transaction.
+func (e *Engine) execDML(ctx context.Context, stmt sqlparser.Statement, cfg execConfig) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.Insert:
+		return e.execInsert(ctx, s, cfg)
+	case *sqlparser.Update:
+		return e.execUpdate(s, cfg)
+	case *sqlparser.Delete:
+		return e.execDelete(s, cfg)
 	}
-	return res, err
+	return nil, rferrors.New(rferrors.CodeUnsupported, "engine: unsupported statement %T", stmt)
 }
 
 // execStmtLocked dispatches a parsed statement. Callers hold the engine lock
@@ -498,17 +637,9 @@ func (e *Engine) execStmtLocked(ctx context.Context, stmt sqlparser.Statement, c
 			return nil, err
 		}
 		return &Result{}, nil
-	case *sqlparser.RefreshMatView:
-		if err := e.Views.RefreshContext(ctx, s.Name); err != nil {
-			return nil, err
-		}
-		return &Result{}, nil
-	case *sqlparser.Insert:
-		return e.execInsert(ctx, s)
-	case *sqlparser.Update:
-		return e.execUpdate(s)
-	case *sqlparser.Delete:
-		return e.execDelete(s)
+	case *sqlparser.Begin, *sqlparser.Commit, *sqlparser.Rollback:
+		return nil, rferrors.New(rferrors.CodeTxnState,
+			"transaction control requires a session (server connections hold one; library callers use engine.NewSession)")
 	default:
 		return nil, rferrors.New(rferrors.CodeUnsupported, "engine: unsupported statement %T", stmt)
 	}
@@ -518,7 +649,7 @@ func (e *Engine) execStmtLocked(ctx context.Context, stmt sqlparser.Statement, c
 // context rides into the Window operator so partition evaluation — the
 // longest-running phase of a reporting-function query — observes
 // cancellation; winStats aggregates its parallelism telemetry.
-func (e *Engine) planner(ctx context.Context) *plan.Planner {
+func (e *Engine) planner(ctx context.Context, snap func() txn.Snapshot) *plan.Planner {
 	return plan.New(e.Cat, plan.Options{
 		NativeWindow:      e.Opts.NativeWindow,
 		UseIndexes:        e.Opts.UseIndexes,
@@ -528,6 +659,7 @@ func (e *Engine) planner(ctx context.Context) *plan.Planner {
 		WindowStats:       e.winStats,
 		DisableVectorized: e.Opts.DisableVectorized,
 		Spill:             e.spillCfg,
+		Snap:              snap,
 	})
 }
 
@@ -559,11 +691,15 @@ func (e *Engine) Close() error {
 func (e *Engine) RewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.SelectStatement, *rewrite.Derivation, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.rewriteSelect(stmt)
+	return e.rewriteSelect(stmt, false)
 }
 
-func (e *Engine) rewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.SelectStatement, *rewrite.Derivation, error) {
-	if sel, ok := stmt.(*sqlparser.Select); ok && e.Opts.UseMatViews {
+// rewriteSelect applies the derivation rewrite. noDerive skips it: statements
+// inside an explicit transaction read at a fixed snapshot, while derivation
+// decisions (view freshness, BaseRows caps) track the latest committed state
+// — mixing the two could derive from a view the snapshot predates.
+func (e *Engine) rewriteSelect(stmt sqlparser.SelectStatement, noDerive bool) (sqlparser.SelectStatement, *rewrite.Derivation, error) {
+	if sel, ok := stmt.(*sqlparser.Select); ok && e.Opts.UseMatViews && !noDerive {
 		d, err := rewrite.Derive(e.Cat, sel, e.Opts.Strategy, e.Opts.Form)
 		if err != nil {
 			return nil, nil, err
@@ -584,9 +720,9 @@ func (e *Engine) rewriteSelect(stmt sqlparser.SelectStatement) (sqlparser.Select
 	return stmt, nil, nil
 }
 
-func (e *Engine) planSelect(ctx context.Context, stmt sqlparser.SelectStatement) (exec.Operator, *Result, error) {
+func (e *Engine) planSelect(ctx context.Context, stmt sqlparser.SelectStatement, cfg execConfig) (exec.Operator, *Result, error) {
 	res := &Result{}
-	rewritten, d, err := e.rewriteSelect(stmt)
+	rewritten, d, err := e.rewriteSelect(stmt, cfg.tx != nil && cfg.tx.Explicit)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -599,7 +735,7 @@ func (e *Engine) planSelect(ctx context.Context, stmt sqlparser.SelectStatement)
 	if err := e.checkFromFreshness(stmt); err != nil {
 		return nil, nil, err
 	}
-	op, err := e.planPhysical(ctx, stmt, res)
+	op, err := e.planPhysical(ctx, stmt, res, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -613,8 +749,11 @@ func (e *Engine) planSelect(ctx context.Context, stmt sqlparser.SelectStatement)
 // planPhysical turns a (post-derivation) statement into an operator tree,
 // falling back to the Fig. 2 self-join simulation when the native window
 // operator is disabled.
-func (e *Engine) planPhysical(ctx context.Context, stmt sqlparser.SelectStatement, res *Result) (exec.Operator, error) {
-	op, err := e.planner(ctx).PlanSelect(stmt)
+func (e *Engine) planPhysical(ctx context.Context, stmt sqlparser.SelectStatement, res *Result, cfg execConfig) (exec.Operator, error) {
+	if cfg.snap == nil {
+		cfg.snap = e.newSnapCell(cfg.tx)
+	}
+	op, err := e.planner(ctx, cfg.snap).PlanSelect(stmt)
 	if errors.Is(err, plan.ErrWindowDisabled) {
 		sel, ok := stmt.(*sqlparser.Select)
 		if !ok {
@@ -625,13 +764,13 @@ func (e *Engine) planPhysical(ctx context.Context, stmt sqlparser.SelectStatemen
 			return nil, fmt.Errorf("%w; self-join simulation also failed: %v", err, rerr)
 		}
 		res.Rewritten = sj.String()
-		op, err = e.planner(ctx).PlanSelect(sj)
+		op, err = e.planner(ctx, cfg.snap).PlanSelect(sj)
 	}
 	return op, err
 }
 
 func (e *Engine) execSelect(ctx context.Context, stmt sqlparser.SelectStatement, cfg execConfig) (*Result, error) {
-	op, res, err := e.planSelect(ctx, stmt)
+	op, res, err := e.planSelect(ctx, stmt, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -667,7 +806,7 @@ func (e *Engine) explain(ctx context.Context, s *sqlparser.Explain, cfg execConf
 		// EXPLAIN ANALYZE executes the statement instrumented and reports
 		// the measured tree instead of the result rows.
 		cfg.analyze, cfg.trace = true, true
-		op, res, err := e.planSelect(ctx, sel)
+		op, res, err := e.planSelect(ctx, sel, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -682,7 +821,7 @@ func (e *Engine) explain(ctx context.Context, s *sqlparser.Explain, cfg execConf
 		res := &Result{Derivation: ent.derivation, Rewritten: ent.rewrittenSQL, CacheHit: true, MaintenanceDrained: cfg.drained}
 		return planResult(res, annotationHeader(res)+ent.planText), nil
 	}
-	op, res, err := e.planSelect(ctx, sel)
+	op, res, err := e.planSelect(ctx, sel, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -745,7 +884,15 @@ func (e *Engine) checkFromFreshness(stmt sqlparser.SelectStatement) error {
 // DML
 // ---------------------------------------------------------------------------
 
-func (e *Engine) execInsert(ctx context.Context, s *sqlparser.Insert) (*Result, error) {
+// DML executors. Each runs inside cfg.tx — the enclosing explicit
+// transaction, or the statement's own auto-commit transaction — creating
+// pending row versions and recording a delta for commit-time view
+// maintenance and the WAL commit record. Reads (target selection, INSERT
+// ... SELECT sources) happen at the transaction's snapshot, which includes
+// the transaction's own earlier writes.
+
+func (e *Engine) execInsert(ctx context.Context, s *sqlparser.Insert, cfg execConfig) (*Result, error) {
+	tx := cfg.tx
 	tbl, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -768,7 +915,7 @@ func (e *Engine) execInsert(ctx context.Context, s *sqlparser.Insert) (*Result, 
 
 	var srcRows []sqltypes.Row
 	if s.Select != nil {
-		res, err := e.execSelect(ctx, s.Select, execConfig{})
+		res, err := e.execSelect(ctx, s.Select, execConfig{tx: tx, snap: e.newSnapCell(tx)})
 		if err != nil {
 			return nil, err
 		}
@@ -804,16 +951,19 @@ func (e *Engine) execInsert(ctx context.Context, s *sqlparser.Insert) (*Result, 
 			}
 			row[ord] = v
 		}
-		if _, err := tbl.Heap.Insert(row); err != nil {
+		if _, err := tbl.Heap.InsertTx(tx, row); err != nil {
 			return nil, err
 		}
 		inserted = append(inserted, row)
 	}
-	e.Views.AfterInsert(tbl.Name, inserted, tbl.ColumnNames())
+	if len(inserted) > 0 {
+		tx.AddDelta(txn.Delta{Table: tbl.Name, Kind: txn.DeltaInsert, Cols: tbl.ColumnNames(), Rows: inserted})
+	}
 	return &Result{Affected: len(inserted)}, nil
 }
 
-func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
+func (e *Engine) execUpdate(s *sqlparser.Update, cfg execConfig) (*Result, error) {
+	tx := cfg.tx
 	tbl, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -879,14 +1029,14 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	}
 	// Point updates (WHERE col = literal with an index) probe instead of
 	// scanning — the access-path side of §2.3's locality argument.
-	if ids, ok := pointLookupIDs(tbl, s.Where); ok {
-		for _, id := range ids {
-			if row := tbl.Heap.Get(id); row != nil && !visit(id, row) {
+	if ids, rows, ok := pointLookupRows(tbl, s.Where, tx.Snap); ok {
+		for i, id := range ids {
+			if !visit(id, rows[i]) {
 				break
 			}
 		}
 	} else {
-		tbl.Heap.Scan(visit)
+		tbl.Heap.ScanAt(tx.Snap, visit)
 	}
 	if evalErr != nil {
 		return nil, evalErr
@@ -894,17 +1044,20 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	befores := make([]sqltypes.Row, len(changes))
 	afters := make([]sqltypes.Row, len(changes))
 	for i, c := range changes {
-		if err := tbl.Heap.Update(c.id, c.after); err != nil {
+		if _, err := tbl.Heap.UpdateTx(tx, c.id, c.after); err != nil {
 			return nil, err
 		}
 		befores[i] = c.before
 		afters[i] = c.after
 	}
-	e.Views.AfterUpdate(tbl.Name, befores, afters, tbl.ColumnNames())
+	if len(changes) > 0 {
+		tx.AddDelta(txn.Delta{Table: tbl.Name, Kind: txn.DeltaUpdate, Cols: tbl.ColumnNames(), Before: befores, After: afters})
+	}
 	return &Result{Affected: len(changes)}, nil
 }
 
-func (e *Engine) execDelete(s *sqlparser.Delete) (*Result, error) {
+func (e *Engine) execDelete(s *sqlparser.Delete, cfg execConfig) (*Result, error) {
+	tx := cfg.tx
 	tbl, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -935,23 +1088,25 @@ func (e *Engine) execDelete(s *sqlparser.Delete) (*Result, error) {
 		rows = append(rows, row)
 		return true
 	}
-	if cand, ok := pointLookupIDs(tbl, s.Where); ok {
-		for _, id := range cand {
-			if row := tbl.Heap.Get(id); row != nil && !visit(id, row) {
+	if cand, candRows, ok := pointLookupRows(tbl, s.Where, tx.Snap); ok {
+		for i, id := range cand {
+			if !visit(id, candRows[i]) {
 				break
 			}
 		}
 	} else {
-		tbl.Heap.Scan(visit)
+		tbl.Heap.ScanAt(tx.Snap, visit)
 	}
 	if evalErr != nil {
 		return nil, evalErr
 	}
 	for _, id := range ids {
-		if err := tbl.Heap.Delete(id); err != nil {
+		if err := tbl.Heap.DeleteTx(tx, id); err != nil {
 			return nil, err
 		}
 	}
-	e.Views.AfterDelete(tbl.Name, rows, tbl.ColumnNames())
+	if len(ids) > 0 {
+		tx.AddDelta(txn.Delta{Table: tbl.Name, Kind: txn.DeltaDelete, Cols: tbl.ColumnNames(), Rows: rows})
+	}
 	return &Result{Affected: len(ids)}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // compiledExpr aliases expr.Expr for the DML helpers.
@@ -46,23 +47,24 @@ func coerce(d sqltypes.Datum, to sqltypes.Type) (sqltypes.Datum, error) {
 	return sqltypes.Cast(d, to)
 }
 
-// pointLookupIDs recognizes WHERE shapes of the form `col = literal` (alone
-// or as a conjunct) with an index on col, and returns the candidate row ids
-// from an index probe. A nil slice with ok=false means "no usable index";
-// callers fall back to a full scan. The full predicate is still evaluated
-// against every candidate, so the fast path never changes semantics.
-func pointLookupIDs(tbl *catalog.Table, where sqlparser.Expr) ([]storage.RowID, bool) {
-	var tryConjunct func(e sqlparser.Expr) ([]storage.RowID, bool)
-	tryConjunct = func(e sqlparser.Expr) ([]storage.RowID, bool) {
+// pointLookupRows recognizes WHERE shapes of the form `col = literal` (alone
+// or as a conjunct) with an index on col, and returns the candidate rows from
+// an index probe, visibility-filtered at the given snapshot. ok=false means
+// "no usable index"; callers fall back to a snapshot scan. The full predicate
+// is still evaluated against every candidate, so the fast path never changes
+// semantics.
+func pointLookupRows(tbl *catalog.Table, where sqlparser.Expr, at txn.Snapshot) ([]storage.RowID, []sqltypes.Row, bool) {
+	var tryConjunct func(e sqlparser.Expr) ([]storage.RowID, []sqltypes.Row, bool)
+	tryConjunct = func(e sqlparser.Expr) ([]storage.RowID, []sqltypes.Row, bool) {
 		switch x := e.(type) {
 		case *sqlparser.AndExpr:
-			if ids, ok := tryConjunct(x.Left); ok {
-				return ids, true
+			if ids, rows, ok := tryConjunct(x.Left); ok {
+				return ids, rows, true
 			}
 			return tryConjunct(x.Right)
 		case *sqlparser.ComparisonExpr:
 			if x.Op != "=" {
-				return nil, false
+				return nil, nil, false
 			}
 			colRef, lit := x.Left, x.Right
 			if _, isLit := colRef.(*sqlparser.Literal); isLit {
@@ -70,36 +72,38 @@ func pointLookupIDs(tbl *catalog.Table, where sqlparser.Expr) ([]storage.RowID, 
 			}
 			cr, ok := colRef.(*sqlparser.ColumnRef)
 			if !ok {
-				return nil, false
+				return nil, nil, false
 			}
 			l, ok := lit.(*sqlparser.Literal)
 			if !ok {
-				return nil, false
+				return nil, nil, false
 			}
 			ord := tbl.ColumnIndex(cr.Name)
 			if ord < 0 {
-				return nil, false
+				return nil, nil, false
 			}
 			h := tbl.Heap.IndexOn([]int{ord})
 			if h == nil {
-				return nil, false
+				return nil, nil, false
 			}
 			key, err := coerce(l.Val, tbl.Columns[ord].Type)
 			if err != nil || key.IsNull() {
-				return nil, false
+				return nil, nil, false
 			}
 			var ids []storage.RowID
-			h.Idx.Lookup(sqltypes.Row{key}, func(id storage.RowID) bool {
+			var rows []sqltypes.Row
+			tbl.Heap.LookupAt(h, sqltypes.Row{key}, at, func(id storage.RowID, row sqltypes.Row) bool {
 				ids = append(ids, id)
+				rows = append(rows, row)
 				return true
 			})
-			return ids, true
+			return ids, rows, true
 		default:
-			return nil, false
+			return nil, nil, false
 		}
 	}
 	if where == nil {
-		return nil, false
+		return nil, nil, false
 	}
 	return tryConjunct(where)
 }

@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
+	rferrors "rfview/errors"
 	"rfview/internal/rewrite"
 	"rfview/internal/sqltypes"
 )
@@ -169,7 +171,18 @@ func (m *oracleModel) deleteSQL(key string, pos int) string {
 }
 
 // TestMaintenanceOracle is the randomized maintenance oracle described above.
-func TestMaintenanceOracle(t *testing.T) {
+func TestMaintenanceOracle(t *testing.T) { runMaintenanceOracle(t, false) }
+
+// TestMaintenanceOracleTxn re-runs the oracle with the DML stream applied
+// through multi-statement transactions: statements are chunked into
+// BEGIN..COMMIT blocks, every so often a chunk is first run and ROLLED BACK
+// (which must leave no trace) before being applied for real, and a
+// concurrent reader hammers the window query while the writers' transactions
+// are open. Under -race this is also the proof that lock-free snapshot reads
+// and transactional maintenance don't race.
+func TestMaintenanceOracleTxn(t *testing.T) { runMaintenanceOracle(t, true) }
+
+func runMaintenanceOracle(t *testing.T, useTxns bool) {
 	rng := rand.New(rand.NewSource(20020528)) // §2.3's incremental rules, ICDE 2002
 	trials := 200
 	if testing.Short() {
@@ -284,9 +297,13 @@ func TestMaintenanceOracle(t *testing.T) {
 			broken, repair := model.chaos(rng)
 			stmts = append(stmts, broken, repair)
 		}
-		for _, sql := range stmts {
-			for _, e := range engines {
-				mustExec(t, e, sql)
+		if useTxns {
+			applyStmtsTxn(t, engines, stmts, q, seed)
+		} else {
+			for _, sql := range stmts {
+				for _, e := range engines {
+					mustExec(t, e, sql)
+				}
 			}
 		}
 
@@ -362,6 +379,77 @@ func TestMaintenanceOracle(t *testing.T) {
 		if cfg.derives && derivationsFired[cfg.name] == 0 {
 			t.Fatalf("%s never derived from the view across %d trials — oracle is not exercising derivation", cfg.name, trials)
 		}
+	}
+}
+
+// applyStmtsTxn applies the oracle's DML stream through sessions, chunked
+// into transactions, with concurrent snapshot readers live throughout.
+func applyStmtsTxn(t *testing.T, engines []*Engine, stmts []string, q string, seed int64) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	readErr := make(chan error, len(engines))
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Exec(q); err != nil {
+					// The off-mode reference (and chaos trials mid-stream)
+					// legitimately answer derivation attempts with a stale
+					// view; anything else is a bug.
+					if rferrors.CodeOf(err) == rferrors.CodeStaleView {
+						continue
+					}
+					readErr <- fmt.Errorf("concurrent reader: %w", err)
+					return
+				}
+			}
+		}(e)
+	}
+
+	local := rand.New(rand.NewSource(seed ^ 0x7a5a))
+	sessions := make([]*Session, len(engines))
+	for i, e := range engines {
+		sessions[i] = e.NewSession()
+	}
+	for start := 0; start < len(stmts); {
+		end := start + 1 + local.Intn(3)
+		if end > len(stmts) {
+			end = len(stmts)
+		}
+		chunk := stmts[start:end]
+		rollbackFirst := local.Intn(3) == 0
+		for _, s := range sessions {
+			if rollbackFirst {
+				// Dry run: apply the chunk and roll it back. The commit
+				// below must produce exactly the same state as if this
+				// never happened.
+				mustSess(t, s, "BEGIN")
+				for _, sql := range chunk {
+					mustSess(t, s, sql)
+				}
+				mustSess(t, s, "ROLLBACK")
+			}
+			mustSess(t, s, "BEGIN")
+			for _, sql := range chunk {
+				mustSess(t, s, sql)
+			}
+			mustSess(t, s, "COMMIT")
+		}
+		start = end
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
 	}
 }
 

@@ -18,6 +18,11 @@ type engineMetrics struct {
 	queryErrors  *metrics.CounterVec
 	querySeconds *metrics.Histogram
 	slowQueries  *metrics.Counter
+	// snapshotWait is the time a lock-free read spent acquiring a stable
+	// snapshot (retries against in-flight commits included); commitWait is
+	// the time a writer spent waiting for the exclusive engine lock.
+	snapshotWait *metrics.Histogram
+	commitWait   *metrics.Histogram
 }
 
 // initMetrics builds the engine's registry. Each engine owns its registry, so
@@ -35,7 +40,19 @@ func (e *Engine) initMetrics() {
 			"End-to-end statement latency.", metrics.DefBuckets),
 		slowQueries: e.reg.Counter("rfview_slow_queries_total",
 			"Statements that exceeded the slow-query threshold."),
+		snapshotWait: e.reg.Histogram("rfview_txn_snapshot_wait_seconds",
+			"Time lock-free reads spent acquiring a stable snapshot.", metrics.DefBuckets),
+		commitWait: e.reg.Histogram("rfview_txn_commit_lock_wait_seconds",
+			"Time writers spent waiting for the exclusive commit lock.", metrics.DefBuckets),
 	}
+	e.reg.GaugeFunc("rfview_txn_begins_total",
+		"Transactions started (explicit and auto-commit).", func() float64 { return float64(e.txnBegins.Load()) })
+	e.reg.GaugeFunc("rfview_txn_commits_total",
+		"Transactions committed.", func() float64 { return float64(e.txnCommits.Load()) })
+	e.reg.GaugeFunc("rfview_txn_rollbacks_total",
+		"Transactions rolled back (explicit, failed statements, and conflicts).", func() float64 { return float64(e.txnRollbacks.Load()) })
+	e.reg.GaugeFunc("rfview_txn_conflict_aborts_total",
+		"Transactions aborted by first-committer-wins write-write conflicts.", func() float64 { return float64(e.txnConflicts.Load()) })
 	e.reg.GaugeFunc("rfview_plan_cache_hits",
 		"Plan cache hits since start.", func() float64 { return float64(e.PlanCacheStats().Hits) })
 	e.reg.GaugeFunc("rfview_plan_cache_misses",

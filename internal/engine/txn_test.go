@@ -1,0 +1,508 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rferrors "rfview/errors"
+)
+
+// This file is the snapshot-isolation anomaly suite: each test stages one of
+// the classic anomalies and asserts MVCC suppresses it — no dirty reads, no
+// non-repeatable reads, no lost updates (first-committer-wins aborts), plus
+// the positive guarantees (read-your-writes, atomic publication) and the
+// non-blocking property the whole design exists for: readers complete while
+// a writer's transaction is open.
+
+func mustSess(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	res, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("session Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func count(t *testing.T, ex interface {
+	Exec(string) (*Result, error)
+}, table string) int64 {
+	t.Helper()
+	res, err := ex.Exec("SELECT COUNT(*) AS c FROM " + table)
+	if err != nil {
+		t.Fatalf("COUNT(*) FROM %s: %v", table, err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestTxnNoDirtyReads(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })
+
+	writer := e.NewSession()
+	mustSess(t, writer, "BEGIN")
+	mustSess(t, writer, "INSERT INTO seq VALUES (6, 60)")
+	mustSess(t, writer, "UPDATE seq SET val = 99 WHERE pos = 1")
+	mustSess(t, writer, "DELETE FROM seq WHERE pos = 2")
+
+	// Another session — and the bare engine — must see none of it.
+	if got := count(t, e, "seq"); got != 5 {
+		t.Fatalf("dirty read: COUNT = %d while writer txn open, want 5", got)
+	}
+	res := mustExec(t, e, "SELECT val FROM seq WHERE pos = 1")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("dirty read: pos 1 val = %d while writer txn open, want 1", res.Rows[0][0].Int())
+	}
+	reader := e.NewSession()
+	if got := count(t, reader, "seq"); got != 5 {
+		t.Fatalf("dirty read via session: COUNT = %d, want 5", got)
+	}
+
+	mustSess(t, writer, "COMMIT")
+	if got := count(t, e, "seq"); got != 5 { // +1 insert, -1 delete
+		t.Fatalf("after commit: COUNT = %d, want 5", got)
+	}
+	res = mustExec(t, e, "SELECT val FROM seq WHERE pos = 1")
+	if res.Rows[0][0].Int() != 99 {
+		t.Fatalf("after commit: pos 1 val = %d, want 99", res.Rows[0][0].Int())
+	}
+}
+
+func TestTxnRepeatableReads(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })
+
+	reader := e.NewSession()
+	mustSess(t, reader, "BEGIN")
+	if got := count(t, reader, "seq"); got != 5 {
+		t.Fatalf("first read: COUNT = %d, want 5", got)
+	}
+
+	// A concurrent auto-commit write publishes while the reader is open.
+	mustExec(t, e, "INSERT INTO seq VALUES (6, 60)")
+	mustExec(t, e, "UPDATE seq SET val = 77 WHERE pos = 3")
+
+	// The open transaction keeps seeing its snapshot.
+	if got := count(t, reader, "seq"); got != 5 {
+		t.Fatalf("repeatable read broken: COUNT = %d inside txn, want 5", got)
+	}
+	res := mustSess(t, reader, "SELECT val FROM seq WHERE pos = 3")
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("repeatable read broken: pos 3 val = %d inside txn, want 3", res.Rows[0][0].Int())
+	}
+	mustSess(t, reader, "COMMIT")
+
+	// A fresh transaction sees the published state.
+	mustSess(t, reader, "BEGIN")
+	if got := count(t, reader, "seq"); got != 6 {
+		t.Fatalf("new txn: COUNT = %d, want 6", got)
+	}
+	mustSess(t, reader, "ROLLBACK")
+}
+
+func TestTxnLostUpdateAborts(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })
+
+	a := e.NewSession()
+	b := e.NewSession()
+	mustSess(t, a, "BEGIN")
+	mustSess(t, b, "BEGIN")
+	mustSess(t, a, "UPDATE seq SET val = 100 WHERE pos = 2")
+
+	// B updating the same row must abort with code "conflict" — committing
+	// it would overwrite A's update without having seen it (a lost update).
+	_, err := b.Exec("UPDATE seq SET val = 200 WHERE pos = 2")
+	if err == nil {
+		t.Fatal("conflicting update succeeded; lost update possible")
+	}
+	if rferrors.CodeOf(err) != rferrors.CodeConflict {
+		t.Fatalf("conflict error code = %q (%v), want %q", rferrors.CodeOf(err), err, rferrors.CodeConflict)
+	}
+	// The conflict rolled B back entirely; it is out of the transaction.
+	if b.InTxn() {
+		t.Fatal("session still reports an open transaction after conflict abort")
+	}
+	if _, err := b.Exec("COMMIT"); err == nil {
+		t.Fatal("COMMIT after conflict abort should fail with no transaction in progress")
+	}
+
+	mustSess(t, a, "COMMIT")
+	res := mustExec(t, e, "SELECT val FROM seq WHERE pos = 2")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("pos 2 val = %d, want 100 (A's committed update)", res.Rows[0][0].Int())
+	}
+	if e.TxnStats().ConflictAborts == 0 {
+		t.Fatal("conflict abort not counted in TxnStats")
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })
+
+	s := e.NewSession()
+	mustSess(t, s, "BEGIN")
+	mustSess(t, s, "INSERT INTO seq VALUES (6, 60)")
+	mustSess(t, s, "UPDATE seq SET val = 42 WHERE pos = 6")
+	if got := count(t, s, "seq"); got != 6 {
+		t.Fatalf("txn does not see its own insert: COUNT = %d, want 6", got)
+	}
+	res := mustSess(t, s, "SELECT val FROM seq WHERE pos = 6")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 42 {
+		t.Fatalf("txn does not see its own update: %v", res.Rows)
+	}
+	mustSess(t, s, "DELETE FROM seq WHERE pos = 6")
+	if got := count(t, s, "seq"); got != 5 {
+		t.Fatalf("txn does not see its own delete: COUNT = %d, want 5", got)
+	}
+	mustSess(t, s, "COMMIT")
+	if got := count(t, e, "seq"); got != 5 {
+		t.Fatalf("after commit: COUNT = %d, want 5", got)
+	}
+}
+
+func TestTxnRollbackDiscardsEverything(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })
+
+	s := e.NewSession()
+	mustSess(t, s, "BEGIN")
+	mustSess(t, s, "INSERT INTO seq VALUES (6, 60)")
+	mustSess(t, s, "UPDATE seq SET val = 99 WHERE pos = 1")
+	mustSess(t, s, "DELETE FROM seq WHERE pos = 2")
+	mustSess(t, s, "ROLLBACK")
+
+	if got := count(t, e, "seq"); got != 5 {
+		t.Fatalf("rollback leaked rows: COUNT = %d, want 5", got)
+	}
+	res := mustExec(t, e, "SELECT val FROM seq WHERE pos = 1")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("rollback leaked update: pos 1 val = %d, want 1", res.Rows[0][0].Int())
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) AS c FROM seq WHERE pos = 2")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("rollback leaked delete: pos 2 vanished")
+	}
+}
+
+// TestReaderCompletesWhileWriterTxnOpen is the acceptance check for the
+// non-blocking property: a SELECT issued — and finished — while another
+// session holds an open transaction with pending writes.
+func TestReaderCompletesWhileWriterTxnOpen(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 100, func(i int) int64 { return int64(i) })
+
+	writer := e.NewSession()
+	mustSess(t, writer, "BEGIN")
+	mustSess(t, writer, "UPDATE seq SET val = 0 WHERE pos <= 50")
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := e.Exec("SELECT SUM(val) AS s FROM seq")
+		if err == nil && res.Rows[0][0].Float() != 5050 {
+			err = fmt.Errorf("reader saw writer's uncommitted state: SUM = %v", res.Rows[0][0])
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader blocked behind an open writer transaction")
+	}
+	mustSess(t, writer, "COMMIT")
+	res := mustExec(t, e, "SELECT SUM(val) AS s FROM seq")
+	if got := res.Rows[0][0].Float(); got != 5050-1275 {
+		t.Fatalf("after commit SUM = %v, want %v", got, 5050-1275)
+	}
+}
+
+func TestTxnStateErrors(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 3, func(i int) int64 { return int64(i) })
+	s := e.NewSession()
+
+	for _, sql := range []string{"COMMIT", "ROLLBACK"} {
+		if _, err := s.Exec(sql); rferrors.CodeOf(err) != rferrors.CodeTxnState {
+			t.Fatalf("%s outside txn: code = %q, want %q", sql, rferrors.CodeOf(err), rferrors.CodeTxnState)
+		}
+	}
+	mustSess(t, s, "BEGIN")
+	if _, err := s.Exec("BEGIN"); rferrors.CodeOf(err) != rferrors.CodeTxnState {
+		t.Fatalf("nested BEGIN: code = %q, want %q", rferrors.CodeOf(err), rferrors.CodeTxnState)
+	}
+	// DDL and REFRESH auto-commit; inside a transaction they are rejected.
+	for _, sql := range []string{
+		"CREATE TABLE other (a INTEGER)",
+		"DROP TABLE seq",
+		"CREATE UNIQUE INDEX seq_pk ON seq (pos)",
+	} {
+		if _, err := s.Exec(sql); rferrors.CodeOf(err) != rferrors.CodeTxnState {
+			t.Fatalf("%q inside txn: code = %q, want %q", sql, rferrors.CodeOf(err), rferrors.CodeTxnState)
+		}
+	}
+	mustSess(t, s, "ROLLBACK")
+
+	// Transaction control without a session has no connection to pin the
+	// transaction to; the engine rejects it with a pointer to sessions.
+	if _, err := e.Exec("BEGIN"); rferrors.CodeOf(err) != rferrors.CodeTxnState {
+		t.Fatalf("engine-level BEGIN: code = %q, want %q", rferrors.CodeOf(err), rferrors.CodeTxnState)
+	}
+}
+
+func TestTxnCommitIsAtomic(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE acct (id INTEGER, bal INTEGER)")
+	mustExec(t, e, "INSERT INTO acct VALUES (1, 100), (2, 100)")
+
+	// A transfer: both sides must publish together. Concurrent readers may
+	// see the pre-state or the post-state, never a half-applied transfer.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var torn error
+	var mu sync.Mutex
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := e.Exec("SELECT SUM(bal) AS s FROM acct")
+				if err != nil {
+					mu.Lock()
+					torn = err
+					mu.Unlock()
+					return
+				}
+				if got := res.Rows[0][0].Float(); got != 200 {
+					mu.Lock()
+					torn = fmt.Errorf("torn read: SUM(bal) = %v, want 200", got)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	s := e.NewSession()
+	for i := 0; i < 50; i++ {
+		mustSess(t, s, "BEGIN")
+		mustSess(t, s, "UPDATE acct SET bal = bal - 10 WHERE id = 1")
+		mustSess(t, s, "UPDATE acct SET bal = bal + 10 WHERE id = 2")
+		if i%2 == 0 {
+			mustSess(t, s, "COMMIT")
+		} else {
+			mustSess(t, s, "ROLLBACK")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if torn != nil {
+		t.Fatal(torn)
+	}
+}
+
+// TestTxnConcurrentMixedStress is the mixed-workload stress: concurrent
+// sessions run read-only queries and multi-statement write transactions
+// against shared tables; conflicts abort cleanly, everything else commits,
+// and the final state must balance the commit ledger exactly.
+func TestTxnConcurrentMixedStress(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE seq (pos INTEGER, val INTEGER)")
+	mustExec(t, e, "CREATE UNIQUE INDEX seq_pk ON seq (pos)")
+	mustExec(t, e, "INSERT INTO seq VALUES (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7), (8, 8)")
+
+	const (
+		writers = 4
+		readers = 4
+		iters   = 60
+	)
+	var inserted, conflicts int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			s := e.NewSession()
+			defer s.Close()
+			for i := 0; i < iters; i++ {
+				pos := 100 + w*iters + i // unique per writer: inserts never conflict
+				hot := 1 + rng.Intn(8)   // shared hot rows: updates conflict
+				if _, err := s.Exec("BEGIN"); err != nil {
+					t.Errorf("writer %d: BEGIN: %v", w, err)
+					return
+				}
+				_, err := s.Exec(fmt.Sprintf("INSERT INTO seq VALUES (%d, %d)", pos, pos))
+				if err == nil {
+					_, err = s.Exec(fmt.Sprintf("UPDATE seq SET val = val + 1 WHERE pos = %d", hot))
+				}
+				if err == nil {
+					_, err = s.Exec("COMMIT")
+				}
+				switch {
+				case err == nil:
+					mu.Lock()
+					inserted++
+					mu.Unlock()
+				case rferrors.CodeOf(err) == rferrors.CodeConflict:
+					mu.Lock()
+					conflicts++
+					mu.Unlock() // whole txn rolled back: the insert is gone too
+				default:
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters*2; i++ {
+				res, err := e.Exec("SELECT COUNT(*) AS c, SUM(pos) AS s FROM seq")
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if res.Rows[0][0].Int() < 8 {
+					t.Errorf("reader %d: COUNT = %d < initial 8", r, res.Rows[0][0].Int())
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := count(t, e, "seq"); got != 8+inserted {
+		t.Fatalf("final COUNT = %d, want 8 + %d committed inserts (conflict aborts must leave no trace)", got, inserted)
+	}
+	st := e.TxnStats()
+	if st.ConflictAborts != conflicts {
+		t.Fatalf("engine counted %d conflict aborts, clients saw %d", st.ConflictAborts, conflicts)
+	}
+	t.Logf("stress: %d commits, %d conflict aborts", inserted, conflicts)
+}
+
+func TestTxnSessionExecAllScript(t *testing.T) {
+	e := newEngine(t)
+	s := e.NewSession()
+	results, err := s.ExecAll(`
+		CREATE TABLE seq (pos INTEGER, val INTEGER);
+		INSERT INTO seq VALUES (1, 1), (2, 2);
+		BEGIN;
+		INSERT INTO seq VALUES (3, 3);
+		COMMIT;
+		BEGIN;
+		INSERT INTO seq VALUES (4, 4);
+		ROLLBACK;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	if got := count(t, e, "seq"); got != 3 {
+		t.Fatalf("COUNT = %d, want 3 (committed block applied, rolled-back block not)", got)
+	}
+	// An error mid-script surfaces with the offending statement named.
+	_, err = s.ExecAll("SELECT pos FROM seq; SELECT nope FROM seq")
+	if err == nil || !strings.Contains(err.Error(), "SELECT nope FROM seq") {
+		t.Fatalf("mid-script error not attributed: %v", err)
+	}
+}
+
+func TestTxnCounters(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 3, func(i int) int64 { return int64(i) })
+	base := e.TxnStats()
+
+	s := e.NewSession()
+	mustSess(t, s, "BEGIN")
+	mustSess(t, s, "UPDATE seq SET val = 9 WHERE pos = 1")
+	mustSess(t, s, "COMMIT")
+	mustSess(t, s, "BEGIN")
+	mustSess(t, s, "ROLLBACK")
+
+	st := e.TxnStats()
+	if st.Begins-base.Begins < 2 {
+		t.Fatalf("begins delta = %d, want >= 2", st.Begins-base.Begins)
+	}
+	if st.Commits-base.Commits < 1 {
+		t.Fatalf("commits delta = %d, want >= 1", st.Commits-base.Commits)
+	}
+	if st.Rollbacks-base.Rollbacks < 1 {
+		t.Fatalf("rollbacks delta = %d, want >= 1", st.Rollbacks-base.Rollbacks)
+	}
+	// The counters are exposed on the metrics registry too.
+	text := e.Metrics().Expose()
+	for _, name := range []string{
+		"rfview_txn_begins_total", "rfview_txn_commits_total",
+		"rfview_txn_rollbacks_total", "rfview_txn_conflict_aborts_total",
+		"rfview_txn_snapshot_wait_seconds", "rfview_txn_commit_lock_wait_seconds",
+	} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("metric %s missing from exposition", name)
+		}
+	}
+}
+
+func TestTxnFailedStatementKeepsTxnAlive(t *testing.T) {
+	e := newEngine(t)
+	loadSeq(t, e, 3, func(i int) int64 { return int64(i) })
+	mustExec(t, e, "CREATE UNIQUE INDEX seq_pk ON seq (pos)")
+
+	s := e.NewSession()
+	mustSess(t, s, "BEGIN")
+	mustSess(t, s, "INSERT INTO seq VALUES (4, 4)")
+	// A duplicate-key failure aborts the statement, not the transaction:
+	// statement-level atomicity.
+	if _, err := s.Exec("INSERT INTO seq VALUES (4, 99)"); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	} else if rferrors.CodeOf(err) == rferrors.CodeConflict {
+		t.Fatalf("duplicate key misclassified as write-write conflict: %v", err)
+	}
+	if !s.InTxn() {
+		t.Fatal("failed statement tore down the transaction")
+	}
+	mustSess(t, s, "INSERT INTO seq VALUES (5, 5)")
+	mustSess(t, s, "COMMIT")
+	if got := count(t, e, "seq"); got != 5 {
+		t.Fatalf("COUNT = %d, want 5 (3 + two successful inserts)", got)
+	}
+}
+
+func TestTxnErrorsIsConflict(t *testing.T) {
+	// The conflict error must be matchable with errors.Is through the
+	// rferrors sentinel machinery, same as every other engine error code.
+	e := newEngine(t)
+	loadSeq(t, e, 2, func(i int) int64 { return int64(i) })
+	a, b := e.NewSession(), e.NewSession()
+	mustSess(t, a, "BEGIN")
+	mustSess(t, b, "BEGIN")
+	mustSess(t, a, "UPDATE seq SET val = 10 WHERE pos = 1")
+	_, err := b.Exec("UPDATE seq SET val = 20 WHERE pos = 1")
+	if err == nil {
+		t.Fatal("expected conflict")
+	}
+	sentinel := rferrors.FromCode(rferrors.CodeConflict, "x")
+	if !errors.Is(err, errors.Unwrap(sentinel)) && rferrors.CodeOf(err) != rferrors.CodeConflict {
+		t.Fatalf("conflict not matchable: %v", err)
+	}
+	mustSess(t, a, "ROLLBACK")
+}

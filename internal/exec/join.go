@@ -7,6 +7,7 @@ import (
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // JoinKind distinguishes the join semantics the executor supports.
@@ -145,9 +146,14 @@ type IndexNestedLoopJoin struct {
 	// false emits inner++outer (used when the probed table was written on
 	// the left of the join in the original query).
 	EmitOuterFirst bool
+	// Snap, when set, resolves the MVCC snapshot probes read at (shared
+	// with every other operator of the statement). Nil probes the latest
+	// committed state.
+	Snap func() txn.Snapshot
 
 	innerSchema *expr.Schema
 	schema      *expr.Schema
+	snapshot    txn.Snapshot
 	pending     []sqltypes.Row // combined rows waiting to be emitted
 	done        bool
 }
@@ -182,6 +188,11 @@ func (j *IndexNestedLoopJoin) Schema() *expr.Schema { return j.schema }
 func (j *IndexNestedLoopJoin) Open() error {
 	j.pending = nil
 	j.done = false
+	if j.Snap != nil {
+		j.snapshot = j.Snap()
+	} else {
+		j.snapshot = j.Inner.Heap.Latest()
+	}
 	return j.Outer.Open()
 }
 
@@ -223,15 +234,11 @@ func (j *IndexNestedLoopJoin) Next() (sqltypes.Row, error) {
 				continue // NULL never equals anything
 			}
 			var probeErr error
-			j.Handle.Idx.Lookup(sqltypes.Row{key}, func(id storage.RowID) bool {
+			j.Inner.Heap.LookupAt(j.Handle, sqltypes.Row{key}, j.snapshot, func(id storage.RowID, inner sqltypes.Row) bool {
 				if seen[id] {
 					return true // IN-list probes may overlap
 				}
 				seen[id] = true
-				inner := j.Inner.Heap.Get(id)
-				if inner == nil {
-					return true
-				}
 				combined := j.combine(outer, inner)
 				if j.Residual != nil {
 					v, err := j.Residual.Eval(combined)

@@ -7,6 +7,7 @@ import (
 	"rfview/internal/expr"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // Scan is a full heap scan of a table (or a materialized view's backing
@@ -15,6 +16,10 @@ import (
 type Scan struct {
 	Table *catalog.Table
 	Ref   string // alias or table name used in the query
+	// Snap, when set, resolves the MVCC snapshot the scan reads at; every
+	// operator of one statement shares the same resolver so the whole plan
+	// sees one visibility horizon. Nil reads the latest committed state.
+	Snap func() txn.Snapshot
 
 	schema *expr.Schema
 	rows   []sqltypes.Row
@@ -33,12 +38,16 @@ func NewScan(tbl *catalog.Table, ref string) *Scan {
 // Schema implements Operator.
 func (s *Scan) Schema() *expr.Schema { return s.schema }
 
-// Open implements Operator. The scan snapshots the heap so concurrent
-// mutations by the same session (e.g. INSERT … SELECT from itself) do not
-// affect iteration.
+// Open implements Operator. The scan materializes the rows visible at its
+// snapshot, so concurrent mutations — by other transactions or by the same
+// session (e.g. INSERT … SELECT from itself) — do not affect iteration.
 func (s *Scan) Open() error {
+	sn := s.Table.Heap.Latest()
+	if s.Snap != nil {
+		sn = s.Snap()
+	}
 	s.rows = s.rows[:0]
-	s.Table.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+	s.Table.Heap.ScanAt(sn, func(_ storage.RowID, row sqltypes.Row) bool {
 		s.rows = append(s.rows, row)
 		return true
 	})

@@ -62,7 +62,7 @@ func avgUpdate(t *testing.T, m *Manager, tbl *catalog.Table, pos int, v float64)
 	if _, err := tbl.Heap.Insert(nrow); err != nil {
 		t.Fatal(err)
 	}
-	m.AfterUpdate("seq", []sqltypes.Row{old}, []sqltypes.Row{nrow.Clone()}, seqCols)
+	m.AfterUpdate(nil, "seq", []sqltypes.Row{old}, []sqltypes.Row{nrow.Clone()}, seqCols)
 }
 
 func avgAppend(t *testing.T, m *Manager, tbl *catalog.Table, pos int, v float64) {
@@ -71,7 +71,7 @@ func avgAppend(t *testing.T, m *Manager, tbl *catalog.Table, pos int, v float64)
 	if _, err := tbl.Heap.Insert(row); err != nil {
 		t.Fatal(err)
 	}
-	m.AfterInsert("seq", []sqltypes.Row{row.Clone()}, seqCols)
+	m.AfterInsert(nil, "seq", []sqltypes.Row{row.Clone()}, seqCols)
 }
 
 func avgDelete(t *testing.T, m *Manager, tbl *catalog.Table, pos int) {
@@ -91,7 +91,7 @@ func avgDelete(t *testing.T, m *Manager, tbl *catalog.Table, pos int) {
 	if err := tbl.Heap.Delete(id); err != nil {
 		t.Fatal(err)
 	}
-	m.AfterDelete("seq", []sqltypes.Row{old}, seqCols)
+	m.AfterDelete(nil, "seq", []sqltypes.Row{old}, seqCols)
 }
 
 // checkAvgBitExact compares the backing table bit-for-bit against a
@@ -106,7 +106,7 @@ func checkAvgBitExact(t *testing.T, cat *catalog.Catalog, m *Manager, ctx string
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := readDenseSequence(base, "pos", "val")
+	raw, err := m.readDenseSequence(base, "pos", "val")
 	if err != nil {
 		t.Fatalf("%s: %v", ctx, err)
 	}

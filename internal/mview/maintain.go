@@ -10,6 +10,7 @@ import (
 	"rfview/internal/catalog"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // This file folds base-table DML into materialized sequence views using the
@@ -20,10 +21,13 @@ import (
 // mark the view stale (off).
 
 // AfterInsert is called by the engine once rows have been inserted into a
-// base table.
-func (m *Manager) AfterInsert(table string, rows []sqltypes.Row, cols []string) {
+// base table. tx, when non-nil, is the committing transaction: backing-table
+// writes join its write-set and become visible at its publication instant.
+func (m *Manager) AfterInsert(tx *txn.Txn, table string, rows []sqltypes.Row, cols []string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.curTx = tx
+	defer func() { m.curTx = nil }()
 	for _, sv := range m.seq {
 		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
 			continue
@@ -33,9 +37,11 @@ func (m *Manager) AfterInsert(table string, rows []sqltypes.Row, cols []string) 
 }
 
 // AfterUpdate is called with the before/after images of updated base rows.
-func (m *Manager) AfterUpdate(table string, before, after []sqltypes.Row, cols []string) {
+func (m *Manager) AfterUpdate(tx *txn.Txn, table string, before, after []sqltypes.Row, cols []string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.curTx = tx
+	defer func() { m.curTx = nil }()
 	for _, sv := range m.seq {
 		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
 			continue
@@ -45,9 +51,11 @@ func (m *Manager) AfterUpdate(table string, before, after []sqltypes.Row, cols [
 }
 
 // AfterDelete is called with the images of deleted base rows.
-func (m *Manager) AfterDelete(table string, deleted []sqltypes.Row, cols []string) {
+func (m *Manager) AfterDelete(tx *txn.Txn, table string, deleted []sqltypes.Row, cols []string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.curTx = tx
+	defer func() { m.curTx = nil }()
 	for _, sv := range m.seq {
 		if !strings.EqualFold(sv.mv.BaseTable, table) || sv.stale {
 			continue
@@ -293,19 +301,18 @@ func (m *Manager) upsert(sv *seqView, pos int, val float64, ok bool) error {
 		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 	}
 	key := sqltypes.Row{sqltypes.NewInt(int64(pos))}
-	id, found := h.Idx.First(key)
+	id, found := m.hFirst(sv.mv.Table, h, key)
 	if !ok {
 		if found {
-			return sv.mv.Table.Heap.Delete(id)
+			return m.hDelete(sv.mv.Table, id)
 		}
 		return nil
 	}
 	row := sqltypes.Row{sqltypes.NewInt(int64(pos)), sv.datum(val)}
 	if found {
-		return sv.mv.Table.Heap.Update(id, row)
+		return m.hUpdate(sv.mv.Table, id, row)
 	}
-	_, err := sv.mv.Table.Heap.Insert(row)
-	return err
+	return m.hInsert(sv.mv.Table, row)
 }
 
 func (m *Manager) deleteRow(sv *seqView, pos int) error {
@@ -313,8 +320,8 @@ func (m *Manager) deleteRow(sv *seqView, pos int) error {
 	if h == nil {
 		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 	}
-	if id, found := h.Idx.First(sqltypes.Row{sqltypes.NewInt(int64(pos))}); found {
-		return sv.mv.Table.Heap.Delete(id)
+	if id, found := m.hFirst(sv.mv.Table, h, sqltypes.Row{sqltypes.NewInt(int64(pos))}); found {
+		return m.hDelete(sv.mv.Table, id)
 	}
 	return nil
 }
@@ -335,7 +342,7 @@ func (m *Manager) syncRange(sv *seqView, lo, hi int) error {
 			return err
 		}
 	}
-	sv.mv.BaseRows = seq.N
+	m.setBaseRows(sv.mv, seq.N)
 	return nil
 }
 
@@ -483,7 +490,7 @@ func shiftBase(base *catalog.Table, posCol, valCol string, k int, val *float64, 
 		for _, t := range touch {
 			nr := t.row.Clone()
 			nr[pi] = sqltypes.NewInt(t.row[pi].Int() + 1)
-			if err := base.Heap.Update(t.id, nr); err != nil {
+			if _, err := base.Heap.Update(t.id, nr); err != nil {
 				return err
 			}
 		}
@@ -511,7 +518,7 @@ func shiftBase(base *catalog.Table, posCol, valCol string, k int, val *float64, 
 		}
 		nr := t.row.Clone()
 		nr[pi] = sqltypes.NewInt(t.row[pi].Int() - 1)
-		if err := base.Heap.Update(t.id, nr); err != nil {
+		if _, err := base.Heap.Update(t.id, nr); err != nil {
 			return err
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
 	"rfview/internal/storage"
+	"rfview/internal/txn"
 )
 
 // ExecFunc runs a select statement and returns (columns, rows). The engine
@@ -123,6 +124,84 @@ type Manager struct {
 	// MaintenanceEvents counts incremental maintenance operations applied,
 	// for tests and the maintenance example.
 	MaintenanceEvents int
+
+	// curTx is the transaction the current maintenance entry point runs
+	// inside: backing-table writes join its write-set (becoming visible
+	// atomically at commit) instead of committing immediately. Guarded by
+	// the manager mutex: set on entry, cleared on exit, nil for legacy
+	// (library/test) callers whose writes commit per operation.
+	curTx *txn.Txn
+}
+
+// heap write/read helpers: route through curTx when a transaction is
+// active, and see everything committed plus curTx's own pending writes.
+
+func (m *Manager) hInsert(t *catalog.Table, row sqltypes.Row) error {
+	var err error
+	if m.curTx != nil {
+		_, err = t.Heap.InsertTx(m.curTx, row)
+	} else {
+		_, err = t.Heap.Insert(row)
+	}
+	return err
+}
+
+func (m *Manager) hDelete(t *catalog.Table, id storage.RowID) error {
+	if m.curTx != nil {
+		return t.Heap.DeleteTx(m.curTx, id)
+	}
+	return t.Heap.Delete(id)
+}
+
+func (m *Manager) hUpdate(t *catalog.Table, id storage.RowID, row sqltypes.Row) error {
+	var err error
+	if m.curTx != nil {
+		_, err = t.Heap.UpdateTx(m.curTx, id, row)
+	} else {
+		_, err = t.Heap.Update(id, row)
+	}
+	return err
+}
+
+func (m *Manager) hScan(t *catalog.Table, fn func(storage.RowID, sqltypes.Row) bool) {
+	t.Heap.ScanAt(t.Heap.WriteView(m.curTx), fn)
+}
+
+func (m *Manager) hFirst(t *catalog.Table, h *storage.IndexHandle, key sqltypes.Row) (storage.RowID, bool) {
+	return t.Heap.FirstAt(h, key, t.Heap.WriteView(m.curTx))
+}
+
+// setBaseRows records the view's new base cardinality. Inside a transaction
+// the store is deferred to commit publication so it flips together with the
+// backing rows' visibility — the derivation rewriter bakes BaseRows into
+// rewritten SQL and must never see it ahead of (or behind) the rows.
+func (m *Manager) setBaseRows(mv *catalog.MatView, n int) {
+	if tx := m.curTx; tx != nil {
+		v := int64(n)
+		tx.OnPublish(func() { mv.BaseRows.Store(v) })
+		return
+	}
+	mv.BaseRows.Store(int64(n))
+}
+
+// setFresh clears staleness. Inside a transaction the flip is deferred to
+// commit publication: until the refreshed rows are visible, readers must
+// keep seeing the view as stale.
+func (m *Manager) setFresh(sv *seqView) {
+	clear := func() {
+		sv.stale = false
+		sv.staleWhy = ""
+		sv.staleSince = time.Time{}
+	}
+	if tx := m.curTx; tx != nil {
+		tx.OnPublish(func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			clear()
+		})
+		return
+	}
+	clear()
 }
 
 // NewManager builds a manager over the catalog.
@@ -215,8 +294,9 @@ func windowOf(shape rewrite.WindowShape) core.Window {
 }
 
 // readDenseSequence reads (pos, val) from the base table and validates that
-// positions are exactly 1…n.
-func readDenseSequence(base *catalog.Table, posCol, valCol string) ([]float64, error) {
+// positions are exactly 1…n. It reads at the manager's current write view so
+// a transactional refresh sees the transaction's own base-table writes.
+func (m *Manager) readDenseSequence(base *catalog.Table, posCol, valCol string) ([]float64, error) {
 	posIdx := base.ColumnIndex(posCol)
 	if posIdx < 0 {
 		return nil, fmt.Errorf("mview: column %q does not exist in %q", posCol, base.Name)
@@ -234,7 +314,7 @@ func readDenseSequence(base *catalog.Table, posCol, valCol string) ([]float64, e
 	}
 	var rows []pv
 	var scanErr error
-	base.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+	m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
 		p := row[posIdx]
 		if p.IsNull() || p.Typ() != sqltypes.Int {
 			scanErr = fmt.Errorf("mview: position column %q must be non-NULL INTEGER", posCol)
@@ -275,7 +355,7 @@ func (m *Manager) createSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.
 	if valCol == "" { // COUNT(*)
 		valCol = wq.PosCol
 	}
-	raw, err := readDenseSequence(base, wq.PosCol, valCol)
+	raw, err := m.readDenseSequence(base, wq.PosCol, valCol)
 	if err != nil {
 		return err
 	}
@@ -305,15 +385,20 @@ func (m *Manager) createSequenceView(stmt *sqlparser.CreateMatView, wq *rewrite.
 	mv := &catalog.MatView{
 		Name: stmt.Name, Kind: catalog.SequenceView, Table: backing,
 		BaseTable: base.Name, PosColumn: wq.PosCol, ValColumn: valCol,
-		Agg: wq.Agg, Window: toSpec(win), BaseRows: len(raw),
+		Agg: wq.Agg, Window: toSpec(win),
 		Definition: stmt.String(),
 	}
-	if err := m.cat.RegisterMatView(mv); err != nil {
+	mv.BaseRows.Store(int64(len(raw)))
+	// Fill before registering: until the view exists in the catalog no
+	// reader can derive from it, so the backing rows' immediate commits
+	// never expose a half-built view.
+	sv := &seqView{mv: mv, maint: maint, cnt: cnt, agg: agg, valType: valType}
+	if err := m.fillBacking(sv); err != nil {
 		m.cat.DropTable(backingName)
 		return err
 	}
-	sv := &seqView{mv: mv, maint: maint, cnt: cnt, agg: agg, valType: valType}
-	if err := m.fillBacking(sv); err != nil {
+	if err := m.cat.RegisterMatView(mv); err != nil {
+		m.cat.DropTable(backingName)
 		return err
 	}
 	m.seq[lower(stmt.Name)] = sv
@@ -349,12 +434,12 @@ func toSpec(w core.Window) catalog.WindowSpec {
 func (m *Manager) fillBacking(sv *seqView) error {
 	// Clear existing rows.
 	var ids []storage.RowID
-	sv.mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+	m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 		ids = append(ids, id)
 		return true
 	})
 	for _, id := range ids {
-		if err := sv.mv.Table.Heap.Delete(id); err != nil {
+		if err := m.hDelete(sv.mv.Table, id); err != nil {
 			return err
 		}
 	}
@@ -364,11 +449,11 @@ func (m *Manager) fillBacking(sv *seqView) error {
 		if !ok {
 			continue // MIN/MAX empty windows are not materialized
 		}
-		if _, err := sv.mv.Table.Heap.Insert(sqltypes.Row{sqltypes.NewInt(int64(k)), sv.datum(v)}); err != nil {
+		if err := m.hInsert(sv.mv.Table, sqltypes.Row{sqltypes.NewInt(int64(k)), sv.datum(v)}); err != nil {
 			return err
 		}
 	}
-	sv.mv.BaseRows = seq.N
+	m.setBaseRows(sv.mv, seq.N)
 	return nil
 }
 
@@ -451,8 +536,18 @@ func (m *Manager) Refresh(name string) error {
 // RefreshContext is Refresh with cancellation: a plain view's recompute runs
 // its defining query through the engine, which observes ctx.
 func (m *Manager) RefreshContext(ctx context.Context, name string) error {
+	return m.RefreshTx(ctx, nil, name)
+}
+
+// RefreshTx is RefreshContext inside a transaction: the rebuilt backing rows
+// join tx's write-set and the staleness flip defers to commit publication, so
+// concurrent readers never observe a half-refreshed view. tx may be nil
+// (library callers), in which case every write commits immediately.
+func (m *Manager) RefreshTx(ctx context.Context, tx *txn.Txn, name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.curTx = tx
+	defer func() { m.curTx = nil }()
 	if sv, ok := m.seq[lower(name)]; ok {
 		// A full refresh supersedes any queued deltas: the recompute reads
 		// the current base table, which already includes their effects.
@@ -465,7 +560,7 @@ func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 		if err != nil {
 			return err
 		}
-		raw, err := readDenseSequence(base, sv.mv.PosColumn, sv.mv.ValColumn)
+		raw, err := m.readDenseSequence(base, sv.mv.PosColumn, sv.mv.ValColumn)
 		if err != nil {
 			return err
 		}
@@ -475,9 +570,7 @@ func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 		}
 		sv.maint = maint
 		sv.cnt = cnt
-		sv.stale = false
-		sv.staleWhy = ""
-		sv.staleSince = time.Time{}
+		m.setFresh(sv)
 		return m.fillBacking(sv)
 	}
 	if stmt, ok := m.plain[lower(name)]; ok {
@@ -490,17 +583,17 @@ func (m *Manager) RefreshContext(ctx context.Context, name string) error {
 			return fmt.Errorf("mview: refresh arity changed for %q", name)
 		}
 		var ids []storage.RowID
-		mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+		m.hScan(mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 			ids = append(ids, id)
 			return true
 		})
 		for _, id := range ids {
-			if err := mv.Table.Heap.Delete(id); err != nil {
+			if err := m.hDelete(mv.Table, id); err != nil {
 				return err
 			}
 		}
 		for _, r := range rows {
-			if _, err := mv.Table.Heap.Insert(r.Clone()); err != nil {
+			if err := m.hInsert(mv.Table, r.Clone()); err != nil {
 				return err
 			}
 		}

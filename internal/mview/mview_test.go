@@ -61,13 +61,13 @@ func viewValues(t *testing.T, cat *catalog.Catalog, name string) map[int64]float
 
 // checkViewMatchesCore verifies the backing table equals a fresh core
 // computation over the base table's current contents.
-func checkViewMatchesCore(t *testing.T, cat *catalog.Catalog, name string, win core.Window, agg core.Agg) {
+func checkViewMatchesCore(t *testing.T, cat *catalog.Catalog, m *Manager, name string, win core.Window, agg core.Agg) {
 	t.Helper()
 	base, err := cat.Table("seq")
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := readDenseSequence(base, "pos", "val")
+	raw, err := m.readDenseSequence(base, "pos", "val")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestCreateSequenceView(t *testing.T) {
 	if !ok || mv.Kind != catalog.SequenceView {
 		t.Fatal("sequence view not registered")
 	}
-	if mv.BaseRows != 20 || mv.Window.Preceding != 2 || mv.Window.Following != 1 {
+	if mv.BaseRows.Load() != 20 || mv.Window.Preceding != 2 || mv.Window.Following != 1 {
 		t.Fatalf("view metadata = %+v", mv)
 	}
 	// Complete sequence: header position 0 and trailer rows 21, 22 present.
@@ -111,7 +111,7 @@ func TestCreateSequenceView(t *testing.T) {
 	if _, ok := vals[22]; !ok {
 		t.Error("trailer row missing")
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 	// The backing table has a pk index for the derivation patterns.
 	if mv.Table.Heap.IndexOn([]int{0}) == nil {
 		t.Error("backing table must carry a position index")
@@ -122,16 +122,16 @@ func TestCreateCumulativeAndMinMaxViews(t *testing.T) {
 	cat, m := fixture(t, 15)
 	createView(t, m, `CREATE MATERIALIZED VIEW cum AS
 	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS val FROM seq`)
-	checkViewMatchesCore(t, cat, "cum", core.Cumul(), core.Sum)
+	checkViewMatchesCore(t, cat, m, "cum", core.Cumul(), core.Sum)
 	createView(t, m, `CREATE MATERIALIZED VIEW mn AS
 	  SELECT pos, MIN(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS val FROM seq`)
-	checkViewMatchesCore(t, cat, "mn", core.Sliding(2, 2), core.Min)
+	checkViewMatchesCore(t, cat, m, "mn", core.Sliding(2, 2), core.Min)
 	createView(t, m, `CREATE MATERIALIZED VIEW av AS
 	  SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
-	checkViewMatchesCore(t, cat, "av", core.Sliding(1, 1), core.Avg)
+	checkViewMatchesCore(t, cat, m, "av", core.Sliding(1, 1), core.Avg)
 	createView(t, m, `CREATE MATERIALIZED VIEW ct AS
 	  SELECT pos, COUNT(*) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
-	checkViewMatchesCore(t, cat, "ct", core.Sliding(1, 1), core.Count)
+	checkViewMatchesCore(t, cat, m, "ct", core.Sliding(1, 1), core.Count)
 }
 
 func TestCreateRejectsNonDense(t *testing.T) {
@@ -170,17 +170,17 @@ func TestIncrementalUpdate(t *testing.T) {
 		return true
 	})
 	after := sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewInt(7)}
-	if err := base.Heap.Update(id, after); err != nil {
+	if _, err := base.Heap.Update(id, after); err != nil {
 		t.Fatal(err)
 	}
-	m.AfterUpdate("seq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
+	m.AfterUpdate(nil, "seq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
 	if m.Stale("mv") {
 		t.Fatal("value update must stay incremental")
 	}
 	if m.MaintenanceEvents != 1 {
 		t.Fatalf("events = %d", m.MaintenanceEvents)
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 }
 
 func TestIncrementalAppendAndSuffixDelete(t *testing.T) {
@@ -191,15 +191,15 @@ func TestIncrementalAppendAndSuffixDelete(t *testing.T) {
 
 	row := sqltypes.Row{sqltypes.NewInt(11), sqltypes.NewInt(1000)}
 	base.Heap.Insert(row)
-	m.AfterInsert("seq", []sqltypes.Row{row}, cols)
+	m.AfterInsert(nil, "seq", []sqltypes.Row{row}, cols)
 	if m.Stale("mv") {
 		t.Fatal("append must stay incremental")
 	}
 	mv, _ := cat.MatView("mv")
-	if mv.BaseRows != 11 {
-		t.Fatalf("BaseRows = %d", mv.BaseRows)
+	if mv.BaseRows.Load() != 11 {
+		t.Fatalf("BaseRows = %d", mv.BaseRows.Load())
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 
 	// Suffix delete.
 	var id storage.RowID
@@ -211,14 +211,14 @@ func TestIncrementalAppendAndSuffixDelete(t *testing.T) {
 		return true
 	})
 	base.Heap.Delete(id)
-	m.AfterDelete("seq", []sqltypes.Row{row}, cols)
+	m.AfterDelete(nil, "seq", []sqltypes.Row{row}, cols)
 	if m.Stale("mv") {
 		t.Fatal("suffix delete must stay incremental")
 	}
-	if mv.BaseRows != 10 {
-		t.Fatalf("BaseRows = %d after delete", mv.BaseRows)
+	if mv.BaseRows.Load() != 10 {
+		t.Fatalf("BaseRows = %d after delete", mv.BaseRows.Load())
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 }
 
 func TestStalenessPaths(t *testing.T) {
@@ -228,16 +228,16 @@ func TestStalenessPaths(t *testing.T) {
 	}{
 		{"middle insert", func(m *Manager, base *catalog.Table) {
 			row := sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewInt(1)}
-			m.AfterInsert("seq", []sqltypes.Row{row}, base.ColumnNames())
+			m.AfterInsert(nil, "seq", []sqltypes.Row{row}, base.ColumnNames())
 		}},
 		{"middle delete", func(m *Manager, base *catalog.Table) {
 			row := sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewInt(9)}
-			m.AfterDelete("seq", []sqltypes.Row{row}, base.ColumnNames())
+			m.AfterDelete(nil, "seq", []sqltypes.Row{row}, base.ColumnNames())
 		}},
 		{"position update", func(m *Manager, base *catalog.Table) {
 			before := sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewInt(9)}
 			after := sqltypes.Row{sqltypes.NewInt(30), sqltypes.NewInt(9)}
-			m.AfterUpdate("seq", []sqltypes.Row{before}, []sqltypes.Row{after}, base.ColumnNames())
+			m.AfterUpdate(nil, "seq", []sqltypes.Row{before}, []sqltypes.Row{after}, base.ColumnNames())
 		}},
 	}
 	for _, c := range cases {
@@ -261,7 +261,7 @@ func TestRefreshClearsStaleness(t *testing.T) {
 	createView(t, m, seqViewDDL)
 	base, _ := cat.Table("seq")
 	// Fake a staleness marker, then refresh against unchanged (dense) data.
-	m.AfterInsert("seq", []sqltypes.Row{{sqltypes.NewInt(5), sqltypes.NewInt(1)}}, base.ColumnNames())
+	m.AfterInsert(nil, "seq", []sqltypes.Row{{sqltypes.NewInt(5), sqltypes.NewInt(1)}}, base.ColumnNames())
 	if !m.Stale("mv") {
 		t.Fatal("expected staleness")
 	}
@@ -271,7 +271,7 @@ func TestRefreshClearsStaleness(t *testing.T) {
 	if m.Stale("mv") {
 		t.Fatal("refresh must clear staleness")
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 }
 
 func TestShiftInsertDelete(t *testing.T) {
@@ -283,10 +283,10 @@ func TestShiftInsertDelete(t *testing.T) {
 	if m.Stale("mv") {
 		t.Fatal("shift insert must keep the view fresh")
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
 	// Base must have 13 dense rows with 999 at position 5.
 	base, _ := cat.Table("seq")
-	raw, err := readDenseSequence(base, "pos", "val")
+	raw, err := m.readDenseSequence(base, "pos", "val")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,8 +296,8 @@ func TestShiftInsertDelete(t *testing.T) {
 	if err := m.ShiftDelete("mv", 5); err != nil {
 		t.Fatal(err)
 	}
-	checkViewMatchesCore(t, cat, "mv", core.Sliding(2, 1), core.Sum)
-	raw, _ = readDenseSequence(base, "pos", "val")
+	checkViewMatchesCore(t, cat, m, "mv", core.Sliding(2, 1), core.Sum)
+	raw, _ = m.readDenseSequence(base, "pos", "val")
 	if len(raw) != 12 || raw[4] == 999 {
 		t.Fatalf("raw after shift delete = %v", raw)
 	}
@@ -343,11 +343,11 @@ func TestCumulativeViewMaintenance(t *testing.T) {
 	})
 	after := sqltypes.Row{sqltypes.NewInt(4), sqltypes.NewInt(-50)}
 	base.Heap.Update(id, after)
-	m.AfterUpdate("seq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
+	m.AfterUpdate(nil, "seq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
 	if m.Stale("cum") {
 		t.Fatal("cumulative update must stay incremental")
 	}
-	checkViewMatchesCore(t, cat, "cum", core.Cumul(), core.Sum)
+	checkViewMatchesCore(t, cat, m, "cum", core.Cumul(), core.Sum)
 }
 
 // fakeExec materializes plain views without a full engine: it returns a
@@ -383,7 +383,7 @@ func TestPlainViewLifecycle(t *testing.T) {
 		t.Fatalf("backing rows = %d", mv.Table.Heap.Len())
 	}
 	// Plain views ignore DML notifications entirely.
-	m.AfterInsert("wherever", rows, []string{"a", "b"})
+	m.AfterInsert(nil, "wherever", rows, []string{"a", "b"})
 	if m.Stale("pv") {
 		t.Fatal("plain views have no staleness")
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"rfview/internal/catalog"
 	"rfview/internal/core"
@@ -46,7 +45,7 @@ func isPartitionedSequenceShape(wq *rewrite.WindowQuery) bool {
 // readPartitionedSequences reads (part, pos, val) from the base table and
 // validates per-partition density. Keys are returned in sorted render order
 // for deterministic materialization.
-func readPartitionedSequences(base *catalog.Table, posCol, partCol, valCol string) (map[string]sqltypes.Datum, map[string][]float64, error) {
+func (m *Manager) readPartitionedSequences(base *catalog.Table, posCol, partCol, valCol string) (map[string]sqltypes.Datum, map[string][]float64, error) {
 	posIdx := base.ColumnIndex(posCol)
 	partIdx := base.ColumnIndex(partCol)
 	valIdx := base.ColumnIndex(valCol)
@@ -60,7 +59,7 @@ func readPartitionedSequences(base *catalog.Table, posCol, partCol, valCol strin
 	keys := make(map[string]sqltypes.Datum)
 	rows := make(map[string][]pv)
 	var scanErr error
-	base.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+	m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
 		p := row[posIdx]
 		pt := row[partIdx]
 		v := row[valIdx]
@@ -123,7 +122,7 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 	if valCol == "" {
 		valCol = wq.PosCol
 	}
-	keys, raws, err := readPartitionedSequences(base, wq.PosCol, partCol, valCol)
+	keys, raws, err := m.readPartitionedSequences(base, wq.PosCol, partCol, valCol)
 	if err != nil {
 		return err
 	}
@@ -157,12 +156,14 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 		ValColumn: valCol, Agg: wq.Agg, Window: toSpec(win),
 		Definition: stmt.String(),
 	}
-	if err := m.cat.RegisterMatView(mv); err != nil {
+	// Fill before registering (see createSequenceView).
+	sv := &seqView{mv: mv, agg: agg, valType: valType, pm: pm, partKeys: keys}
+	if err := m.fillPartitionedBacking(sv); err != nil {
 		m.cat.DropTable(backingName)
 		return err
 	}
-	sv := &seqView{mv: mv, agg: agg, valType: valType, pm: pm, partKeys: keys}
-	if err := m.fillPartitionedBacking(sv); err != nil {
+	if err := m.cat.RegisterMatView(mv); err != nil {
+		m.cat.DropTable(backingName)
 		return err
 	}
 	m.seq[lower(stmt.Name)] = sv
@@ -173,12 +174,12 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 // maintained sequence.
 func (m *Manager) fillPartitionedBacking(sv *seqView) error {
 	var ids []storage.RowID
-	sv.mv.Table.Heap.Scan(func(id storage.RowID, _ sqltypes.Row) bool {
+	m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 		ids = append(ids, id)
 		return true
 	})
 	for _, id := range ids {
-		if err := sv.mv.Table.Heap.Delete(id); err != nil {
+		if err := m.hDelete(sv.mv.Table, id); err != nil {
 			return err
 		}
 	}
@@ -192,7 +193,7 @@ func (m *Manager) fillPartitionedBacking(sv *seqView) error {
 			}
 			row := sqltypes.Row{part, sqltypes.NewInt(int64(k)), sv.datum(v),
 				sqltypes.NewBool(k >= 1 && k <= seq.N)}
-			if _, err := sv.mv.Table.Heap.Insert(row); err != nil {
+			if err := m.hInsert(sv.mv.Table, row); err != nil {
 				return err
 			}
 		}
@@ -207,10 +208,10 @@ func (m *Manager) upsertPart(sv *seqView, part sqltypes.Datum, maint *core.Maint
 		return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 	}
 	key := sqltypes.Row{part, sqltypes.NewInt(int64(pos))}
-	id, found := h.Idx.First(key)
+	id, found := m.hFirst(sv.mv.Table, h, key)
 	if !ok {
 		if found {
-			return sv.mv.Table.Heap.Delete(id)
+			return m.hDelete(sv.mv.Table, id)
 		}
 		return nil
 	}
@@ -218,10 +219,9 @@ func (m *Manager) upsertPart(sv *seqView, part sqltypes.Datum, maint *core.Maint
 	row := sqltypes.Row{part, sqltypes.NewInt(int64(pos)), sv.datum(val),
 		sqltypes.NewBool(pos >= 1 && pos <= n)}
 	if found {
-		return sv.mv.Table.Heap.Update(id, row)
+		return m.hUpdate(sv.mv.Table, id, row)
 	}
-	_, err := sv.mv.Table.Heap.Insert(row)
-	return err
+	return m.hInsert(sv.mv.Table, row)
 }
 
 // syncPartRange re-writes backing rows for positions [lo, hi] of one
@@ -234,8 +234,8 @@ func (m *Manager) syncPartRange(sv *seqView, part sqltypes.Datum, maint *core.Ma
 			if h == nil {
 				return fmt.Errorf("mview: backing table of %q lost its index", sv.mv.Name)
 			}
-			if id, found := h.Idx.First(sqltypes.Row{part, sqltypes.NewInt(int64(k))}); found {
-				if err := sv.mv.Table.Heap.Delete(id); err != nil {
+			if id, found := m.hFirst(sv.mv.Table, h, sqltypes.Row{part, sqltypes.NewInt(int64(k))}); found {
+				if err := m.hDelete(sv.mv.Table, id); err != nil {
 					return err
 				}
 			}
@@ -328,14 +328,14 @@ func (m *Manager) applyPartitionedDelete(sv *seqView, part sqltypes.Datum, pos i
 		// empty sequence would otherwise materialize zero-valued
 		// header/trailer rows).
 		var ids []storage.RowID
-		sv.mv.Table.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
+		m.hScan(sv.mv.Table, func(id storage.RowID, row sqltypes.Row) bool {
 			if sqltypes.Equal(row[0], part) {
 				ids = append(ids, id)
 			}
 			return true
 		})
 		for _, id := range ids {
-			if err := sv.mv.Table.Heap.Delete(id); err != nil {
+			if err := m.hDelete(sv.mv.Table, id); err != nil {
 				m.markStale(sv, err.Error())
 				return
 			}
@@ -363,7 +363,7 @@ func (m *Manager) refreshPartitioned(sv *seqView) error {
 	if err != nil {
 		return err
 	}
-	keys, raws, err := readPartitionedSequences(base, sv.mv.PosColumn, sv.mv.PartColumn, sv.mv.ValColumn)
+	keys, raws, err := m.readPartitionedSequences(base, sv.mv.PosColumn, sv.mv.PartColumn, sv.mv.ValColumn)
 	if err != nil {
 		return err
 	}
@@ -373,8 +373,6 @@ func (m *Manager) refreshPartitioned(sv *seqView) error {
 	}
 	sv.pm = pm
 	sv.partKeys = keys
-	sv.stale = false
-	sv.staleWhy = ""
-	sv.staleSince = time.Time{}
+	m.setFresh(sv)
 	return m.fillPartitionedBacking(sv)
 }

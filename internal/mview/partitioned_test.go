@@ -144,10 +144,10 @@ func TestPartitionedUpdateIncremental(t *testing.T) {
 		return true
 	})
 	after := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(5), sqltypes.NewInt(999)}
-	if err := base.Heap.Update(id, after); err != nil {
+	if _, err := base.Heap.Update(id, after); err != nil {
 		t.Fatal(err)
 	}
-	m.AfterUpdate("pseq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
+	m.AfterUpdate(nil, "pseq", []sqltypes.Row{before}, []sqltypes.Row{after}, cols)
 	if m.Stale("pmv") {
 		t.Fatal("partitioned value update must stay incremental")
 	}
@@ -163,7 +163,7 @@ func TestPartitionedAppendAndNewPartition(t *testing.T) {
 
 	row := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(7), sqltypes.NewInt(70)}
 	base.Heap.Insert(row)
-	m.AfterInsert("pseq", []sqltypes.Row{row}, cols)
+	m.AfterInsert(nil, "pseq", []sqltypes.Row{row}, cols)
 	if m.Stale("pmv") {
 		t.Fatal("append must stay incremental")
 	}
@@ -172,7 +172,7 @@ func TestPartitionedAppendAndNewPartition(t *testing.T) {
 	// A new partition opening at position 1 is also incremental.
 	row2 := sqltypes.Row{sqltypes.NewString("z"), sqltypes.NewInt(1), sqltypes.NewInt(5)}
 	base.Heap.Insert(row2)
-	m.AfterInsert("pseq", []sqltypes.Row{row2}, cols)
+	m.AfterInsert(nil, "pseq", []sqltypes.Row{row2}, cols)
 	if m.Stale("pmv") {
 		t.Fatal("new partition at pos 1 must stay incremental")
 	}
@@ -181,7 +181,7 @@ func TestPartitionedAppendAndNewPartition(t *testing.T) {
 	// A new partition opening anywhere else goes stale.
 	row3 := sqltypes.Row{sqltypes.NewString("q"), sqltypes.NewInt(3), sqltypes.NewInt(5)}
 	base.Heap.Insert(row3)
-	m.AfterInsert("pseq", []sqltypes.Row{row3}, cols)
+	m.AfterInsert(nil, "pseq", []sqltypes.Row{row3}, cols)
 	if !m.Stale("pmv") {
 		t.Fatal("non-dense partition opening must go stale")
 	}
@@ -206,7 +206,7 @@ func TestPartitionedSuffixDeleteAndVanish(t *testing.T) {
 		if err := base.Heap.Delete(id); err != nil {
 			t.Fatal(err)
 		}
-		m.AfterDelete("pseq", []sqltypes.Row{row}, cols)
+		m.AfterDelete(nil, "pseq", []sqltypes.Row{row}, cols)
 		if m.Stale("pmv") {
 			t.Fatalf("suffix delete at pos %d must stay incremental", pos)
 		}
@@ -223,7 +223,7 @@ func TestPartitionedSuffixDeleteAndVanish(t *testing.T) {
 	// And re-opening it at pos 1 works.
 	row := sqltypes.Row{sqltypes.NewString("a"), sqltypes.NewInt(1), sqltypes.NewInt(4)}
 	base.Heap.Insert(row)
-	m.AfterInsert("pseq", []sqltypes.Row{row}, cols)
+	m.AfterInsert(nil, "pseq", []sqltypes.Row{row}, cols)
 	if m.Stale("pmv") {
 		t.Fatal("re-opened partition must stay incremental")
 	}
@@ -245,7 +245,7 @@ func TestPartitionedRefresh(t *testing.T) {
 		return true
 	})
 	base.Heap.Delete(id)
-	m.AfterDelete("pseq", []sqltypes.Row{row}, base.ColumnNames())
+	m.AfterDelete(nil, "pseq", []sqltypes.Row{row}, base.ColumnNames())
 	if !m.Stale("pmv") {
 		t.Fatal("middle delete must go stale")
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"rfview/internal/sqltypes"
+	"rfview/internal/txn"
 )
 
 // Maintenance modes. Eager folds DML deltas into sequence views inside the
@@ -141,9 +142,16 @@ func (m *Manager) clearPending(sv *seqView) {
 // supersedes it). The engine calls Drain under its exclusive lock — before
 // read statements when deltas are pending, on background ticks, and before
 // WAL checkpoints capture a snapshot.
-func (m *Manager) Drain() int {
+func (m *Manager) Drain() int { return m.DrainTx(nil) }
+
+// DrainTx is Drain inside a transaction: backing-table patches join tx's
+// write-set instead of committing per operation, so readers see a queued
+// delta's effects only once tx publishes.
+func (m *Manager) DrainTx(tx *txn.Txn) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.curTx = tx
+	defer func() { m.curTx = nil }()
 	total := 0
 	for _, sv := range m.seq {
 		total += m.drainView(sv)

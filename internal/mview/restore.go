@@ -34,8 +34,9 @@ func (m *Manager) StaleInfo(name string) (bool, string) {
 // RestoreSpec describes one materialized view as captured by a snapshot.
 type RestoreSpec struct {
 	// View carries the catalog metadata; its Table pointer is ignored and
-	// re-resolved from Backing.
-	View catalog.MatView
+	// re-resolved from Backing. It is a pointer because MatView embeds an
+	// atomic field and must not be copied.
+	View *catalog.MatView
 	// Backing names the backing table, which must already be restored.
 	Backing string
 	// Stale / StaleWhy reproduce the pre-crash freshness state.
@@ -54,7 +55,7 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 	}
 	mv := spec.View
 	mv.Table = backing
-	if err := m.cat.RegisterMatView(&mv); err != nil {
+	if err := m.cat.RegisterMatView(mv); err != nil {
 		return err
 	}
 
@@ -79,7 +80,7 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 	if vi := backing.ColumnIndex("val"); vi >= 0 {
 		valType = backing.Columns[vi].Type
 	}
-	sv := &seqView{mv: &mv, agg: agg, valType: valType, stale: spec.Stale, staleWhy: spec.StaleWhy}
+	sv := &seqView{mv: mv, agg: agg, valType: valType, stale: spec.Stale, staleWhy: spec.StaleWhy}
 	if spec.Stale {
 		// Recovered staleness has unknown onset; age counts from restore.
 		sv.staleSince = time.Now()
@@ -100,7 +101,7 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 			return fmt.Errorf("mview: restore %q: base table: %w", mv.Name, err)
 		}
 		if mv.PartColumn != "" {
-			keys, raws, err := readPartitionedSequences(base, mv.PosColumn, mv.PartColumn, mv.ValColumn)
+			keys, raws, err := m.readPartitionedSequences(base, mv.PosColumn, mv.PartColumn, mv.ValColumn)
 			if err != nil {
 				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 			}
@@ -111,7 +112,7 @@ func (m *Manager) Restore(spec RestoreSpec) error {
 			}
 			sv.partKeys = keys
 		} else {
-			raw, err := readDenseSequence(base, mv.PosColumn, mv.ValColumn)
+			raw, err := m.readDenseSequence(base, mv.PosColumn, mv.ValColumn)
 			if err != nil {
 				return fmt.Errorf("mview: restore %q: %w", mv.Name, err)
 			}

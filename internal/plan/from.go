@@ -157,7 +157,9 @@ func (p *Planner) planRelation(from sqlparser.TableExpr) (relation, error) {
 			return relation{}, err
 		}
 		ref := t.RefName()
-		return relation{op: exec.NewScan(tbl, ref), ref: ref, table: tbl}, nil
+		scan := exec.NewScan(tbl, ref)
+		scan.Snap = p.Opts.Snap
+		return relation{op: scan, ref: ref, table: tbl}, nil
 	case *sqlparser.DerivedTable:
 		inner, err := p.PlanSelect(t.Select)
 		if err != nil {
@@ -370,6 +372,7 @@ func (p *Planner) tryIndexJoin(outer exec.Operator, probe relation, conjuncts []
 		rest := append(append([]sqlparser.Expr{}, conjuncts[:ci]...), conjuncts[ci+1:]...)
 		rest = append(rest, probe.pushed...)
 		join := exec.NewIndexNestedLoopJoin(outer, probe.table, probe.ref, handle, keys, nil, kind, probeIsRight)
+		join.Snap = p.Opts.Snap
 		if len(rest) > 0 {
 			residual, err := expr.Compile(joinAnd(rest), join.Schema())
 			if err != nil {

@@ -23,6 +23,7 @@ import (
 	"rfview/internal/spill"
 	"rfview/internal/sqlparser"
 	"rfview/internal/sqltypes"
+	"rfview/internal/txn"
 )
 
 // ErrWindowDisabled is returned when a query uses reporting functions but
@@ -58,6 +59,11 @@ type Options struct {
 	// Spill, when enabled, is stamped onto planned Sort and Window operators
 	// so oversized orderings go external under the engine's memory budget.
 	Spill *spill.Config
+	// Snap, when set, is stamped onto planned Scan and index-join operators:
+	// it resolves the MVCC snapshot every heap access of the statement reads
+	// at (one shared resolver per statement, so the whole plan sees a single
+	// visibility horizon). Nil reads the latest committed state.
+	Snap func() txn.Snapshot
 }
 
 // DefaultOptions enables everything; window parallelism resolves to

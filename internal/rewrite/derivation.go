@@ -300,7 +300,7 @@ func bodyFilter(v *catalog.MatView, ref string) sqlparser.Expr {
 	if v.PartColumn != "" {
 		return eq(col(ref, "body"), &sqlparser.Literal{Val: sqltypesTrue})
 	}
-	return between(col(ref, "pos"), intLit(1), intLit(int64(v.BaseRows)))
+	return between(col(ref, "pos"), intLit(1), intLit(v.BaseRows.Load()))
 }
 
 // outerItems builds the rewritten query's projection: the plain columns in
@@ -332,7 +332,7 @@ func exactMatchSQL(v *catalog.MatView, wq *WindowQuery) *sqlparser.Select {
 // LEAST because a cumulative view's trailer is implicit (the grand total).
 func slidingFromCumulativeSQL(v *catalog.MatView, wq *WindowQuery) *sqlparser.Select {
 	l, h := wq.Shape.Preceding, wq.Shape.Following
-	n := int64(v.BaseRows)
+	n := v.BaseRows.Load()
 	upper := plusConst(col("s", "pos"), int64(h))
 	if h > 0 {
 		upper = &sqlparser.FuncExpr{Name: "LEAST", Args: []sqlparser.Expr{upper, intLit(n)}}

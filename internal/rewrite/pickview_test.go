@@ -23,8 +23,9 @@ func multiViewCatalog(t *testing.T, names []string, wins []catalog.WindowSpec) *
 		mv := &catalog.MatView{
 			Name: name, Kind: catalog.SequenceView, Table: backing,
 			BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: "SUM",
-			Window: wins[i], BaseRows: 100,
+			Window: wins[i],
 		}
+		mv.BaseRows.Store(100)
 		if err := cat.RegisterMatView(mv); err != nil {
 			t.Fatal(err)
 		}

@@ -155,8 +155,9 @@ func newViewCatalog(t *testing.T, win catalog.WindowSpec, agg string) (*catalog.
 	mv := &catalog.MatView{
 		Name: "matseq", Kind: catalog.SequenceView, Table: backing,
 		BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: agg,
-		Window: win, BaseRows: 100,
+		Window: win,
 	}
+	mv.BaseRows.Store(100)
 	if err := cat.RegisterMatView(mv); err != nil {
 		t.Fatal(err)
 	}
@@ -357,8 +358,10 @@ func TestPickView(t *testing.T) {
 	cat.CreateTable("seq", []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}})
 	add := func(name string, w catalog.WindowSpec) {
 		b, _ := cat.CreateTable("__mv_"+name, []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}})
-		cat.RegisterMatView(&catalog.MatView{Name: name, Kind: catalog.SequenceView, Table: b,
-			BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: "SUM", Window: w, BaseRows: 10})
+		mv := &catalog.MatView{Name: name, Kind: catalog.SequenceView, Table: b,
+			BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: "SUM", Window: w}
+		mv.BaseRows.Store(10)
+		cat.RegisterMatView(mv)
 	}
 	add("narrow", catalog.WindowSpec{Preceding: 1, Following: 0})
 	add("wide", catalog.WindowSpec{Preceding: 3, Following: 2})
@@ -423,8 +426,9 @@ func newViewCatalog2(t *testing.T, tag string, win catalog.WindowSpec, agg strin
 	mv := &catalog.MatView{
 		Name: tag, Kind: catalog.SequenceView, Table: backing,
 		BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: agg,
-		Window: win, BaseRows: 50,
+		Window: win,
 	}
+	mv.BaseRows.Store(50)
 	if err := cat.RegisterMatView(mv); err != nil {
 		t.Fatal(err)
 	}
@@ -437,11 +441,13 @@ func TestAvgComposition(t *testing.T) {
 	cat.CreateTable("seq", []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}})
 	mk := func(name, agg string) {
 		b, _ := cat.CreateTable("__mv_"+name, []catalog.Column{{Name: "pos", Type: sqltypes.Int}, {Name: "val", Type: sqltypes.Int}})
-		cat.RegisterMatView(&catalog.MatView{
+		mv := &catalog.MatView{
 			Name: name, Kind: catalog.SequenceView, Table: b,
 			BaseTable: "seq", PosColumn: "pos", ValColumn: "val", Agg: agg,
-			Window: catalog.WindowSpec{Preceding: 2, Following: 1}, BaseRows: 40,
-		})
+			Window: catalog.WindowSpec{Preceding: 2, Following: 1},
+		}
+		mv.BaseRows.Store(40)
+		cat.RegisterMatView(mv)
 	}
 	mk("vsum", "SUM")
 	sel := parseSelect(t, `SELECT pos, AVG(val) OVER (ORDER BY pos

@@ -2,9 +2,17 @@
 //
 // The protocol is newline-delimited JSON: the client writes one request
 // object per line, the server answers with one response object per line, in
-// order. One goroutine serves each connection; statements run under the
-// engine's reader/writer locking discipline, so SELECTs from many
-// connections execute concurrently while DML/DDL serialize.
+// order. One goroutine serves each connection; reads run lock-free against
+// MVCC snapshots, so SELECTs from many connections proceed even while a
+// writer's transaction is open, and DML from different connections
+// serializes only at commit.
+//
+// Each connection owns an engine session, so transactions work over the
+// wire: send BEGIN / COMMIT / ROLLBACK as ordinary "exec" statements.
+// Statements between BEGIN and COMMIT read at the transaction's snapshot and
+// stay invisible to other connections until COMMIT. A write-write conflict
+// answers with code "conflict" and the transaction is already rolled back; a
+// dropped connection rolls back its open transaction.
 //
 // Operations:
 //
@@ -25,6 +33,12 @@
 //
 //	→ {"id":1,"op":"query","sql":"SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq"}
 //	← {"id":1,"ok":true,"columns":["pos","s"],"rows":[[1,9],[2,14]],"affected":2}
+//	→ {"id":2,"op":"exec","sql":"BEGIN"}
+//	← {"id":2,"ok":true}
+//	→ {"id":3,"op":"exec","sql":"UPDATE seq SET val = 9 WHERE pos = 1"}
+//	← {"id":3,"ok":true,"affected":1}
+//	→ {"id":4,"op":"exec","sql":"COMMIT"}
+//	← {"id":4,"ok":true}
 package server
 
 import (
@@ -88,10 +102,12 @@ type StatsReply struct {
 	Errors   uint64 `json:"errors"`
 
 	// SessionID identifies the asking connection; SessionQueries and
-	// SessionExecs split its statement traffic by op.
+	// SessionExecs split its statement traffic by op. SessionInTxn reports
+	// whether the asking connection has a transaction open.
 	SessionID      uint64 `json:"session_id"`
 	SessionQueries uint64 `json:"session_queries"`
 	SessionExecs   uint64 `json:"session_execs"`
+	SessionInTxn   bool   `json:"session_in_txn"`
 
 	// PlanCache mirrors the engine's combined plan/result cache counters.
 	PlanCache CacheStats `json:"plan_cache"`
@@ -107,6 +123,22 @@ type StatsReply struct {
 	// Maintenance mirrors the engine's view-maintenance counters, so wire
 	// clients can confirm the delta path (rather than full REFRESH) ran.
 	Maintenance MaintenanceStats `json:"maintenance"`
+
+	// Txn mirrors the engine's transaction counters, so wire clients can
+	// watch commit/conflict rates under concurrent load.
+	Txn TxnStats `json:"txn"`
+}
+
+// TxnStats is the wire form of the engine's transaction counters.
+type TxnStats struct {
+	// Begins counts transactions started (explicit BEGIN and auto-commit
+	// statements alike); Commits and Rollbacks split how they ended.
+	Begins    int64 `json:"begins"`
+	Commits   int64 `json:"commits"`
+	Rollbacks int64 `json:"rollbacks"`
+	// ConflictAborts counts rollbacks forced by first-committer-wins
+	// write-write conflict detection (a subset of Rollbacks).
+	ConflictAborts int64 `json:"conflict_aborts"`
 }
 
 // MaintenanceStats is the wire form of the engine's view-maintenance

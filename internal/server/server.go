@@ -35,6 +35,11 @@ type Session struct {
 	requests atomic.Uint64
 	queries  atomic.Uint64 // "query" and "explain" requests
 	execs    atomic.Uint64 // "exec" requests
+
+	// db is the engine session this connection's statements run through; it
+	// holds the connection's open transaction (if any), so BEGIN/COMMIT/
+	// ROLLBACK work over the wire. Closed (rolling back) on disconnect.
+	db *engine.Session
 }
 
 // Requests returns the number of requests this session has served.
@@ -141,7 +146,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			return err
 		}
 		s.accepted.Add(1)
-		sess := &Session{RemoteAddr: conn.RemoteAddr().String(), Started: time.Now(), conn: conn}
+		sess := &Session{RemoteAddr: conn.RemoteAddr().String(), Started: time.Now(), conn: conn, db: s.eng.NewSession()}
 		s.mu.Lock()
 		s.nextSessID++
 		sess.ID = s.nextSessID
@@ -192,6 +197,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) serveConn(sess *Session) {
 	defer s.wg.Done()
 	defer func() {
+		sess.db.Close() // roll back any transaction left open by a vanished client
 		sess.conn.Close()
 		s.mu.Lock()
 		delete(s.sessions, sess)
@@ -272,7 +278,7 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 		if req.Analyze && req.Op != "explain" {
 			opts = append(opts, engine.WithAnalyze())
 		}
-		res, err := s.eng.ExecContext(ctx, sql, opts...)
+		res, err := sess.db.ExecContext(ctx, sql, opts...)
 		if err != nil {
 			resp.Error = err.Error()
 			resp.Code = string(rferrors.CodeOf(err))
@@ -309,6 +315,7 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 func (s *Server) statsReply(sess *Session) *StatsReply {
 	st := s.Stats()
 	cs := s.eng.PlanCacheStats()
+	ts := s.eng.TxnStats()
 	par := s.eng.Opts.WindowParallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -322,6 +329,7 @@ func (s *Server) statsReply(sess *Session) *StatsReply {
 		SessionID:      sess.ID,
 		SessionQueries: sess.queries.Load(),
 		SessionExecs:   sess.execs.Load(),
+		SessionInTxn:   sess.db.InTxn(),
 		PlanCache: CacheStats{
 			Len: cs.Len, Capacity: cs.Capacity,
 			Hits: cs.Hits, Misses: cs.Misses,
@@ -341,6 +349,12 @@ func (s *Server) statsReply(sess *Session) *StatsReply {
 			DeltaApplied:  s.eng.Views.Stats().DeltaApplied.Load(),
 			FullRefreshes: s.eng.Views.Stats().FullRefreshes.Load(),
 			Pending:       s.eng.Views.PendingTotal(),
+		},
+		Txn: TxnStats{
+			Begins:         ts.Begins,
+			Commits:        ts.Commits,
+			Rollbacks:      ts.Rollbacks,
+			ConflictAborts: ts.ConflictAborts,
 		},
 	}
 }

@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	rferrors "rfview/errors"
+	"rfview/internal/client"
+)
+
+// TestServerTransactions drives MVCC transactions over the wire: per-
+// connection isolation, snapshot reads, first-committer-wins conflicts
+// surfacing as code "conflict", and the stats op's txn block.
+func TestServerTransactions(t *testing.T) {
+	_, _, addr, _ := startServer(t)
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	mustExec := func(c *client.Client, sql string) *client.Result {
+		t.Helper()
+		res, err := c.Exec(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		return res
+	}
+	count := func(c *client.Client) float64 {
+		t.Helper()
+		res, err := c.Query(`SELECT COUNT(*) AS c FROM seq`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].(float64)
+	}
+
+	mustExec(a, `CREATE TABLE seq (pos INTEGER, val INTEGER)`)
+	mustExec(a, `INSERT INTO seq VALUES (1, 1), (2, 2), (3, 3)`)
+
+	// A's open transaction is invisible to B until COMMIT.
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(a, `INSERT INTO seq VALUES (4, 4)`)
+	if got := count(b); got != 3 {
+		t.Fatalf("B sees %v rows while A's txn is open, want 3", got)
+	}
+	if got := count(a); got != 4 {
+		t.Fatalf("A does not see its own insert: %v rows", got)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionInTxn {
+		t.Fatal("B's stats claim an open transaction")
+	}
+	st, err = a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SessionInTxn {
+		t.Fatal("A's stats do not show its open transaction")
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(b); got != 4 {
+		t.Fatalf("B sees %v rows after A committed, want 4", got)
+	}
+
+	// Write-write conflict: both update the same row; the second aborts
+	// with code "conflict" and its whole transaction is rolled back.
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(a, `UPDATE seq SET val = 10 WHERE pos = 1`)
+	mustExec(b, `INSERT INTO seq VALUES (5, 5)`) // doomed along with the txn
+	_, err = b.Exec(`UPDATE seq SET val = 20 WHERE pos = 1`)
+	if err == nil {
+		t.Fatal("conflicting update over the wire succeeded")
+	}
+	if !errors.Is(err, rferrors.ErrConflict) && rferrors.CodeOf(err) != rferrors.CodeConflict {
+		t.Fatalf("conflict code lost on the wire: %v", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rollback(); err == nil {
+		t.Fatal("ROLLBACK after conflict abort should report no transaction in progress")
+	}
+	if got := count(b); got != 4 {
+		t.Fatalf("conflict-aborted insert leaked: %v rows, want 4", got)
+	}
+
+	st, err = a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Txn.Commits == 0 || st.Txn.ConflictAborts == 0 {
+		t.Fatalf("txn stats block not populated: %+v", st.Txn)
+	}
+}
+
+// TestServerDisconnectRollsBack: a client that vanishes mid-transaction must
+// leave no trace.
+func TestServerDisconnectRollsBack(t *testing.T) {
+	_, eng, addr, _ := startServer(t)
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Exec(`CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec(`INSERT INTO seq VALUES (1, 1)`); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec(`INSERT INTO seq VALUES (2, 2)`); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // vanish mid-transaction
+
+	// The server rolls back on disconnect; poll until the session reaper ran.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := eng.Exec(`SELECT COUNT(*) AS c FROM seq`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped connection's transaction still visible: %d rows", res.Rows[0][0].Int())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The abandoned pending row must not resurface for new connections.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query(`SELECT COUNT(*) AS c FROM seq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 1 {
+		t.Fatalf("COUNT = %v after disconnect, want 1", res.Rows[0][0])
+	}
+	if _, err := c.Exec(fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, 2, 2)); err != nil {
+		t.Fatalf("insert after rollback: %v", err)
+	}
+}

@@ -128,6 +128,31 @@ func (*RefreshMatView) stmt() {}
 
 func (s *RefreshMatView) String() string { return "REFRESH MATERIALIZED VIEW " + s.Name }
 
+// Begin starts an explicit transaction (BEGIN [TRANSACTION|WORK]). The
+// optional noise word is not preserved: String() renders the canonical form,
+// which reparses to the same statement.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+func (s *Begin) String() string { return "BEGIN" }
+
+// Commit ends the current transaction, publishing its writes atomically
+// (COMMIT [TRANSACTION|WORK]).
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+func (s *Commit) String() string { return "COMMIT" }
+
+// Rollback aborts the current transaction, discarding its writes
+// (ROLLBACK [TRANSACTION|WORK]).
+type Rollback struct{}
+
+func (*Rollback) stmt() {}
+
+func (s *Rollback) String() string { return "ROLLBACK" }
+
 // Explain wraps a statement to request its plan. With Analyze set the
 // statement is actually executed and the plan is annotated with per-operator
 // row counts and wall time.

@@ -36,6 +36,12 @@ func FuzzParse(f *testing.F) {
 		`UPDATE seq SET val = val + 1 WHERE pos BETWEEN 3 AND 5`,
 		`DELETE FROM seq WHERE val IS NULL`,
 		`EXPLAIN SELECT pos FROM seq`,
+		`BEGIN`,
+		`BEGIN TRANSACTION`,
+		`BEGIN WORK; INSERT INTO seq (pos, val) VALUES (6, 60); COMMIT`,
+		`COMMIT TRANSACTION`,
+		`ROLLBACK`,
+		`ROLLBACK WORK`,
 		`SELECT 'it''s', "quoted", 1.5e10, -0.5, NULL, TRUE FROM t`,
 		`SELECT COALESCE(a, ABS(-b), 0) FROM t WHERE NOT (a = 1 OR b <> 2)`,
 		"SELECT\t/*nothing*/ 1 --trailing",

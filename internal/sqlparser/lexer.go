@@ -38,6 +38,8 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
 	"DELETE": true, "EXPLAIN": true, "ANALYZE": true, "ASC": true, "DESC": true,
 	"TRUE": true, "FALSE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"WORK": true,
 	"INTEGER": true, "INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true,
 	"VARCHAR": true, "TEXT": true, "DATE": true, "BOOLEAN": true,
 }

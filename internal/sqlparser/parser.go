@@ -200,8 +200,28 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.atKeyword("DELETE"):
 		return p.parseDelete()
+	case p.atKeyword("BEGIN"):
+		p.advance()
+		p.acceptTxnNoiseWord()
+		return &Begin{}, nil
+	case p.atKeyword("COMMIT"):
+		p.advance()
+		p.acceptTxnNoiseWord()
+		return &Commit{}, nil
+	case p.atKeyword("ROLLBACK"):
+		p.advance()
+		p.acceptTxnNoiseWord()
+		return &Rollback{}, nil
 	default:
 		return nil, p.errHere("expected a statement, found %q", p.peek().text)
+	}
+}
+
+// acceptTxnNoiseWord swallows the optional TRANSACTION / WORK after BEGIN,
+// COMMIT, and ROLLBACK.
+func (p *Parser) acceptTxnNoiseWord() {
+	if !p.acceptKeyword("TRANSACTION") {
+		p.acceptKeyword("WORK")
 	}
 }
 

@@ -1,34 +1,62 @@
 // Package storage implements the physical layer of the rfview engine:
-// in-memory heap tables addressed by row id, plus ordered (B+tree) and hash
-// indexes over arbitrary column prefixes. The evaluation in the paper hinges
-// on exactly this distinction — Table 1 compares the self-join simulation of
-// reporting functions with and without an index on the sequence position —
-// so the physical layer keeps the two access paths explicit.
+// in-memory multi-version heap tables addressed by row id, plus ordered
+// (B+tree) and hash indexes over arbitrary column prefixes. The evaluation
+// in the paper hinges on exactly this distinction — Table 1 compares the
+// self-join simulation of reporting functions with and without an index on
+// the sequence position — so the physical layer keeps the two access paths
+// explicit.
+//
+// Concurrency model (MVCC): every row version is an immutable payload plus
+// two atomic epoch stamps (begin/end) from the table's commit clock. Readers
+// never lock — they copy the slot-directory header under a microsecond
+// read-lock and then filter versions against an immutable txn.Snapshot using
+// only atomic loads. Writers take the table mutex only for structural
+// changes (appending a version, maintaining indexes, checking uniqueness);
+// claiming an existing version's end stamp is a lock-free CAS, which is also
+// where write-write conflicts are detected (first-updater-wins). Index
+// entries are inserted when a version is created and never removed (except
+// by DropIndex), so probes filter by visibility exactly like scans.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
+	rferrors "rfview/errors"
 	"rfview/internal/sqltypes"
+	"rfview/internal/txn"
 )
 
-// RowID identifies a row within one table for the lifetime of the table.
-// Row ids are never reused.
+// RowID identifies a row version within one table for the lifetime of the
+// table. Row ids are never reused; an UPDATE creates a new version under a
+// new id and ends the old one.
 type RowID int64
 
-// Table is an append-only heap of rows with tombstone deletes. It knows
-// nothing about column names or types — the catalog layer owns schema; the
-// storage layer owns bytes (here: datums).
+// slot is one immutable row version with its visibility stamps.
+type slot struct {
+	row   sqltypes.Row
+	begin atomic.Uint64 // epoch, or pending stamp, or txn.Infinity = aborted
+	end   atomic.Uint64 // txn.Infinity = live, epoch or pending stamp otherwise
+}
+
+// Table is an append-only heap of row versions. It knows nothing about
+// column names or types — the catalog layer owns schema; the storage layer
+// owns bytes (here: datums).
 type Table struct {
-	rows    []sqltypes.Row // indexed by RowID; nil = deleted
-	live    int
+	mu      sync.RWMutex
+	slots   []*slot
 	indexes []*IndexHandle
-	// version counts mutations (inserts, updates, deletes). Cached query
-	// plans record the versions of every table they read and revalidate on
-	// reuse, so any mutation — including materialized-view refreshes, which
-	// rewrite the view's backing table — invalidates dependent plans.
+
+	clock *txn.Clock
+	live  atomic.Int64
+	// version counts committed mutations (inserts, updates, deletes). Cached
+	// query plans record the versions of every table they read and
+	// revalidate on reuse, so any mutation — including materialized-view
+	// refreshes, which rewrite the view's backing table — invalidates
+	// dependent plans. Transactional writes bump it at commit publication,
+	// never while pending.
 	version atomic.Uint64
 }
 
@@ -41,102 +69,407 @@ type IndexHandle struct {
 	Idx    Index
 }
 
-// NewTable returns an empty heap table.
-func NewTable() *Table { return &Table{} }
+// NewTable returns an empty heap table with a private commit clock, for
+// standalone (library/test) use. Tables created through the catalog share
+// the engine's clock via NewTableWithClock.
+func NewTable() *Table { return NewTableWithClock(txn.NewClock()) }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int { return t.live }
+// NewTableWithClock returns an empty heap table stamping versions from the
+// given clock. The immediate (non-transactional) mutation methods tick the
+// clock directly, so on a shared clock they must be serialized with every
+// transactional committer — in the engine both run under its write mutex.
+func NewTableWithClock(c *txn.Clock) *Table { return &Table{clock: c} }
 
-// Version returns the mutation counter: it increases on every successful
-// Insert, Update, and Delete. Two equal readings with no interleaved write
-// guarantee the table contents did not change between them.
+// Clock returns the commit clock this table stamps versions from.
+func (t *Table) Clock() *txn.Clock { return t.clock }
+
+// Len returns the number of live (committed, not ended) rows.
+func (t *Table) Len() int { return int(t.live.Load()) }
+
+// Version returns the committed-mutation counter. Two equal readings with no
+// interleaved commit guarantee the visible table contents did not change
+// between them.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
-// Insert appends a row and maintains every index. The row is stored as
-// given; callers must not mutate it afterwards.
-func (t *Table) Insert(row sqltypes.Row) (RowID, error) {
-	id := RowID(len(t.rows))
-	for _, h := range t.indexes {
-		key := extractKey(row, h.Cols)
-		if h.Unique {
-			if _, ok := h.Idx.First(key); ok {
-				return 0, fmt.Errorf("duplicate key %v violates unique index %q", key, h.Name)
-			}
-		}
+// BumpVersion advances the mutation counter; the engine calls it during
+// commit publication (txn.Bumper).
+func (t *Table) BumpVersion() { t.version.Add(1) }
+
+// Latest returns a snapshot seeing everything committed so far.
+func (t *Table) Latest() txn.Snapshot { return txn.Snapshot{Epoch: t.clock.Now()} }
+
+// WriteView returns the visibility horizon a transaction's own maintenance
+// work uses: everything committed so far plus tx's pending writes. A nil tx
+// yields Latest.
+func (t *Table) WriteView(tx *txn.Txn) txn.Snapshot {
+	if tx == nil {
+		return t.Latest()
 	}
-	t.rows = append(t.rows, row)
-	t.live++
+	return txn.Snapshot{Epoch: t.clock.Now(), TxnID: tx.ID}
+}
+
+// view copies the slot-directory header so the caller can iterate without
+// holding any lock: existing slots never change identity, and versions
+// appended afterwards are invisible to the copied header (they would be
+// invisible to the snapshot anyway).
+func (t *Table) view() []*slot {
+	t.mu.RLock()
+	s := t.slots
+	t.mu.RUnlock()
+	return s
+}
+
+func (t *Table) slot(id RowID) *slot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.slots) {
+		return nil
+	}
+	return t.slots[id]
+}
+
+// appendLocked creates a new version; the caller holds t.mu and has already
+// passed uniqueness checks.
+func (t *Table) appendLocked(row sqltypes.Row, begin uint64) (RowID, *slot) {
+	sl := &slot{row: row}
+	sl.begin.Store(begin)
+	sl.end.Store(txn.Infinity)
+	id := RowID(len(t.slots))
+	t.slots = append(t.slots, sl)
 	for _, h := range t.indexes {
 		h.Idx.Insert(extractKey(row, h.Cols), id)
 	}
+	return id, sl
+}
+
+// checkUnique enforces unique indexes against the would-be row. The caller
+// holds t.mu, which serializes all uniqueness decisions: two concurrent
+// inserts of the same key cannot both pass, because the second probe sees
+// the first one's pending version. txnID 0 means an immediate
+// (non-transactional) writer; exclude names a version being replaced by an
+// update (-1 for none).
+func (t *Table) checkUnique(row sqltypes.Row, txnID uint64, exclude RowID) error {
+	for _, h := range t.indexes {
+		if !h.Unique {
+			continue
+		}
+		key := extractKey(row, h.Cols)
+		var dup, conflict bool
+		h.Idx.Lookup(key, func(id RowID) bool {
+			if id == exclude {
+				return true
+			}
+			sl := t.slots[id]
+			b, e := sl.begin.Load(), sl.end.Load()
+			if b == txn.Infinity {
+				return true // aborted insert, never visible
+			}
+			if txn.Pending(b) {
+				if txnID != 0 && txn.Owner(b) == txnID {
+					// Our own pending version: a live duplicate unless this
+					// same transaction already ended it (update chains).
+					if txn.Pending(e) && txn.Owner(e) == txnID {
+						return true
+					}
+					dup = true
+					return false
+				}
+				conflict = true // someone else's uncommitted insert
+				return false
+			}
+			// Committed version.
+			switch {
+			case e == txn.Infinity:
+				dup = true
+				return false
+			case txn.Pending(e):
+				if txnID != 0 && txn.Owner(e) == txnID {
+					return true // we deleted it in this transaction
+				}
+				conflict = true // someone else is deleting it; may abort
+				return false
+			default:
+				return true // committed-dead version
+			}
+		})
+		if dup {
+			return fmt.Errorf("duplicate key %v violates unique index %q", key, h.Name)
+		}
+		if conflict {
+			return rferrors.New(rferrors.CodeConflict,
+				"key %v contested by a concurrent transaction on unique index %q", key, h.Name)
+		}
+	}
+	return nil
+}
+
+// claimEnd takes ownership of a live version's end stamp for txnID,
+// detecting write-write conflicts: if another transaction already ended (or
+// is ending) the version, the claim fails with a coded conflict error.
+func claimEnd(sl *slot, txnID uint64) error {
+	for {
+		e := sl.end.Load()
+		switch {
+		case e == txn.Infinity:
+			if sl.end.CompareAndSwap(txn.Infinity, txn.PendingStamp(txnID)) {
+				return nil
+			}
+		case txn.Pending(e) && txnID != 0 && txn.Owner(e) == txnID:
+			return rferrors.New(rferrors.CodeInternal, "row version already ended by this transaction")
+		default:
+			return rferrors.New(rferrors.CodeConflict,
+				"write-write conflict: row already updated or deleted by a concurrent transaction")
+		}
+	}
+}
+
+// slotRef is the write-set handle the commit/abort protocol stamps through.
+type slotRef struct {
+	t *Table
+	s *slot
+}
+
+// CommitWrite implements txn.SlotRef.
+func (r slotRef) CommitWrite(op txn.Op, epoch uint64) {
+	switch op {
+	case txn.OpInsert:
+		r.s.begin.Store(epoch)
+		r.t.live.Add(1)
+	case txn.OpDelete:
+		r.s.end.Store(epoch)
+		r.t.live.Add(-1)
+	}
+}
+
+// AbortWrite implements txn.SlotRef.
+func (r slotRef) AbortWrite(op txn.Op) {
+	switch op {
+	case txn.OpInsert:
+		r.s.begin.Store(txn.Infinity) // never visible to any snapshot
+	case txn.OpDelete:
+		r.s.end.Store(txn.Infinity) // restore liveness
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Immediate (auto-committed per operation) mutations. Each operation commits
+// at its own clock tick; on a shared clock the caller must serialize these
+// with transactional committers (the engine runs both under its write lock).
+
+// Insert appends a row, maintains every index, and commits it immediately.
+// The row is stored as given; callers must not mutate it afterwards.
+func (t *Table) Insert(row sqltypes.Row) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUnique(row, 0, -1); err != nil {
+		return 0, err
+	}
+	id, _ := t.appendLocked(row, t.clock.Tick())
+	t.live.Add(1)
 	t.version.Add(1)
 	return id, nil
 }
 
-// Get returns the row stored under id, or nil if deleted/never existed.
-func (t *Table) Get(id RowID) sqltypes.Row {
-	if id < 0 || int(id) >= len(t.rows) {
-		return nil
-	}
-	return t.rows[id]
-}
-
-// Delete removes the row under id and unhooks it from every index.
+// Delete ends the live row version under id immediately.
 func (t *Table) Delete(id RowID) error {
-	row := t.Get(id)
-	if row == nil {
+	sl := t.slot(id)
+	if sl == nil || !txn.Visible(sl.begin.Load(), sl.end.Load(), t.Latest()) {
 		return fmt.Errorf("delete: row %d does not exist", id)
 	}
-	for _, h := range t.indexes {
-		h.Idx.Delete(extractKey(row, h.Cols), id)
+	if err := claimEnd(sl, 0); err != nil {
+		return err
 	}
-	t.rows[id] = nil
-	t.live--
+	sl.end.Store(t.clock.Tick())
+	t.live.Add(-1)
 	t.version.Add(1)
 	return nil
 }
 
-// Update replaces the row under id, maintaining indexes whose key changed.
-func (t *Table) Update(id RowID, row sqltypes.Row) error {
-	old := t.Get(id)
-	if old == nil {
-		return fmt.Errorf("update: row %d does not exist", id)
+// Update replaces the row under id immediately: the old version is ended and
+// a new version is created under a fresh row id (returned). Indexes gain the
+// new version's entries; old entries stay and are filtered by visibility.
+func (t *Table) Update(id RowID, row sqltypes.Row) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.slots) {
+		return 0, fmt.Errorf("update: row %d does not exist", id)
 	}
-	for _, h := range t.indexes {
-		oldKey := extractKey(old, h.Cols)
-		newKey := extractKey(row, h.Cols)
-		if keysEqual(oldKey, newKey) {
-			continue
-		}
-		if h.Unique {
-			if existing, ok := h.Idx.First(newKey); ok && existing != id {
-				return fmt.Errorf("duplicate key %v violates unique index %q", newKey, h.Name)
-			}
-		}
-		h.Idx.Delete(oldKey, id)
-		h.Idx.Insert(newKey, id)
+	sl := t.slots[id]
+	if !txn.Visible(sl.begin.Load(), sl.end.Load(), t.Latest()) {
+		return 0, fmt.Errorf("update: row %d does not exist", id)
 	}
-	t.rows[id] = row
+	if err := t.checkUnique(row, 0, id); err != nil {
+		return 0, err
+	}
+	if err := claimEnd(sl, 0); err != nil {
+		return 0, err
+	}
+	e := t.clock.Tick()
+	sl.end.Store(e)
+	nid, _ := t.appendLocked(row, e)
 	t.version.Add(1)
+	return nid, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactional mutations. Versions are created or ended with pending stamps
+// owned by tx; the engine's commit protocol later stamps the whole write-set
+// with one epoch (or aborts it). Conflicts surface here, at claim time.
+
+// writable reports whether a version may serve as the target of a
+// transactional delete or update: visible in tx's snapshot (the DML case —
+// a committed successor version then surfaces as a conflict at claim time)
+// or visible at the write view (the commit-time maintenance case, where the
+// target may postdate tx's snapshot).
+func (t *Table) writable(sl *slot, tx *txn.Txn) bool {
+	b, e := sl.begin.Load(), sl.end.Load()
+	return txn.Visible(b, e, tx.Snap) || txn.Visible(b, e, t.WriteView(tx))
+}
+
+// InsertTx appends a row as a pending version of tx.
+func (t *Table) InsertTx(tx *txn.Txn, row sqltypes.Row) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUnique(row, tx.ID, -1); err != nil {
+		return 0, err
+	}
+	id, sl := t.appendLocked(row, txn.PendingStamp(tx.ID))
+	tx.Record(slotRef{t, sl}, txn.OpInsert)
+	tx.Touch(t)
+	return id, nil
+}
+
+// DeleteTx claims the end of the version under id for tx. The version must
+// be visible in tx's snapshot (or at the write view — commit-time view
+// maintenance targets backing rows committed after tx began); a version
+// already ended by another transaction is a write-write conflict.
+func (t *Table) DeleteTx(tx *txn.Txn, id RowID) error {
+	sl := t.slot(id)
+	if sl == nil || !t.writable(sl, tx) {
+		return fmt.Errorf("delete: row %d does not exist", id)
+	}
+	if err := claimEnd(sl, tx.ID); err != nil {
+		return err
+	}
+	tx.Record(slotRef{t, sl}, txn.OpDelete)
+	tx.Touch(t)
 	return nil
 }
 
-// Scan invokes fn for every live row in row-id order, stopping early if fn
-// returns false.
+// UpdateTx ends the version under id and creates the replacement as pending
+// versions of tx, returning the new version's row id.
+func (t *Table) UpdateTx(tx *txn.Txn, id RowID, row sqltypes.Row) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.slots) {
+		return 0, fmt.Errorf("update: row %d does not exist", id)
+	}
+	sl := t.slots[id]
+	if !t.writable(sl, tx) {
+		return 0, fmt.Errorf("update: row %d does not exist", id)
+	}
+	if err := t.checkUnique(row, tx.ID, id); err != nil {
+		return 0, err
+	}
+	if err := claimEnd(sl, tx.ID); err != nil {
+		return 0, err
+	}
+	tx.Record(slotRef{t, sl}, txn.OpDelete)
+	nid, nsl := t.appendLocked(row, txn.PendingStamp(tx.ID))
+	tx.Record(slotRef{t, nsl}, txn.OpInsert)
+	tx.Touch(t)
+	return nid, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reads. All lock-free against a snapshot.
+
+// Get returns the row version under id if live at the latest snapshot.
+func (t *Table) Get(id RowID) sqltypes.Row { return t.GetAt(id, t.Latest()) }
+
+// GetAt returns the row version under id if visible in s, else nil.
+func (t *Table) GetAt(id RowID, s txn.Snapshot) sqltypes.Row {
+	sl := t.slot(id)
+	if sl == nil || !txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
+		return nil
+	}
+	return sl.row
+}
+
+// Scan invokes fn for every row live at the latest snapshot, in row-id
+// order, stopping early if fn returns false. fn may mutate the table: the
+// iteration runs over a copied directory header and holds no lock.
 func (t *Table) Scan(fn func(id RowID, row sqltypes.Row) bool) {
-	for i, row := range t.rows {
-		if row == nil {
+	t.ScanAt(t.Latest(), fn)
+}
+
+// ScanAt invokes fn for every row version visible in s, in row-id order,
+// stopping early if fn returns false.
+func (t *Table) ScanAt(s txn.Snapshot, fn func(id RowID, row sqltypes.Row) bool) {
+	for i, sl := range t.view() {
+		if !txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
 			continue
 		}
-		if !fn(RowID(i), row) {
+		if !fn(RowID(i), sl.row) {
 			return
 		}
 	}
 }
 
+// FirstAt probes an index for the first version under key visible in s.
+func (t *Table) FirstAt(h *IndexHandle, key sqltypes.Row, s txn.Snapshot) (RowID, bool) {
+	var found RowID
+	ok := false
+	t.lookupVisible(h, key, s, func(id RowID, _ sqltypes.Row) bool {
+		found, ok = id, true
+		return false
+	})
+	return found, ok
+}
+
+// LookupAt probes an index and invokes fn for every version under key
+// visible in s, stopping early if fn returns false. fn runs without any
+// table lock held and may mutate the table.
+func (t *Table) LookupAt(h *IndexHandle, key sqltypes.Row, s txn.Snapshot, fn func(id RowID, row sqltypes.Row) bool) {
+	t.lookupVisible(h, key, s, fn)
+}
+
+// lookupVisible collects the visible matches under the read lock (index
+// structures are only safe against concurrent structural writes while
+// locked), then hands them to fn unlocked.
+func (t *Table) lookupVisible(h *IndexHandle, key sqltypes.Row, s txn.Snapshot, fn func(id RowID, row sqltypes.Row) bool) {
+	type match struct {
+		id  RowID
+		row sqltypes.Row
+	}
+	var buf [4]match
+	matches := buf[:0]
+	t.mu.RLock()
+	h.Idx.Lookup(key, func(id RowID) bool {
+		sl := t.slots[id]
+		if txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
+			matches = append(matches, match{id, sl.row})
+		}
+		return true
+	})
+	t.mu.RUnlock()
+	for _, m := range matches {
+		if !fn(m.id, m.row) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Index management.
+
 // AddIndex builds an index over the given column ordinals from the current
-// table contents and registers it for maintenance.
+// table contents and registers it for maintenance. Every non-aborted version
+// is indexed — including pending and dead ones, since open snapshots may
+// still see them; probes filter by visibility.
 func (t *Table) AddIndex(name string, cols []int, unique bool, ordered bool) (*IndexHandle, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, h := range t.indexes {
 		if h.Name == name {
 			return nil, fmt.Errorf("index %q already exists", name)
@@ -149,20 +482,33 @@ func (t *Table) AddIndex(name string, cols []int, unique bool, ordered bool) (*I
 		idx = NewHashIndex()
 	}
 	h := &IndexHandle{Name: name, Cols: append([]int(nil), cols...), Unique: unique, Idx: idx}
-	var buildErr error
-	t.Scan(func(id RowID, row sqltypes.Row) bool {
-		key := extractKey(row, h.Cols)
-		if unique {
-			if _, ok := idx.First(key); ok {
-				buildErr = fmt.Errorf("duplicate key %v while building unique index %q", key, name)
-				return false
+	possiblyLive := func(sl *slot) bool {
+		b, e := sl.begin.Load(), sl.end.Load()
+		if b == txn.Infinity {
+			return false
+		}
+		return e == txn.Infinity || txn.Pending(e)
+	}
+	for i, sl := range t.slots {
+		b := sl.begin.Load()
+		if b == txn.Infinity {
+			continue // aborted insert: no snapshot can ever see it
+		}
+		key := extractKey(sl.row, h.Cols)
+		if unique && possiblyLive(sl) {
+			var dup bool
+			idx.Lookup(key, func(prev RowID) bool {
+				if possiblyLive(t.slots[prev]) {
+					dup = true
+					return false
+				}
+				return true
+			})
+			if dup {
+				return nil, fmt.Errorf("duplicate key %v while building unique index %q", key, name)
 			}
 		}
-		idx.Insert(key, id)
-		return true
-	})
-	if buildErr != nil {
-		return nil, buildErr
+		idx.Insert(key, RowID(i))
 	}
 	t.indexes = append(t.indexes, h)
 	return h, nil
@@ -170,6 +516,8 @@ func (t *Table) AddIndex(name string, cols []int, unique bool, ordered bool) (*I
 
 // DropIndex unregisters an index.
 func (t *Table) DropIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i, h := range t.indexes {
 		if h.Name == name {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
@@ -180,11 +528,17 @@ func (t *Table) DropIndex(name string) error {
 }
 
 // Indexes returns the registered index handles.
-func (t *Table) Indexes() []*IndexHandle { return t.indexes }
+func (t *Table) Indexes() []*IndexHandle {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*IndexHandle(nil), t.indexes...)
+}
 
 // IndexOn returns the first registered index whose key starts with exactly
 // the given column ordinals, or nil.
 func (t *Table) IndexOn(cols []int) *IndexHandle {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, h := range t.indexes {
 		if len(h.Cols) < len(cols) {
 			continue
@@ -203,17 +557,20 @@ func (t *Table) IndexOn(cols []int) *IndexHandle {
 	return nil
 }
 
-// SortedRowIDs returns all live row ids ordered by the given columns
-// (ascending, NULLs first); used by operators that need an order but have no
-// index. It is O(n log n) against the heap.
+// SortedRowIDs returns the row ids live at the latest snapshot ordered by
+// the given columns (ascending, NULLs first); used by operators that need an
+// order but have no index. It is O(n log n) against the heap.
 func (t *Table) SortedRowIDs(cols []int) []RowID {
-	ids := make([]RowID, 0, t.live)
-	t.Scan(func(id RowID, _ sqltypes.Row) bool {
-		ids = append(ids, id)
-		return true
-	})
+	slots := t.view()
+	s := t.Latest()
+	ids := make([]RowID, 0, len(slots))
+	for i, sl := range slots {
+		if txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
+			ids = append(ids, RowID(i))
+		}
+	}
 	sort.SliceStable(ids, func(a, b int) bool {
-		ra, rb := t.rows[ids[a]], t.rows[ids[b]]
+		ra, rb := slots[ids[a]].row, slots[ids[b]].row
 		for _, c := range cols {
 			cmp, err := sqltypes.Compare(ra[c], rb[c])
 			if err != nil || cmp == 0 {

@@ -61,13 +61,17 @@ func TestTableDeleteUpdate(t *testing.T) {
 	if err := tb.Delete(ids[2]); err == nil {
 		t.Error("double delete must fail")
 	}
-	if err := tb.Update(ids[3], row(99)); err != nil {
+	nid, err := tb.Update(ids[3], row(99))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tb.Get(ids[3])[0].Int() != 99 {
+	if tb.Get(ids[3]) != nil {
+		t.Error("old version still visible after update")
+	}
+	if tb.Get(nid)[0].Int() != 99 {
 		t.Error("update not visible")
 	}
-	if err := tb.Update(ids[2], row(1)); err == nil {
+	if _, err := tb.Update(ids[2], row(1)); err == nil {
 		t.Error("update of deleted row must fail")
 	}
 	if tb.Get(RowID(100)) != nil {
@@ -85,9 +89,9 @@ func TestTableIndexMaintenance(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	h.Idx.Lookup(row(3), func(id RowID) bool {
-		if tb.Get(id)[0].Int() != 3 {
-			t.Fatalf("index returned wrong row %v", tb.Get(id))
+	tb.LookupAt(h, row(3), tb.Latest(), func(id RowID, r sqltypes.Row) bool {
+		if r[0].Int() != 3 {
+			t.Fatalf("index returned wrong row %v", r)
 		}
 		count++
 		return true
@@ -95,25 +99,26 @@ func TestTableIndexMaintenance(t *testing.T) {
 	if count != 10 {
 		t.Fatalf("index lookup found %d rows, want 10", count)
 	}
-	// Mutations keep the index in sync.
+	// Mutations keep visible probe results in sync (dead versions stay in
+	// the index but are filtered out).
 	var victim RowID
-	h.Idx.Lookup(row(3), func(id RowID) bool { victim = id; return false })
+	tb.LookupAt(h, row(3), tb.Latest(), func(id RowID, _ sqltypes.Row) bool { victim = id; return false })
 	if err := tb.Delete(victim); err != nil {
 		t.Fatal(err)
 	}
 	count = 0
-	h.Idx.Lookup(row(3), func(RowID) bool { count++; return true })
+	tb.LookupAt(h, row(3), tb.Latest(), func(RowID, sqltypes.Row) bool { count++; return true })
 	if count != 9 {
 		t.Fatalf("after delete index finds %d rows, want 9", count)
 	}
 	// Update that moves the key.
 	var mover RowID
-	h.Idx.Lookup(row(4), func(id RowID) bool { mover = id; return false })
-	if err := tb.Update(mover, row(7, -1)); err != nil {
+	tb.LookupAt(h, row(4), tb.Latest(), func(id RowID, _ sqltypes.Row) bool { mover = id; return false })
+	if _, err := tb.Update(mover, row(7, -1)); err != nil {
 		t.Fatal(err)
 	}
 	count = 0
-	h.Idx.Lookup(row(7), func(RowID) bool { count++; return true })
+	tb.LookupAt(h, row(7), tb.Latest(), func(RowID, sqltypes.Row) bool { count++; return true })
 	if count != 11 {
 		t.Fatalf("after key-moving update index finds %d rows under 7, want 11", count)
 	}

@@ -42,6 +42,150 @@ func TestKillServerRecoveryDeferred(t *testing.T) {
 		engOpts)
 }
 
+// TestKillMidTransactionRecovery SIGKILLs the server while a client holds an
+// OPEN transaction with acknowledged-but-uncommitted statements. A
+// transaction reaches the WAL only as a commit record, written at COMMIT, so
+// recovery must show every committed transaction in full and the open one
+// not at all — no partially-committed effects, bit-compared against a
+// reference engine that ran exactly the committed work.
+func TestKillMidTransactionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level kill test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "rfserverd")
+	build := exec.Command("go", "build", "-o", bin, "rfview/cmd/rfserverd")
+	build.Dir = "../.." // repo root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rfserverd: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	srv := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-checkpoint-every", "25",
+	)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "rfserverd listening on "); ok {
+				addrc <- rest
+				return
+			}
+		}
+		addrc <- ""
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never printed its ready line")
+	}
+	if addr == "" {
+		t.Fatal("server exited before becoming ready")
+	}
+	c, err := client.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mustWire := func(sql string) {
+		t.Helper()
+		if _, err := c.Exec(sql); err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+	}
+	insertVal := func(pos int) int { return (pos*37)%100 - 50 }
+
+	// Committed work: schema, base rows, and explicit multi-statement
+	// transactions — every statement below is acknowledged AND committed.
+	var committed []string
+	addCommitted := func(sql string) {
+		mustWire(sql)
+		committed = append(committed, sql)
+	}
+	addCommitted(`CREATE TABLE seq (pos INTEGER, val INTEGER)`)
+	addCommitted(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`)
+	addCommitted(`CREATE MATERIALIZED VIEW matseq AS SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val FROM seq`)
+	for i := 1; i <= 60; i++ {
+		addCommitted(fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, i, insertVal(i)))
+	}
+	for k := 1; k <= 20; k++ {
+		// The reference engine applies the payload statements auto-commit;
+		// the effects are identical to the committed transaction's.
+		mustWire(`BEGIN`)
+		ins := fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, 100+k, k)
+		upd := fmt.Sprintf(`UPDATE seq SET val = val + 1 WHERE pos = %d`, k)
+		mustWire(ins)
+		mustWire(upd)
+		mustWire(`COMMIT`)
+		committed = append(committed, ins, upd)
+	}
+
+	// The doomed transaction: acknowledged statements, no COMMIT — then kill.
+	mustWire(`BEGIN`)
+	mustWire(`INSERT INTO seq VALUES (999, 999)`)
+	mustWire(`UPDATE seq SET val = 0 WHERE pos <= 30`)
+	mustWire(`DELETE FROM seq WHERE pos = 40`)
+	srv.Process.Kill()
+	srv.Wait()
+	exited = true
+
+	// Recover in-process and hunt for partially-committed effects.
+	mgr, err := Open(Options{Dir: dataDir, Sync: SyncOff}, engine.DefaultOptions())
+	if err != nil {
+		t.Fatalf("recovery after mid-txn SIGKILL: %v", err)
+	}
+	defer mgr.Close()
+	rec := mgr.Engine()
+	t.Logf("recovery: %+v", mgr.Recovery())
+	res, err := rec.Exec(`SELECT COUNT(*) AS c FROM seq WHERE pos = 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("uncommitted INSERT survived the crash")
+	}
+	res, err = rec.Exec(`SELECT COUNT(*) AS c FROM seq WHERE pos = 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("uncommitted DELETE survived the crash")
+	}
+
+	reference := engine.New(engine.DefaultOptions())
+	for _, sql := range committed {
+		if _, err := reference.Exec(sql); err != nil {
+			t.Fatalf("reference: %q: %v", sql, err)
+		}
+	}
+	queries := []string{
+		`SELECT pos, val FROM seq`,
+		`SELECT pos, val FROM matseq`,
+		`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS w FROM seq WHERE pos <= 60`,
+		`SELECT COUNT(*) AS c, SUM(val) AS s FROM seq`,
+	}
+	compareEnginesOn(t, rec, reference, queries, "after mid-txn SIGKILL")
+}
+
 // runKillServerRecovery is the harness body: serverFlags are appended to the
 // rfserverd command line, engOpts configure both the in-process recovery and
 // the reference engine.

@@ -98,7 +98,14 @@ func Open(opts Options, engOpts engine.Options) (*Manager, error) {
 	}
 	lastLSN := afterLSN
 	for _, r := range recs {
-		if _, err := eng.Exec(r.SQL); err != nil {
+		// Transactions reach the log as commit records (their deltas, encoded
+		// at commit), everything else as canonical SQL. A transaction that
+		// never committed has no record and is invisible after replay.
+		if engine.IsCommitRecord(r.SQL) {
+			if err := eng.ApplyCommitRecord(r.SQL); err != nil {
+				m.rec.ReplayErrors++
+			}
+		} else if _, err := eng.Exec(r.SQL); err != nil {
 			m.rec.ReplayErrors++
 		}
 		m.rec.RecordsReplayed++
@@ -182,7 +189,7 @@ func (m *Manager) checkpointLocked() error {
 	// the WAL records that produced them — would lose those deltas for good,
 	// so the queue is drained (under the exclusive lock the caller already
 	// holds) before state capture.
-	m.eng.Views.Drain()
+	m.eng.DrainMaintenanceLocked()
 	lsn := m.log.LastLSN()
 	snap, err := captureState(m.eng, lsn)
 	if err != nil {

@@ -52,7 +52,7 @@ func captureState(e *engine.Engine, lsn uint64) (*Snapshot, error) {
 				Preceding:  mv.Window.Preceding,
 				Following:  mv.Window.Following,
 			},
-			BaseRows: mv.BaseRows, Definition: mv.Definition,
+			BaseRows: int(mv.BaseRows.Load()), Definition: mv.Definition,
 			Stale: stale, StaleWhy: why,
 		})
 	}
@@ -91,19 +91,21 @@ func restoreState(e *engine.Engine, snap *Snapshot) error {
 		}
 	}
 	for _, smv := range snap.MatViews {
-		spec := mview.RestoreSpec{
-			View: catalog.MatView{
-				Name: smv.Name, Kind: catalog.MatViewKind(smv.Kind),
-				BaseTable: smv.BaseTable, PosColumn: smv.PosColumn,
-				PartColumn: smv.PartColumn, ValColumn: smv.ValColumn,
-				Agg: smv.Agg,
-				Window: catalog.WindowSpec{
-					Cumulative: smv.Window.Cumulative,
-					Preceding:  smv.Window.Preceding,
-					Following:  smv.Window.Following,
-				},
-				BaseRows: smv.BaseRows, Definition: smv.Definition,
+		view := &catalog.MatView{
+			Name: smv.Name, Kind: catalog.MatViewKind(smv.Kind),
+			BaseTable: smv.BaseTable, PosColumn: smv.PosColumn,
+			PartColumn: smv.PartColumn, ValColumn: smv.ValColumn,
+			Agg: smv.Agg,
+			Window: catalog.WindowSpec{
+				Cumulative: smv.Window.Cumulative,
+				Preceding:  smv.Window.Preceding,
+				Following:  smv.Window.Following,
 			},
+			Definition: smv.Definition,
+		}
+		view.BaseRows.Store(int64(smv.BaseRows))
+		spec := mview.RestoreSpec{
+			View:     view,
 			Backing:  smv.Backing,
 			Stale:    smv.Stale,
 			StaleWhy: smv.StaleWhy,
