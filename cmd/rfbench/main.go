@@ -102,14 +102,23 @@ func main() {
 		if err != nil {
 			fatalf("window: %v", err)
 		}
+		overCounts := []int{1, 2, 4, 8}
+		fmt.Fprintf(os.Stderr, "Running multi-function grid (%v OVER clauses, shared vs unshared sorts)\n",
+			overCounts)
+		multi, err := bench.RunMultiWindow(cfg, overCounts)
+		if err != nil {
+			fatalf("window multi: %v", err)
+		}
 		if *jsonOut {
-			s, err := bench.WindowJSON(cfg, rows)
+			s, err := bench.WindowJSON(cfg, rows, multi)
 			if err != nil {
 				fatalf("window: %v", err)
 			}
 			fmt.Print(s)
 		} else {
 			fmt.Print(bench.FormatWindow(rows))
+			fmt.Println()
+			fmt.Print(bench.FormatMultiWindow(multi))
 		}
 		return
 	}

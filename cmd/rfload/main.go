@@ -27,12 +27,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -112,8 +114,12 @@ func main() {
 		os.Exit(0)
 	}
 
+	// Ctrl-C aborts the setup script and the load loop cleanly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	if *setup != "" {
-		runSetup(*addr, *setup)
+		runSetup(ctx, *addr, *setup)
 	}
 	if *op != "ping" && *sqlText == "" {
 		log.Fatal("rfload: -sql is required (or use -op ping / -probe / -setup alone)")
@@ -125,7 +131,7 @@ func main() {
 		log.Fatal("rfload: -mixed requires -write-sql")
 	}
 
-	res := runLoad(*addr, *clients, *duration, *op, *sqlText, *warmup, *mixed, *writeSQL)
+	res := runLoad(ctx, *addr, *clients, *duration, *op, *sqlText, *warmup, *mixed, *writeSQL)
 	if *memBudget != "" {
 		attachSpillStats(*addr, *memBudget, &res)
 	}
@@ -225,7 +231,7 @@ func attachSpillStats(addr, budget string, res *runResult) {
 }
 
 // runSetup replays a SQL script statement by statement over one connection.
-func runSetup(addr, path string) {
+func runSetup(ctx context.Context, addr, path string) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatalf("setup: %v", err)
@@ -240,13 +246,13 @@ func runSetup(addr, path string) {
 	}
 	defer c.Close()
 	for _, s := range stmts {
-		if _, err := c.Exec(s.String()); err != nil {
+		if _, err := c.ExecContext(ctx, s.String()); err != nil {
 			log.Fatalf("setup: %q: %v", s.String(), err)
 		}
 	}
 }
 
-func runLoad(addr string, clients int, duration time.Duration, op, sql string, warmup int, mixed float64, writeSQL string) runResult {
+func runLoad(ctx context.Context, addr string, clients int, duration time.Duration, op, sql string, warmup int, mixed float64, writeSQL string) runResult {
 	type worker struct {
 		latencies []time.Duration
 		serverUs  []int64
@@ -285,9 +291,9 @@ func runLoad(addr string, clients int, duration time.Duration, op, sql string, w
 			return &client.Result{}, conns[i].Ping()
 		}
 		if isWrite {
-			return conns[i].Exec(expand(writeSQL))
+			return conns[i].ExecContext(ctx, expand(writeSQL))
 		}
-		return conns[i].Query(sql)
+		return conns[i].QueryContext(ctx, sql)
 	}
 
 	// Warmup outside the measurement window; it also fills the server's

@@ -172,7 +172,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("init: %v", err)
 		}
-		if _, err := e.ExecAll(string(sql)); err != nil {
+		if _, err := e.ExecAllContext(context.Background(), string(sql)); err != nil {
 			log.Fatalf("init: %v", err)
 		}
 		log.Printf("init script %s applied", *initScript)

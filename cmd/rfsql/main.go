@@ -170,7 +170,10 @@ func (s *shell) meta(cmd string) bool {
 }
 
 func (s *shell) runScript(script string) error {
-	results, err := s.sess.ExecAll(script)
+	// Ctrl-C while the script runs cancels it instead of killing the shell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := s.sess.ExecAllContext(ctx, script)
 	for _, res := range results {
 		s.printResult(res)
 	}
@@ -179,17 +182,17 @@ func (s *shell) runScript(script string) error {
 
 func (s *shell) execute(sql string) {
 	stmt := sql
+	// Ctrl-C while the statement runs cancels it instead of killing the shell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if s.explain && !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "EXPLAIN") {
 		upper := strings.ToUpper(strings.TrimSpace(sql))
 		if strings.HasPrefix(upper, "SELECT") {
-			if res, err := s.eng.Exec("EXPLAIN " + strings.TrimSuffix(strings.TrimSpace(sql), ";")); err == nil {
+			if res, err := s.eng.ExecContext(ctx, "EXPLAIN "+strings.TrimSuffix(strings.TrimSpace(sql), ";")); err == nil {
 				fmt.Fprint(s.out, res.Plan)
 			}
 		}
 	}
-	// Ctrl-C while the statement runs cancels it instead of killing the shell.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	var opts []engine.ExecOption
 	if s.analyze {
 		opts = append(opts, engine.WithAnalyze())

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,8 +19,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := rfview.OpenDefault()
-	if _, err := db.ExecAll(`
+	if _, err := db.ExecAllContext(ctx, `
 	  CREATE TABLE c_transactions (c_custid INTEGER, c_locid INTEGER, c_date DATE, c_transaction INTEGER);
 	  CREATE TABLE l_locations (l_locid INTEGER, l_city VARCHAR(30), l_region VARCHAR(30));
 	  INSERT INTO l_locations VALUES
@@ -50,11 +52,11 @@ func main() {
 		fmt.Fprintf(&b, "(%d, %d, DATE '2001-%02d-%02d', %d)",
 			cust, 1+rng.Intn(4), month, 1+day%28, 10+rng.Intn(200))
 	}
-	if _, err := db.Exec(b.String()); err != nil {
+	if _, err := db.ExecContext(ctx, b.String()); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := db.Query(`
+	res, err := db.QueryContext(ctx, `
 	  SELECT c_date, c_transaction,
 	    SUM(c_transaction) OVER -- overall cumulative sum
 	      (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_total,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,10 +19,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := rfview.OpenDefault()
 	const n = 2000
-	load(db, n)
-	if _, err := db.Exec(`CREATE MATERIALIZED VIEW mv AS
+	load(ctx, db, n)
+	if _, err := db.ExecContext(ctx, `CREATE MATERIALIZED VIEW mv AS
 	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS val
 	  FROM seq`); err != nil {
 		log.Fatal(err)
@@ -34,31 +36,31 @@ func main() {
 	before := mgr.MaintenanceEvents
 	for i := 0; i < 50; i++ {
 		pos := 10 + i*37%n
-		if _, err := db.Exec(fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, i*3, pos)); err != nil {
+		if _, err := db.ExecContext(ctx, fmt.Sprintf(`UPDATE seq SET val = %d WHERE pos = %d`, i*3, pos)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("50 value updates  → %d incremental maintenance events, view fresh: %v\n",
 		mgr.MaintenanceEvents-before, !mgr.Stale("mv"))
-	verify(db, "after updates")
+	verify(ctx, db, "after updates")
 
 	// 2. Appends at position n+1 fold in incrementally.
 	for i := 1; i <= 20; i++ {
-		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, n+i, i*7)); err != nil {
+		if _, err := db.ExecContext(ctx, fmt.Sprintf(`INSERT INTO seq VALUES (%d, %d)`, n+i, i*7)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("20 appends        → view fresh: %v\n", !mgr.Stale("mv"))
-	verify(db, "after appends")
+	verify(ctx, db, "after appends")
 
 	// 3. Suffix deletes shrink the sequence incrementally.
 	for i := 20; i >= 11; i-- {
-		if _, err := db.Exec(fmt.Sprintf(`DELETE FROM seq WHERE pos = %d`, n+i)); err != nil {
+		if _, err := db.ExecContext(ctx, fmt.Sprintf(`DELETE FROM seq WHERE pos = %d`, n+i)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("10 suffix deletes → view fresh: %v\n", !mgr.Stale("mv"))
-	verify(db, "after suffix deletes")
+	verify(ctx, db, "after suffix deletes")
 
 	// 4. The paper's positional operations: insert a value *into the middle*
 	//    of the sequence (everything right of it shifts) and delete one.
@@ -72,36 +74,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("positional shift insert@500 + delete@1200 → view fresh: %v\n", !mgr.Stale("mv"))
-	verify(db, "after positional shifts")
+	verify(ctx, db, "after positional shifts")
 
 	// 5. A density-breaking change marks the view stale; REFRESH recovers.
-	if _, err := db.Exec(`DELETE FROM seq WHERE pos = 700`); err != nil {
+	if _, err := db.ExecContext(ctx, `DELETE FROM seq WHERE pos = 700`); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("middle DELETE     → view stale: %v (queries now refuse the view)\n", mgr.Stale("mv"))
-	if _, err := db.Query(`SELECT pos, val FROM mv LIMIT 1`); err != nil {
+	if _, err := db.QueryContext(ctx, `SELECT pos, val FROM mv LIMIT 1`); err != nil {
 		fmt.Printf("                  → %v\n", err)
 	}
 	// Repair density (move the last row into the gap), then refresh.
-	res, err := db.Query(`SELECT COUNT(*) AS c FROM seq`)
+	res, err := db.QueryContext(ctx, `SELECT COUNT(*) AS c FROM seq`)
 	if err != nil {
 		log.Fatal(err)
 	}
 	last := res.Rows[0][0].Int() + 1 // rows count back to dense upper bound
-	if _, err := db.Exec(fmt.Sprintf(`UPDATE seq SET pos = 700 WHERE pos = %d`, last)); err != nil {
+	if _, err := db.ExecContext(ctx, fmt.Sprintf(`UPDATE seq SET pos = 700 WHERE pos = %d`, last)); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := db.Exec(`REFRESH MATERIALIZED VIEW mv`); err != nil {
+	if _, err := db.ExecContext(ctx, `REFRESH MATERIALIZED VIEW mv`); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("REFRESH           → view fresh: %v\n", !mgr.Stale("mv"))
-	verify(db, "after refresh")
+	verify(ctx, db, "after refresh")
 	fmt.Println("\nevery derived query stayed consistent with recomputation from raw data")
 }
 
 // verify answers a (4,2) window query from the view and compares with native
 // evaluation over the (current) raw data.
-func verify(db *rfview.DB, ctx string) {
+func verify(ctx context.Context, db *rfview.DB, label string) {
 	const q = `SELECT pos, SUM(val) OVER (ORDER BY pos
 	  ROWS BETWEEN 4 PRECEDING AND 2 FOLLOWING) AS w FROM seq`
 	eng := db.Engine()
@@ -109,21 +111,21 @@ func verify(db *rfview.DB, ctx string) {
 
 	opts.UseMatViews = true
 	eng.Opts = opts
-	derived, err := db.Query(q)
+	derived, err := db.QueryContext(ctx, q)
 	if err != nil {
-		log.Fatalf("%s: %v", ctx, err)
+		log.Fatalf("%s: %v", label, err)
 	}
 	opts.UseMatViews = false
 	eng.Opts = opts
-	native, err := db.Query(q)
+	native, err := db.QueryContext(ctx, q)
 	if err != nil {
-		log.Fatalf("%s: %v", ctx, err)
+		log.Fatalf("%s: %v", label, err)
 	}
 	opts.UseMatViews = true
 	eng.Opts = opts
 
 	if derived.Derivation == nil {
-		log.Fatalf("%s: expected the view to answer the query", ctx)
+		log.Fatalf("%s: expected the view to answer the query", label)
 	}
 	m := make(map[int64]float64, len(native.Rows))
 	for _, r := range native.Rows {
@@ -131,13 +133,13 @@ func verify(db *rfview.DB, ctx string) {
 	}
 	for _, r := range derived.Rows {
 		if v, ok := m[r[0].Int()]; !ok || v != r[1].Float() {
-			log.Fatalf("%s: mismatch at pos %v: derived %v native %v", ctx, r[0], r[1], v)
+			log.Fatalf("%s: mismatch at pos %v: derived %v native %v", label, r[0], r[1], v)
 		}
 	}
 }
 
-func load(db *rfview.DB, n int) {
-	if _, err := db.Exec(`CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
+func load(ctx context.Context, db *rfview.DB, n int) {
+	if _, err := db.ExecContext(ctx, `CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
@@ -154,7 +156,7 @@ func load(db *rfview.DB, n int) {
 			}
 			fmt.Fprintf(&b, "(%d, %d)", i, rng.Intn(100))
 		}
-		if _, err := db.Exec(b.String()); err != nil {
+		if _, err := db.ExecContext(ctx, b.String()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,6 +62,7 @@ func algebra() {
 
 func sql() {
 	fmt.Println("=== SQL surface ===")
+	ctx := context.Background()
 	db := rfview.OpenDefault()
 	script := `
 	  CREATE TABLE seq (pos INTEGER, val INTEGER);
@@ -70,12 +72,12 @@ func sql() {
 	    SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val
 	    FROM seq;
 	`
-	if _, err := db.ExecAll(script); err != nil {
+	if _, err := db.ExecAllContext(ctx, script); err != nil {
 		log.Fatal(err)
 	}
 	// This query's window (3,1) differs from the view's (2,1); the engine
 	// answers it from the view via the MaxOA/MinOA rewrite.
-	res, err := db.Query(`SELECT pos, SUM(val) OVER (ORDER BY pos
+	res, err := db.QueryContext(ctx, `SELECT pos, SUM(val) OVER (ORDER BY pos
 	  ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS w FROM seq ORDER BY pos`)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,9 +25,10 @@ import (
 const n = 1200
 
 func main() {
+	ctx := context.Background()
 	db := rfview.OpenDefault()
-	loadSequence(db)
-	if _, err := db.Exec(`CREATE MATERIALIZED VIEW matseq AS
+	loadSequence(ctx, db)
+	if _, err := db.ExecContext(ctx, `CREATE MATERIALIZED VIEW matseq AS
 	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS val
 	  FROM seq`); err != nil {
 		log.Fatal(err)
@@ -51,14 +53,14 @@ func main() {
 		opts := eng.Opts
 		opts.UseMatViews = false
 		eng.Opts = opts
-		tn, native := timed(db, q.sql)
+		tn, native := timed(ctx, db, q.sql)
 
 		// Derived: strategy picked automatically.
 		opts.UseMatViews = true
 		opts.Strategy = rfview.StrategyAuto
 		opts.Form = rfview.FormUnion // hash-join friendly (see EXPERIMENTS.md)
 		eng.Opts = opts
-		td, derived := timed(db, q.sql)
+		td, derived := timed(ctx, db, q.sql)
 
 		if !sameRows(native.Rows, derived.Rows) {
 			log.Fatalf("%s: derived result differs from native", q.name)
@@ -85,9 +87,9 @@ func win(l, h int) string {
 	  ROWS BETWEEN %d PRECEDING AND %d FOLLOWING) AS w FROM seq`, l, h)
 }
 
-func timed(db *rfview.DB, sql string) (time.Duration, *rfview.Result) {
+func timed(ctx context.Context, db *rfview.DB, sql string) (time.Duration, *rfview.Result) {
 	start := time.Now()
-	res, err := db.Query(sql)
+	res, err := db.QueryContext(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,11 +113,11 @@ func sameRows(a, b []rfview.Row) bool {
 	return true
 }
 
-func loadSequence(db *rfview.DB) {
-	if _, err := db.Exec(`CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
+func loadSequence(ctx context.Context, db *rfview.DB) {
+	if _, err := db.ExecContext(ctx, `CREATE TABLE seq (pos INTEGER, val INTEGER)`); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := db.Exec(`CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
+	if _, err := db.ExecContext(ctx, `CREATE UNIQUE INDEX seq_pk ON seq (pos)`); err != nil {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(99))
@@ -132,7 +134,7 @@ func loadSequence(db *rfview.DB) {
 			}
 			fmt.Fprintf(&b, "(%d, %d)", i, rng.Intn(500))
 		}
-		if _, err := db.Exec(b.String()); err != nil {
+		if _, err := db.ExecContext(ctx, b.String()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -66,6 +66,204 @@ type WindowRow struct {
 const windowBenchQuery = `SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
   ROWS BETWEEN 8 PRECEDING AND 8 FOLLOWING) AS w FROM pt`
 
+// The multi-function experiment measures the shared-sort planner: one query
+// with 1/2/4/8 OVER clauses, executed with the planner on and with
+// DisableSharedSort. The specs target the regime the optimization exists
+// for — redundant orderings of the same stream. The first four are
+// unpartitioned with prefix-chained ORDER BYs, so they form one
+// ordering-compatible class: the shared plan sorts once where the unshared
+// plan sorts the full input once per clause. Clauses five through eight
+// repeat the chain under PARTITION BY g, forming a second class (the
+// unshared plan hash-partitions those, so that half is roughly a wash —
+// the reported speedup is carried by the real redundancy in the first
+// class, not by a workload the unshared engine would never sort).
+var multiWindowSpecs = []string{
+	"ORDER BY a",
+	"ORDER BY a, b",
+	"ORDER BY a, b, c",
+	"ORDER BY a, b, c, v",
+	"PARTITION BY g ORDER BY a",
+	"PARTITION BY g ORDER BY a, b",
+	"PARTITION BY g ORDER BY a, b, c",
+	"PARTITION BY g ORDER BY a, b, v",
+}
+
+// multiWindowAggs vary per clause so no two OVER columns are syntactically
+// identical.
+var multiWindowAggs = []string{"SUM", "COUNT", "MIN", "MAX", "AVG", "SUM", "MAX", "MIN"}
+
+// multiWindowClasses is the ordering-compatible class count the planner
+// forms at each clause count over multiWindowSpecs.
+func multiWindowClasses(overs int) int {
+	if overs <= 4 {
+		return 1 // the unpartitioned prefix chain
+	}
+	return 2 // the PARTITION BY g chain joins as a second class
+}
+
+// MultiWindowQuery builds the measured statement with n OVER clauses.
+func MultiWindowQuery(n int) string {
+	var b strings.Builder
+	b.WriteString("SELECT g, a")
+	for i := 0; i < n; i++ {
+		agg := multiWindowAggs[i%len(multiWindowAggs)]
+		spec := multiWindowSpecs[i%len(multiWindowSpecs)]
+		fmt.Fprintf(&b, ",\n  %s(v) OVER (%s) AS w%d", agg, spec, i)
+	}
+	b.WriteString("\nFROM mt")
+	return b.String()
+}
+
+// loadMultiTable loads the multi-function experiment's table: integer keys
+// throughout, Partitions distinct values of g, and wide-range a/b/c order
+// columns so prefix refinements actually break ties.
+func loadMultiTable(e *engine.Engine, cfg WindowConfig) error {
+	if _, err := e.Exec(`CREATE TABLE mt (g INTEGER, a INTEGER, b INTEGER, c INTEGER, v INTEGER)`); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	total := cfg.Partitions * cfg.RowsPerPartition
+	const chunk = 1000
+	var b strings.Builder
+	pending := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		_, err := e.Exec(b.String())
+		b.Reset()
+		pending = 0
+		return err
+	}
+	for i := 0; i < total; i++ {
+		if pending == 0 {
+			b.WriteString("INSERT INTO mt VALUES ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d, %d, %d)",
+			i%cfg.Partitions, rng.Intn(total/4), rng.Intn(64), rng.Intn(16), rng.Intn(1000))
+		pending++
+		if pending == chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// MultiWindowRow is one measured OVER-clause count: the same query with the
+// shared-sort planner on (Shared*) and off (Unshared*). SortsShared and
+// SortsPerformed are the engine's counters over the shared run's trials —
+// the direct evidence of sort reuse (at 4 clauses / 1 class the shared plan
+// performs 1 sort per execution where the unshared plan orders 4 times; at
+// 8 clauses / 2 classes, 2 sorts versus 8 orderings).
+type MultiWindowRow struct {
+	OverClauses    int
+	Classes        int
+	SharedMedian   time.Duration
+	UnsharedMedian time.Duration
+	SharedTrials   []time.Duration
+	UnsharedTrials []time.Duration
+	SortsPerformed int64
+	SortsShared    int64
+	SortsSegmented int64
+}
+
+// RunMultiWindow executes the multi-function workload at each OVER-clause
+// count with the shared-sort planner on and off, cross-checking the two
+// result sets cell-for-cell.
+func RunMultiWindow(cfg WindowConfig, overCounts []int) ([]MultiWindowRow, error) {
+	build := func(disableShared bool) (*engine.Engine, error) {
+		opts := engine.DefaultOptions()
+		opts.UseMatViews = false
+		opts.DisableSharedSort = disableShared
+		e := engine.New(opts)
+		e.SetPlanCacheCapacity(0) // every trial must plan and run the operator stack
+		if err := loadMultiTable(e, cfg); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+	shared, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	defer shared.Close()
+	unshared, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	defer unshared.Close()
+
+	run := func(e *engine.Engine, q string) ([]time.Duration, []string, error) {
+		// Collect the other engine's build garbage before timing anything, so
+		// whichever side runs first doesn't absorb the GC debt of both loads.
+		runtime.GC()
+		var trials []time.Duration
+		var rendered []string
+		for t := 0; t < cfg.Trials; t++ {
+			start := time.Now()
+			res, err := e.Exec(q)
+			d := time.Since(start)
+			if err != nil {
+				return nil, nil, err
+			}
+			trials = append(trials, d)
+			if t == cfg.Trials-1 {
+				rendered = make([]string, 0, len(res.Rows))
+				for _, r := range res.Rows {
+					rendered = append(rendered, r.String())
+				}
+				sort.Strings(rendered)
+			}
+		}
+		return trials, rendered, nil
+	}
+	median := func(trials []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), trials...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+
+	out := make([]MultiWindowRow, 0, len(overCounts))
+	for _, n := range overCounts {
+		q := MultiWindowQuery(n)
+		ws := shared.WindowStats()
+		perf0, shar0, seg0 := ws.SortsPerformed.Load(), ws.SortsShared.Load(), ws.SortsSegmented.Load()
+		st, srows, err := run(shared, q)
+		if err != nil {
+			return nil, fmt.Errorf("shared %d-over: %w", n, err)
+		}
+		ut, urows, err := run(unshared, q)
+		if err != nil {
+			return nil, fmt.Errorf("unshared %d-over: %w", n, err)
+		}
+		if len(srows) != len(urows) {
+			return nil, fmt.Errorf("%d-over: shared returned %d rows, unshared %d", n, len(srows), len(urows))
+		}
+		for i := range srows {
+			if srows[i] != urows[i] {
+				return nil, fmt.Errorf("%d-over: shared and unshared results differ at row %d", n, i)
+			}
+		}
+		out = append(out, MultiWindowRow{
+			OverClauses:    n,
+			Classes:        multiWindowClasses(n),
+			SharedMedian:   median(st),
+			UnsharedMedian: median(ut),
+			SharedTrials:   st,
+			UnsharedTrials: ut,
+			SortsPerformed: ws.SortsPerformed.Load() - perf0,
+			SortsShared:    ws.SortsShared.Load() - shar0,
+			SortsSegmented: ws.SortsSegmented.Load() - seg0,
+		})
+	}
+	return out, nil
+}
+
 func loadPartitionedTable(e *engine.Engine, cfg WindowConfig) error {
 	if _, err := e.Exec(`CREATE TABLE pt (grp VARCHAR(8), pos INTEGER, val INTEGER)`); err != nil {
 		return err
@@ -216,9 +414,10 @@ func sameFloats(a, b []float64) bool {
 
 // WindowJSON renders the experiment in the BENCH_*.json convention used by
 // scripts/bench_serve.sh: workload description, host facts, per-setting
-// medians, the headline speedup, and — on single-core hosts — an explicit
-// note that the serial cap, not the operator, bounds the number.
-func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
+// medians, the headline speedup, the multi-function shared-sort grid, and —
+// on single-core hosts — an explicit note that the serial cap, not the
+// operator, bounds the number.
+func WindowJSON(cfg WindowConfig, rows []WindowRow, multi []MultiWindowRow) (string, error) {
 	type runJSON struct {
 		Workers     int       `json:"workers"`
 		MedianMs    float64   `json:"median_ms"`
@@ -315,6 +514,44 @@ func WindowJSON(cfg WindowConfig, rows []WindowRow) (string, error) {
 		}
 		out["spill"] = spill
 	}
+	if len(multi) > 0 {
+		// The shared-sort grid: the same multi-OVER query with the planner on
+		// and off, per clause count. speedup_shared > 1 means the shared plan
+		// was faster; sorts_performed/sorts_shared count actual orderings vs
+		// reused ones over the shared run's trials.
+		grid := make([]map[string]any, 0, len(multi))
+		for _, m := range multi {
+			entry := map[string]any{
+				"over_clauses":       m.OverClauses,
+				"classes":            m.Classes,
+				"shared_median_ms":   ms(m.SharedMedian),
+				"unshared_median_ms": ms(m.UnsharedMedian),
+				"sorts_performed":    m.SortsPerformed,
+				"sorts_shared":       m.SortsShared,
+				"sorts_segmented":    m.SortsSegmented,
+			}
+			sharedTrials := make([]float64, 0, len(m.SharedTrials))
+			for _, t := range m.SharedTrials {
+				sharedTrials = append(sharedTrials, ms(t))
+			}
+			unsharedTrials := make([]float64, 0, len(m.UnsharedTrials))
+			for _, t := range m.UnsharedTrials {
+				unsharedTrials = append(unsharedTrials, ms(t))
+			}
+			entry["shared_trials_ms"] = sharedTrials
+			entry["unshared_trials_ms"] = unsharedTrials
+			if m.SharedMedian > 0 {
+				entry["speedup_shared"] = roundTo(float64(m.UnsharedMedian)/float64(m.SharedMedian), 3)
+			}
+			grid = append(grid, entry)
+		}
+		out["multi_function"] = map[string]any{
+			"sql_4_over": MultiWindowQuery(4),
+			"note": "same query with the shared-sort planner on vs DisableSharedSort; " +
+				"results cross-checked cell-for-cell per clause count",
+			"runs": grid,
+		}
+	}
 	if runtime.NumCPU() == 1 {
 		out["note"] = "single-CPU host: all pool workers share one core, so the " +
 			"parallel settings can only match the sequential median (§6 partitions " +
@@ -367,6 +604,25 @@ func FormatWindow(rows []WindowRow) string {
 			line += fmt.Sprintf("   (spilled %d runs, %d bytes)", r.SpillRuns, r.SpillBytes)
 		}
 		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// FormatMultiWindow renders the shared-sort grid as a human-readable table.
+func FormatMultiWindow(rows []MultiWindowRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s  %-7s  %-12s  %-12s  %-8s  %s\n",
+		"overs", "classes", "shared", "unshared", "speedup", "sorts (performed/shared/segmented)")
+	for _, r := range rows {
+		speedup := "-"
+		if r.SharedMedian > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(r.UnsharedMedian)/float64(r.SharedMedian))
+		}
+		fmt.Fprintf(&b, "%-6d  %-7d  %-12s  %-12s  %-8s  %d/%d/%d\n",
+			r.OverClauses, r.Classes,
+			r.SharedMedian.Round(10*time.Microsecond),
+			r.UnsharedMedian.Round(10*time.Microsecond),
+			speedup, r.SortsPerformed, r.SortsShared, r.SortsSegmented)
 	}
 	return b.String()
 }

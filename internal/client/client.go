@@ -10,6 +10,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -137,8 +138,20 @@ func (c *Client) Ping() error {
 }
 
 // Query executes a statement and returns columns and rows.
+//
+// Deprecated: new code should use QueryContext, which forwards deadlines to
+// the server.
 func (c *Client) Query(sql string, opts ...RequestOption) (*Result, error) {
-	resp, err := c.roundTrip("query", sql, opts...)
+	return c.QueryContext(context.Background(), sql, opts...)
+}
+
+// QueryContext executes a statement and returns columns and rows. A context
+// already cancelled fails immediately with an error matching
+// rfview/errors.ErrCancelled; a context deadline is forwarded to the server
+// as a statement timeout, so the call unblocks over the wire when it
+// expires.
+func (c *Client) QueryContext(ctx context.Context, sql string, opts ...RequestOption) (*Result, error) {
+	resp, err := c.roundTripCtx(ctx, "query", sql, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +159,34 @@ func (c *Client) Query(sql string, opts ...RequestOption) (*Result, error) {
 }
 
 // Exec executes a statement and returns the affected count.
+//
+// Deprecated: new code should use ExecContext, which forwards deadlines to
+// the server.
 func (c *Client) Exec(sql string, opts ...RequestOption) (*Result, error) {
-	resp, err := c.roundTrip("exec", sql, opts...)
+	return c.ExecContext(context.Background(), sql, opts...)
+}
+
+// ExecContext executes a statement and returns the affected count, with the
+// same context semantics as QueryContext.
+func (c *Client) ExecContext(ctx context.Context, sql string, opts ...RequestOption) (*Result, error) {
+	resp, err := c.roundTripCtx(ctx, "exec", sql, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return toResult(resp), nil
+}
+
+// roundTripCtx applies the context to one round trip: a pre-cancelled
+// context short-circuits, a deadline becomes a server-side statement
+// timeout.
+func (c *Client) roundTripCtx(ctx context.Context, op, sql string, opts ...RequestOption) (*server.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, rferrors.Wrap(rferrors.CodeCancelled, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		opts = append(opts, WithTimeout(time.Until(dl)))
+	}
+	return c.roundTrip(op, sql, opts...)
 }
 
 // Stats fetches server, session, and cache counters.

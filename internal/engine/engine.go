@@ -74,6 +74,12 @@ type Options struct {
 	// forcing the boxed Datum path. Results are identical either way; the
 	// knob exists for measurement and as an escape hatch.
 	DisableVectorized bool
+	// DisableSharedSort switches off the shared-sort multi-window planner
+	// pass: every Window operator of a multi-OVER query sorts internally
+	// instead of stacking over one shared Sort per ordering-compatible spec
+	// class. Results are identical either way; the knob exists for the
+	// differential oracle and for A/B benchmarks.
+	DisableSharedSort bool
 	// MemoryBudgetBytes caps executor working memory: Sort buffers and
 	// window partition orderings charge a shared spill.Budget, and an
 	// operator whose charge would exceed the cap goes external — spilling
@@ -658,6 +664,7 @@ func (e *Engine) planner(ctx context.Context, snap func() txn.Snapshot) *plan.Pl
 		Ctx:               ctx,
 		WindowStats:       e.winStats,
 		DisableVectorized: e.Opts.DisableVectorized,
+		NoSharedSort:      e.Opts.DisableSharedSort,
 		Spill:             e.spillCfg,
 		Snap:              snap,
 	})
@@ -665,6 +672,11 @@ func (e *Engine) planner(ctx context.Context, snap func() txn.Snapshot) *plan.Pl
 
 // SpillStats returns the engine's out-of-core execution counters.
 func (e *Engine) SpillStats() *spill.Stats { return e.spillCfg.Stats }
+
+// WindowStats returns the engine's window-operator telemetry: partition
+// parallelism and the shared-sort counters (sorts performed, shared
+// consumptions, segmented re-partitionings).
+func (e *Engine) WindowStats() *exec.WindowStats { return e.winStats }
 
 // SpillBudget returns the engine's shared executor memory budget.
 func (e *Engine) SpillBudget() *spill.Budget { return e.spillCfg.Budget }

@@ -90,6 +90,15 @@ func (e *Engine) initMetrics() {
 	e.reg.GaugeFunc("rfview_sort_comparator_total",
 		"Partition orderings that fell back to the Compare-based sort.",
 		func() float64 { return float64(e.winStats.ComparatorSorts.Load()) })
+	e.reg.GaugeFunc("rfview_window_sorts_performed_total",
+		"Full window-ordering sorts executed: shared class sorts, unshared in-operator orderings, and NaN-fallback shared runs.",
+		func() float64 { return float64(e.winStats.SortsPerformed.Load()) })
+	e.reg.GaugeFunc("rfview_window_sorts_shared_total",
+		"Window runs that consumed a shared class sort without re-ordering.",
+		func() float64 { return float64(e.winStats.SortsShared.Load()) })
+	e.reg.GaugeFunc("rfview_window_sorts_segmented_total",
+		"Window runs that reused stream partition grouping and re-sorted only within segments.",
+		func() float64 { return float64(e.winStats.SortsSegmented.Load()) })
 	e.reg.GaugeFunc("rfview_window_kernel_typed_total",
 		"Window-function evaluations served by a typed columnar kernel.",
 		func() float64 { return float64(e.winStats.TypedKernels.Load()) })

@@ -123,19 +123,27 @@ func (s *Session) execOrdinary(ctx context.Context, sql string, opts []ExecOptio
 	return res, err
 }
 
-// ExecAll executes a semicolon-separated script through the session,
-// returning one result per statement and stopping at the first error. Unlike
-// Engine.ExecAll it understands BEGIN/COMMIT/ROLLBACK, so scripts can group
-// statements into transactions. A transaction left open at the end of the
-// script stays open on the session.
+// ExecAll executes a semicolon-separated script through the session.
+//
+// Deprecated: new code should use ExecAllContext, which supports
+// cancellation.
 func (s *Session) ExecAll(script string) ([]*Result, error) {
+	return s.ExecAllContext(context.Background(), script)
+}
+
+// ExecAllContext executes a semicolon-separated script through the session
+// under ctx, returning one result per statement and stopping at the first
+// error. Unlike Engine.ExecAllContext it understands BEGIN/COMMIT/ROLLBACK,
+// so scripts can group statements into transactions. A transaction left open
+// at the end of the script stays open on the session.
+func (s *Session) ExecAllContext(ctx context.Context, script string) ([]*Result, error) {
 	stmts, err := sqlparser.ParseAll(script)
 	if err != nil {
 		return nil, rferrors.Wrap(rferrors.CodeParse, err)
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
-		res, err := s.ExecContext(context.Background(), stmt.String())
+		res, err := s.ExecContext(ctx, stmt.String())
 		if err != nil {
 			return out, fmt.Errorf("in %q: %w", stmt.String(), err)
 		}

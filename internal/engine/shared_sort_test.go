@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	rferrors "rfview/errors"
+)
+
+// These tests pin the shared-sort multi-window plan end to end: EXPLAIN
+// provenance, bit-exactness against the unshared plan (DisableSharedSort),
+// spill-forced shared sorts, cancellation, and the sort-accounting metrics.
+
+func explain(t *testing.T, e *Engine, sql string) string {
+	t.Helper()
+	res, err := e.ExecContext(context.Background(), "EXPLAIN "+sql)
+	if err != nil {
+		t.Fatalf("EXPLAIN: %v", err)
+	}
+	return res.Plan
+}
+
+// loadShared creates d(g, h, k1, k2, v): g/h are small-domain partition
+// columns, k1/k2 duplicate-heavy order columns (k1 nullable), v the value.
+func loadShared(t *testing.T, e *Engine, n int, seed int64) {
+	t.Helper()
+	mustExec(t, e, `CREATE TABLE d (g INTEGER, h INTEGER, k1 INTEGER, k2 INTEGER, v INTEGER)`)
+	rng := rand.New(rand.NewSource(seed))
+	bulkInsert(t, e, "d", n, func(i int) string {
+		k1 := fmt.Sprint(rng.Intn(10))
+		if rng.Intn(10) == 0 {
+			k1 = "NULL"
+		}
+		return fmt.Sprintf("(%d, %d, %s, %d, %d)",
+			rng.Intn(4), rng.Intn(3), k1, rng.Intn(5), rng.Intn(101)-50)
+	})
+}
+
+// TestSharedSortExplain is the acceptance shape: four OVER clauses over two
+// spec classes plan exactly two shared Sorts, every Window consumes one
+// (sort=shared), and the Ordinal/Restore bracket is visible.
+func TestSharedSortExplain(t *testing.T) {
+	e := newEngine(t)
+	loadShared(t, e, 50, 1)
+	plan := explain(t, e, `SELECT
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		COUNT(v) OVER (PARTITION BY g ORDER BY k1, g) AS w2,
+		MIN(v) OVER (ORDER BY k1 DESC) AS w3,
+		MAX(v) OVER (ORDER BY k1 DESC, k2) AS w4
+		FROM d`)
+	if got := strings.Count(plan, "shared=win"); got != 2 {
+		t.Errorf("%d shared Sorts, want 2 (one per class):\n%s", got, plan)
+	}
+	if got := strings.Count(plan, "sort=shared"); got != 4 {
+		t.Errorf("%d sort=shared windows, want 4:\n%s", got, plan)
+	}
+	for _, want := range []string{"Ordinal __rf_ord", "Restore input-order", "class=1", "class=2"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// The second class re-sorts an already-ordered stream — the full re-sort
+	// the sequencing could not avoid is flagged.
+	if !strings.Contains(plan, "resort=full") {
+		t.Errorf("plan missing resort=full on the second class sort:\n%s", plan)
+	}
+}
+
+// TestSharedSortExplainSegmented: same partition set with divergent orders is
+// one class and one Sort; the divergent member re-sorts within partition
+// segments instead of sorting the stream again.
+func TestSharedSortExplainSegmented(t *testing.T) {
+	e := newEngine(t)
+	loadShared(t, e, 50, 2)
+	plan := explain(t, e, `SELECT
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		MIN(v) OVER (PARTITION BY g ORDER BY k2 DESC) AS w2
+		FROM d`)
+	if got := strings.Count(plan, "shared=win"); got != 1 {
+		t.Errorf("%d shared Sorts, want 1:\n%s", got, plan)
+	}
+	if !strings.Contains(plan, "sort=shared") || !strings.Contains(plan, "resort=segmented") {
+		t.Errorf("plan missing sort=shared / resort=segmented split:\n%s", plan)
+	}
+}
+
+// TestSharedSortDisabledExplain: the opt-out restores per-operator sorting —
+// no shared Sorts, no bracket.
+func TestSharedSortDisabledExplain(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableSharedSort = true
+	e := New(opts)
+	loadShared(t, e, 50, 3)
+	plan := explain(t, e, `SELECT
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		MIN(v) OVER (ORDER BY k2) AS w2
+		FROM d`)
+	for _, bad := range []string{"shared=win", "sort=shared", "Ordinal", "Restore"} {
+		if strings.Contains(plan, bad) {
+			t.Errorf("DisableSharedSort plan contains %q:\n%s", bad, plan)
+		}
+	}
+}
+
+// randOver draws one OVER clause: a partition-set choice crossed with an
+// order choice (prefix chains, DESC, explicit NULLS placement), so repeated
+// draws produce equal specs, prefix specs, segmented classes and disjoint
+// classes.
+func randOver(rng *rand.Rand) string {
+	parts := []string{
+		"",
+		"PARTITION BY g",
+		"PARTITION BY h",
+		"PARTITION BY g, h",
+		"PARTITION BY h, g",
+	}
+	orders := []string{
+		"",
+		"ORDER BY k1",
+		"ORDER BY k1, k2",
+		"ORDER BY k1 DESC",
+		"ORDER BY k1 NULLS LAST",
+		"ORDER BY k1 DESC NULLS FIRST",
+		"ORDER BY k2, k1 DESC",
+		"ORDER BY k2 DESC",
+	}
+	p, o := parts[rng.Intn(len(parts))], orders[rng.Intn(len(orders))]
+	if p == "" && o == "" {
+		o = "ORDER BY k1"
+	}
+	return strings.TrimSpace(p + " " + o)
+}
+
+func randAgg(rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0:
+		return "SUM(v)"
+	case 1:
+		return "COUNT(v)"
+	case 2:
+		return "COUNT(*)"
+	case 3:
+		return "MIN(v)"
+	case 4:
+		return "MAX(v)"
+	default:
+		return "AVG(v)"
+	}
+}
+
+// TestDifferentialMultiWindowShared is the shared-sort oracle: randomized
+// multi-OVER queries must return bit-identical rows — values and row order —
+// on the shared and the unshared plan, sequential and parallel, in-memory
+// and under a spill-forcing budget.
+func TestDifferentialMultiWindowShared(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	const rows = 300
+	configs := []struct {
+		name        string
+		parallelism int
+		budget      int64
+	}{
+		{"seq", 1, 0},
+		{"par", 4, 0},
+		{"seq/spill", 1, 2 << 10},
+		{"par/spill", 4, 2 << 10},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			mk := func(disable bool) *Engine {
+				opts := DefaultOptions()
+				opts.WindowParallelism = cfg.parallelism
+				opts.DisableSharedSort = disable
+				if cfg.budget > 0 {
+					return newSpillEngine(t, opts, cfg.budget)
+				}
+				return New(opts)
+			}
+			shared, unshared := mk(false), mk(true)
+			loadShared(t, shared, rows, 994707)
+			loadShared(t, unshared, rows, 994707)
+
+			rng := rand.New(rand.NewSource(20020226 + int64(cfg.parallelism) + cfg.budget))
+			for trial := 0; trial < trials; trial++ {
+				nOver := 2 + rng.Intn(4)
+				items := make([]string, nOver)
+				for i := range items {
+					items[i] = fmt.Sprintf("%s OVER (%s) AS w%d", randAgg(rng), randOver(rng), i)
+				}
+				q := "SELECT g, h, k1, k2, v, " + strings.Join(items, ", ") + " FROM d"
+
+				a, err := shared.ExecContext(context.Background(), q)
+				if err != nil {
+					t.Fatalf("shared: %q: %v", q, err)
+				}
+				b, err := unshared.ExecContext(context.Background(), q)
+				if err != nil {
+					t.Fatalf("unshared: %q: %v", q, err)
+				}
+				if len(a.Rows) != len(b.Rows) {
+					t.Fatalf("%q: %d vs %d rows", q, len(a.Rows), len(b.Rows))
+				}
+				for i := range a.Rows {
+					if a.Rows[i].String() != b.Rows[i].String() {
+						t.Fatalf("%q: row %d differs:\nshared:   %s\nunshared: %s",
+							q, i, a.Rows[i], b.Rows[i])
+					}
+				}
+			}
+			if cfg.budget > 0 {
+				if shared.SpillStats().Runs.Load() == 0 {
+					t.Error("budgeted shared engine never spilled")
+				}
+				if used := shared.SpillBudget().Used(); used != 0 {
+					t.Errorf("shared engine leaked %d budget bytes", used)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedSortSpillForced: a multi-class query under a tiny budget routes
+// the shared class Sorts through the external sorter, releases every budget
+// byte, and still matches the in-memory unshared reference.
+func TestSharedSortSpillForced(t *testing.T) {
+	budgeted := newSpillEngine(t, DefaultOptions(), 2<<10)
+	refOpts := DefaultOptions()
+	refOpts.MemoryBudgetBytes = -1 // budget explicitly disabled
+	reference := New(refOpts)
+	loadShared(t, budgeted, 800, 7)
+	loadShared(t, reference, 800, 7)
+	q := `SELECT g, k1, v,
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		COUNT(v) OVER (PARTITION BY g ORDER BY k1, k2) AS w2,
+		MIN(v) OVER (ORDER BY k2 DESC) AS w3
+		FROM d`
+	got := mustExec(t, budgeted, q)
+	want := mustExec(t, reference, q)
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%d vs %d rows", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if got.Rows[i].String() != want.Rows[i].String() {
+			t.Fatalf("row %d differs:\nspilled:   %s\nin-memory: %s", i, got.Rows[i], want.Rows[i])
+		}
+	}
+	if budgeted.SpillStats().Runs.Load() == 0 {
+		t.Error("budgeted engine never spilled")
+	}
+	if used := budgeted.SpillBudget().Used(); used != 0 {
+		t.Errorf("budget leak: %d bytes still charged", used)
+	}
+}
+
+// TestCancelMidSharedSort: cancelling a multi-class shared-sort query under
+// a spill budget returns promptly, releases the budget, and removes every
+// spill run file.
+func TestCancelMidSharedSort(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.WindowParallelism = 4
+	opts.SpillDir = dir
+	e := newSpillEngine(t, opts, 2<<10)
+	mustExec(t, e, `CREATE TABLE big (g INTEGER, k1 INTEGER, k2 INTEGER, v INTEGER)`)
+	rng := rand.New(rand.NewSource(11))
+	bulkInsert(t, e, "big", 60000, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %d, %d)", rng.Intn(8), rng.Intn(1000), rng.Intn(1000), i)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.ExecContext(ctx, `SELECT
+			SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+			COUNT(v) OVER (PARTITION BY g ORDER BY k1, k2) AS w2,
+			MIN(v) OVER (ORDER BY k2 DESC) AS w3,
+			MAX(v) OVER (ORDER BY k2 DESC, k1) AS w4
+			FROM big`)
+		done <- err
+	}()
+	time.Sleep(15 * time.Millisecond)
+	cancel()
+	cancelled := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, rferrors.ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+		if took := time.Since(cancelled); took > cancelLatencyBudget {
+			t.Errorf("query returned %v after cancel, want <%v", took, cancelLatencyBudget)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled shared-sort query never returned")
+	}
+	if used := e.SpillBudget().Used(); used != 0 {
+		t.Errorf("budget leak after cancel: %d bytes", used)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), "run-") && strings.HasSuffix(ent.Name(), ".spill") {
+			t.Errorf("spill run file %s left after cancel", ent.Name())
+		}
+	}
+	// The engine stays usable.
+	res := mustExec(t, e, `SELECT COUNT(*) AS n FROM big GROUP BY g LIMIT 1`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("post-cancel query returned %d rows", len(res.Rows))
+	}
+}
+
+// TestSharedSortMetrics pins the three sort-accounting gauges: a two-class
+// query performs two sorts and shares them across four windows; a segmented
+// query adds one performed and one segmented consumption.
+func TestSharedSortMetrics(t *testing.T) {
+	e := newEngine(t)
+	loadShared(t, e, 60, 5)
+	mustExec(t, e, `SELECT
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		COUNT(v) OVER (PARTITION BY g ORDER BY k1, k2) AS w2,
+		MIN(v) OVER (ORDER BY k2) AS w3,
+		MAX(v) OVER (ORDER BY k2, k1) AS w4
+		FROM d`)
+	text := e.Metrics().Expose()
+	if got := metricValue(t, text, "rfview_window_sorts_performed_total"); got != 2 {
+		t.Errorf("sorts_performed = %v, want 2", got)
+	}
+	if got := metricValue(t, text, "rfview_window_sorts_shared_total"); got != 4 {
+		t.Errorf("sorts_shared = %v, want 4", got)
+	}
+	mustExec(t, e, `SELECT
+		SUM(v) OVER (PARTITION BY g ORDER BY k1) AS w1,
+		MIN(v) OVER (PARTITION BY g ORDER BY k2 DESC) AS w2
+		FROM d`)
+	text = e.Metrics().Expose()
+	if got := metricValue(t, text, "rfview_window_sorts_performed_total"); got != 3 {
+		t.Errorf("after segmented query: sorts_performed = %v, want 3", got)
+	}
+	if got := metricValue(t, text, "rfview_window_sorts_segmented_total"); got != 1 {
+		t.Errorf("sorts_segmented = %v, want 1", got)
+	}
+}

@@ -70,6 +70,10 @@ func Instrument(op Operator) Operator {
 		o.Input = Instrument(o.Input)
 	case *Window:
 		o.Input = Instrument(o.Input)
+	case *Ordinal:
+		o.Input = Instrument(o.Input)
+	case *Restore:
+		o.Input = Instrument(o.Input)
 	case *NestedLoopJoin:
 		o.Left = Instrument(o.Left)
 		o.Right = Instrument(o.Right)

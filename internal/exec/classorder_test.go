@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// These tests pin the ClassOrderMeta handshake: a shared class Sort records
+// the sorted stream's adjacency table (per-position tie depths and per-key
+// runtime types) and the Window operators stacked above read partition
+// boundaries and tie runs from it instead of re-evaluating key expressions.
+// Every test checks bit-identical output against the unshared plan, plus the
+// metadata validity the scenario implies — valid when the in-memory
+// normalized sort ran, invalid when NaN or NoVectorize forced a fallback.
+
+// sharedStackMeta is sharedStack with the class sort's adjacency metadata
+// wired through to the Window, exactly as planWindowsShared does. partKeys is
+// the class's canonical partition key count (deduplicated), which may be
+// smaller than len(pb).
+func sharedStackMeta(schema *expr.Schema, rows []sqltypes.Row, pb []expr.Expr, ob, sortKeys []SortKey, funcs []WindowFunc, orderExact, noVectorize bool, partKeys int) (Operator, *ClassOrderMeta) {
+	ordCol := len(schema.Cols)
+	var op Operator = NewOrdinal(valuesOp(schema, rows...), "__rf_ord")
+	meta := NewClassOrderMeta(partKeys)
+	op = &Sort{Input: op, Keys: sortKeys, SharedClass: 1, NoVectorize: noVectorize, Order: meta}
+	w := NewWindow(op, pb, ob, funcs)
+	w.Shared = true
+	w.PreSorted = true
+	w.OrderExact = orderExact
+	w.ClassOrder = meta
+	w.OrdinalCol = ordCol
+	w.Class = 1
+	return NewRestore(w, ordCol), meta
+}
+
+// diffSharedMetaUnshared runs the meta-wired shared stack against the plain
+// unshared Window and requires bit-identical output; returns the metadata for
+// validity assertions.
+func diffSharedMetaUnshared(t *testing.T, label string, schema *expr.Schema, rows []sqltypes.Row, pb []expr.Expr, ob, sortKeys []SortKey, funcs []WindowFunc, orderExact, noVectorize bool, partKeys int) *ClassOrderMeta {
+	t.Helper()
+	want, err := Collect(NewWindow(valuesOp(schema, rows...), pb, ob, funcs))
+	if err != nil {
+		t.Fatalf("%s: unshared: %v", label, err)
+	}
+	op, meta := sharedStackMeta(schema, rows, pb, ob, sortKeys, funcs, orderExact, noVectorize, partKeys)
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatalf("%s: shared: %v", label, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("%s: row %d = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+	return meta
+}
+
+// TestClassOrderMetaTieRuns: the class sort refines the member's ORDER BY
+// with an extra key, so the member must re-normalize tie runs — here off the
+// metadata's tie depths, with no key evaluation. Duplicate (p, k) pairs with
+// distinct v make any missed or misplaced run boundary observable through the
+// cumulative frame.
+func TestClassOrderMetaTieRuns(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Int)
+	var rows []sqltypes.Row
+	for i := 0; i < 40; i++ {
+		rows = append(rows, intRow(int64(i%3), int64(i%4), int64(37-i)))
+	}
+	pb := keysOf(t, schema, "p")
+	ob := sortKeysOf(t, schema, "k")
+	shared := sortKeysOf(t, schema, "p", "k", "v DESC")
+	meta := diffSharedMetaUnshared(t, "meta-ties", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), false, false, 1)
+	if !meta.Valid(len(rows)) {
+		t.Fatal("class sort left metadata invalid; meta path never ran")
+	}
+}
+
+// TestClassOrderMetaOrderExact: the member's ORDER BY is the full class
+// suffix and the class sort carries no ordinal key — the first emitted sort
+// relies on sort stability for input-order ties. With valid metadata the
+// pre-sorted consumer does zero per-row work, so any stability bug in the
+// sort surfaces as a tie-order diff here.
+func TestClassOrderMetaOrderExact(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Int)
+	var rows []sqltypes.Row
+	for i := 0; i < 36; i++ {
+		rows = append(rows, intRow(int64(i%3), int64(i%4), int64(i)))
+	}
+	pb := keysOf(t, schema, "p")
+	ob := sortKeysOf(t, schema, "k")
+	shared := sortKeysOf(t, schema, "p", "k") // exact suffix, no ordinal key
+	meta := diffSharedMetaUnshared(t, "meta-exact", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), true, false, 1)
+	if !meta.Valid(len(rows)) {
+		t.Fatal("class sort left metadata invalid; meta path never ran")
+	}
+}
+
+// TestClassOrderMetaFloatPartitionRefused: the key encoding canonicalizes
+// -0.0 to +0.0 while the unshared plan hashes partition keys by float bits,
+// so metadata boundaries are unsound for Float partition keys. The metadata
+// itself stays valid (no NaN defeated the encoding) but the Window must
+// refuse it and fall back to the evaluating scan, which detects -0.0 and
+// splits partitions by hash like the unshared plan.
+func TestClassOrderMetaFloatPartitionRefused(t *testing.T) {
+	schema := pkvSchema(sqltypes.Float, sqltypes.Int)
+	negz := math.Copysign(0, -1)
+	var rows []sqltypes.Row
+	for i := 0; i < 24; i++ {
+		p := 0.0
+		if i%2 == 0 {
+			p = negz
+		}
+		rows = append(rows, sqltypes.Row{sqltypes.NewFloat(p), sqltypes.NewInt(int64(i % 4)), sqltypes.NewInt(int64(i))})
+	}
+	pb := keysOf(t, schema, "p")
+	ob := sortKeysOf(t, schema, "k")
+	shared := sortKeysOf(t, schema, "p", "k")
+	meta := diffSharedMetaUnshared(t, "meta-float-part", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), false, false, 1)
+	if !meta.Valid(len(rows)) {
+		t.Fatal("metadata should be valid (floats encode fine); only the Window refuses it")
+	}
+	if meta.KeyType(0) != sqltypes.Float {
+		t.Fatalf("recorded key type = %v, want Float", meta.KeyType(0))
+	}
+}
+
+// TestClassOrderMetaNaNInvalidates: a NaN order key bails the normalized
+// sort, so the metadata never becomes valid and the Window's evaluating
+// fallbacks must carry the run unchanged.
+func TestClassOrderMetaNaNInvalidates(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Float)
+	nan := math.NaN()
+	var rows []sqltypes.Row
+	for i := 0; i < 24; i++ {
+		k := float64(i % 4)
+		if i%6 == 0 {
+			k = nan
+		}
+		rows = append(rows, sqltypes.Row{sqltypes.NewInt(int64(i % 3)), sqltypes.NewFloat(k), sqltypes.NewInt(int64(i))})
+	}
+	pb := keysOf(t, schema, "p")
+	ob := sortKeysOf(t, schema, "k")
+	shared := sortKeysOf(t, schema, "p", "k")
+	meta := diffSharedMetaUnshared(t, "meta-nan", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), false, false, 1)
+	if meta.Valid(len(rows)) {
+		t.Fatal("NaN keys must leave the metadata invalid")
+	}
+}
+
+// TestClassOrderMetaNoVectorize: the comparator sort path never fills the
+// metadata; the shared plan must still match through the evaluating
+// fallbacks.
+func TestClassOrderMetaNoVectorize(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Int)
+	var rows []sqltypes.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, intRow(int64(i%3), int64(i%5), int64(29-i)))
+	}
+	pb := keysOf(t, schema, "p")
+	ob := sortKeysOf(t, schema, "k")
+	shared := sortKeysOf(t, schema, "p", "k", "v")
+	meta := diffSharedMetaUnshared(t, "meta-novec", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), false, true, 1)
+	if meta.Valid(len(rows)) {
+		t.Fatal("comparator path must leave the metadata invalid")
+	}
+}
+
+// TestClassOrderMetaDuplicatePartitionExprs: PARTITION BY p, p — the member
+// evaluates two partition expressions but the class's canonical key set has
+// one, and the metadata thresholds must use the class count, not the
+// member's. A wrong count would read order-key depth as partition depth and
+// fuse (or split) partitions.
+func TestClassOrderMetaDuplicatePartitionExprs(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Int)
+	var rows []sqltypes.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, intRow(int64(i%3), int64(i%4), int64(i)))
+	}
+	pb := keysOf(t, schema, "p", "p") // duplicated partition expression
+	ob := sortKeysOf(t, schema, "k")
+	// Class canonical ordering deduplicates: sort by p, k, refined by v.
+	shared := sortKeysOf(t, schema, "p", "k", "v DESC")
+	meta := diffSharedMetaUnshared(t, "meta-dup-part", schema, rows, pb, ob, shared,
+		sumCum(keysOf(t, schema, "v")[0]), false, false, 1)
+	if !meta.Valid(len(rows)) {
+		t.Fatal("class sort left metadata invalid; meta path never ran")
+	}
+	if meta.PartKeys() != 1 {
+		t.Fatalf("PartKeys() = %d, want the class canonical count 1", meta.PartKeys())
+	}
+}
+
+// TestClassOrderMetaReset: reusing one Sort across Opens must not leak stale
+// adjacency data — a second Open over NaN-bearing rows (which bails the
+// normalized path) must invalidate the metadata filled by the first.
+func TestClassOrderMetaReset(t *testing.T) {
+	schema := pkvSchema(sqltypes.Int, sqltypes.Float)
+	clean := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewFloat(2), sqltypes.NewInt(10)},
+		{sqltypes.NewInt(1), sqltypes.NewFloat(1), sqltypes.NewInt(11)},
+		{sqltypes.NewInt(2), sqltypes.NewFloat(3), sqltypes.NewInt(12)},
+	}
+	meta := NewClassOrderMeta(1)
+	s := &Sort{Input: valuesOp(schema, clean...), Keys: sortKeysOf(t, schema, "p", "k"), Order: meta}
+	if _, err := Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Valid(len(clean)) {
+		t.Fatal("clean rows should fill the metadata")
+	}
+	dirty := append(append([]sqltypes.Row(nil), clean...),
+		sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewFloat(math.NaN()), sqltypes.NewInt(13)})
+	s.Input = valuesOp(schema, dirty...)
+	if _, err := Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Valid(len(dirty)) || meta.Valid(len(clean)) {
+		t.Fatal("NaN re-open must reset the metadata, not serve the stale table")
+	}
+}

@@ -43,6 +43,18 @@ func Collect(op Operator) ([]sqltypes.Row, error) {
 // decrement.
 const cancelCheckEvery = 128
 
+// rowsHandoff is implemented by fully-materializing operators (Sort, Window,
+// Restore) that can surrender their buffered output wholesale. CollectCtx
+// takes the slice instead of re-draining row by row — a stacked window plan
+// materializes once per operator either way, but the hand-off skips the
+// per-row Next calls and the append regrowth of the copy.
+type rowsHandoff interface {
+	// takeRows returns the operator's materialized output and relinquishes
+	// ownership of it, or nil when the operator is not serving from memory
+	// (e.g. a sort streaming an external merge).
+	takeRows() []sqltypes.Row
+}
+
 // CollectCtx is Collect with cooperative cancellation: the context is checked
 // before opening and every cancelCheckEvery rows. A cancelled context aborts
 // the drain, closes the operator, and returns ErrCancelled (wrapping the
@@ -54,6 +66,14 @@ func CollectCtx(ctx context.Context, op Operator) ([]sqltypes.Row, error) {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return nil, err
+	}
+	if h, ok := op.(rowsHandoff); ok {
+		if rows := h.takeRows(); rows != nil {
+			if err := op.Close(); err != nil {
+				return nil, err
+			}
+			return rows, nil
+		}
 	}
 	var out []sqltypes.Row
 	until := cancelCheckEvery

@@ -30,6 +30,7 @@ type sortScratch struct {
 	enc    [][]byte         // per-row normalized keys, slices into buf
 	buf    []byte           // arena backing enc
 	offs   []int            // per-row start offsets into buf
+	bounds []int32          // per-row per-key offsets into buf ((k+1) each), meta runs only
 	perm   []int
 	tmp    []int
 }
@@ -54,18 +55,41 @@ func grow[T any](s []T, n int) []T {
 // in place. With vectorize set it normalizes every key into an
 // order-preserving byte string and sorts by bytes.Compare; when a key column
 // defeats the encoding (an Int/Float mix, a NaN) or vectorize is off, it
-// sorts by sqltypes.Compare over the pre-evaluated key matrix. Either way
-// every key is evaluated and type-checked once per row before the sort runs:
-// incomparable key types (e.g. INTEGER vs VARCHAR produced by a CASE) return
-// the type error here, never from inside the sort comparator. Returns
-// whether the normalized path was taken.
+// sorts by sqltypes.Compare over a pre-evaluated key matrix. Either way
+// every key is evaluated and type-checked before the sort runs: incomparable
+// key types (e.g. INTEGER vs VARCHAR produced by a CASE) return the type
+// error here, never from inside the sort comparator. Returns whether the
+// normalized path was taken.
+//
+// Both paths sort an identity permutation with the row's position as the
+// final tie-break, which reproduces a stable sort exactly while letting the
+// sort itself run unstable (pattern-defeating quicksort instead of the
+// in-place merge a stable sort needs).
 func sortRowsByKeys(rows []sqltypes.Row, idx []int, keys []SortKey, sc *sortScratch, vectorize bool) (bool, error) {
+	return sortRowsByKeysMeta(rows, idx, keys, sc, vectorize, nil)
+}
+
+// sortRowsByKeysMeta is sortRowsByKeys with an optional ClassOrderMeta to
+// fill: when meta is non-nil and the normalized path completes, the sorted
+// stream's adjacency table (tie depths and per-key runtime types) is
+// recorded for the Window operators of a shared class. Every other path
+// leaves meta untouched (the caller resets it beforehand).
+func sortRowsByKeysMeta(rows []sqltypes.Row, idx []int, keys []SortKey, sc *sortScratch, vectorize bool, meta *ClassOrderMeta) (bool, error) {
 	n, k := len(idx), len(keys)
 	if n < 2 || k == 0 {
 		return vectorize, nil
 	}
-	// Evaluate every key for every row in one pass; the matrix is the input
-	// to both sort paths and to validation.
+	if vectorize {
+		done, err := sortRowsEncoded(rows, idx, keys, sc, meta)
+		if err != nil || done {
+			return done, err
+		}
+		// A key defeated the encoding; re-evaluate onto the matrix below.
+	}
+	// Comparator path. Evaluate every key for every row into one flat
+	// matrix, then validate each key column: a single non-NULL type (or a
+	// numeric mix) sorts, anything else is a type error surfaced before any
+	// ordering work.
 	if cap(sc.datums) < n*k {
 		sc.datums = make([]sqltypes.Datum, n*k)
 	} else {
@@ -82,95 +106,194 @@ func sortRowsByKeys(rows []sqltypes.Row, idx []int, keys []SortKey, sc *sortScra
 			sc.datums[base+ki] = v
 		}
 	}
-	// Validate each key column: a single non-NULL type (or a numeric mix)
-	// sorts; anything else is a type error, surfaced before any ordering
-	// work. The numeric-mix and NaN cases stay comparable but defeat the
-	// byte encoding, so they force the comparator path.
-	if cap(sc.types) < k {
-		sc.types = make([]sqltypes.Type, k)
-	} else {
-		sc.types = sc.types[:k]
-	}
-	encodable := vectorize
 	for ki := 0; ki < k; ki++ {
 		first := sqltypes.Null
 		for i := 0; i < n; i++ {
-			d := sc.datums[i*k+ki]
-			t := d.Typ()
-			if t == sqltypes.Null {
+			t := sc.datums[i*k+ki].Typ()
+			if t == sqltypes.Null || t == first {
 				continue
-			}
-			if t == sqltypes.Float && math.IsNaN(d.Float()) {
-				encodable = false // NaN: not a total order under Compare
 			}
 			if first == sqltypes.Null {
 				first = t
 				continue
 			}
-			if t == first {
-				continue
-			}
 			if !sqltypes.Comparable(first, t) {
 				return false, &sqltypes.ErrTypeMismatch{Op: "compare", Left: first, Right: t}
 			}
-			encodable = false // Int/Float mix: exact int pairs vs float cross pairs
 		}
-		sc.types[ki] = first
 	}
 
 	sc.perm = grow(sc.perm, n)
 	for i := range sc.perm {
 		sc.perm[i] = i
 	}
-
-	if encodable {
-		// Normalize: one concatenated memcomparable key per row, packed into
-		// a single arena so the encoding allocates at most once per run.
-		sc.buf = sc.buf[:0]
-		sc.offs = grow(sc.offs, n+1)
-		for i := 0; i < n; i++ {
-			sc.offs[i] = len(sc.buf)
-			base := i * k
-			for ki := range keys {
-				sc.buf = sqltypes.EncodeKey(sc.buf, sc.datums[base+ki], keys[ki].Desc)
-			}
-		}
-		sc.offs[n] = len(sc.buf)
-		if cap(sc.enc) < n {
-			sc.enc = make([][]byte, n)
-		} else {
-			sc.enc = sc.enc[:n]
-		}
-		for i := 0; i < n; i++ {
-			sc.enc[i] = sc.buf[sc.offs[i]:sc.offs[i+1]]
-		}
-		enc := sc.enc
-		slices.SortStableFunc(sc.perm, func(a, b int) int {
-			return bytes.Compare(enc[a], enc[b])
-		})
-	} else {
-		datums, perm := sc.datums, sc.perm
-		slices.SortStableFunc(perm, func(a, b int) int {
-			ba, bb := a*k, b*k
-			for ki := range keys {
-				// Validation above guarantees Compare cannot fail here.
-				cmp, _ := sqltypes.Compare(datums[ba+ki], datums[bb+ki])
-				if cmp == 0 {
-					continue
-				}
-				if keys[ki].Desc {
-					return -cmp
-				}
+	datums, perm := sc.datums, sc.perm
+	slices.SortFunc(perm, func(a, b int) int {
+		ba, bb := a*k, b*k
+		for ki := range keys {
+			if cmp := compareKeyDatums(datums[ba+ki], datums[bb+ki], keys[ki]); cmp != 0 {
 				return cmp
 			}
-			return 0
-		})
-	}
+		}
+		return a - b // identity start: position tie-break == stability
+	})
+	applySortPerm(sc, idx)
+	return false, nil
+}
 
-	sc.tmp = grow(sc.tmp, n)
+// sortRowsEncoded is the normalized fast path: it validates and encodes the
+// keys row by row — never materializing the n×k datum matrix the comparator
+// path needs — and sorts the packed memcomparable keys with bytes.Compare.
+// done=false (with a nil error) means a key defeated the order-preserving
+// encoding — a NaN float (not a total order under Compare) or an Int/Float
+// mix (exact int pairs vs float cross pairs) — and the caller must take the
+// comparator path.
+func sortRowsEncoded(rows []sqltypes.Row, idx []int, keys []SortKey, sc *sortScratch, meta *ClassOrderMeta) (bool, error) {
+	n, k := len(idx), len(keys)
+	if cap(sc.types) < k {
+		sc.types = make([]sqltypes.Type, k)
+	} else {
+		sc.types = sc.types[:k]
+	}
+	for ki := range sc.types {
+		sc.types[ki] = sqltypes.Null
+	}
+	if cap(sc.datums) < k {
+		sc.datums = make([]sqltypes.Datum, k)
+	}
+	rowKeys := sc.datums[:k]
+	var bounds []int32
+	if meta != nil {
+		sc.bounds = grow(sc.bounds, n*(k+1))
+		bounds = sc.bounds
+	}
+	sc.buf = sc.buf[:0]
+	sc.offs = grow(sc.offs, n+1)
+	for i, ri := range idx {
+		row := rows[ri]
+		for ki := range keys {
+			v, err := keys[ki].Expr.Eval(row)
+			if err != nil {
+				return false, err
+			}
+			if t := v.Typ(); t != sqltypes.Null {
+				if t == sqltypes.Float && math.IsNaN(v.Float()) {
+					return false, nil
+				}
+				switch first := sc.types[ki]; {
+				case first == sqltypes.Null:
+					sc.types[ki] = t
+				case t == first:
+				case !sqltypes.Comparable(first, t):
+					return false, &sqltypes.ErrTypeMismatch{Op: "compare", Left: first, Right: t}
+				default:
+					return false, nil
+				}
+			}
+			rowKeys[ki] = v
+		}
+		sc.offs[i] = len(sc.buf)
+		for ki := range keys {
+			if bounds != nil {
+				bounds[i*(k+1)+ki] = int32(len(sc.buf))
+			}
+			sc.buf = sqltypes.EncodeKeyNulls(sc.buf, rowKeys[ki], keys[ki].Desc, keys[ki].nullsLast())
+		}
+		if bounds != nil {
+			bounds[i*(k+1)+k] = int32(len(sc.buf))
+		}
+	}
+	sc.offs[n] = len(sc.buf)
+	if cap(sc.enc) < n {
+		sc.enc = make([][]byte, n)
+	} else {
+		sc.enc = sc.enc[:n]
+	}
+	for i := 0; i < n; i++ {
+		sc.enc[i] = sc.buf[sc.offs[i]:sc.offs[i+1]]
+	}
+	sc.perm = grow(sc.perm, n)
+	for i := range sc.perm {
+		sc.perm[i] = i
+	}
+	enc := sc.enc
+	slices.SortFunc(sc.perm, func(a, b int) int {
+		if c := bytes.Compare(enc[a], enc[b]); c != 0 {
+			return c
+		}
+		return a - b // identity start: position tie-break == stability
+	})
+	if meta != nil {
+		fillClassOrderMeta(meta, sc, n, k)
+	}
+	applySortPerm(sc, idx)
+	return true, nil
+}
+
+// fillClassOrderMeta records the sorted stream's adjacency table while the
+// normalized sort's scratch is still alive: perm holds the sorted order,
+// bounds/buf the per-key encodings indexed by pre-sort position. Key-encoded
+// byte equality is exactly Compare equality for everything the normalized
+// path accepts, so the table's tie depths are the ones the comparator path
+// would have produced.
+func fillClassOrderMeta(m *ClassOrderMeta, sc *sortScratch, n, k int) {
+	m.tieDepth = grow(m.tieDepth, n)
+	m.keyTypes = grow(m.keyTypes, k)
+	copy(m.keyTypes, sc.types[:k])
+	buf, bounds, perm := sc.buf, sc.bounds, sc.perm
+	m.tieDepth[0] = 0
+	for i := 1; i < n; i++ {
+		a, b := perm[i-1], perm[i]
+		ba, bb := a*(k+1), b*(k+1)
+		depth := int32(0)
+		for ki := 0; ki < k; ki++ {
+			sa := buf[bounds[ba+ki]:bounds[ba+ki+1]]
+			sb := buf[bounds[bb+ki]:bounds[bb+ki+1]]
+			if !bytes.Equal(sa, sb) {
+				break
+			}
+			depth++
+		}
+		m.tieDepth[i] = depth
+	}
+	m.valid = true
+}
+
+// applySortPerm rewrites idx through the sorted permutation.
+func applySortPerm(sc *sortScratch, idx []int) {
+	sc.tmp = grow(sc.tmp, len(idx))
 	for i, pi := range sc.perm {
 		sc.tmp[i] = idx[pi]
 	}
-	copy(idx, sc.tmp)
-	return encodable, nil
+	copy(idx, sc.tmp[:len(idx)])
+}
+
+// compareKeyDatums orders two pre-validated key datums under one SortKey:
+// NULL placement is absolute (nullsLast puts NULLs after every non-NULL value
+// regardless of direction, matching EncodeKeyNulls), non-NULL pairs compare
+// through sqltypes.Compare with DESC negation. Callers guarantee the pair is
+// comparable, so Compare cannot fail.
+func compareKeyDatums(a, b sqltypes.Datum, k SortKey) int {
+	an, bn := a.IsNull(), b.IsNull()
+	if an || bn {
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			if k.nullsLast() {
+				return 1
+			}
+			return -1
+		default:
+			if k.nullsLast() {
+				return -1
+			}
+			return 1
+		}
+	}
+	cmp, _ := sqltypes.Compare(a, b)
+	if k.Desc {
+		return -cmp
+	}
+	return cmp
 }

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"rfview/internal/expr"
+	"rfview/internal/sqltypes"
+)
+
+// This file holds the two bookkeeping operators of shared-sort window
+// planning. A multi-window plan reorders the stream once per spec class, so
+// the planner brackets the window stack with an order tag: Ordinal appends
+// each input row's position as a hidden INTEGER column before the first
+// shared sort, and Restore puts the rows back into that original order (and
+// drops the column) after the last Window. Everything outside the bracket —
+// ORDER BY, projection, result rows — observes exactly the order the
+// unshared plan would have produced, which is what makes sort sharing
+// bit-exact end to end.
+
+// Ordinal streams its input through unchanged, appending the 0-based input
+// position as one extra INTEGER column.
+type Ordinal struct {
+	Input Operator
+	// Name is the appended column's name (the planner uses "__ord").
+	Name string
+
+	schema *expr.Schema
+	n      int64
+	arena  []sqltypes.Datum
+}
+
+// ordinalArenaRows is how many output rows share one datum allocation. The
+// operator tags every input row, so per-row slice headers dominated its cost;
+// carving rows out of a block allocation amortizes the garbage-collector work
+// across the chunk.
+const ordinalArenaRows = 256
+
+// NewOrdinal builds the operator; its schema is the input schema plus the
+// ordinal column.
+func NewOrdinal(input Operator, name string) *Ordinal {
+	return &Ordinal{
+		Input:  input,
+		Name:   name,
+		schema: input.Schema().Append(expr.ColInfo{Name: name, Type: sqltypes.Int}),
+	}
+}
+
+// Schema implements Operator.
+func (o *Ordinal) Schema() *expr.Schema { return o.schema }
+
+// Open implements Operator.
+func (o *Ordinal) Open() error {
+	o.n = 0
+	return o.Input.Open()
+}
+
+// Next implements Operator.
+func (o *Ordinal) Next() (sqltypes.Row, error) {
+	row, err := o.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	n := len(row) + 1
+	if len(o.arena) < n {
+		o.arena = make([]sqltypes.Datum, n*ordinalArenaRows)
+	}
+	// Full-slice expression: a downstream append must reallocate rather than
+	// grow into the next row's datums.
+	out := sqltypes.Row(o.arena[:0:n])
+	o.arena = o.arena[n:]
+	out = append(out, row...)
+	out = append(out, sqltypes.NewInt(o.n))
+	o.n++
+	return out, nil
+}
+
+// Close implements Operator.
+func (o *Ordinal) Close() error {
+	o.arena = nil
+	return o.Input.Close()
+}
+
+// Describe implements Operator.
+func (o *Ordinal) Describe() string { return "Ordinal " + o.Name }
+
+// Children implements Operator.
+func (o *Ordinal) Children() []Operator { return []Operator{o.Input} }
+
+// Restore materializes its input and re-emits the rows in the original input
+// order recorded by a matching Ordinal operator, dropping the ordinal column.
+// The ordinals are a permutation of 0..n-1 (window operators neither drop nor
+// duplicate rows), so restoration is a direct O(n) placement, not a sort.
+type Restore struct {
+	Input Operator
+	// Col is the ordinal column's index in the input schema.
+	Col int
+	// Ctx, when set, cancels the input drain. nil means context.Background().
+	Ctx context.Context
+
+	schema *expr.Schema
+	out    []sqltypes.Row
+	pos    int
+}
+
+// NewRestore builds the operator; its schema is the input schema without the
+// ordinal column.
+func NewRestore(input Operator, col int) *Restore {
+	in := input.Schema().Cols
+	cols := make([]expr.ColInfo, 0, len(in)-1)
+	cols = append(cols, in[:col]...)
+	cols = append(cols, in[col+1:]...)
+	return &Restore{Input: input, Col: col, schema: expr.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (r *Restore) Schema() *expr.Schema { return r.schema }
+
+// ctx resolves the operator's context.
+func (r *Restore) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Open implements Operator.
+func (r *Restore) Open() error {
+	rows, err := CollectCtx(r.ctx(), r.Input)
+	if err != nil {
+		return err
+	}
+	out := make([]sqltypes.Row, len(rows))
+	for _, row := range rows {
+		if r.Col >= len(row) {
+			return fmt.Errorf("exec: restore ordinal column %d out of range", r.Col)
+		}
+		d := row[r.Col]
+		if d.Typ() != sqltypes.Int {
+			return fmt.Errorf("exec: restore ordinal is %s, want INTEGER", d.Typ())
+		}
+		ord := d.Int()
+		if ord < 0 || ord >= int64(len(rows)) || out[ord] != nil {
+			return fmt.Errorf("exec: restore ordinals are not a permutation (saw %d twice or out of range)", ord)
+		}
+		// Splice the ordinal out in place. The input is always the top Window
+		// of the shared stack, and Window builds each output row as a fresh
+		// allocation it hands over wholesale, so these slices have no other
+		// referents.
+		copy(row[r.Col:], row[r.Col+1:])
+		out[ord] = row[:len(row)-1]
+	}
+	r.out = out
+	r.pos = 0
+	return nil
+}
+
+// takeRows implements rowsHandoff.
+func (r *Restore) takeRows() []sqltypes.Row {
+	out := r.out
+	r.out = nil
+	return out
+}
+
+// Next implements Operator.
+func (r *Restore) Next() (sqltypes.Row, error) {
+	if r.pos >= len(r.out) {
+		return nil, nil
+	}
+	row := r.out[r.pos]
+	r.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (r *Restore) Close() error {
+	r.out = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (r *Restore) Describe() string { return "Restore input-order" }
+
+// Children implements Operator.
+func (r *Restore) Children() []Operator { return []Operator{r.Input} }

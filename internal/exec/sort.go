@@ -10,17 +10,50 @@ import (
 	"rfview/internal/sqltypes"
 )
 
+// NullsPlacement positions NULL keys within one ORDER BY key's order. The
+// zero value (NullsAuto) keeps the engine default — NULLs first ascending,
+// NULLs last descending — so existing SortKey literals are unaffected.
+type NullsPlacement uint8
+
+// Null placements.
+const (
+	NullsAuto NullsPlacement = iota
+	NullsFirst
+	NullsLast
+)
+
 // SortKey is one ORDER BY key.
 type SortKey struct {
-	Expr expr.Expr
-	Desc bool
+	Expr  expr.Expr
+	Desc  bool
+	Nulls NullsPlacement
+}
+
+// nullsLast resolves the placement to its absolute position: true puts NULLs
+// after every non-NULL value of the column regardless of direction.
+func (k SortKey) nullsLast() bool {
+	switch k.Nulls {
+	case NullsFirst:
+		return false
+	case NullsLast:
+		return true
+	default:
+		return k.Desc
+	}
 }
 
 func (k SortKey) String() string {
+	s := k.Expr.String()
 	if k.Desc {
-		return k.Expr.String() + " DESC"
+		s += " DESC"
 	}
-	return k.Expr.String()
+	switch k.Nulls {
+	case NullsFirst:
+		s += " NULLS FIRST"
+	case NullsLast:
+		s += " NULLS LAST"
+	}
+	return s
 }
 
 // Sort materializes its input and emits it ordered by the keys (ascending by
@@ -41,6 +74,23 @@ type Sort struct {
 	// and come back from a merge of on-disk runs instead of one in-memory
 	// permutation. Only key-encodable orderings go external; see spill.go.
 	Spill *spill.Config
+	// SharedClass, when > 0, marks this sort as the shared ordering of a
+	// window spec class (1-based class id): the Window operators stacked above
+	// consume this order instead of sorting inside themselves. Surfaced by
+	// EXPLAIN and counted in WinStats.
+	SharedClass int
+	// ResortFull marks a shared class sort that follows another window class
+	// whose order it could not reuse — the "full re-sort" decision between
+	// consecutive classes, surfaced by EXPLAIN as resort=full.
+	ResortFull bool
+	// WinStats, when set on a shared class sort, counts the execution in the
+	// window-sort telemetry (SortsPerformed).
+	WinStats *WindowStats
+	// Order, when set on a shared class sort, receives the sorted stream's
+	// adjacency metadata for the Window operators stacked above (see
+	// ClassOrderMeta). Reset at every Open; filled only by the in-memory
+	// normalized path.
+	Order *ClassOrderMeta
 
 	rows []sqltypes.Row
 	pos  int
@@ -63,6 +113,10 @@ func (s *Sort) ctx() context.Context {
 
 // Open implements Operator.
 func (s *Sort) Open() error {
+	if s.SharedClass > 0 && s.WinStats != nil {
+		s.WinStats.SortsPerformed.Add(1)
+	}
+	s.Order.reset()
 	rows, err := CollectCtx(s.ctx(), s.Input)
 	if err != nil {
 		return err
@@ -70,6 +124,11 @@ func (s *Sort) Open() error {
 	if spillEligible(s.Spill, s.Keys, s.NoVectorize, len(rows)) {
 		handled, err := s.openExternal(rows)
 		if err != nil {
+			// The spill sorter surfaces cancellation as the context's own
+			// error; map it onto the engine's coded surface like Next does.
+			if cerr := ctxErr(s.ctx()); cerr != nil {
+				return cerr
+			}
 			return err
 		}
 		if handled {
@@ -84,7 +143,7 @@ func (s *Sort) Open() error {
 		idx[i] = i
 	}
 	sc := getSortScratch()
-	_, err = sortRowsByKeys(rows, idx, s.Keys, sc, !s.NoVectorize)
+	_, err = sortRowsByKeysMeta(rows, idx, s.Keys, sc, !s.NoVectorize, s.Order)
 	putSortScratch(sc)
 	if err != nil {
 		return err
@@ -132,6 +191,17 @@ func (s *Sort) openExternal(rows []sqltypes.Row) (handled bool, err error) {
 	s.spillBytes = sorter.SpillBytes()
 	s.pos = 0
 	return true, nil
+}
+
+// takeRows implements rowsHandoff for the in-memory path; an external merge
+// streams from disk and has no buffer to surrender.
+func (s *Sort) takeRows() []sqltypes.Row {
+	if s.it != nil {
+		return nil
+	}
+	rows := s.rows
+	s.rows = nil
+	return rows
 }
 
 // Next implements Operator.
@@ -182,7 +252,14 @@ func (s *Sort) Describe() string {
 	if s.spillRuns > 0 {
 		sp = fmt.Sprintf(" spilled=true runs=%d spill_bytes=%d", s.spillRuns, s.spillBytes)
 	}
-	return "Sort " + joinTrunc(parts, 6) + vec + sp
+	shared := ""
+	if s.SharedClass > 0 {
+		shared = fmt.Sprintf(" shared=win class=%d", s.SharedClass)
+		if s.ResortFull {
+			shared += " resort=full"
+		}
+	}
+	return "Sort " + joinTrunc(parts, 6) + shared + vec + sp
 }
 
 // Children implements Operator.

@@ -70,7 +70,7 @@ func (ks *keyStreamer) encode(row sqltypes.Row) (key []byte, ok bool, err error)
 		}
 	}
 	for ki := range ks.keys {
-		ks.buf = sqltypes.EncodeKey(ks.buf, ks.vals[ki], ks.keys[ki].Desc)
+		ks.buf = sqltypes.EncodeKeyNulls(ks.buf, ks.vals[ki], ks.keys[ki].Desc, ks.keys[ki].nullsLast())
 	}
 	return ks.buf, true, nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +35,14 @@ type WindowStats struct {
 	// (vectorization off, NULLs in the argument column, a mixed or
 	// non-numeric argument type, or a NaN).
 	TypedKernels, BoxedKernels atomic.Int64
+	// SortsPerformed counts full window-ordering sorts actually executed: the
+	// shared class sorts of multi-window plans, the in-operator orderings of
+	// unshared Window runs, and shared runs that hit the NaN partition-key
+	// fallback (which re-partition and re-sort like an unshared run).
+	// SortsShared counts Window runs that consumed a shared sort without
+	// re-ordering; SortsSegmented counts Window runs that reused partition
+	// grouping from the stream and re-sorted only within partition segments.
+	SortsPerformed, SortsShared, SortsSegmented atomic.Int64
 }
 
 // FrameBoundKind mirrors the SQL ROWS frame bound kinds at the executor
@@ -185,6 +195,48 @@ type Window struct {
 	// datum matrix, and pooled per-worker scratch is trimmed back to the
 	// budgeted ceiling instead of growing without bound (see spill.go).
 	Spill *spill.Config
+	// Shared marks the operator as a consumer of a shared-sort window plan:
+	// the input stream arrives with this operator's partitions contiguous
+	// (some prefix of the stream order is a permutation of PartitionBy), so
+	// partitions are detected by boundary comparison instead of hashing.
+	// Requires OrdinalCol; see plan's shared-sort pass.
+	Shared bool
+	// PreSorted additionally promises that within each partition the stream
+	// is ordered by OrderBy (possibly refined by further keys of a longer
+	// shared sort). The operator then skips the per-partition sort and only
+	// normalizes tie runs back to input-ordinal order; data that defeats the
+	// promise (a NaN key, which breaks Compare's total order) falls back to
+	// the full per-partition sort with identical results.
+	PreSorted bool
+	// OrderExact marks a pre-sorted consumer whose ORDER BY keys are exactly
+	// the shared sort's full order suffix. The class sort breaks ties by the
+	// ordinal tag, so tie runs already sit in original input order and the
+	// per-partition tie normalization reduces to a NaN scan over the order
+	// keys (a NaN defeats Compare's total order, so its partition still falls
+	// back to the full re-sort that reproduces the unshared ordering).
+	OrderExact bool
+	// OrdinalCol is the input column holding each row's original position
+	// (appended by an Ordinal operator below the shared sorts); -1 when the
+	// plan is unshared. It is the tie-break that keeps shared and unshared
+	// results bit-identical: every per-partition ordering resolves ties by
+	// original input order, exactly like the stable sort over hash partitions
+	// collected in input order.
+	OrdinalCol int
+	// Class is the 1-based window spec class this operator belongs to in a
+	// shared plan (EXPLAIN provenance); 0 when unshared.
+	Class int
+	// ClassOrder, when set, is the adjacency metadata of the class Sort this
+	// operator is stacked above (shared with every member of the class). When
+	// valid for an execution, partition boundaries and ORDER BY tie runs come
+	// from the sort's own key comparisons instead of re-evaluating this
+	// operator's keys over the stream; when invalid (spilled or comparator
+	// sort) the evaluating scans below run unchanged.
+	ClassOrder *ClassOrderMeta
+
+	// sharedFallback records that this run's partition keys contained a NaN,
+	// forcing hash partitioning and full per-partition sorts (the exact
+	// unshared code path). Written once in Open before workers start.
+	sharedFallback bool
 
 	schema *expr.Schema
 	out    []sqltypes.Row
@@ -223,7 +275,8 @@ func NewWindow(input Operator, partitionBy []expr.Expr, orderBy []SortKey, funcs
 	}
 	return &Window{
 		Input: input, PartitionBy: partitionBy, OrderBy: orderBy, Funcs: funcs,
-		schema: input.Schema().Append(extra...),
+		OrdinalCol: -1,
+		schema:     input.Schema().Append(extra...),
 	}
 }
 
@@ -242,7 +295,38 @@ func (w *Window) Open() error {
 		results[i] = make([]sqltypes.Datum, len(rows))
 	}
 
-	// Partition rows (stable, hash on partition key values).
+	w.sharedFallback = false
+	var partIdx [][]int
+	if w.Shared {
+		partIdx, err = w.partitionShared(rows)
+	} else {
+		partIdx, err = w.partitionHashed(rows)
+	}
+	if err != nil {
+		return err
+	}
+	if err := w.computePartitions(rows, partIdx, results); err != nil {
+		return err
+	}
+
+	w.out = make([]sqltypes.Row, len(rows))
+	for i, row := range rows {
+		out := make(sqltypes.Row, 0, len(row)+len(w.Funcs))
+		out = append(out, row...)
+		for f := range w.Funcs {
+			out = append(out, results[f][i])
+		}
+		w.out[i] = out
+	}
+	w.pos = 0
+	return nil
+}
+
+// partitionHashed groups rows into partitions by hashing the partition key
+// values: partitions appear in first-seen input order, and each partition's
+// row indices are in input order. This is the unshared path (and the NaN
+// fallback of the shared one).
+func (w *Window) partitionHashed(rows []sqltypes.Row) ([][]int, error) {
 	type part struct{ idx []int }
 	parts := make(map[uint64][]*struct {
 		key sqltypes.Row
@@ -254,7 +338,7 @@ func (w *Window) Open() error {
 		for ki, pe := range w.PartitionBy {
 			v, err := pe.Eval(row)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			key[ki] = v
 		}
@@ -276,26 +360,112 @@ func (w *Window) Open() error {
 		}
 		target.idx = append(target.idx, i)
 	}
-
 	partIdx := make([][]int, len(order))
 	for i, p := range order {
 		partIdx[i] = p.idx
 	}
-	if err := w.computePartitions(rows, partIdx, results); err != nil {
-		return err
-	}
+	return partIdx, nil
+}
 
-	w.out = make([]sqltypes.Row, len(rows))
-	for i, row := range rows {
-		out := make(sqltypes.Row, 0, len(row)+len(w.Funcs))
-		out = append(out, row...)
-		for f := range w.Funcs {
-			out = append(out, results[f][i])
-		}
-		w.out[i] = out
+// partitionShared detects partitions on a shared-sort stream: the class sort
+// placed this operator's partitions contiguously, so one boundary scan over
+// the evaluated partition keys groups the rows without hashing. Two
+// partition-key values fall back to hash partitioning for the whole run —
+// NaN (sqltypes.Equal treats it as equal to any numeric, so a boundary scan
+// could merge partitions the unshared plan keeps apart) and negative zero
+// (Equal to +0.0 but hashed by float bits, so the unshared partitioner keeps
+// them apart) — recording the fallback so per-partition ordering also takes
+// the full-sort path.
+func (w *Window) partitionShared(rows []sqltypes.Row) ([][]int, error) {
+	n, k := len(rows), len(w.PartitionBy)
+	if n == 0 {
+		return nil, nil
 	}
-	w.pos = 0
-	return nil
+	if w.classBoundariesUsable(n) {
+		return w.partitionByTieDepth(n), nil
+	}
+	// The key matrix is a real per-run allocation; force-charge it like the
+	// argument matrix so the budget gauge sees the pressure.
+	if w.Spill.Enabled() {
+		charged := int64(n*k) * datumMemSize
+		w.Spill.Budget.Force(charged)
+		defer w.Spill.Budget.Release(charged)
+	}
+	keys := make([]sqltypes.Datum, n*k)
+	fallback := false
+	for i, row := range rows {
+		base := i * k
+		for ki, pe := range w.PartitionBy {
+			v, err := pe.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Typ() == sqltypes.Float {
+				f := v.Float()
+				if math.IsNaN(f) || (f == 0 && math.Signbit(f)) {
+					fallback = true
+				}
+			}
+			keys[base+ki] = v
+		}
+	}
+	if fallback {
+		w.sharedFallback = true
+		return w.partitionHashed(rows)
+	}
+	var parts [][]int
+	for i := 0; i < n; i++ {
+		newPart := i == 0
+		if !newPart {
+			for ki := 0; ki < k; ki++ {
+				if !sqltypes.Equal(keys[(i-1)*k+ki], keys[i*k+ki]) {
+					newPart = true
+					break
+				}
+			}
+		}
+		if newPart {
+			parts = append(parts, nil)
+		}
+		parts[len(parts)-1] = append(parts[len(parts)-1], i)
+	}
+	return parts, nil
+}
+
+// classBoundariesUsable reports whether the class sort's metadata can place
+// this run's partition boundaries: it must describe exactly these rows, and
+// no partition key may be a runtime float — the key encoding equates -0.0
+// with +0.0 while the unshared hash partitioner separates them by bit
+// pattern, so float partition keys keep the evaluating scan (which detects
+// exactly that hazard and falls back to hashing).
+func (w *Window) classBoundariesUsable(n int) bool {
+	if !w.ClassOrder.Valid(n) {
+		return false
+	}
+	for ki := 0; ki < w.ClassOrder.PartKeys(); ki++ {
+		if w.ClassOrder.KeyType(ki) == sqltypes.Float {
+			return false
+		}
+	}
+	return true
+}
+
+// partitionByTieDepth groups the stream into partitions off the class sort's
+// adjacency table: a new partition starts wherever fewer than the class's
+// partition key count of leading sort keys match the previous row. The
+// member's partition key set is set-equal to the class's leading keys, so
+// the thresholds coincide.
+func (w *Window) partitionByTieDepth(n int) [][]int {
+	depths := w.ClassOrder.TieDepths()
+	partKeys := int32(w.ClassOrder.PartKeys())
+	var parts [][]int
+	for i := 0; i < n; i++ {
+		if i == 0 || depths[i] < partKeys {
+			parts = append(parts, nil)
+		}
+		parts[len(parts)-1] = append(parts[len(parts)-1], i)
+	}
+	return parts
 }
 
 // computePartitions evaluates every partition, fanning across a bounded
@@ -322,6 +492,16 @@ func (w *Window) computePartitions(rows []sqltypes.Row, parts [][]int, results [
 			w.Stats.WorkersUsed.Add(int64(workers))
 		} else {
 			w.Stats.WorkersUsed.Add(1)
+		}
+		switch {
+		case w.Shared && w.sharedFallback:
+			w.Stats.SortsPerformed.Add(1)
+		case w.Shared && w.PreSorted:
+			w.Stats.SortsShared.Add(1)
+		case w.Shared:
+			w.Stats.SortsSegmented.Add(1)
+		case len(w.OrderBy) > 0:
+			w.Stats.SortsPerformed.Add(1)
 		}
 	}
 	if workers <= 1 {
@@ -438,30 +618,13 @@ func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sq
 	copy(ps.ordered, idx)
 	ordered := ps.ordered
 	vectorize := !w.NoVectorize
-	if len(w.OrderBy) > 0 {
-		normalized := false
-		handled := false
-		if spillEligible(w.Spill, w.OrderBy, w.NoVectorize, n) {
-			var err error
-			handled, err = w.sortPartitionExternal(rows, ordered)
-			if err != nil {
-				return err
-			}
-			normalized = handled
+	if w.Shared {
+		if err := w.orderSharedPartition(rows, ordered, ps); err != nil {
+			return err
 		}
-		if !handled {
-			var err error
-			normalized, err = sortRowsByKeys(rows, ordered, w.OrderBy, &ps.sort, vectorize)
-			if err != nil {
-				return err
-			}
-		}
-		if w.Stats != nil {
-			if normalized {
-				w.Stats.NormalizedSorts.Add(1)
-			} else {
-				w.Stats.ComparatorSorts.Add(1)
-			}
+	} else if len(w.OrderBy) > 0 {
+		if err := w.orderPartition(rows, ordered, ps); err != nil {
+			return err
 		}
 	}
 
@@ -534,6 +697,189 @@ func (w *Window) computePartition(rows []sqltypes.Row, idx []int, results [][]sq
 		}
 	}
 	return nil
+}
+
+// orderPartition sorts one partition's ordered slice by w.OrderBy — the
+// in-operator ordering of an unshared run (also the shared fallback). The
+// external path runs when a budget is enabled; either way the sort is stable
+// over the incoming ordered sequence.
+func (w *Window) orderPartition(rows []sqltypes.Row, ordered []int, ps *partScratch) error {
+	normalized := false
+	handled := false
+	if spillEligible(w.Spill, w.OrderBy, w.NoVectorize, len(ordered)) {
+		var err error
+		handled, err = w.sortPartitionExternal(rows, ordered)
+		if err != nil {
+			return err
+		}
+		normalized = handled
+	}
+	if !handled {
+		var err error
+		normalized, err = sortRowsByKeys(rows, ordered, w.OrderBy, &ps.sort, !w.NoVectorize)
+		if err != nil {
+			return err
+		}
+	}
+	if w.Stats != nil {
+		if normalized {
+			w.Stats.NormalizedSorts.Add(1)
+		} else {
+			w.Stats.ComparatorSorts.Add(1)
+		}
+	}
+	return nil
+}
+
+// orderSharedPartition establishes one partition's evaluation order on a
+// shared-sort stream. PreSorted partitions only normalize tie runs back to
+// input-ordinal order; everything else — segmented reuse, the NaN partition
+// fallback, a NaN order key defeating run detection — first restores input
+// order by ordinal and then runs the ordinary stable sort, which makes the
+// result bit-identical to the unshared path by construction.
+func (w *Window) orderSharedPartition(rows []sqltypes.Row, ordered []int, ps *partScratch) error {
+	if w.PreSorted && !w.sharedFallback && len(w.OrderBy) > 0 {
+		if w.ClassOrder.Valid(len(rows)) {
+			// Metadata path: validity certifies NaN-free sort keys, so run
+			// detection needs no key evaluation and no fallback — an
+			// OrderExact member is already in its exact unshared order.
+			if !w.OrderExact {
+				w.normalizeTieRunsByMeta(rows, ordered)
+			}
+			return nil
+		}
+		if w.OrderExact {
+			clean, err := w.orderKeysNaNFree(rows, ordered)
+			if err != nil {
+				return err
+			}
+			if clean {
+				return nil
+			}
+		} else {
+			ok, err := w.normalizeTieRuns(rows, ordered, ps)
+			if err != nil || ok {
+				return err
+			}
+		}
+	}
+	w.sortByOrdinal(rows, ordered)
+	if len(w.OrderBy) == 0 {
+		return nil
+	}
+	return w.orderPartition(rows, ordered, ps)
+}
+
+// normalizeTieRunsByMeta is normalizeTieRuns off the class sort's adjacency
+// table: within one contiguous partition, stream-adjacent rows tie on this
+// member's ORDER BY prefix exactly when at least the class partition key
+// count plus the member's order key count of leading sort keys match. No key
+// is evaluated and no NaN fallback exists — metadata validity already
+// certifies NaN-free keys.
+func (w *Window) normalizeTieRunsByMeta(rows []sqltypes.Row, ordered []int) {
+	depths := w.ClassOrder.TieDepths()
+	want := int32(w.ClassOrder.PartKeys() + len(w.OrderBy))
+	n := len(ordered)
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || depths[ordered[i]] < want {
+			if i-start > 1 {
+				w.sortByOrdinal(rows, ordered[start:i])
+			}
+			start = i
+		}
+	}
+}
+
+// normalizeTieRuns re-establishes the unshared tie order of a pre-sorted
+// partition: the shared class sort may refine this operator's ORDER BY with
+// further keys, so rows that tie on w.OrderBy can arrive in an order the
+// in-operator stable sort would not have produced. The pass evaluates the
+// order keys once, splits the partition into maximal runs of key-equal rows,
+// and sorts each run by the ordinal column — exactly the tie order of the
+// stable unshared sort over indices collected in input order. ok=false
+// (without reordering anything) means a NaN key was seen: Compare treats NaN
+// as equal to everything, so run detection is unsound and the caller must
+// fall back to the full per-partition sort.
+func (w *Window) normalizeTieRuns(rows []sqltypes.Row, ordered []int, ps *partScratch) (bool, error) {
+	n, k := len(ordered), len(w.OrderBy)
+	sc := &ps.sort
+	if cap(sc.datums) < n*k {
+		sc.datums = make([]sqltypes.Datum, n*k)
+	} else {
+		sc.datums = sc.datums[:n*k]
+	}
+	for i, ri := range ordered {
+		row := rows[ri]
+		base := i * k
+		for ki := range w.OrderBy {
+			v, err := w.OrderBy[ki].Expr.Eval(row)
+			if err != nil {
+				return false, err
+			}
+			if v.Typ() == sqltypes.Float && math.IsNaN(v.Float()) {
+				return false, nil
+			}
+			sc.datums[base+ki] = v
+		}
+	}
+	start := 0
+	for i := 1; i <= n; i++ {
+		boundary := i == n
+		if !boundary {
+			for ki := 0; ki < k; ki++ {
+				if !sqltypes.Equal(sc.datums[(i-1)*k+ki], sc.datums[i*k+ki]) {
+					boundary = true
+					break
+				}
+			}
+		}
+		if boundary {
+			if i-start > 1 {
+				w.sortByOrdinal(rows, ordered[start:i])
+			}
+			start = i
+		}
+	}
+	return true, nil
+}
+
+// orderKeysNaNFree reports whether the partition's order-key values contain
+// no float NaN — the one value that makes the shared sort's tie placement
+// diverge from the unshared stable sort (Compare treats NaN as equal to any
+// numeric, so the sort's comparison sequence, not the keys, decides the
+// order). clean=false means the caller must restore input order and re-sort.
+func (w *Window) orderKeysNaNFree(rows []sqltypes.Row, ordered []int) (bool, error) {
+	for _, ri := range ordered {
+		row := rows[ri]
+		for ki := range w.OrderBy {
+			v, err := w.OrderBy[ki].Expr.Eval(row)
+			if err != nil {
+				return false, err
+			}
+			if v.Typ() == sqltypes.Float && math.IsNaN(v.Float()) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// sortByOrdinal orders idx by the rows' ordinal column — the original input
+// order. Ordinals are unique, so the result is a strict total order.
+func (w *Window) sortByOrdinal(rows []sqltypes.Row, idx []int) {
+	c := w.OrdinalCol
+	slices.SortFunc(idx, func(a, b int) int {
+		oa, ob := rows[a][c].Int(), rows[b][c].Int()
+		switch {
+		case oa < ob:
+			return -1
+		case oa > ob:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // datumMemSize approximates one resident sqltypes.Datum for budget
@@ -781,6 +1127,13 @@ func computeFramesMinMaxNaive(fn WindowFunc, args []sqltypes.Datum) ([]sqltypes.
 	return out, nil
 }
 
+// takeRows implements rowsHandoff.
+func (w *Window) takeRows() []sqltypes.Row {
+	out := w.out
+	w.out = nil
+	return out
+}
+
 // Next implements Operator.
 func (w *Window) Next() (sqltypes.Row, error) {
 	if w.pos >= len(w.out) {
@@ -823,8 +1176,16 @@ func (w *Window) Describe() string {
 	if runs := w.spillRuns.Load(); runs > 0 {
 		sp = fmt.Sprintf(" spilled=true runs=%d spill_bytes=%d", runs, w.spillBytes.Load())
 	}
-	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s%s%s",
-		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), par, vec, sp)
+	shared := ""
+	if w.Shared {
+		if w.PreSorted {
+			shared = fmt.Sprintf(" sort=shared class=%d", w.Class)
+		} else {
+			shared = fmt.Sprintf(" resort=segmented class=%d", w.Class)
+		}
+	}
+	return fmt.Sprintf("Window partition=[%s] order=[%s] funcs=[%s]%s%s%s%s",
+		joinTrunc(pb, 4), joinTrunc(ob, 4), joinTrunc(fs, 4), shared, par, vec, sp)
 }
 
 // Vectorizable reports whether the typed columnar fast path is enabled for

@@ -59,6 +59,11 @@ type Options struct {
 	// Spill, when enabled, is stamped onto planned Sort and Window operators
 	// so oversized orderings go external under the engine's memory budget.
 	Spill *spill.Config
+	// NoSharedSort disables the shared-sort multi-window pass: every Window
+	// operator of a multi-OVER query orders its partitions internally, as a
+	// stack of independent operators. Off by default (sharing on); the
+	// differential oracle and A/B benchmarks flip it to compare the paths.
+	NoSharedSort bool
 	// Snap, when set, is stamped onto planned Scan and index-join operators:
 	// it resolves the MVCC snapshot every heap access of the statement reads
 	// at (one shared resolver per statement, so the whole plan sees a single
@@ -138,9 +143,22 @@ func (p *Planner) compileOrderBy(items []sqlparser.OrderItem, schema *expr.Schem
 		if err != nil {
 			return nil, err
 		}
-		keys[i] = exec.SortKey{Expr: e, Desc: it.Desc}
+		keys[i] = exec.SortKey{Expr: e, Desc: it.Desc, Nulls: nullsPlacement(it.Nulls)}
 	}
 	return keys, nil
+}
+
+// nullsPlacement maps the parser's NULLS FIRST/LAST clause onto the
+// executor's knob; absent means the direction default.
+func nullsPlacement(n sqlparser.NullsOrder) exec.NullsPlacement {
+	switch n {
+	case sqlparser.NullsFirst:
+		return exec.NullsFirst
+	case sqlparser.NullsLast:
+		return exec.NullsLast
+	default:
+		return exec.NullsAuto
+	}
 }
 
 func (p *Planner) applyLimit(op exec.Operator, limit sqlparser.Expr) (exec.Operator, error) {
@@ -436,28 +454,20 @@ func (p *Planner) planAggregation(input exec.Operator, groupBy []sqlparser.Expr,
 	return agg, newItems, newHaving, nil
 }
 
-// planWindows extracts window expressions from the items and stacks one
-// Window operator per distinct (PARTITION BY, ORDER BY) clause pair,
-// substituting synthetic column references into the items.
+// windowGroup is one distinct window spec and the OVER expressions planned
+// over it; one Window operator computes every member function.
+type windowGroup struct {
+	spec     WindowSpec
+	astFuncs []*sqlparser.WindowExpr
+}
+
+// planWindows extracts window expressions from the items, groups them by
+// canonical WindowSpec, and plans the Window operator stack: a single spec
+// (or NoSharedSort) uses the classic per-operator sorts; multiple specs go
+// through the shared-sort pass, which orders the stream once per
+// ordering-compatible spec class instead of once per operator.
 func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator, []item, error) {
-	type windowGroup struct {
-		partitionBy []sqlparser.Expr
-		orderBy     []sqlparser.OrderItem
-		funcs       []exec.WindowFunc
-		astFuncs    []*sqlparser.WindowExpr
-	}
 	var groups []*windowGroup
-	groupKey := func(w *sqlparser.WindowExpr) string {
-		key := "P:"
-		for _, e := range w.PartitionBy {
-			key += e.String() + ";"
-		}
-		key += "O:"
-		for _, o := range w.OrderBy {
-			key += o.String() + ";"
-		}
-		return key
-	}
 	groupIndex := map[string]*windowGroup{}
 	nameOf := map[*sqlparser.WindowExpr]string{}
 	counter := 0
@@ -472,10 +482,11 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 			name := fmt.Sprintf("__win_%d", counter)
 			counter++
 			nameOf[w] = name
-			key := groupKey(w)
+			spec := SpecOf(w)
+			key := spec.Key()
 			g, ok := groupIndex[key]
 			if !ok {
-				g = &windowGroup{partitionBy: w.PartitionBy, orderBy: w.OrderBy}
+				g = &windowGroup{spec: spec}
 				groupIndex[key] = g
 				groups = append(groups, g)
 			}
@@ -485,55 +496,83 @@ func (p *Planner) planWindows(input exec.Operator, items []item) (exec.Operator,
 		newItems[i] = item{Expr: rewritten, Alias: it.Alias}
 	}
 
-	op := input
-	for _, g := range groups {
-		pb := make([]expr.Expr, len(g.partitionBy))
-		for i, e := range g.partitionBy {
-			compiled, err := expr.Compile(e, input.Schema())
+	if len(groups) <= 1 || p.Opts.NoSharedSort {
+		op := input
+		for _, g := range groups {
+			win, err := p.buildWindow(input.Schema(), op, g, nameOf)
 			if err != nil {
 				return nil, nil, err
 			}
-			pb[i] = compiled
+			op = win
 		}
-		ob := make([]exec.SortKey, len(g.orderBy))
-		for i, o := range g.orderBy {
-			compiled, err := expr.Compile(o.Expr, input.Schema())
-			if err != nil {
-				return nil, nil, err
-			}
-			ob[i] = exec.SortKey{Expr: compiled, Desc: o.Desc}
-		}
-		funcs := make([]exec.WindowFunc, len(g.astFuncs))
-		for i, w := range g.astFuncs {
-			if !expr.AggregateNames[w.Func.Name] {
-				return nil, nil, fmt.Errorf("unknown reporting function %s()", w.Func.Name)
-			}
-			var arg expr.Expr
-			if !w.Func.Star {
-				if len(w.Func.Args) != 1 {
-					return nil, nil, fmt.Errorf("%s() OVER takes exactly one argument", w.Func.Name)
-				}
-				compiled, err := expr.Compile(w.Func.Args[0], input.Schema())
-				if err != nil {
-					return nil, nil, err
-				}
-				arg = compiled
-			}
-			frame, err := convertFrame(w.Frame, len(g.orderBy) > 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			funcs[i] = exec.WindowFunc{Name: w.Func.Name, Arg: arg, Frame: frame, OutName: nameOf[w]}
-		}
-		win := exec.NewWindow(op, pb, ob, funcs)
-		win.Parallelism = p.Opts.windowParallelism()
-		win.Ctx = p.Opts.Ctx
-		win.Stats = p.Opts.WindowStats
-		win.NoVectorize = p.Opts.DisableVectorized
-		win.Spill = p.Opts.Spill
-		op = win
+		return op, newItems, nil
+	}
+	op, err := p.planWindowsShared(input, groups, nameOf)
+	if err != nil {
+		return nil, nil, err
 	}
 	return op, newItems, nil
+}
+
+// buildWindow compiles one window group into a Window operator over op.
+// Key, partition and argument expressions compile against the pre-window
+// input schema — stacked window (and ordinal) columns are appended after it,
+// so the indices stay valid on the extended stream.
+func (p *Planner) buildWindow(inSchema *expr.Schema, op exec.Operator, g *windowGroup, nameOf map[*sqlparser.WindowExpr]string) (*exec.Window, error) {
+	pb := make([]expr.Expr, len(g.spec.Partition))
+	for i, k := range g.spec.Partition {
+		compiled, err := expr.Compile(k.AST, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		pb[i] = compiled
+	}
+	ob, err := p.compileSpecKeys(g.spec.Order, inSchema)
+	if err != nil {
+		return nil, err
+	}
+	funcs := make([]exec.WindowFunc, len(g.astFuncs))
+	for i, w := range g.astFuncs {
+		if !expr.AggregateNames[w.Func.Name] {
+			return nil, fmt.Errorf("unknown reporting function %s()", w.Func.Name)
+		}
+		var arg expr.Expr
+		if !w.Func.Star {
+			if len(w.Func.Args) != 1 {
+				return nil, fmt.Errorf("%s() OVER takes exactly one argument", w.Func.Name)
+			}
+			compiled, err := expr.Compile(w.Func.Args[0], inSchema)
+			if err != nil {
+				return nil, err
+			}
+			arg = compiled
+		}
+		frame, err := convertFrame(w.Frame, len(g.spec.Order) > 0)
+		if err != nil {
+			return nil, err
+		}
+		funcs[i] = exec.WindowFunc{Name: w.Func.Name, Arg: arg, Frame: frame, OutName: nameOf[w]}
+	}
+	win := exec.NewWindow(op, pb, ob, funcs)
+	win.Parallelism = p.Opts.windowParallelism()
+	win.Ctx = p.Opts.Ctx
+	win.Stats = p.Opts.WindowStats
+	win.NoVectorize = p.Opts.DisableVectorized
+	win.Spill = p.Opts.Spill
+	return win, nil
+}
+
+// compileSpecKeys compiles spec keys into executor sort keys.
+func (p *Planner) compileSpecKeys(keys []SpecKey, schema *expr.Schema) ([]exec.SortKey, error) {
+	out := make([]exec.SortKey, len(keys))
+	for i, k := range keys {
+		compiled, err := expr.Compile(k.AST, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = exec.SortKey{Expr: compiled, Desc: k.Desc, Nulls: k.execNulls()}
+	}
+	return out, nil
 }
 
 // convertFrame maps the parser's frame clause onto the executor's, applying

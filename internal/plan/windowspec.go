@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"strings"
+
+	"rfview/internal/exec"
+	"rfview/internal/sqlparser"
+)
+
+// This file is the first-class window-spec API of the planner: WindowSpec
+// captures one OVER clause's PARTITION BY and ORDER BY as canonical keys, and
+// its comparison methods (Equal, PrefixOf, Compatible) are the single place
+// the planner, the executor wiring, and the view-matching rewrite reason
+// about spec compatibility. The shared-sort pass (planWindowsShared) builds
+// ordering-compatible classes on top of these predicates.
+
+// SpecKey is one key of a window spec: the canonical rendering of the
+// expression (the planner's structural-equality currency), the direction, and
+// the resolved NULL placement, alongside the AST node used for compilation.
+type SpecKey struct {
+	// Expr is the canonical (String()) rendering of the key expression.
+	Expr string
+	// Desc orders the key descending. Always false for partition keys.
+	Desc bool
+	// NullsLast is the resolved absolute NULL placement: true puts NULLs
+	// after every non-NULL value regardless of direction. The parser default
+	// (NULLs first ascending, NULLs last descending) resolves here, so two
+	// clauses that spell the same order compare equal.
+	NullsLast bool
+	// AST is the key expression, for compilation against a schema.
+	AST sqlparser.Expr
+}
+
+// sameKey reports full ordering equality: expression, direction and NULL
+// placement.
+func (k SpecKey) sameKey(o SpecKey) bool {
+	return k.Expr == o.Expr && k.Desc == o.Desc && k.NullsLast == o.NullsLast
+}
+
+func (k SpecKey) String() string {
+	s := k.Expr
+	if k.Desc {
+		s += " DESC"
+	}
+	if k.NullsLast != k.Desc { // deviates from the direction default
+		if k.NullsLast {
+			s += " NULLS LAST"
+		} else {
+			s += " NULLS FIRST"
+		}
+	}
+	return s
+}
+
+// WindowSpec is the canonical form of one OVER clause. Partition keys keep
+// the order they were written in — partition equality is set-based, and the
+// rewrite layer matches views on the written order — while Order is an
+// ordered sequence.
+type WindowSpec struct {
+	Partition []SpecKey
+	Order     []SpecKey
+}
+
+// SpecOf builds the canonical spec of a parsed OVER clause, resolving the
+// NULL-placement default of every order key.
+func SpecOf(w *sqlparser.WindowExpr) WindowSpec {
+	s := WindowSpec{
+		Partition: make([]SpecKey, len(w.PartitionBy)),
+		Order:     make([]SpecKey, len(w.OrderBy)),
+	}
+	for i, e := range w.PartitionBy {
+		s.Partition[i] = SpecKey{Expr: e.String(), AST: e}
+	}
+	for i, o := range w.OrderBy {
+		nl := o.Desc
+		switch o.Nulls {
+		case sqlparser.NullsFirst:
+			nl = false
+		case sqlparser.NullsLast:
+			nl = true
+		}
+		s.Order[i] = SpecKey{Expr: o.Expr.String(), Desc: o.Desc, NullsLast: nl, AST: o.Expr}
+	}
+	return s
+}
+
+// exprSetEqual reports whether two key slices reference the same expression
+// set (directions ignored — partition grouping has none).
+func exprSetEqual(a, b []SpecKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, ka := range a {
+		found := false
+		for _, kb := range b {
+			if ka.Expr == kb.Expr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// isKeyPrefix reports whether a is a (possibly equal) leading prefix of b
+// under full ordering equality.
+func isKeyPrefix(a, b []SpecKey) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].sameKey(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports spec equivalence: the same partition key set and the same
+// order sequence. Equal specs always share one Window operator.
+func (s WindowSpec) Equal(t WindowSpec) bool {
+	return exprSetEqual(s.Partition, t.Partition) &&
+		len(s.Order) == len(t.Order) && isKeyPrefix(s.Order, t.Order)
+}
+
+// PrefixOf reports that t's ordering subsumes s's: equal partition sets and
+// s.Order a leading prefix of t.Order — s can consume a sort produced for t.
+func (s WindowSpec) PrefixOf(t WindowSpec) bool {
+	return exprSetEqual(s.Partition, t.Partition) && isKeyPrefix(s.Order, t.Order)
+}
+
+// Reuse grades how a spec can consume an existing stream ordering.
+type Reuse int
+
+// Reuse grades, ordered by preference: ReuseFull consumes the ordering as-is
+// (no sort at all), ReuseSegmented reuses the partition grouping but re-sorts
+// within each partition segment, ReuseNone needs a full sort.
+const (
+	ReuseNone Reuse = iota
+	ReuseSegmented
+	ReuseFull
+)
+
+func (r Reuse) String() string {
+	switch r {
+	case ReuseFull:
+		return "full"
+	case ReuseSegmented:
+		return "segmented"
+	default:
+		return "none"
+	}
+}
+
+// Compatible grades the spec against a stream ordering (a sequence of sort
+// keys): ReuseFull when the ordering's first |Partition| keys are a
+// permutation of the partition set and the keys after them start with Order
+// exactly; ReuseSegmented when only the partition prefix holds (partitions
+// are contiguous, their internal order is wrong); ReuseNone otherwise. A
+// spec with no partition keys is always at least ReuseSegmented — the whole
+// stream is one contiguous partition.
+func (s WindowSpec) Compatible(ordering []SpecKey) Reuse {
+	np := len(s.Partition)
+	if len(ordering) < np || !exprSetEqual(s.Partition, ordering[:np]) {
+		return ReuseNone
+	}
+	if isKeyPrefix(s.Order, ordering[np:]) {
+		return ReuseFull
+	}
+	return ReuseSegmented
+}
+
+// Key returns the canonical grouping key of the spec: specs with equal keys
+// plan into one Window operator.
+func (s WindowSpec) Key() string { return s.String() }
+
+func (s WindowSpec) String() string {
+	var b strings.Builder
+	b.WriteString("PARTITION BY [")
+	for i, k := range s.Partition {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.String())
+	}
+	b.WriteString("] ORDER BY [")
+	for i, k := range s.Order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// PlainPartition returns the partition key column names when every partition
+// key is a bare (untabled) column reference; ok=false otherwise. The rewrite
+// layer matches reporting-function views on plain column lists.
+func (s WindowSpec) PlainPartition() (cols []string, ok bool) {
+	cols = make([]string, len(s.Partition))
+	for i, k := range s.Partition {
+		cr, isCol := k.AST.(*sqlparser.ColumnRef)
+		if !isCol || cr.Table != "" {
+			return nil, false
+		}
+		cols[i] = cr.Name
+	}
+	return cols, true
+}
+
+// PlainOrder returns the single order key's column name when the order
+// clause is exactly one bare ascending column with default NULL placement;
+// ok=false otherwise (the rewrite layer's sequence views support only that
+// shape).
+func (s WindowSpec) PlainOrder() (col string, ok bool) {
+	if len(s.Order) != 1 {
+		return "", false
+	}
+	k := s.Order[0]
+	if k.Desc || k.NullsLast != k.Desc {
+		return "", false
+	}
+	cr, isCol := k.AST.(*sqlparser.ColumnRef)
+	if !isCol || cr.Table != "" {
+		return "", false
+	}
+	return cr.Name, true
+}
+
+// execNulls maps the resolved placement onto the executor's SortKey knob,
+// collapsing back to the direction default (NullsAuto) when they coincide so
+// EXPLAIN output stays terse.
+func (k SpecKey) execNulls() exec.NullsPlacement {
+	if k.NullsLast == k.Desc {
+		return exec.NullsAuto
+	}
+	if k.NullsLast {
+		return exec.NullsLast
+	}
+	return exec.NullsFirst
+}

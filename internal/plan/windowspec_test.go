@@ -1,0 +1,393 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"rfview/internal/exec"
+	"rfview/internal/sqlparser"
+)
+
+// specOf parses one OVER clause and returns its canonical spec.
+func specOf(t *testing.T, over string) WindowSpec {
+	t.Helper()
+	stmt, err := sqlparser.Parse("SELECT SUM(val) OVER (" + over + ") FROM seq")
+	if err != nil {
+		t.Fatalf("parse OVER (%s): %v", over, err)
+	}
+	sel := stmt.(*sqlparser.Select)
+	w, ok := sel.Items[0].Expr.(*sqlparser.WindowExpr)
+	if !ok {
+		t.Fatalf("item is %T, want WindowExpr", sel.Items[0].Expr)
+	}
+	return SpecOf(w)
+}
+
+func TestWindowSpecEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		// Partition equality is set-based; written order is irrelevant.
+		{"PARTITION BY a, b ORDER BY x", "PARTITION BY b, a ORDER BY x", true},
+		{"PARTITION BY a ORDER BY x", "PARTITION BY b ORDER BY x", false},
+		// NULLS defaults resolve before comparison: ASC defaults to NULLS
+		// FIRST, DESC to NULLS LAST.
+		{"ORDER BY x", "ORDER BY x NULLS FIRST", true},
+		{"ORDER BY x DESC", "ORDER BY x DESC NULLS LAST", true},
+		{"ORDER BY x", "ORDER BY x NULLS LAST", false},
+		{"ORDER BY x", "ORDER BY x DESC", false},
+		// Order is a sequence, not a set.
+		{"ORDER BY x, y", "ORDER BY y, x", false},
+		{"ORDER BY x", "ORDER BY x, y", false},
+	}
+	for _, tc := range cases {
+		a, b := specOf(t, tc.a), specOf(t, tc.b)
+		if got := a.Equal(b); got != tc.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := b.Equal(a); got != tc.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestWindowSpecPrefixOf(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"PARTITION BY a ORDER BY x", "PARTITION BY a ORDER BY x, y", true},
+		{"PARTITION BY a", "PARTITION BY a ORDER BY x", true},
+		{"PARTITION BY a ORDER BY x, y", "PARTITION BY a ORDER BY x", false},
+		{"PARTITION BY a ORDER BY x", "PARTITION BY b ORDER BY x, y", false},
+		// Direction and NULLS placement are part of the key: x ASC is not a
+		// prefix of x DESC, y.
+		{"ORDER BY x", "ORDER BY x DESC, y", false},
+		{"ORDER BY x NULLS LAST", "ORDER BY x, y", false},
+		{"ORDER BY x", "ORDER BY x, y", true},
+	}
+	for _, tc := range cases {
+		a, b := specOf(t, tc.a), specOf(t, tc.b)
+		if got := a.PrefixOf(b); got != tc.want {
+			t.Errorf("PrefixOf(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestWindowSpecCompatible(t *testing.T) {
+	cases := []struct {
+		spec, stream string
+		want         Reuse
+	}{
+		// Stream sorted for the same class: full reuse.
+		{"PARTITION BY a ORDER BY x", "PARTITION BY a ORDER BY x, y", ReuseFull},
+		{"PARTITION BY a", "PARTITION BY a ORDER BY x", ReuseFull},
+		// Partition prefix holds but the order keys diverge: segments reuse.
+		{"PARTITION BY a ORDER BY y", "PARTITION BY a ORDER BY x", ReuseSegmented},
+		{"PARTITION BY a ORDER BY x DESC", "PARTITION BY a ORDER BY x", ReuseSegmented},
+		// Different partition set: nothing to reuse.
+		{"PARTITION BY b ORDER BY x", "PARTITION BY a ORDER BY x", ReuseNone},
+		{"PARTITION BY a, b ORDER BY x", "PARTITION BY a ORDER BY x", ReuseNone},
+		// Empty partition: the whole stream is one segment, so the grade is
+		// at least segmented (the sequencer separately refuses to use it).
+		{"ORDER BY y", "ORDER BY x", ReuseSegmented},
+		{"ORDER BY x", "ORDER BY x, y", ReuseFull},
+	}
+	for _, tc := range cases {
+		spec := specOf(t, tc.spec)
+		stream := specOf(t, tc.stream)
+		ordering := append(append([]SpecKey(nil), stream.Partition...), stream.Order...)
+		if got := spec.Compatible(ordering); got != tc.want {
+			t.Errorf("Compatible(%q vs stream %q) = %v, want %v", tc.spec, tc.stream, got, tc.want)
+		}
+	}
+}
+
+func TestWindowSpecKeyRendering(t *testing.T) {
+	// Key() is the grouping currency: equal specs must render identically,
+	// and non-default NULLS placement must be visible.
+	if a, b := specOf(t, "ORDER BY x"), specOf(t, "ORDER BY x NULLS FIRST"); a.Key() != b.Key() {
+		t.Errorf("default NULLS placement renders differently: %q vs %q", a.Key(), b.Key())
+	}
+	nl := specOf(t, "ORDER BY x NULLS LAST")
+	if !strings.Contains(nl.Key(), "NULLS LAST") {
+		t.Errorf("non-default placement invisible in key: %q", nl.Key())
+	}
+	if a := specOf(t, "ORDER BY x DESC"); strings.Contains(a.Key(), "NULLS") {
+		t.Errorf("DESC default placement should render terse: %q", a.Key())
+	}
+}
+
+func TestWindowSpecPlainAccessors(t *testing.T) {
+	s := specOf(t, "PARTITION BY a, b ORDER BY pos")
+	part, ok := s.PlainPartition()
+	if !ok || len(part) != 2 || part[0] != "a" || part[1] != "b" {
+		t.Fatalf("PlainPartition = %v, %v", part, ok)
+	}
+	col, ok := s.PlainOrder()
+	if !ok || col != "pos" {
+		t.Fatalf("PlainOrder = %q, %v", col, ok)
+	}
+	for _, bad := range []string{
+		"ORDER BY pos DESC",
+		"ORDER BY pos NULLS LAST",
+		"ORDER BY pos, val",
+		"ORDER BY pos + 1",
+		"PARTITION BY a",
+	} {
+		if _, ok := specOf(t, bad).PlainOrder(); ok {
+			t.Errorf("PlainOrder accepted %q", bad)
+		}
+	}
+	if _, ok := specOf(t, "PARTITION BY a + 1 ORDER BY pos").PlainPartition(); ok {
+		t.Error("PlainPartition accepted an expression key")
+	}
+}
+
+func TestSpecKeyExecNulls(t *testing.T) {
+	for _, tc := range []struct {
+		over string
+		want exec.NullsPlacement
+	}{
+		{"ORDER BY x", exec.NullsAuto},
+		{"ORDER BY x NULLS FIRST", exec.NullsAuto},
+		{"ORDER BY x NULLS LAST", exec.NullsLast},
+		{"ORDER BY x DESC", exec.NullsAuto},
+		{"ORDER BY x DESC NULLS LAST", exec.NullsAuto},
+		{"ORDER BY x DESC NULLS FIRST", exec.NullsFirst},
+	} {
+		if got := specOf(t, tc.over).Order[0].execNulls(); got != tc.want {
+			t.Errorf("execNulls(%q) = %v, want %v", tc.over, got, tc.want)
+		}
+	}
+}
+
+// groupsOf builds windowGroups (one per clause) for class-formation tests.
+func groupsOf(t *testing.T, overs ...string) []*windowGroup {
+	t.Helper()
+	out := make([]*windowGroup, len(overs))
+	for i, o := range overs {
+		out[i] = &windowGroup{spec: specOf(t, o)}
+	}
+	return out
+}
+
+func TestBuildSpecClassesPrefixChaining(t *testing.T) {
+	// Three specs over one partition set whose orders chain by prefix merge
+	// into one class whose suffix is the longest chain; the divergent fourth
+	// member stays in the class but runs segmented.
+	classes := buildSpecClasses(groupsOf(t,
+		"PARTITION BY a ORDER BY x",
+		"PARTITION BY a ORDER BY x, y",
+		"PARTITION BY a",
+		"PARTITION BY a ORDER BY z",
+	))
+	if len(classes) != 1 {
+		t.Fatalf("%d classes, want 1", len(classes))
+	}
+	c := classes[0]
+	if len(c.suffix) != 2 || c.suffix[0].Expr != "x" || c.suffix[1].Expr != "y" {
+		t.Fatalf("suffix = %v, want [x y]", c.suffix)
+	}
+	wantPresort := []bool{true, true, true, false}
+	for i, p := range c.presort {
+		if p != wantPresort[i] {
+			t.Errorf("presort[%d] = %v, want %v", i, p, wantPresort[i])
+		}
+	}
+}
+
+func TestBuildSpecClassesCanonicalPartitionOrder(t *testing.T) {
+	// b appears in two specs, a in one: the canonical order of the {a,b}
+	// class leads with b, so the {b} class's sort is its prefix.
+	classes := buildSpecClasses(groupsOf(t,
+		"PARTITION BY a, b ORDER BY x",
+		"PARTITION BY b ORDER BY y",
+	))
+	if len(classes) != 2 {
+		t.Fatalf("%d classes, want 2", len(classes))
+	}
+	if got := classes[0].part; got[0].Expr != "b" || got[1].Expr != "a" {
+		t.Fatalf("canonical partition order = [%s %s], want [b a]", got[0].Expr, got[1].Expr)
+	}
+}
+
+func TestSequenceClassesSegmentedReuse(t *testing.T) {
+	// The {a,b} class sorts first with canonical order [b, a] (b is more
+	// frequent), so the {b} class finds its partitions contiguous but its
+	// order keys wrong: segmented reuse, no second Sort.
+	steps := sequenceClasses(buildSpecClasses(groupsOf(t,
+		"PARTITION BY a, b ORDER BY x",
+		"PARTITION BY b ORDER BY y",
+	)))
+	if len(steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(steps))
+	}
+	if !steps[0].needSort || steps[0].resortFull {
+		t.Fatalf("step 0: needSort=%v resortFull=%v, want true/false", steps[0].needSort, steps[0].resortFull)
+	}
+	if steps[1].needSort || !steps[1].segmented {
+		t.Fatalf("step 1: needSort=%v segmented=%v, want false/true", steps[1].needSort, steps[1].segmented)
+	}
+}
+
+func TestSequenceClassesCrossClassFullReuse(t *testing.T) {
+	// The {a,b} class's canonical sort is [b, a, x]; the {b} class ordering
+	// by a then x reads that stream as fully sorted — no Sort at all.
+	steps := sequenceClasses(buildSpecClasses(groupsOf(t,
+		"PARTITION BY a, b ORDER BY x",
+		"PARTITION BY b ORDER BY a, x",
+	)))
+	if len(steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(steps))
+	}
+	if !steps[0].needSort {
+		t.Fatal("step 0 must emit the class sort")
+	}
+	if steps[1].needSort || steps[1].segmented {
+		t.Fatalf("step 1: needSort=%v segmented=%v, want full reuse (false/false)",
+			steps[1].needSort, steps[1].segmented)
+	}
+}
+
+func TestSequenceClassesEmptyPartitionDemotion(t *testing.T) {
+	// An unpartitioned class whose order diverges from the stream would
+	// grade segmented — but its one "segment" is the whole stream, so an
+	// in-operator re-sort is a full sort per member. The sequencer demotes
+	// it to a shared Sort of its own, flagged as the full re-sort it is.
+	steps := sequenceClasses(buildSpecClasses(groupsOf(t,
+		"PARTITION BY a ORDER BY x",
+		"ORDER BY y DESC",
+	)))
+	if len(steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(steps))
+	}
+	for i, s := range steps {
+		if !s.needSort || s.segmented {
+			t.Fatalf("step %d: needSort=%v segmented=%v, want true/false", i, s.needSort, s.segmented)
+		}
+	}
+	if steps[0].resortFull || !steps[1].resortFull {
+		t.Fatalf("resortFull = %v/%v, want false/true", steps[0].resortFull, steps[1].resortFull)
+	}
+}
+
+func TestSequenceClassesSamePartitionDivergentOrders(t *testing.T) {
+	// Same partition set with incompatible orders is ONE class: one shared
+	// Sort, the chaining member presorted, the divergent member re-sorting
+	// its segments in the operator.
+	classes := buildSpecClasses(groupsOf(t,
+		"PARTITION BY a ORDER BY x",
+		"PARTITION BY a ORDER BY y DESC",
+	))
+	if len(classes) != 1 {
+		t.Fatalf("%d classes, want 1", len(classes))
+	}
+	steps := sequenceClasses(classes)
+	if len(steps) != 1 || !steps[0].needSort {
+		t.Fatalf("steps = %+v, want one sorting step", steps)
+	}
+	if p := steps[0].class.presort; !p[0] || p[1] {
+		t.Fatalf("presort = %v, want [true false]", p)
+	}
+}
+
+// walk collects every operator in the tree.
+func walk(op exec.Operator, visit func(exec.Operator)) {
+	visit(op)
+	for _, c := range op.Children() {
+		walk(c, visit)
+	}
+}
+
+func TestPlanSharedSortOperatorShape(t *testing.T) {
+	// Four OVER clauses over two spec classes: the plan must carry exactly
+	// two Sorts, shared-consumer Windows, and the Ordinal/Restore bracket.
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `SELECT
+		SUM(b) OVER (PARTITION BY a ORDER BY b) AS w1,
+		COUNT(b) OVER (PARTITION BY a ORDER BY b, a) AS w2,
+		MIN(b) OVER (ORDER BY b DESC) AS w3,
+		MAX(b) OVER (ORDER BY b DESC, a) AS w4
+		FROM t1`)
+	var sorts, windows, ordinals, restores int
+	walk(op, func(o exec.Operator) {
+		switch w := o.(type) {
+		case *exec.Sort:
+			sorts++
+			if w.SharedClass == 0 {
+				t.Error("plan Sort missing SharedClass")
+			}
+		case *exec.Window:
+			windows++
+			if !w.Shared || !w.PreSorted || w.OrdinalCol < 0 {
+				t.Errorf("window not a pre-sorted shared consumer: Shared=%v PreSorted=%v OrdinalCol=%d",
+					w.Shared, w.PreSorted, w.OrdinalCol)
+			}
+		case *exec.Ordinal:
+			ordinals++
+		case *exec.Restore:
+			restores++
+		}
+	})
+	if sorts != 2 {
+		t.Errorf("%d Sort operators, want 2 (one per class)", sorts)
+	}
+	if windows != 4 {
+		t.Errorf("%d Window operators, want 4", windows)
+	}
+	if ordinals != 1 || restores != 1 {
+		t.Errorf("bracket = %d Ordinal / %d Restore, want 1/1", ordinals, restores)
+	}
+}
+
+func TestPlanNoSharedSortKeepsLegacyShape(t *testing.T) {
+	cat := newTestCatalog(t, false)
+	opts := DefaultOptions()
+	opts.NoSharedSort = true
+	op := planQuery(t, cat, opts, `SELECT
+		SUM(val) OVER (PARTITION BY pos ORDER BY val) AS a,
+		MIN(val) OVER (ORDER BY pos) AS b
+		FROM seq`)
+	walk(op, func(o exec.Operator) {
+		switch w := o.(type) {
+		case *exec.Sort:
+			t.Error("NoSharedSort plan grew a Sort operator")
+		case *exec.Window:
+			if w.Shared || w.PreSorted || w.OrdinalCol != -1 {
+				t.Errorf("legacy window carries shared wiring: %+v", w)
+			}
+		case *exec.Ordinal, *exec.Restore:
+			t.Errorf("legacy plan contains %T", w)
+		}
+	})
+}
+
+func TestPlanSingleSpecStaysLegacy(t *testing.T) {
+	// Two functions over one identical spec: one Window, no bracket — the
+	// shared pass must not fire for a single group.
+	cat := newTestCatalog(t, false)
+	op := planQuery(t, cat, DefaultOptions(), `SELECT
+		SUM(val) OVER (PARTITION BY pos ORDER BY val) AS a,
+		COUNT(val) OVER (PARTITION BY pos ORDER BY val) AS b
+		FROM seq`)
+	var windows int
+	walk(op, func(o exec.Operator) {
+		switch w := o.(type) {
+		case *exec.Window:
+			windows++
+			if w.Shared {
+				t.Error("single-spec plan marked Shared")
+			}
+			if len(w.Funcs) != 2 {
+				t.Errorf("window has %d funcs, want 2", len(w.Funcs))
+			}
+		case *exec.Ordinal, *exec.Restore, *exec.Sort:
+			t.Errorf("single-spec plan contains %T", w)
+		}
+	})
+	if windows != 1 {
+		t.Errorf("%d Window operators, want 1", windows)
+	}
+}

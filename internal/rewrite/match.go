@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rfview/internal/plan"
 	"rfview/internal/sqlparser"
 )
 
@@ -137,20 +138,22 @@ func matchWindowExpr(w *sqlparser.WindowExpr, wq *WindowQuery) error {
 		}
 		wq.ValCol = cr.Name
 	}
-	if len(w.OrderBy) != 1 || w.OrderBy[0].Desc {
-		return noMatch("reporting function must ORDER BY a single ascending column")
-	}
-	ocr, ok := w.OrderBy[0].Expr.(*sqlparser.ColumnRef)
+	// Spec-shape checks go through the planner's canonical WindowSpec: the
+	// sequence views index one ascending position column (default NULL order)
+	// per partition-column list, which is exactly the PlainOrder /
+	// PlainPartition contract.
+	spec := plan.SpecOf(w)
+	pos, ok := spec.PlainOrder()
 	if !ok {
-		return noMatch("ORDER BY expression must be a plain column")
+		return noMatch("reporting function must ORDER BY a single ascending plain column")
 	}
-	wq.PosCol = ocr.Name
-	for _, pb := range w.PartitionBy {
-		cr, ok := pb.(*sqlparser.ColumnRef)
-		if !ok {
-			return noMatch("PARTITION BY expressions must be plain columns")
-		}
-		wq.PartitionBy = append(wq.PartitionBy, cr.Name)
+	wq.PosCol = pos
+	part, ok := spec.PlainPartition()
+	if !ok {
+		return noMatch("PARTITION BY expressions must be plain columns")
+	}
+	if len(part) > 0 {
+		wq.PartitionBy = part
 	}
 	shape, err := frameShape(w.Frame, len(w.OrderBy) > 0)
 	if err != nil {

@@ -42,6 +42,74 @@ func startServerWith(t *testing.T, srv *server.Server) string {
 const parallelStressQ = `SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
   ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS w FROM pt`
 
+// multiOverStressQ layers four OVER clauses of one ordering-compatible class
+// over the same scan, so every read runs the shared-sort bracket (Ordinal →
+// shared class Sort → four stacked Windows → Restore) concurrently with the
+// writer and the view refreshes.
+const multiOverStressQ = `SELECT grp, pos,
+  SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS w1,
+  COUNT(val) OVER (PARTITION BY grp ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS w2,
+  SUM(val) OVER (PARTITION BY grp ORDER BY pos) AS w3,
+  COUNT(val) OVER (PARTITION BY grp ORDER BY pos) AS w4 FROM pt`
+
+// checkMultiOverSnapshot verifies one multiOverStressQ read over all-ones
+// data: the clipped (2,2) sums and counts agree with the window width, and
+// the cumulative pair equals the dense position — all four columns computed
+// off one shared sort must describe the same snapshot.
+func checkMultiOverSnapshot(res *client.Result, groups int) error {
+	per := make(map[string]map[int64][4]float64)
+	for _, r := range res.Rows {
+		if len(r) != 6 {
+			return fmt.Errorf("row arity %d, want 6", len(r))
+		}
+		g, ok := r[0].(string)
+		if !ok {
+			return fmt.Errorf("bad group %v (%T)", r[0], r[0])
+		}
+		pos, ok := r[1].(float64)
+		if !ok {
+			return fmt.Errorf("bad pos type %T", r[1])
+		}
+		var w [4]float64
+		for i := range w {
+			v, ok := r[2+i].(float64)
+			if !ok {
+				return fmt.Errorf("bad w%d type %T", i+1, r[2+i])
+			}
+			w[i] = v
+		}
+		if per[g] == nil {
+			per[g] = make(map[int64][4]float64)
+		}
+		per[g][int64(pos)] = w
+	}
+	if len(per) != groups {
+		return fmt.Errorf("saw %d groups, want %d", len(per), groups)
+	}
+	n := int64(-1)
+	for g, rows := range per {
+		if n < 0 {
+			n = int64(len(rows))
+		} else if int64(len(rows)) != n {
+			return fmt.Errorf("group %s has %d rows, others %d — torn multi-group insert", g, len(rows), n)
+		}
+		for p := int64(1); p <= n; p++ {
+			w, ok := rows[p]
+			if !ok {
+				return fmt.Errorf("group %s: position %d missing from %d-row partition", g, p, n)
+			}
+			lo, hi := max(p-2, 1), min(p+2, n)
+			if want := float64(hi - lo + 1); w[0] != want || w[1] != want {
+				return fmt.Errorf("group %s pos %d: clipped w1=%v w2=%v, want %v (n=%d)", g, p, w[0], w[1], want, n)
+			}
+			if want := float64(p); w[2] != want || w[3] != want {
+				return fmt.Errorf("group %s pos %d: cumulative w3=%v w4=%v, want %v", g, p, w[2], w[3], want)
+			}
+		}
+	}
+	return nil
+}
+
 // checkPartitionedSnapshot verifies one read of parallelStressQ over
 // all-ones data is an internally consistent snapshot: every group has the
 // same row count (the writer grows all groups in one atomic INSERT), each
@@ -195,12 +263,18 @@ func TestServerParallelWindowUnderRefresh(t *testing.T) {
 					return
 				default:
 				}
-				res, err := c.Query(parallelStressQ)
+				// Alternate the single-window query with the 4-clause
+				// shared-sort one so both window paths run under -race.
+				q, check := parallelStressQ, checkPartitionedSnapshot
+				if i%2 == 1 {
+					q, check = multiOverStressQ, checkMultiOverSnapshot
+				}
+				res, err := c.Query(q)
 				if err != nil {
 					errc <- fmt.Errorf("reader %d query %d: %w", r, i, err)
 					return
 				}
-				if err := checkPartitionedSnapshot(res, groups); err != nil {
+				if err := check(res, groups); err != nil {
 					errc <- fmt.Errorf("reader %d query %d: %w", r, i, err)
 					return
 				}

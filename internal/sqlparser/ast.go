@@ -282,17 +282,37 @@ func (it SelectItem) String() string {
 	return it.Expr.String()
 }
 
+// NullsOrder is the NULLS FIRST / NULLS LAST placement of an ORDER BY key.
+// The zero value keeps the engine default: NULLs first ascending, NULLs last
+// descending (the ordering sqltypes.Compare induces).
+type NullsOrder uint8
+
+// Null placements.
+const (
+	NullsDefault NullsOrder = iota
+	NullsFirst
+	NullsLast
+)
+
 // OrderItem is one key of an ORDER BY list.
 type OrderItem struct {
-	Expr Expr
-	Desc bool
+	Expr  Expr
+	Desc  bool
+	Nulls NullsOrder
 }
 
 func (o OrderItem) String() string {
+	s := o.Expr.String()
 	if o.Desc {
-		return o.Expr.String() + " DESC"
+		s += " DESC"
 	}
-	return o.Expr.String()
+	switch o.Nulls {
+	case NullsFirst:
+		s += " NULLS FIRST"
+	case NullsLast:
+		s += " NULLS LAST"
+	}
+	return s
 }
 
 // Select is a single SELECT core.

@@ -22,6 +22,10 @@ func FuzzParse(f *testing.F) {
 		`SELECT pos, val FROM seq WHERE pos >= 2 AND pos <= 4 ORDER BY pos DESC LIMIT 3`,
 		`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS w FROM seq`,
 		`SELECT grp, pos, MIN(val) OVER (PARTITION BY grp ORDER BY pos ROWS UNBOUNDED PRECEDING) FROM pt`,
+		`SELECT SUM(v) OVER (PARTITION BY g ORDER BY k1 NULLS LAST), MIN(v) OVER (ORDER BY k1 DESC NULLS FIRST, k2 ASC NULLS LAST) FROM d`,
+		`SELECT SUM(v) OVER (PARTITION BY g ORDER BY k1), COUNT(v) OVER (PARTITION BY g ORDER BY k1, k2), MIN(v) OVER (ORDER BY k2 DESC), MAX(v) OVER (ORDER BY k2 DESC, k1), AVG(v) OVER (PARTITION BY h, g ORDER BY k1 DESC) FROM d`,
+		`SELECT pos FROM seq ORDER BY pos DESC NULLS FIRST, val NULLS LAST`,
+		`SELECT COUNT(*) OVER (PARTITION BY g, h), SUM(v) OVER (ORDER BY k1 ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) FROM d`,
 		`SELECT a.x, b.y FROM a LEFT OUTER JOIN b ON a.id = b.id WHERE b.y IN (1, 2, 3)`,
 		`SELECT g, COUNT(*) AS c FROM t GROUP BY g HAVING COUNT(*) > 2`,
 		`SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END FROM t`,

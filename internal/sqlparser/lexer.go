@@ -37,6 +37,7 @@ var keywords = map[string]bool{
 	"MATERIALIZED": true, "VIEW": true, "DROP": true, "REFRESH": true,
 	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
 	"DELETE": true, "EXPLAIN": true, "ANALYZE": true, "ASC": true, "DESC": true,
+	"NULLS": true, "FIRST": true, "LAST": true,
 	"TRUE": true, "FALSE": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 	"WORK": true,

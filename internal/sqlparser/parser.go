@@ -666,6 +666,16 @@ func (p *Parser) parseOrderItems() ([]OrderItem, error) {
 		} else {
 			p.acceptKeyword("ASC")
 		}
+		if p.acceptKeyword("NULLS") {
+			switch {
+			case p.acceptKeyword("FIRST"):
+				it.Nulls = NullsFirst
+			case p.acceptKeyword("LAST"):
+				it.Nulls = NullsLast
+			default:
+				return nil, p.errHere("expected FIRST or LAST after NULLS, found %q", p.peek().text)
+			}
+		}
 		out = append(out, it)
 		if p.acceptOp(",") {
 			continue

@@ -502,3 +502,75 @@ func TestWalkExpr(t *testing.T) {
 		t.Fatalf("early-stopped walk visited %d nodes", count)
 	}
 }
+
+func TestParseNullsOrder(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []NullsOrder
+		desc []bool
+	}{
+		{`SELECT v FROM t ORDER BY a`, []NullsOrder{NullsDefault}, []bool{false}},
+		{`SELECT v FROM t ORDER BY a NULLS FIRST`, []NullsOrder{NullsFirst}, []bool{false}},
+		{`SELECT v FROM t ORDER BY a NULLS LAST`, []NullsOrder{NullsLast}, []bool{false}},
+		{`SELECT v FROM t ORDER BY a DESC NULLS FIRST`, []NullsOrder{NullsFirst}, []bool{true}},
+		{`SELECT v FROM t ORDER BY a ASC NULLS LAST, b DESC`, []NullsOrder{NullsLast, NullsDefault}, []bool{false, true}},
+	}
+	for _, tc := range cases {
+		sel := mustParse(t, tc.sql).(*Select)
+		if len(sel.OrderBy) != len(tc.want) {
+			t.Fatalf("%q: %d order keys, want %d", tc.sql, len(sel.OrderBy), len(tc.want))
+		}
+		for i, it := range sel.OrderBy {
+			if it.Nulls != tc.want[i] || it.Desc != tc.desc[i] {
+				t.Errorf("%q key %d: Nulls=%v Desc=%v, want %v/%v",
+					tc.sql, i, it.Nulls, it.Desc, tc.want[i], tc.desc[i])
+			}
+		}
+	}
+}
+
+func TestParseNullsOrderInOverClause(t *testing.T) {
+	sel := mustParse(t,
+		`SELECT SUM(v) OVER (PARTITION BY g ORDER BY a DESC NULLS FIRST, b NULLS LAST) FROM t`).(*Select)
+	w, ok := sel.Items[0].Expr.(*WindowExpr)
+	if !ok {
+		t.Fatalf("item is %T", sel.Items[0].Expr)
+	}
+	if len(w.OrderBy) != 2 {
+		t.Fatalf("%d order keys", len(w.OrderBy))
+	}
+	if w.OrderBy[0].Nulls != NullsFirst || !w.OrderBy[0].Desc {
+		t.Errorf("key 0 = %+v, want DESC NULLS FIRST", w.OrderBy[0])
+	}
+	if w.OrderBy[1].Nulls != NullsLast || w.OrderBy[1].Desc {
+		t.Errorf("key 1 = %+v, want ASC NULLS LAST", w.OrderBy[1])
+	}
+}
+
+func TestParseNullsOrderErrors(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT v FROM t ORDER BY a NULLS`,
+		`SELECT v FROM t ORDER BY a NULLS MAYBE`,
+		`SELECT SUM(v) OVER (ORDER BY a NULLS) FROM t`,
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestNullsOrderStringFixedPoint(t *testing.T) {
+	// String() must be a rendering fixed point for every NULLS spelling —
+	// the plan cache keys on rendered text.
+	for _, sql := range []string{
+		`SELECT v FROM t ORDER BY a NULLS LAST`,
+		`SELECT v FROM t ORDER BY a DESC NULLS FIRST`,
+		`SELECT SUM(v) OVER (PARTITION BY g ORDER BY a NULLS LAST, b DESC NULLS FIRST) AS w FROM t`,
+	} {
+		first := mustParse(t, sql).String()
+		second := mustParse(t, first).String()
+		if first != second {
+			t.Errorf("not a fixed point:\nfirst:  %q\nsecond: %q", first, second)
+		}
+	}
+}

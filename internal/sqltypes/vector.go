@@ -180,6 +180,7 @@ func (v *ColVec) Datum(i int) Datum {
 const (
 	keyTagNull    byte = 0x00
 	keyTagValue   byte = 0x01
+	keyTagNullHi  byte = 0xFF // NULL forced after every value (NULLS LAST asc)
 	keyStrEscape  byte = 0x00 // a 0x00 payload byte becomes 0x00 0xFF
 	keyStrEscaped byte = 0xFF
 	keyStrTermLo  byte = 0x00 // terminator 0x00 0x01: below every escaped byte
@@ -199,10 +200,27 @@ const (
 // path does. Strings are escaped and terminated so a later key segment can
 // follow without breaking prefix ordering.
 func EncodeKey(dst []byte, d Datum, desc bool) []byte {
+	return EncodeKeyNulls(dst, d, desc, desc)
+}
+
+// EncodeKeyNulls is EncodeKey with an explicit NULL placement: nullsLast
+// positions NULL segments after every non-NULL value of the column in the
+// final (post-DESC-inversion) order, nullsLast=false before. EncodeKey's
+// default is nullsLast = desc, the placement Compare plus a DESC negation
+// induces. The comparator fallback (exec's compareKeyDatums) applies the same
+// absolute placement, so both sort paths stay bit-identical.
+func EncodeKeyNulls(dst []byte, d Datum, desc, nullsLast bool) []byte {
 	start := len(dst)
 	switch d.typ {
 	case Null:
-		dst = append(dst, keyTagNull)
+		// The tag is chosen pre-inversion so the post-inversion position is
+		// the requested one: under desc the whole segment is bit-flipped,
+		// turning a low tag into a high one and vice versa.
+		if nullsLast != desc {
+			dst = append(dst, keyTagNullHi)
+		} else {
+			dst = append(dst, keyTagNull)
+		}
 	case Int, Bool, Date:
 		dst = append(dst, keyTagValue)
 		var buf [8]byte

@@ -40,6 +40,14 @@ if "spill" in d:
     print("spill (workers=1, tiny budget): median ms", s["median_ms"],
           "| runs", s["spill_runs"], "| bytes", s["spill_bytes"],
           "| slowdown vs in-memory:", s.get("slowdown_vs_in_memory"))
+if "multi_function" in d:
+    print("multi-function grid (shared vs unshared class sorts):")
+    for r in d["multi_function"]["runs"]:
+        print("  over=%-2d classes=%d | sorts performed=%d reused=%d | shared %sms unshared %sms | speedup %s" % (
+            r["over_clauses"], r["classes"],
+            r["sorts_performed"], r["sorts_shared"],
+            r["shared_median_ms"], r["unshared_median_ms"],
+            r.get("speedup_shared", "n/a")))
 if "note" in d:
     print("note:", d["note"])
 PY
