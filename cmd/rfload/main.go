@@ -66,6 +66,15 @@ type runResult struct {
 	SpillRuns     int64 `json:"spill_runs,omitempty"`
 	SpillRunBytes int64 `json:"spill_run_bytes,omitempty"`
 	SpillOps      int64 `json:"spill_operators,omitempty"`
+	// Buffer-pool counters, as reported by the server after the run (zero
+	// PageSize = server runs without paged storage).
+	BPPageSize    int     `json:"bufferpool_page_size,omitempty"`
+	BPPagesCached int64   `json:"bufferpool_pages_cached,omitempty"`
+	BPHits        int64   `json:"bufferpool_hits,omitempty"`
+	BPMisses      int64   `json:"bufferpool_misses,omitempty"`
+	BPEvictions   int64   `json:"bufferpool_evictions,omitempty"`
+	BPWritebacks  int64   `json:"bufferpool_writebacks,omitempty"`
+	BPHitRatio    float64 `json:"bufferpool_hit_ratio,omitempty"`
 	// View-maintenance counters, as reported by the server after the run.
 	MaintMode    string `json:"maintenance_mode,omitempty"`
 	MaintDelta   int64  `json:"maintenance_delta_applied,omitempty"`
@@ -136,6 +145,7 @@ func main() {
 		attachSpillStats(*addr, *memBudget, &res)
 	}
 	attachMaintenanceStats(*addr, &res)
+	attachBufferPoolStats(*addr, &res)
 	if *mixed > 0 {
 		attachTxnStats(*addr, &res)
 	}
@@ -159,12 +169,37 @@ func main() {
 		fmt.Printf("maintenance: mode=%s delta_applied=%d full_refreshes=%d pending=%d\n",
 			res.MaintMode, res.MaintDelta, res.MaintFull, res.MaintPending)
 	}
+	if res.BPPageSize > 0 {
+		fmt.Printf("bufferpool: page_size=%dB cached=%d hits=%d misses=%d hit_ratio=%.2f evictions=%d writebacks=%d\n",
+			res.BPPageSize, res.BPPagesCached, res.BPHits, res.BPMisses, res.BPHitRatio, res.BPEvictions, res.BPWritebacks)
+	}
 	if res.MixedRatio > 0 {
 		fmt.Printf("mixed: ratio=%.2f reads=%d (%.0f/s) writes=%d (%.0f/s) conflicts=%d\n",
 			res.MixedRatio, res.Reads, res.ReadQPS, res.Writes, res.WriteQPS, res.Conflicts)
 		fmt.Printf("txn: begins=%d commits=%d rollbacks=%d conflict_aborts=%d\n",
 			res.TxnBegins, res.TxnCommits, res.TxnRollbacks, res.TxnConflicts)
 	}
+}
+
+// attachBufferPoolStats folds the server's paged-storage buffer-pool
+// counters into the result. Best-effort, like attachMaintenanceStats.
+func attachBufferPoolStats(addr string, res *runResult) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return
+	}
+	res.BPPageSize = st.BufferPool.PageSize
+	res.BPPagesCached = st.BufferPool.PagesCached
+	res.BPHits = st.BufferPool.Hits
+	res.BPMisses = st.BufferPool.Misses
+	res.BPEvictions = st.BufferPool.Evictions
+	res.BPWritebacks = st.BufferPool.Writebacks
+	res.BPHitRatio = st.BufferPool.HitRatio
 }
 
 // attachTxnStats folds the server's transaction counters into the result.

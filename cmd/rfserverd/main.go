@@ -7,7 +7,7 @@
 //	          [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every N]
 //	          [-no-native-window] [-no-indexes] [-no-views] [-no-vectorized]
 //	          [-strategy auto|maxoa|minoa] [-form disjunctive|union]
-//	          [-window-parallelism N] [-mem-budget SIZE]
+//	          [-window-parallelism N] [-mem-budget SIZE] [-page-size SIZE]
 //	          [-view-maintenance eager|deferred|off] [-maintenance-interval D]
 //	          [-metrics-addr host:port] [-pprof-addr host:port] [-slow-query-ms N]
 //
@@ -23,6 +23,11 @@
 // under <data-dir>/tmp when durable, else a private temp directory — and
 // merge them back with bit-identical results. Stale run files from a
 // crashed process are swept at startup; a clean shutdown removes them all.
+// -page-size sets the slotted-page size of paged heap storage (e.g. 8KiB,
+// the default): table rows live in pages cached by a buffer pool whose
+// residency is charged against the same -mem-budget, so one knob governs
+// total executor memory. Heap files share the spill directory and its
+// startup sweep/shutdown cleanup.
 // -view-maintenance selects how DML reaches materialized sequence views:
 // eager (default) folds the delta in inside the write, deferred queues
 // deltas and applies them before the next read (read-repair) or on the
@@ -62,6 +67,7 @@ import (
 	"rfview/internal/rewrite"
 	"rfview/internal/server"
 	"rfview/internal/spill"
+	"rfview/internal/storage"
 	"rfview/internal/wal"
 )
 
@@ -82,6 +88,7 @@ func main() {
 		"window partition workers: 0 = GOMAXPROCS, 1 = sequential, N = up to N workers")
 	noVectorized := flag.Bool("no-vectorized", false, "disable the typed columnar fast path (key-normalized sorts, typed window kernels)")
 	memBudget := flag.String("mem-budget", "", "executor memory budget, e.g. 64MiB; sorts and window partitions over budget spill to disk (empty = unlimited)")
+	pageSize := flag.String("page-size", "", "paged-storage page size, e.g. 8KiB (empty = default); \"off\" keeps all table rows resident in memory")
 	viewMaint := flag.String("view-maintenance", "eager", "view maintenance mode: eager, deferred, off")
 	maintInterval := flag.Duration("maintenance-interval", time.Second, "background drain cadence for deferred view maintenance (0 disables; reads still drain)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
@@ -101,6 +108,19 @@ func main() {
 			log.Fatalf("-mem-budget: %v", err)
 		}
 		opts.MemoryBudgetBytes = n
+	}
+	switch {
+	case strings.EqualFold(*pageSize, "off"):
+		opts.DisablePagedStorage = true
+	case *pageSize != "":
+		n, err := spill.ParseBytes(*pageSize)
+		if err != nil {
+			log.Fatalf("-page-size: %v", err)
+		}
+		if n < storage.MinPageSize || n > storage.MaxPageSize {
+			log.Fatalf("-page-size: %s out of range [%d, %d] bytes", *pageSize, storage.MinPageSize, storage.MaxPageSize)
+		}
+		opts.PageSize = int(n)
 	}
 	if *dataDir != "" {
 		opts.SpillDir = filepath.Join(*dataDir, "tmp")

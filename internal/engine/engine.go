@@ -102,6 +102,19 @@ type Options struct {
 	// environment variable supplies a default when unset, so the whole test
 	// suite can be forced through the deferred path.
 	ViewMaintenance string
+	// PageSize is the slotted-page size of paged heap storage in bytes;
+	// 0 means storage.DefaultPageSize (8 KiB). Values are clamped to
+	// [storage.MinPageSize, storage.MaxPageSize].
+	PageSize int
+	// PageCacheBytes is a hard cap on buffer-pool residency, independent of
+	// the shared memory budget; 0 means budget-governed only. The
+	// RFVIEW_TEST_PAGE_CACHE environment variable supplies a default when
+	// unset, so the whole suite can be forced through a starved page cache.
+	PageCacheBytes int64
+	// DisablePagedStorage keeps every table's rows resident in memory, the
+	// pre-paging layout. The knob exists for the differential oracle's
+	// reference engines and for A/B benchmarks of the paged path.
+	DisablePagedStorage bool
 }
 
 // DefaultOptions enables every feature with automatic strategy selection.
@@ -172,6 +185,10 @@ type Engine struct {
 	// files.
 	spillCfg *spill.Config
 	spillEnv *spill.Env
+
+	// pager owns paged heap storage: the buffer pool and every table's heap
+	// file. nil when DisablePagedStorage keeps rows resident.
+	pager *storage.Pager
 
 	// Slow-query log configuration. These live outside Options because
 	// Options must stay comparable (the plan cache validates entries with
@@ -251,6 +268,14 @@ func New(opts Options) *Engine {
 		// Test knob: force every engine into one maintenance mode suite-wide.
 		opts.ViewMaintenance = os.Getenv("RFVIEW_TEST_VIEW_MAINTENANCE")
 	}
+	if opts.PageCacheBytes == 0 {
+		// Test knob: starve every engine's page cache suite-wide.
+		if env := os.Getenv("RFVIEW_TEST_PAGE_CACHE"); env != "" {
+			if n, err := spill.ParseBytes(env); err == nil {
+				opts.PageCacheBytes = n
+			}
+		}
+	}
 	// Commands validate the flag with mview.ParseMode and fail fast; a
 	// library caller's unknown string degrades to the eager default.
 	maintMode, _ := mview.ParseMode(opts.ViewMaintenance)
@@ -260,6 +285,17 @@ func New(opts Options) *Engine {
 		Budget: spill.NewBudget(opts.MemoryBudgetBytes),
 		Env:    e.spillEnv,
 		Stats:  &spill.Stats{},
+	}
+	if !opts.DisablePagedStorage {
+		// Page residency charges the same budget as sort/window spilling, so
+		// -mem-budget is the one knob that governs total executor memory.
+		e.pager = storage.NewPager(storage.PagerConfig{
+			PageSize: opts.PageSize,
+			CapBytes: opts.PageCacheBytes,
+			Budget:   e.spillCfg.Budget,
+			Env:      e.spillEnv,
+		})
+		e.Cat.SetPager(e.pager)
 	}
 	e.Views = mview.NewManager(e.Cat, func(ctx context.Context, stmt sqlparser.SelectStatement) ([]string, []sqltypes.Row, error) {
 		res, err := e.execSelect(ctx, stmt, execConfig{})
@@ -682,18 +718,55 @@ func (e *Engine) WindowStats() *exec.WindowStats { return e.winStats }
 func (e *Engine) SpillBudget() *spill.Budget { return e.spillCfg.Budget }
 
 // SweepSpill eagerly resolves the spill directory, removing stale run files
-// a dead process left behind, and reports how many were swept. Servers call
-// it at startup; engines that never spill otherwise never touch the disk.
+// and orphaned heap files a dead process left behind, and reports how many
+// were swept. Servers call it at startup; engines that never spill or page
+// out otherwise never touch the disk.
 func (e *Engine) SweepSpill() (int, error) { return e.spillEnv.Sweep() }
 
-// Close releases engine-owned disk state: every spill run file (and the
-// private spill directory, when no SpillDir was configured) is removed. The
-// engine itself remains usable for in-memory work only in tests; servers
-// call Close once, at shutdown, after the last query finished.
+// StorageStats snapshots the buffer pool; the zero value when paged storage
+// is disabled.
+func (e *Engine) StorageStats() storage.PoolStats {
+	if e.pager == nil {
+		return storage.PoolStats{}
+	}
+	return e.pager.Stats()
+}
+
+// PageSize returns the paged-storage page size, or 0 when paged storage is
+// disabled.
+func (e *Engine) PageSize() int {
+	if e.pager == nil {
+		return 0
+	}
+	return e.pager.PageSize()
+}
+
+// FlushStorage writes back every dirty unpinned page. The WAL checkpoint
+// calls it under the exclusive lock so heap files quiesce alongside the
+// snapshot; it is safe (a no-op) when paged storage is disabled.
+func (e *Engine) FlushStorage() error {
+	if e.pager == nil {
+		return nil
+	}
+	return e.pager.FlushDirty()
+}
+
+// Close releases engine-owned disk state: the buffer pool's budget charge,
+// every heap file, and every spill run file (and the private spill
+// directory, when no SpillDir was configured). The engine itself remains
+// usable for in-memory work only in tests; servers call Close once, at
+// shutdown, after the last query finished.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.spillEnv.Close()
+	var first error
+	if e.pager != nil {
+		first = e.pager.Close()
+	}
+	if err := e.spillEnv.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // RewriteSelect applies the engine's rewrite pipeline to a select statement
@@ -1047,8 +1120,8 @@ func (e *Engine) execUpdate(s *sqlparser.Update, cfg execConfig) (*Result, error
 				break
 			}
 		}
-	} else {
-		tbl.Heap.ScanAt(tx.Snap, visit)
+	} else if err := tbl.Heap.ScanAt(tx.Snap, visit); err != nil {
+		return nil, err
 	}
 	if evalErr != nil {
 		return nil, evalErr
@@ -1106,8 +1179,8 @@ func (e *Engine) execDelete(s *sqlparser.Delete, cfg execConfig) (*Result, error
 				break
 			}
 		}
-	} else {
-		tbl.Heap.ScanAt(tx.Snap, visit)
+	} else if err := tbl.Heap.ScanAt(tx.Snap, visit); err != nil {
+		return nil, err
 	}
 	if evalErr != nil {
 		return nil, evalErr

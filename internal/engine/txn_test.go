@@ -141,6 +141,35 @@ func TestTxnLostUpdateAborts(t *testing.T) {
 	}
 }
 
+// TestTxnUniqueUpdateConflictNotDuplicate pins the error classification when
+// a transaction updates a unique-indexed row that a later committer already
+// replaced: the replacement's key collides only with a committed version the
+// transaction's snapshot cannot see, which is a first-committer-wins conflict
+// (retryable, code "conflict"), not a duplicate-key violation.
+func TestTxnUniqueUpdateConflictNotDuplicate(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE seq (pos INTEGER, val INTEGER)")
+	mustExec(t, e, "CREATE UNIQUE INDEX seq_pk ON seq (pos)")
+	mustExec(t, e, "INSERT INTO seq VALUES (1, 1)")
+
+	s := e.NewSession()
+	defer s.Close()
+	mustSess(t, s, "BEGIN")
+	// Pin the snapshot before the concurrent commit lands.
+	mustSess(t, s, "SELECT val FROM seq WHERE pos = 1")
+	// Another writer replaces the row and commits; pos 1 now lives in a new
+	// version invisible to s's snapshot.
+	mustExec(t, e, "UPDATE seq SET val = 10 WHERE pos = 1")
+
+	_, err := s.Exec("UPDATE seq SET val = val + 1 WHERE pos = 1")
+	if err == nil {
+		t.Fatal("stale update succeeded; lost update possible")
+	}
+	if rferrors.CodeOf(err) != rferrors.CodeConflict {
+		t.Fatalf("stale update error code = %q (%v), want %q", rferrors.CodeOf(err), err, rferrors.CodeConflict)
+	}
+}
+
 func TestTxnReadYourWrites(t *testing.T) {
 	e := newEngine(t)
 	loadSeq(t, e, 5, func(i int) int64 { return int64(i) })

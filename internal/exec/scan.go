@@ -22,8 +22,10 @@ type Scan struct {
 	Snap func() txn.Snapshot
 
 	schema *expr.Schema
-	rows   []sqltypes.Row
-	pos    int
+	it     *storage.Iter
+	// stats accumulate across Opens (nested-loop re-scans included) and
+	// survive Close so EXPLAIN ANALYZE can render them after execution.
+	stats storage.IterStats
 }
 
 // NewScan builds a full scan of tbl referenced as ref.
@@ -38,45 +40,64 @@ func NewScan(tbl *catalog.Table, ref string) *Scan {
 // Schema implements Operator.
 func (s *Scan) Schema() *expr.Schema { return s.schema }
 
-// Open implements Operator. The scan materializes the rows visible at its
-// snapshot, so concurrent mutations — by other transactions or by the same
-// session (e.g. INSERT … SELECT from itself) — do not affect iteration.
+// Open implements Operator. The scan streams pages through the buffer pool
+// instead of materializing: the iterator copies the slot-directory header at
+// Open, so concurrent mutations — by other transactions or by the same
+// session (e.g. INSERT … SELECT from itself) — do not affect iteration, and
+// MVCC stamp transitions never change visibility at a fixed snapshot.
 func (s *Scan) Open() error {
 	sn := s.Table.Heap.Latest()
 	if s.Snap != nil {
 		sn = s.Snap()
 	}
-	s.rows = s.rows[:0]
-	s.Table.Heap.ScanAt(sn, func(_ storage.RowID, row sqltypes.Row) bool {
-		s.rows = append(s.rows, row)
-		return true
-	})
-	s.pos = 0
+	s.closeIter()
+	s.it = s.Table.Heap.IterAt(sn)
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next() (sqltypes.Row, error) {
-	if s.pos >= len(s.rows) {
+	if s.it == nil {
 		return nil, nil
 	}
-	row := s.rows[s.pos]
-	s.pos++
-	return row, nil
+	_, row, err := s.it.Next()
+	return row, err
 }
 
 // Close implements Operator.
 func (s *Scan) Close() error {
-	s.rows = nil
+	s.closeIter()
 	return nil
+}
+
+func (s *Scan) closeIter() {
+	if s.it == nil {
+		return
+	}
+	st := s.it.Stats()
+	s.stats.Pages += st.Pages
+	s.stats.Hits += st.Hits
+	s.stats.Misses += st.Misses
+	s.it.Close()
+	s.it = nil
 }
 
 // Describe implements Operator.
 func (s *Scan) Describe() string {
+	d := "SeqScan " + s.Table.Name
 	if s.Ref != s.Table.Name {
-		return fmt.Sprintf("SeqScan %s AS %s", s.Table.Name, s.Ref)
+		d = fmt.Sprintf("SeqScan %s AS %s", s.Table.Name, s.Ref)
 	}
-	return "SeqScan " + s.Table.Name
+	// Runtime page traffic, rendered after execution (EXPLAIN ANALYZE
+	// formats the tree once the operators have run and closed).
+	if s.stats.Pages > 0 {
+		hr := 1.0
+		if denom := s.stats.Hits + s.stats.Misses; denom > 0 {
+			hr = float64(s.stats.Hits) / float64(denom)
+		}
+		d += fmt.Sprintf(" (pages=%d hit_ratio=%.2f)", s.stats.Pages, hr)
+	}
+	return d
 }
 
 // Children implements Operator.

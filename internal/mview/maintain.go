@@ -478,12 +478,14 @@ func shiftBase(base *catalog.Table, posCol, valCol string, k int, val *float64, 
 		row sqltypes.Row
 	}
 	var touch []target
-	base.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
+	if err := base.Heap.Scan(func(id storage.RowID, row sqltypes.Row) bool {
 		if int(row[pi].Int()) >= k {
 			touch = append(touch, target{id, row})
 		}
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	if insert {
 		// Shift right in descending order to avoid transient duplicates.
 		sort.Slice(touch, func(a, b int) bool { return touch[a].row[pi].Int() > touch[b].row[pi].Int() })

@@ -163,8 +163,8 @@ func (m *Manager) hUpdate(t *catalog.Table, id storage.RowID, row sqltypes.Row) 
 	return err
 }
 
-func (m *Manager) hScan(t *catalog.Table, fn func(storage.RowID, sqltypes.Row) bool) {
-	t.Heap.ScanAt(t.Heap.WriteView(m.curTx), fn)
+func (m *Manager) hScan(t *catalog.Table, fn func(storage.RowID, sqltypes.Row) bool) error {
+	return t.Heap.ScanAt(t.Heap.WriteView(m.curTx), fn)
 }
 
 func (m *Manager) hFirst(t *catalog.Table, h *storage.IndexHandle, key sqltypes.Row) (storage.RowID, bool) {
@@ -314,7 +314,7 @@ func (m *Manager) readDenseSequence(base *catalog.Table, posCol, valCol string) 
 	}
 	var rows []pv
 	var scanErr error
-	m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
+	hErr := m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
 		p := row[posIdx]
 		if p.IsNull() || p.Typ() != sqltypes.Int {
 			scanErr = fmt.Errorf("mview: position column %q must be non-NULL INTEGER", posCol)
@@ -328,6 +328,9 @@ func (m *Manager) readDenseSequence(base *catalog.Table, posCol, valCol string) 
 		rows = append(rows, pv{pos: p.Int(), val: v.Float()})
 		return true
 	})
+	if scanErr == nil {
+		scanErr = hErr
+	}
 	if scanErr != nil {
 		return nil, scanErr
 	}
@@ -434,10 +437,12 @@ func toSpec(w core.Window) catalog.WindowSpec {
 func (m *Manager) fillBacking(sv *seqView) error {
 	// Clear existing rows.
 	var ids []storage.RowID
-	m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
+	if err := m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 		ids = append(ids, id)
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	for _, id := range ids {
 		if err := m.hDelete(sv.mv.Table, id); err != nil {
 			return err
@@ -583,10 +588,12 @@ func (m *Manager) RefreshTx(ctx context.Context, tx *txn.Txn, name string) error
 			return fmt.Errorf("mview: refresh arity changed for %q", name)
 		}
 		var ids []storage.RowID
-		m.hScan(mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
+		if err := m.hScan(mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 			ids = append(ids, id)
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		for _, id := range ids {
 			if err := m.hDelete(mv.Table, id); err != nil {
 				return err

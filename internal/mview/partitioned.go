@@ -59,7 +59,7 @@ func (m *Manager) readPartitionedSequences(base *catalog.Table, posCol, partCol,
 	keys := make(map[string]sqltypes.Datum)
 	rows := make(map[string][]pv)
 	var scanErr error
-	m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
+	hErr := m.hScan(base, func(_ storage.RowID, row sqltypes.Row) bool {
 		p := row[posIdx]
 		pt := row[partIdx]
 		v := row[valIdx]
@@ -72,6 +72,9 @@ func (m *Manager) readPartitionedSequences(base *catalog.Table, posCol, partCol,
 		rows[k] = append(rows[k], pv{pos: p.Int(), val: v.Float()})
 		return true
 	})
+	if scanErr == nil {
+		scanErr = hErr
+	}
 	if scanErr != nil {
 		return nil, nil, scanErr
 	}
@@ -174,10 +177,12 @@ func (m *Manager) createPartitionedSequenceView(stmt *sqlparser.CreateMatView, w
 // maintained sequence.
 func (m *Manager) fillPartitionedBacking(sv *seqView) error {
 	var ids []storage.RowID
-	m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
+	if err := m.hScan(sv.mv.Table, func(id storage.RowID, _ sqltypes.Row) bool {
 		ids = append(ids, id)
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	for _, id := range ids {
 		if err := m.hDelete(sv.mv.Table, id); err != nil {
 			return err
@@ -328,12 +333,15 @@ func (m *Manager) applyPartitionedDelete(sv *seqView, part sqltypes.Datum, pos i
 		// empty sequence would otherwise materialize zero-valued
 		// header/trailer rows).
 		var ids []storage.RowID
-		m.hScan(sv.mv.Table, func(id storage.RowID, row sqltypes.Row) bool {
+		if err := m.hScan(sv.mv.Table, func(id storage.RowID, row sqltypes.Row) bool {
 			if sqltypes.Equal(row[0], part) {
 				ids = append(ids, id)
 			}
 			return true
-		})
+		}); err != nil {
+			m.markStale(sv, err.Error())
+			return
+		}
 		for _, id := range ids {
 			if err := m.hDelete(sv.mv.Table, id); err != nil {
 				m.markStale(sv, err.Error())

@@ -120,6 +120,10 @@ type StatsReply struct {
 	// clients (rfload -mem-budget) can confirm the spill path actually ran.
 	Spill SpillStats `json:"spill"`
 
+	// BufferPool mirrors the paged-storage buffer pool, so wire clients can
+	// watch residency and hit ratios of the heap page cache.
+	BufferPool BufferPoolStats `json:"buffer_pool"`
+
 	// Maintenance mirrors the engine's view-maintenance counters, so wire
 	// clients can confirm the delta path (rather than full REFRESH) ran.
 	Maintenance MaintenanceStats `json:"maintenance"`
@@ -167,6 +171,25 @@ type SpillStats struct {
 	RunBytes  int64 `json:"run_bytes"`
 	Merges    int64 `json:"merges"`
 	Operators int64 `json:"operators"`
+}
+
+// BufferPoolStats is the wire form of the paged-storage buffer pool. All
+// zeros (PageSize 0) means paged storage is disabled.
+type BufferPoolStats struct {
+	// PageSize is the heap page size in bytes.
+	PageSize int `json:"page_size"`
+	// PagesCached / PagesPinned / PagesDirty describe current residency.
+	PagesCached int64 `json:"pages_cached"`
+	PagesPinned int64 `json:"pages_pinned"`
+	PagesDirty  int64 `json:"pages_dirty"`
+	// Hits/Misses count page pins served from / loaded into the pool;
+	// HitRatio is their ratio (1.0 on an untouched pool). Evictions counts
+	// victim pages dropped; Writebacks counts dirty pages written to disk.
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	Writebacks int64   `json:"writebacks"`
+	HitRatio   float64 `json:"hit_ratio"`
 }
 
 // CacheStats is the wire form of the engine's plan/result cache counters.

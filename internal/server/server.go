@@ -311,6 +311,25 @@ func (s *Server) dispatch(sess *Session, req *Request) Response {
 	return resp
 }
 
+// bufferPoolStats converts the engine's pool snapshot to wire form.
+func bufferPoolStats(eng *engine.Engine) BufferPoolStats {
+	ps := eng.StorageStats()
+	if ps.PageSize == 0 {
+		return BufferPoolStats{}
+	}
+	return BufferPoolStats{
+		PageSize:    ps.PageSize,
+		PagesCached: ps.PagesCached,
+		PagesPinned: ps.PagesPinned,
+		PagesDirty:  ps.PagesDirty,
+		Hits:        ps.Hits,
+		Misses:      ps.Misses,
+		Evictions:   ps.Evictions,
+		Writebacks:  ps.Writebacks,
+		HitRatio:    ps.HitRatio(),
+	}
+}
+
 // statsReply assembles the "stats" payload for one asking session.
 func (s *Server) statsReply(sess *Session) *StatsReply {
 	st := s.Stats()
@@ -344,6 +363,7 @@ func (s *Server) statsReply(sess *Session) *StatsReply {
 			Merges:          s.eng.SpillStats().Merges.Load(),
 			Operators:       s.eng.SpillStats().Spills.Load(),
 		},
+		BufferPool: bufferPoolStats(s.eng),
 		Maintenance: MaintenanceStats{
 			Mode:          s.eng.MaintenanceMode().String(),
 			DeltaApplied:  s.eng.Views.Stats().DeltaApplied.Load(),

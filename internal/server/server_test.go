@@ -269,6 +269,16 @@ func TestServerStatsOp(t *testing.T) {
 		t.Fatalf("auto parallelism not resolved: %d", st.WindowParallelism)
 	}
 
+	// Paged storage is on by default: the reply must carry live buffer-pool
+	// numbers — the INSERTs above pinned the table's tail page.
+	bp := st.BufferPool
+	if bp.PageSize == 0 || bp.PagesCached == 0 {
+		t.Fatalf("buffer pool stats missing: %+v", bp)
+	}
+	if bp.HitRatio <= 0 || bp.HitRatio > 1 {
+		t.Fatalf("hit ratio = %v out of (0, 1]", bp.HitRatio)
+	}
+
 	// A second connection sees its own zeroed session counters.
 	c2, err := client.Dial(addr)
 	if err != nil {

@@ -17,6 +17,15 @@ const (
 	runFileSuffix = ".spill"
 )
 
+// Heap files — the paged-storage backing files in internal/storage — share
+// the Env so they inherit the same lifecycle: swept at startup, removed at
+// Close. The ".heap.tmp" suffix marks them as rebuildable scratch (the WAL
+// plus snapshots are the durable copy), which is what licenses the sweep.
+const (
+	heapFilePrefix = "heap-"
+	heapFileSuffix = ".heap.tmp"
+)
+
 // Env owns the directory spill runs live in. With a configured directory
 // (the server's <data-dir>/tmp) the directory is created on first use and
 // stale run files — left by a process that died mid-spill — are swept then;
@@ -93,7 +102,7 @@ func (e *Env) Sweep() (int, error) {
 	return e.swept, nil
 }
 
-// sweepDir removes every run file in dir.
+// sweepDir removes every run file and heap file in dir.
 func sweepDir(dir string) (int, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -102,7 +111,9 @@ func sweepDir(dir string) (int, error) {
 	removed := 0
 	for _, ent := range ents {
 		name := ent.Name()
-		if !strings.HasPrefix(name, runFilePrefix) || !strings.HasSuffix(name, runFileSuffix) {
+		isRun := strings.HasPrefix(name, runFilePrefix) && strings.HasSuffix(name, runFileSuffix)
+		isHeap := strings.HasPrefix(name, heapFilePrefix) && strings.HasSuffix(name, heapFileSuffix)
+		if !isRun && !isHeap {
 			continue
 		}
 		if err := os.Remove(filepath.Join(dir, name)); err == nil {
@@ -126,6 +137,42 @@ func (e *Env) CreateRun() (*os.File, error) {
 		return nil, fmt.Errorf("spill: create run: %w", err)
 	}
 	return f, nil
+}
+
+// CreateHeap creates a fresh heap file for a paged table. The tag (usually
+// the table name, sanitized) makes a crashed server's leftovers attributable;
+// the pid and sequence number make the name unique.
+func (e *Env) CreateHeap(tag string) (*os.File, error) {
+	dir, err := e.Dir()
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s%d-%d-%s%s", heapFilePrefix, os.Getpid(), e.seq.Add(1), sanitizeTag(tag), heapFileSuffix)
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create heap: %w", err)
+	}
+	return f, nil
+}
+
+// sanitizeTag keeps heap-file names portable: anything outside a small safe
+// alphabet becomes '_', and long tags are truncated.
+func sanitizeTag(tag string) string {
+	const maxTag = 40
+	b := make([]byte, 0, len(tag))
+	for i := 0; i < len(tag) && len(b) < maxTag; i++ {
+		c := tag[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "t"
+	}
+	return string(b)
 }
 
 // Close removes this environment's run files; a private temp directory is

@@ -304,6 +304,74 @@ func TestKillMidSpillLeavesNoOrphans(t *testing.T) {
 	}
 }
 
+// TestKillWithHeapFilesLeavesNoOrphans simulates a SIGKILL'd server that had
+// paged tables: heap files are created and abandoned without Close. The next
+// owner of the directory must sweep them alongside stale run files, and must
+// leave unrelated files alone.
+func TestKillWithHeapFilesLeavesNoOrphans(t *testing.T) {
+	dir := t.TempDir()
+	env := NewEnv(dir)
+	for i, tag := range []string{"seq", "orders", "weird/ta g!"} {
+		f, err := env.CreateHeap(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("pagedata"), int64(i)*8192); err != nil {
+			t.Fatal(err)
+		}
+		f.Close() // file closed, never removed: the "process" dies here
+	}
+	if f, err := env.CreateRun(); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+	keep := filepath.Join(dir, "keep.db")
+	if err := os.WriteFile(keep, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := NewEnv(dir)
+	n, err := env2.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("swept %d files, want 3 heap + 1 run", n)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), heapFilePrefix) || strings.HasPrefix(e.Name(), runFilePrefix) {
+			t.Fatalf("orphan survived recovery: %s", e.Name())
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+}
+
+// TestEnvCloseRemovesHeapFiles checks a clean shutdown leaves no heap files
+// in a shared directory.
+func TestEnvCloseRemovesHeapFiles(t *testing.T) {
+	dir := t.TempDir()
+	env := NewEnv(dir)
+	f, err := env.CreateHeap("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := f.Name()
+	f.Close()
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("heap file %s survived Close", name)
+	}
+	if _, err := env.CreateHeap("seq"); err == nil {
+		t.Fatal("CreateHeap after Close succeeded")
+	}
+}
+
 // --------------------------------------------------------------------------
 // Sorter
 // --------------------------------------------------------------------------

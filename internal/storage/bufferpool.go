@@ -1,0 +1,489 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rfview/internal/sqltypes"
+)
+
+// MemBudget is the slice of spill.Budget the pool charges page residency
+// against, so the server's one -mem-budget knob governs sort spill buffers
+// and page cache together.
+type MemBudget interface {
+	Charge(n int64) bool
+	Force(n int64)
+	Release(n int64)
+}
+
+// pageKey identifies one page of one heap file.
+type pageKey struct {
+	hf  *heapFile
+	pid uint32
+}
+
+// frame is one resident page. All fields are guarded by the pool mutex,
+// except buf's contents, whose safety comes from the pin protocol: record
+// bytes are immutable once their slot is published, appends touch only
+// unpublished bytes under the owning table's write lock, and eviction
+// requires pins == 0 — so no page buffer is ever written and read
+// concurrently at the same offset.
+type frame struct {
+	key   pageKey
+	buf   []byte
+	pins  int
+	ref   bool // clock second-chance bit
+	dirty bool
+	busy  chan struct{} // non-nil while a claimant reads the page from disk
+	err   error         // load error, valid once busy is closed
+
+	// decoded caches rows already decoded from this frame's records, indexed
+	// by slot, so a warm scan pays the rowcodec decode once per residency
+	// instead of once per read. Entries are immutable once published (record
+	// bytes never change under a published slot) and die with the tenancy:
+	// the recycler clears the cache and refunds its budget charge before the
+	// frame holds another page. Accessed only while holding a pin.
+	decoded      atomic.Pointer[decodedRows]
+	decodedBytes atomic.Int64
+}
+
+// decodedRows is a frame's decoded-row cache. The slice is replaced
+// wholesale (copy + CAS) when it must grow; individual entries are published
+// with CompareAndSwap so racing decoders charge the budget at most once. A
+// store lost to a concurrent growth race only costs a redundant re-decode
+// later — the accounting still balances because the refund at clear time is
+// the sum of every successful charge.
+type decodedRows struct {
+	rows []atomic.Pointer[sqltypes.Row]
+}
+
+// cachedRow returns the decoded row cached for slot, or nil. The caller
+// must hold a pin on f.
+func (f *frame) cachedRow(slot uint16) sqltypes.Row {
+	c := f.decoded.Load()
+	if c == nil || int(slot) >= len(c.rows) {
+		return nil
+	}
+	if r := c.rows[slot].Load(); r != nil {
+		return *r
+	}
+	return nil
+}
+
+// cacheRow remembers row as the decode of slot's record, charging its
+// estimated footprint to the shared budget. A full budget just skips the
+// cache — correctness never depends on it. The caller must hold a pin on f.
+func (p *pool) cacheRow(f *frame, slot uint16, row sqltypes.Row) {
+	cost := row.MemSize()
+	if p.budget != nil && !p.budget.Charge(cost) {
+		return
+	}
+	for {
+		c := f.decoded.Load()
+		if c == nil || int(slot) >= len(c.rows) {
+			n := 16
+			if c != nil && 2*len(c.rows) > n {
+				n = 2 * len(c.rows)
+			}
+			if n <= int(slot) {
+				n = int(slot) + 1
+			}
+			nc := &decodedRows{rows: make([]atomic.Pointer[sqltypes.Row], n)}
+			if c != nil {
+				for i := range c.rows {
+					nc.rows[i].Store(c.rows[i].Load())
+				}
+			}
+			if !f.decoded.CompareAndSwap(c, nc) {
+				continue
+			}
+			c = nc
+		}
+		if c.rows[slot].CompareAndSwap(nil, &row) {
+			f.decodedBytes.Add(cost)
+		} else if p.budget != nil {
+			p.budget.Release(cost) // a concurrent decoder won; keep its copy
+		}
+		return
+	}
+}
+
+// clearDecoded drops f's decoded-row cache and refunds its budget charge.
+func (p *pool) clearDecoded(f *frame) {
+	f.decoded.Store(nil)
+	if n := f.decodedBytes.Swap(0); n > 0 && p.budget != nil {
+		p.budget.Release(n)
+	}
+}
+
+// PoolStats is a snapshot of buffer-pool state and counters.
+type PoolStats struct {
+	PageSize int `json:"page_size"`
+	// BytesResident is the pool's total charged memory: frame bytes (free
+	// frames included; they are still allocated) plus the decoded-row cache.
+	BytesResident int64 `json:"bytes_resident"`
+	// RowCacheBytes is the decoded-row cache's share of BytesResident.
+	RowCacheBytes int64 `json:"row_cache_bytes"`
+	PagesCached   int64 `json:"pages_cached"`
+	PagesPinned   int64 `json:"pages_pinned"`
+	PagesDirty    int64 `json:"pages_dirty"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Writebacks    int64 `json:"writebacks"`
+}
+
+// HitRatio returns hits/(hits+misses), or 1 when the pool is untouched.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// pool is a pin-counted page cache with clock (second-chance) eviction.
+//
+// Growth policy: a pin that misses first reuses a free frame, then grows the
+// pool if the hard cap allows it and the shared budget accepts the charge,
+// then runs the clock to evict an unpinned resident page (writing it back if
+// dirty). If every frame is pinned the pool grows anyway with a forced
+// budget overdraft — a pin must always succeed or the executor deadlocks.
+type pool struct {
+	pageSize int
+	capBytes int64 // hard cap on pool bytes; <=0 = budget-governed only
+	budget   MemBudget
+
+	mu     sync.Mutex
+	table  map[pageKey]*frame
+	frames []*frame // clock array: every frame ever allocated
+	free   []*frame // frames not holding any page
+	hand   int
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	writebacks atomic.Int64
+}
+
+func newPool(pageSize int, capBytes int64, budget MemBudget) *pool {
+	return &pool{
+		pageSize: pageSize,
+		capBytes: capBytes,
+		budget:   budget,
+		table:    make(map[pageKey]*frame),
+	}
+}
+
+func (p *pool) charge() bool {
+	if p.budget == nil {
+		return true
+	}
+	return p.budget.Charge(int64(p.pageSize))
+}
+
+// pin makes page pid of hf resident and pinned. hit reports whether the page
+// was already cached (a waiter joining an in-flight load counts as a hit: it
+// issued no IO of its own). The caller must unpin exactly once.
+func (p *pool) pin(hf *heapFile, pid uint32) (f *frame, hit bool, err error) {
+	key := pageKey{hf, pid}
+	p.mu.Lock()
+	if f := p.table[key]; f != nil {
+		f.pins++
+		f.ref = true
+		busy := f.busy
+		p.mu.Unlock()
+		if busy != nil {
+			<-busy
+			if f.err != nil {
+				err := f.err
+				p.releaseFrame(f)
+				return nil, false, err
+			}
+		}
+		p.hits.Add(1)
+		return f, true, nil
+	}
+	f, err = p.freeFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, false, err
+	}
+	ch := make(chan struct{})
+	f.key = key
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	f.err = nil
+	f.busy = ch
+	p.table[key] = f
+	p.mu.Unlock()
+
+	// Read IO happens outside the pool lock; waiters block on the busy
+	// channel and hold pins, so the frame cannot be stolen meanwhile.
+	loadErr := hf.readPage(pid, f.buf)
+	p.mu.Lock()
+	f.err = loadErr
+	f.busy = nil
+	if loadErr != nil {
+		delete(p.table, key) // no new pins; holders drain via releaseFrame
+	}
+	close(ch)
+	p.mu.Unlock()
+	if loadErr != nil {
+		p.releaseFrame(f)
+		return nil, false, loadErr
+	}
+	p.misses.Add(1)
+	return f, false, nil
+}
+
+// create makes a brand-new, zeroed, dirty, pinned frame for page pid. The
+// page is born resident, which is the invariant that lets readPage treat a
+// miss on disk as corruption: a page can only leave the pool via write-back.
+func (p *pool) create(hf *heapFile, pid uint32) (*frame, error) {
+	key := pageKey{hf, pid}
+	p.mu.Lock()
+	f, err := p.freeFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	clear(f.buf)
+	f.key = key
+	f.pins = 1
+	f.ref = true
+	f.dirty = true
+	f.err = nil
+	f.busy = nil
+	p.table[key] = f
+	p.mu.Unlock()
+	return f, nil
+}
+
+// unpin drops one pin; dirty marks the page as modified since last
+// write-back.
+func (p *pool) unpin(f *frame, dirty bool) {
+	p.mu.Lock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	p.mu.Unlock()
+}
+
+// releaseFrame drops a pin on a frame whose load failed; the last holder
+// returns it to the free list.
+func (p *pool) releaseFrame(f *frame) {
+	p.mu.Lock()
+	f.pins--
+	if f.pins == 0 {
+		f.dirty = false
+		p.free = append(p.free, f)
+	}
+	p.mu.Unlock()
+}
+
+// freeFrameLocked returns a frame not holding any page, pulling from the
+// free list, growing the pool, or evicting a victim. Called with p.mu held;
+// dirty-victim write-back happens under the lock — a deliberate
+// simplification that closes the stale-read race where another goroutine
+// re-reads the victim's old page from disk before its write-back lands.
+func (p *pool) freeFrameLocked() (*frame, error) {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.clearDecoded(f)
+		return f, nil
+	}
+	total := int64(len(p.frames)) * int64(p.pageSize)
+	underCap := p.capBytes <= 0 || total+int64(p.pageSize) <= p.capBytes
+	if underCap && p.charge() {
+		f := &frame{buf: make([]byte, p.pageSize)}
+		p.frames = append(p.frames, f)
+		return f, nil
+	}
+	// Clock scan: two full sweeps give every unpinned frame one
+	// second chance before it can be victimized.
+	for scanned := 0; scanned < 2*len(p.frames); scanned++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins > 0 || f.busy != nil {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if err := f.key.hf.writePage(f.key.pid, f.buf); err != nil {
+				return nil, err
+			}
+			f.dirty = false
+			p.writebacks.Add(1)
+		}
+		delete(p.table, f.key)
+		p.evictions.Add(1)
+		p.clearDecoded(f)
+		return f, nil
+	}
+	// Everything is pinned: grow anyway. Liveness beats the cap here —
+	// refusing would deadlock the pinning statement.
+	if p.budget != nil {
+		p.budget.Force(int64(p.pageSize))
+	}
+	f := &frame{buf: make([]byte, p.pageSize)}
+	p.frames = append(p.frames, f)
+	return f, nil
+}
+
+// flushDirty writes back every dirty, unpinned, resident page. Pinned or
+// in-flight frames are skipped — they stay dirty and flush later.
+func (p *pool) flushDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty && f.pins == 0 && f.busy == nil {
+			if err := f.key.hf.writePage(f.key.pid, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.writebacks.Add(1)
+		}
+	}
+	return nil
+}
+
+func (p *pool) stats() PoolStats {
+	p.mu.Lock()
+	s := PoolStats{
+		PageSize:      p.pageSize,
+		BytesResident: int64(len(p.frames)) * int64(p.pageSize),
+		PagesCached:   int64(len(p.table)),
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			s.PagesPinned++
+		}
+		if f.dirty {
+			s.PagesDirty++
+		}
+		s.RowCacheBytes += f.decodedBytes.Load()
+	}
+	s.BytesResident += s.RowCacheBytes
+	p.mu.Unlock()
+	s.Hits = p.hits.Load()
+	s.Misses = p.misses.Load()
+	s.Evictions = p.evictions.Load()
+	s.Writebacks = p.writebacks.Load()
+	return s
+}
+
+// close releases every frame's budget charge and drops all state.
+func (p *pool) close() {
+	p.mu.Lock()
+	total := int64(len(p.frames)) * int64(p.pageSize)
+	for _, f := range p.frames {
+		p.clearDecoded(f)
+	}
+	p.frames = nil
+	p.free = nil
+	p.table = make(map[pageKey]*frame)
+	p.mu.Unlock()
+	if p.budget != nil && total > 0 {
+		p.budget.Release(total)
+	}
+}
+
+// PagerConfig configures a Pager.
+type PagerConfig struct {
+	// PageSize in bytes; 0 means DefaultPageSize. Clamped to
+	// [MinPageSize, MaxPageSize].
+	PageSize int
+	// CapBytes is a hard cap on buffer-pool residency (the test knob
+	// RFVIEW_TEST_PAGE_CACHE); <= 0 means the shared budget alone governs
+	// growth.
+	CapBytes int64
+	// Budget is the shared memory budget page residency is charged to.
+	Budget MemBudget
+	// Env creates heap files; required.
+	Env HeapEnv
+}
+
+// Pager owns the buffer pool and the heap files of every paged table in one
+// engine. Heap files are never removed individually — DropTable may race
+// with lock-free readers still holding iterators — so files live until the
+// pager closes and the Env sweeps them. That leak is bounded by the life of
+// the process and by DDL frequency, and it keeps reads latch-free.
+type Pager struct {
+	pool     *pool
+	env      HeapEnv
+	pageSize int
+
+	mu     sync.Mutex
+	files  []*heapFile
+	closed bool
+}
+
+// NewPager builds a pager. PageSize is defaulted and clamped.
+func NewPager(cfg PagerConfig) *Pager {
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps < MinPageSize {
+		ps = MinPageSize
+	}
+	if ps > MaxPageSize {
+		ps = MaxPageSize
+	}
+	return &Pager{
+		pool:     newPool(ps, cfg.CapBytes, cfg.Budget),
+		env:      cfg.Env,
+		pageSize: ps,
+	}
+}
+
+// PageSize returns the configured page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// Stats snapshots the buffer pool.
+func (p *Pager) Stats() PoolStats { return p.pool.stats() }
+
+// FlushDirty writes back all dirty unpinned pages (checkpoint hook).
+func (p *Pager) FlushDirty() error { return p.pool.flushDirty() }
+
+// newHeapFile registers a heap file for one table.
+func (p *Pager) newHeapFile(tag string) (*heapFile, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("storage: pager closed")
+	}
+	hf := &heapFile{pager: p, tag: tag}
+	p.files = append(p.files, hf)
+	return hf, nil
+}
+
+// Close drops the pool and closes every heap file. The Env removes the
+// files from disk.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	files := p.files
+	p.files = nil
+	p.mu.Unlock()
+	p.pool.close()
+	var first error
+	for _, hf := range files {
+		if err := hf.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

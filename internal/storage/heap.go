@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+
+	"rfview/internal/sqltypes"
+)
+
+// recLoc locates one encoded row in a table's heap file. span == 0 means a
+// slotted record (page pid, slot index slot); span > 0 means a jumbo record
+// of size encoded bytes spanning span raw (headerless) pages starting at
+// pid — rows bigger than a page's record capacity get their own page run.
+type recLoc struct {
+	pid  uint32
+	slot uint16
+	span uint16
+	size uint32
+}
+
+// tableHeap is one table's paged row storage: an append-only sequence of
+// encoded rows in a heap file, cached through the shared buffer pool. All
+// appends run under the owning table's write lock, which serializes tail
+// and scratch access.
+type tableHeap struct {
+	pager *Pager
+	hf    *heapFile
+
+	tail    int64 // pid of the current fill page; -1 before the first append
+	scratch []byte
+}
+
+func newTableHeap(p *Pager, tag string) (*tableHeap, error) {
+	hf, err := p.newHeapFile(tag)
+	if err != nil {
+		return nil, err
+	}
+	return &tableHeap{pager: p, hf: hf, tail: -1}, nil
+}
+
+// append encodes row and writes it into the heap, returning its location.
+// Caller holds the table's write lock.
+func (h *tableHeap) append(row sqltypes.Row) (recLoc, error) {
+	h.scratch = sqltypes.EncodeRowData(h.scratch[:0], row)
+	rec := h.scratch
+	ps := h.pager.pageSize
+	if len(rec) > pageCap(ps) {
+		return h.appendJumbo(rec)
+	}
+	pool := h.pager.pool
+	if h.tail >= 0 {
+		f, _, err := pool.pin(h.hf, uint32(h.tail))
+		if err != nil {
+			return recLoc{}, err
+		}
+		if slot, ok := pageAppend(f.buf, rec); ok {
+			pool.unpin(f, true)
+			return recLoc{pid: uint32(h.tail), slot: slot}, nil
+		}
+		pool.unpin(f, false)
+	}
+	pid := h.hf.alloc(1)
+	f, err := pool.create(h.hf, pid)
+	if err != nil {
+		return recLoc{}, err
+	}
+	initPage(f.buf)
+	slot, ok := pageAppend(f.buf, rec)
+	if !ok {
+		pool.unpin(f, false)
+		return recLoc{}, fmt.Errorf("storage: record of %d bytes does not fit an empty %d-byte page", len(rec), ps)
+	}
+	pool.unpin(f, true)
+	h.tail = int64(pid)
+	return recLoc{pid: pid, slot: slot}, nil
+}
+
+// appendJumbo writes rec across a run of raw pages of its own. The tail
+// fill page is untouched, so small-row appends keep packing it afterwards.
+func (h *tableHeap) appendJumbo(rec []byte) (recLoc, error) {
+	ps := h.pager.pageSize
+	span := (len(rec) + ps - 1) / ps
+	if span > 0xFFFF {
+		return recLoc{}, fmt.Errorf("storage: row of %d bytes exceeds jumbo capacity", len(rec))
+	}
+	first := h.hf.alloc(span)
+	pool := h.pager.pool
+	for i, off := 0, 0; i < span; i, off = i+1, off+ps {
+		f, err := pool.create(h.hf, first+uint32(i))
+		if err != nil {
+			return recLoc{}, err
+		}
+		copy(f.buf, rec[off:min(len(rec), off+ps)])
+		pool.unpin(f, true)
+	}
+	return recLoc{pid: first, span: uint16(span), size: uint32(len(rec))}, nil
+}
+
+// readInto pins the pages holding loc and invokes fn with the encoded
+// record bytes. For slotted records fn runs with the page pinned and must
+// not retain the slice; for jumbo records the bytes are a fresh copy.
+func (h *tableHeap) readInto(loc recLoc, fn func(rec []byte) error) error {
+	pool := h.pager.pool
+	if loc.span == 0 {
+		f, _, err := pool.pin(h.hf, loc.pid)
+		if err != nil {
+			return err
+		}
+		rec, err := pageRecord(f.buf, loc.slot)
+		if err == nil {
+			err = fn(rec)
+		}
+		pool.unpin(f, false)
+		return err
+	}
+	ps := h.pager.pageSize
+	data := make([]byte, loc.size)
+	for i, off := 0, 0; i < int(loc.span); i, off = i+1, off+ps {
+		f, _, err := pool.pin(h.hf, loc.pid+uint32(i))
+		if err != nil {
+			return err
+		}
+		copy(data[off:min(int(loc.size), off+ps)], f.buf)
+		pool.unpin(f, false)
+	}
+	return fn(data)
+}
+
+// read decodes the row at loc, consulting and filling the owning frame's
+// decoded-row cache for slotted records.
+func (h *tableHeap) read(loc recLoc) (sqltypes.Row, error) {
+	if loc.span == 0 {
+		pool := h.pager.pool
+		f, _, err := pool.pin(h.hf, loc.pid)
+		if err != nil {
+			return nil, err
+		}
+		defer pool.unpin(f, false)
+		if row := f.cachedRow(loc.slot); row != nil {
+			return row, nil
+		}
+		rec, err := pageRecord(f.buf, loc.slot)
+		if err != nil {
+			return nil, err
+		}
+		row, err := sqltypes.DecodeRowData(rec)
+		if err != nil {
+			return nil, err
+		}
+		pool.cacheRow(f, loc.slot, row)
+		return row, nil
+	}
+	var row sqltypes.Row
+	err := h.readInto(loc, func(rec []byte) error {
+		r, err := sqltypes.DecodeRowData(rec)
+		row = r
+		return err
+	})
+	return row, err
+}

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout. A page is a fixed-size byte array:
+//
+//	[ header 8B ][ slot entries 8B each, growing up ] ... [ record data, growing down ]
+//
+// Header: magic (u16) | nslots (u16) | freeLow (u32). freeLow is the offset
+// of the first byte used by record data; free space is the gap between the
+// end of the slot directory and freeLow. Slot entry k at offset 8+8k holds
+// off (u32) | len (u32) of record k's bytes.
+//
+// Concurrency contract (why no per-page latch exists): appends happen only
+// under the owning table's write lock and only into bytes no reader can
+// reach yet — the record bytes land in the free gap, and the new slot entry
+// occupies a previously-unused word. Readers never read the header; they go
+// straight to a slot entry whose index they learned from the table's slot
+// directory, which is published under that same lock. So reader and writer
+// never touch the same word without an intervening happens-before edge.
+
+const (
+	pageMagic      = 0x5250 // "RP"
+	pageHeaderSize = 8
+	slotEntrySize  = 8
+
+	// DefaultPageSize is the heap page size when no -page-size is given.
+	DefaultPageSize = 8192
+
+	// MinPageSize / MaxPageSize bound configurable page sizes. The lower
+	// bound keeps at least a little record capacity per page; the upper
+	// bound keeps single-page IO sane.
+	MinPageSize = 1 << 10
+	MaxPageSize = 1 << 20
+)
+
+// initPage stamps an empty slotted page over buf.
+func initPage(buf []byte) {
+	binary.LittleEndian.PutUint16(buf[0:2], pageMagic)
+	binary.LittleEndian.PutUint16(buf[2:4], 0)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(buf)))
+}
+
+// pageNumSlots returns the number of records on the page.
+func pageNumSlots(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[2:4]))
+}
+
+// pageCap returns the largest record a single empty page of size ps can
+// hold (one slot entry plus the record bytes).
+func pageCap(ps int) int {
+	return ps - pageHeaderSize - slotEntrySize
+}
+
+// pageAppend copies rec into buf's free space and publishes a new slot
+// entry. Returns the slot index, or ok=false when the page lacks room.
+// Caller must hold the owning table's write lock.
+func pageAppend(buf []byte, rec []byte) (slot uint16, ok bool) {
+	n := pageNumSlots(buf)
+	if n >= 0xFFFF {
+		return 0, false
+	}
+	freeLow := int(binary.LittleEndian.Uint32(buf[4:8]))
+	dirEnd := pageHeaderSize + (n+1)*slotEntrySize
+	if freeLow-dirEnd < len(rec) {
+		return 0, false
+	}
+	off := freeLow - len(rec)
+	copy(buf[off:freeLow], rec)
+	ent := pageHeaderSize + n*slotEntrySize
+	binary.LittleEndian.PutUint32(buf[ent:ent+4], uint32(off))
+	binary.LittleEndian.PutUint32(buf[ent+4:ent+8], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(off))
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(n+1))
+	return uint16(n), true
+}
+
+// pageRecord returns the bytes of record slot on the page. The returned
+// slice aliases buf — callers must finish with it (decode it) before
+// unpinning the frame that owns buf.
+func pageRecord(buf []byte, slot uint16) ([]byte, error) {
+	ent := pageHeaderSize + int(slot)*slotEntrySize
+	if ent+slotEntrySize > len(buf) {
+		return nil, fmt.Errorf("storage: slot %d out of page bounds", slot)
+	}
+	off := int(binary.LittleEndian.Uint32(buf[ent : ent+4]))
+	ln := int(binary.LittleEndian.Uint32(buf[ent+4 : ent+8]))
+	if off < pageHeaderSize || ln < 0 || off+ln > len(buf) {
+		return nil, fmt.Errorf("storage: slot %d corrupt (off=%d len=%d page=%d)", slot, off, ln, len(buf))
+	}
+	return buf[off : off+ln], nil
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPageAppendRecordRoundtrip(t *testing.T) {
+	buf := make([]byte, MinPageSize)
+	initPage(buf)
+	if n := pageNumSlots(buf); n != 0 {
+		t.Fatalf("fresh page has %d slots", n)
+	}
+	var recs [][]byte
+	for i := 0; ; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i%40))))
+		slot, ok := pageAppend(buf, rec)
+		if !ok {
+			break
+		}
+		if int(slot) != i {
+			t.Fatalf("append %d landed in slot %d", i, slot)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("page accepted only %d records", len(recs))
+	}
+	if n := pageNumSlots(buf); n != len(recs) {
+		t.Fatalf("nslots = %d, want %d", n, len(recs))
+	}
+	for i, want := range recs {
+		got, err := pageRecord(buf, uint16(i))
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("slot %d: got %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestPageCapExactFit(t *testing.T) {
+	buf := make([]byte, MinPageSize)
+	initPage(buf)
+	rec := bytes.Repeat([]byte{'x'}, pageCap(MinPageSize))
+	if _, ok := pageAppend(buf, rec); !ok {
+		t.Fatal("pageCap-sized record rejected by an empty page")
+	}
+	initPage(buf)
+	if _, ok := pageAppend(buf, append(rec, 'y')); ok {
+		t.Fatal("record one byte over pageCap accepted")
+	}
+}
+
+func TestPageRecordBounds(t *testing.T) {
+	buf := make([]byte, MinPageSize)
+	initPage(buf)
+	if _, ok := pageAppend(buf, []byte("hi")); !ok {
+		t.Fatal("append failed")
+	}
+	// A slot index past the page's slot capacity must not panic.
+	if _, err := pageRecord(buf, 0xFFFF); err == nil {
+		t.Fatal("out-of-bounds slot read succeeded")
+	}
+	// A corrupt entry (unused slot word is zero: off=0 < header) must error.
+	if _, err := pageRecord(buf, 1); err == nil {
+		t.Fatal("read of unpublished slot succeeded")
+	}
+}

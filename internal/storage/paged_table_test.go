@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rfview/internal/sqltypes"
+	"rfview/internal/txn"
+)
+
+func newPagedTestTable(t *testing.T, capBytes int64) *Table {
+	t.Helper()
+	p := newTestPager(t, MinPageSize, capBytes, nil)
+	tb, err := NewPagedTable(txn.NewClock(), p, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// collect returns every visible row of tb, re-encoded for byte comparison.
+func collect(t *testing.T, tb *Table) [][]byte {
+	t.Helper()
+	var out [][]byte
+	err := tb.Scan(func(id RowID, r sqltypes.Row) bool {
+		out = append(out, sqltypes.EncodeRowData(nil, r))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+// TestPagedTableDifferential drives a paged table (2-frame pool, constant
+// eviction) and a resident table through the same mutation history and
+// requires byte-identical scans after every phase. Rows include strings big
+// enough to cross pages and jumbo rows bigger than a whole page.
+func TestPagedTableDifferential(t *testing.T) {
+	paged := newPagedTestTable(t, 2*MinPageSize)
+	resident := NewTable()
+	if !paged.Paged() || resident.Paged() {
+		t.Fatal("Paged() miswired")
+	}
+
+	mkRow := func(i int) sqltypes.Row {
+		pad := strings.Repeat(fmt.Sprintf("<%d>", i), i%97)
+		if i%53 == 0 {
+			pad = strings.Repeat("J", 3*MinPageSize+i) // jumbo: spans pages
+		}
+		return sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(pad)}
+	}
+
+	check := func(phase string) {
+		t.Helper()
+		got, want := collect(t, paged), collect(t, resident)
+		if len(got) != len(want) {
+			t.Fatalf("%s: paged has %d rows, resident %d", phase, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%s: row %d differs", phase, i)
+			}
+		}
+	}
+
+	var pids, rids []RowID
+	for i := 0; i < 300; i++ {
+		r := mkRow(i)
+		pid, err := paged.Insert(r)
+		if err != nil {
+			t.Fatalf("paged insert %d: %v", i, err)
+		}
+		rid, err := resident.Insert(r)
+		if err != nil {
+			t.Fatalf("resident insert %d: %v", i, err)
+		}
+		pids, rids = append(pids, pid), append(rids, rid)
+	}
+	check("after inserts")
+
+	for i := 0; i < 300; i += 7 {
+		r := mkRow(i + 1000)
+		npid, err := paged.Update(pids[i], r)
+		if err != nil {
+			t.Fatalf("paged update %d: %v", i, err)
+		}
+		nrid, err := resident.Update(rids[i], r)
+		if err != nil {
+			t.Fatalf("resident update %d: %v", i, err)
+		}
+		pids[i], rids[i] = npid, nrid
+	}
+	check("after updates")
+
+	for i := 3; i < 300; i += 11 {
+		if err := paged.Delete(pids[i]); err != nil {
+			t.Fatalf("paged delete %d: %v", i, err)
+		}
+		if err := resident.Delete(rids[i]); err != nil {
+			t.Fatalf("resident delete %d: %v", i, err)
+		}
+	}
+	check("after deletes")
+
+	// Point reads through the heap path.
+	for i := 0; i < 300; i += 17 {
+		if i%11 == 3 {
+			continue // deleted above
+		}
+		pr, rr := paged.Get(pids[i]), resident.Get(rids[i])
+		if pr == nil || rr == nil {
+			t.Fatalf("Get(%d): paged=%v resident=%v", i, pr, rr)
+		}
+		if !bytes.Equal(sqltypes.EncodeRowData(nil, pr), sqltypes.EncodeRowData(nil, rr)) {
+			t.Fatalf("Get(%d) differs", i)
+		}
+	}
+
+	if st := paged.heap.pager.Stats(); st.Evictions == 0 {
+		t.Fatalf("differential ran without eviction pressure: %+v", st)
+	}
+}
+
+// TestPagedTableSnapshotScanUnderEviction pins a snapshot, mutates heavily so
+// the starved pool churns, and asserts the old snapshot still reads the
+// original rows from write-backed pages.
+func TestPagedTableSnapshotScanUnderEviction(t *testing.T) {
+	tb := newPagedTestTable(t, 2*MinPageSize)
+	var ids []RowID
+	for i := 0; i < 100; i++ {
+		id, err := tb.Insert(sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(strings.Repeat("a", 200))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	snap := tb.Latest()
+	for i, id := range ids {
+		if _, err := tb.Update(id, sqltypes.Row{sqltypes.NewInt(int64(i + 5000)), sqltypes.NewString(strings.Repeat("b", 300))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := tb.ScanAt(snap, func(id RowID, r sqltypes.Row) bool {
+		if r[0].Int() != int64(n) || len(r[1].Str()) != 200 {
+			t.Fatalf("snapshot row %d reads post-snapshot data: %v", n, r[0])
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("snapshot scan saw %d rows, want 100", n)
+	}
+	if got := tb.Len(); got != 100 {
+		t.Fatalf("Len = %d after updates", got)
+	}
+}
+
+// TestPagedTableIterStats checks the iterator's page accounting: a full scan
+// of a multi-page table reports pages touched and, on a starved pool, misses.
+func TestPagedTableIterStats(t *testing.T) {
+	tb := newPagedTestTable(t, 2*MinPageSize)
+	for i := 0; i < 200; i++ {
+		if _, err := tb.Insert(sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(strings.Repeat("x", 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tb.IterAt(tb.Latest())
+	for {
+		_, r, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			break
+		}
+	}
+	st := it.Stats()
+	it.Close()
+	if st.Pages < 2 {
+		t.Fatalf("scan of a multi-page table touched %d pages", st.Pages)
+	}
+	if st.Hits+st.Misses != st.Pages {
+		t.Fatalf("stats do not add up: %+v", st)
+	}
+}

@@ -34,9 +34,16 @@ import (
 // new id and ends the old one.
 type RowID int64
 
-// slot is one immutable row version with its visibility stamps.
+// slot is one immutable row version with its visibility stamps. The payload
+// lives either inline (resident tables: row) or in the table's paged heap
+// (paged tables: loc). The stamps always stay resident and mutable — they
+// are committed/aborted/claimed in place — which is why they live in the
+// slot directory rather than the page payload: pages hold only immutable
+// encoded rows, so visibility filtering happens before any page is touched
+// and invisible versions are never decoded.
 type slot struct {
-	row   sqltypes.Row
+	row   sqltypes.Row  // resident tables only
+	loc   recLoc        // paged tables only
 	begin atomic.Uint64 // epoch, or pending stamp, or txn.Infinity = aborted
 	end   atomic.Uint64 // txn.Infinity = live, epoch or pending stamp otherwise
 }
@@ -48,6 +55,12 @@ type Table struct {
 	mu      sync.RWMutex
 	slots   []*slot
 	indexes []*IndexHandle
+
+	// heap, when non-nil, holds the encoded row payloads in slotted pages
+	// cached by a shared buffer pool; slots then carry locations instead of
+	// rows. A nil heap keeps payloads resident in the slots (library/test
+	// mode, and the differential oracle's reference configuration).
+	heap *tableHeap
 
 	clock *txn.Clock
 	live  atomic.Int64
@@ -79,6 +92,38 @@ func NewTable() *Table { return NewTableWithClock(txn.NewClock()) }
 // clock directly, so on a shared clock they must be serialized with every
 // transactional committer — in the engine both run under its write mutex.
 func NewTableWithClock(c *txn.Clock) *Table { return &Table{clock: c} }
+
+// NewPagedTable returns an empty heap table whose row payloads live in
+// slotted pages owned by pager, cached through its buffer pool, and spilled
+// to a per-table heap file when evicted. tag names the heap file (usually
+// the table name).
+func NewPagedTable(c *txn.Clock, pager *Pager, tag string) (*Table, error) {
+	h, err := newTableHeap(pager, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{clock: c, heap: h}, nil
+}
+
+// Paged reports whether this table's payloads live in the buffer pool.
+func (t *Table) Paged() bool { return t.heap != nil }
+
+// rowOf materializes the payload of a slot. On a paged table a heap IO or
+// decode failure is unrecoverable state corruption on an ephemeral file the
+// storage layer itself owns, and the read paths that land here (point
+// lookups, index builds) predate paged storage and have no error channel —
+// so it panics, Postgres-style, rather than thread errors through every
+// probe signature. Scans use Iter, which returns errors properly.
+func (t *Table) rowOf(sl *slot) sqltypes.Row {
+	if t.heap == nil {
+		return sl.row
+	}
+	row, err := t.heap.read(sl.loc)
+	if err != nil {
+		panic(fmt.Sprintf("storage: heap read: %v", err))
+	}
+	return row
+}
 
 // Clock returns the commit clock this table stamps versions from.
 func (t *Table) Clock() *txn.Clock { return t.clock }
@@ -129,9 +174,19 @@ func (t *Table) slot(id RowID) *slot {
 }
 
 // appendLocked creates a new version; the caller holds t.mu and has already
-// passed uniqueness checks.
-func (t *Table) appendLocked(row sqltypes.Row, begin uint64) (RowID, *slot) {
-	sl := &slot{row: row}
+// passed uniqueness checks. On a paged table the payload is encoded into the
+// heap, which can fail on write-back IO.
+func (t *Table) appendLocked(row sqltypes.Row, begin uint64) (RowID, *slot, error) {
+	sl := &slot{}
+	if t.heap != nil {
+		loc, err := t.heap.append(row)
+		if err != nil {
+			return 0, nil, err
+		}
+		sl.loc = loc
+	} else {
+		sl.row = row
+	}
 	sl.begin.Store(begin)
 	sl.end.Store(txn.Infinity)
 	id := RowID(len(t.slots))
@@ -139,7 +194,7 @@ func (t *Table) appendLocked(row sqltypes.Row, begin uint64) (RowID, *slot) {
 	for _, h := range t.indexes {
 		h.Idx.Insert(extractKey(row, h.Cols), id)
 	}
-	return id, sl
+	return id, sl, nil
 }
 
 // checkUnique enforces unique indexes against the would-be row. The caller
@@ -147,8 +202,11 @@ func (t *Table) appendLocked(row sqltypes.Row, begin uint64) (RowID, *slot) {
 // inserts of the same key cannot both pass, because the second probe sees
 // the first one's pending version. txnID 0 means an immediate
 // (non-transactional) writer; exclude names a version being replaced by an
-// update (-1 for none).
-func (t *Table) checkUnique(row sqltypes.Row, txnID uint64, exclude RowID) error {
+// update (-1 for none); snap is the writer's snapshot, which splits the
+// committed-live case into a true duplicate (the writer can see the holder)
+// and a first-committer-wins conflict (the holder committed after the
+// writer's snapshot — retryable, so it must carry the conflict code).
+func (t *Table) checkUnique(row sqltypes.Row, txnID uint64, exclude RowID, snap txn.Snapshot) error {
 	for _, h := range t.indexes {
 		if !h.Unique {
 			continue
@@ -180,7 +238,15 @@ func (t *Table) checkUnique(row sqltypes.Row, txnID uint64, exclude RowID) error
 			// Committed version.
 			switch {
 			case e == txn.Infinity:
-				dup = true
+				if b > snap.Epoch {
+					// Live, but committed after the writer's snapshot: the
+					// collision comes from a concurrent commit the writer
+					// never saw, so classify it as a conflict, not a
+					// duplicate.
+					conflict = true
+				} else {
+					dup = true
+				}
 				return false
 			case txn.Pending(e):
 				if txnID != 0 && txn.Owner(e) == txnID {
@@ -261,10 +327,13 @@ func (r slotRef) AbortWrite(op txn.Op) {
 func (t *Table) Insert(row sqltypes.Row) (RowID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.checkUnique(row, 0, -1); err != nil {
+	if err := t.checkUnique(row, 0, -1, t.Latest()); err != nil {
 		return 0, err
 	}
-	id, _ := t.appendLocked(row, t.clock.Tick())
+	id, _, err := t.appendLocked(row, t.clock.Tick())
+	if err != nil {
+		return 0, err
+	}
 	t.live.Add(1)
 	t.version.Add(1)
 	return id, nil
@@ -298,15 +367,24 @@ func (t *Table) Update(id RowID, row sqltypes.Row) (RowID, error) {
 	if !txn.Visible(sl.begin.Load(), sl.end.Load(), t.Latest()) {
 		return 0, fmt.Errorf("update: row %d does not exist", id)
 	}
-	if err := t.checkUnique(row, 0, id); err != nil {
+	if err := t.checkUnique(row, 0, id, t.Latest()); err != nil {
+		return 0, err
+	}
+	// Append the new version before ending the old one: a heap IO failure
+	// then leaves the old version live and the table consistent (the
+	// orphaned new payload is unreferenced). The Infinity begin stamp keeps
+	// the new version invisible until it is committed below.
+	nid, nsl, err := t.appendLocked(row, txn.Infinity)
+	if err != nil {
 		return 0, err
 	}
 	if err := claimEnd(sl, 0); err != nil {
+		nsl.begin.Store(txn.Infinity) // abort the orphan: never visible
 		return 0, err
 	}
 	e := t.clock.Tick()
 	sl.end.Store(e)
-	nid, _ := t.appendLocked(row, e)
+	nsl.begin.Store(e)
 	t.version.Add(1)
 	return nid, nil
 }
@@ -330,10 +408,13 @@ func (t *Table) writable(sl *slot, tx *txn.Txn) bool {
 func (t *Table) InsertTx(tx *txn.Txn, row sqltypes.Row) (RowID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.checkUnique(row, tx.ID, -1); err != nil {
+	if err := t.checkUnique(row, tx.ID, -1, tx.Snap); err != nil {
 		return 0, err
 	}
-	id, sl := t.appendLocked(row, txn.PendingStamp(tx.ID))
+	id, sl, err := t.appendLocked(row, txn.PendingStamp(tx.ID))
+	if err != nil {
+		return 0, err
+	}
 	tx.Record(slotRef{t, sl}, txn.OpInsert)
 	tx.Touch(t)
 	return id, nil
@@ -368,14 +449,18 @@ func (t *Table) UpdateTx(tx *txn.Txn, id RowID, row sqltypes.Row) (RowID, error)
 	if !t.writable(sl, tx) {
 		return 0, fmt.Errorf("update: row %d does not exist", id)
 	}
-	if err := t.checkUnique(row, tx.ID, id); err != nil {
+	if err := t.checkUnique(row, tx.ID, id, tx.Snap); err != nil {
+		return 0, err
+	}
+	nid, nsl, err := t.appendLocked(row, txn.PendingStamp(tx.ID))
+	if err != nil {
 		return 0, err
 	}
 	if err := claimEnd(sl, tx.ID); err != nil {
+		nsl.begin.Store(txn.Infinity) // abort the orphan: never visible
 		return 0, err
 	}
 	tx.Record(slotRef{t, sl}, txn.OpDelete)
-	nid, nsl := t.appendLocked(row, txn.PendingStamp(tx.ID))
 	tx.Record(slotRef{t, nsl}, txn.OpInsert)
 	tx.Touch(t)
 	return nid, nil
@@ -393,25 +478,32 @@ func (t *Table) GetAt(id RowID, s txn.Snapshot) sqltypes.Row {
 	if sl == nil || !txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
 		return nil
 	}
-	return sl.row
+	return t.rowOf(sl)
 }
 
 // Scan invokes fn for every row live at the latest snapshot, in row-id
 // order, stopping early if fn returns false. fn may mutate the table: the
 // iteration runs over a copied directory header and holds no lock.
-func (t *Table) Scan(fn func(id RowID, row sqltypes.Row) bool) {
-	t.ScanAt(t.Latest(), fn)
+func (t *Table) Scan(fn func(id RowID, row sqltypes.Row) bool) error {
+	return t.ScanAt(t.Latest(), fn)
 }
 
 // ScanAt invokes fn for every row version visible in s, in row-id order,
-// stopping early if fn returns false.
-func (t *Table) ScanAt(s txn.Snapshot, fn func(id RowID, row sqltypes.Row) bool) {
-	for i, sl := range t.view() {
-		if !txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
-			continue
+// stopping early if fn returns false. The error is a paged-heap IO or
+// decode failure; resident tables never fail.
+func (t *Table) ScanAt(s txn.Snapshot, fn func(id RowID, row sqltypes.Row) bool) error {
+	it := t.IterAt(s)
+	defer it.Close()
+	for {
+		id, row, err := it.Next()
+		if err != nil {
+			return err
 		}
-		if !fn(RowID(i), sl.row) {
-			return
+		if row == nil {
+			return nil
+		}
+		if !fn(id, row) {
+			return nil
 		}
 	}
 }
@@ -448,7 +540,7 @@ func (t *Table) lookupVisible(h *IndexHandle, key sqltypes.Row, s txn.Snapshot, 
 	h.Idx.Lookup(key, func(id RowID) bool {
 		sl := t.slots[id]
 		if txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
-			matches = append(matches, match{id, sl.row})
+			matches = append(matches, match{id, t.rowOf(sl)})
 		}
 		return true
 	})
@@ -494,7 +586,7 @@ func (t *Table) AddIndex(name string, cols []int, unique bool, ordered bool) (*I
 		if b == txn.Infinity {
 			continue // aborted insert: no snapshot can ever see it
 		}
-		key := extractKey(sl.row, h.Cols)
+		key := extractKey(t.rowOf(sl), h.Cols)
 		if unique && possiblyLive(sl) {
 			var dup bool
 			idx.Lookup(key, func(prev RowID) bool {
@@ -563,16 +655,22 @@ func (t *Table) IndexOn(cols []int) *IndexHandle {
 func (t *Table) SortedRowIDs(cols []int) []RowID {
 	slots := t.view()
 	s := t.Latest()
-	ids := make([]RowID, 0, len(slots))
+	// Extract the key columns once per row before sorting: on a paged table
+	// the comparator must not decode pages O(n log n) times.
+	type idKey struct {
+		id  RowID
+		key sqltypes.Row
+	}
+	arr := make([]idKey, 0, len(slots))
 	for i, sl := range slots {
 		if txn.Visible(sl.begin.Load(), sl.end.Load(), s) {
-			ids = append(ids, RowID(i))
+			arr = append(arr, idKey{RowID(i), extractKey(t.rowOf(sl), cols)})
 		}
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		ra, rb := slots[ids[a]].row, slots[ids[b]].row
-		for _, c := range cols {
-			cmp, err := sqltypes.Compare(ra[c], rb[c])
+	sort.SliceStable(arr, func(a, b int) bool {
+		ka, kb := arr[a].key, arr[b].key
+		for c := range cols {
+			cmp, err := sqltypes.Compare(ka[c], kb[c])
 			if err != nil || cmp == 0 {
 				continue
 			}
@@ -580,6 +678,10 @@ func (t *Table) SortedRowIDs(cols []int) []RowID {
 		}
 		return false
 	})
+	ids := make([]RowID, len(arr))
+	for i, e := range arr {
+		ids[i] = e.id
+	}
 	return ids
 }
 

@@ -195,6 +195,13 @@ func (m *Manager) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
+	// Quiesce paged storage too: write back dirty pages so the heap files on
+	// disk are consistent with the snapshot just captured. Not needed for
+	// durability — heap files are scratch, rebuilt from the snapshot + WAL on
+	// recovery — but it keeps eviction off the post-checkpoint hot path.
+	if err := m.eng.FlushStorage(); err != nil {
+		return err
+	}
 	if err := writeSnapshot(m.opts.Dir, snap); err != nil {
 		return err
 	}

@@ -25,14 +25,16 @@ func captureState(e *engine.Engine, lsn uint64) (*Snapshot, error) {
 		for _, c := range t.Columns {
 			st.Columns = append(st.Columns, SnapColumn{Name: c.Name, Type: uint8(c.Type)})
 		}
-		t.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
+		if err := t.Heap.Scan(func(_ storage.RowID, row sqltypes.Row) bool {
 			out := make([]SnapDatum, len(row))
 			for i, d := range row {
 				out[i] = dumpDatum(d)
 			}
 			st.Rows = append(st.Rows, out)
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 		for _, idx := range t.Indexes {
 			snap.Indexes = append(snap.Indexes, SnapIndex{
 				Name: idx.Name, Table: idx.Table, Columns: idx.Columns,

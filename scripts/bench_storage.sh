@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_storage.sh — paged heap storage scan grid and out-of-core sweep.
+#
+# Runs rfbench's storage experiment: a full-table scan timed per size
+# (10k/100k/1M rows) in three modes — resident (paged storage off, the
+# in-memory baseline), warm (paged, pool holds the table), cold (paged, pool
+# starved to ~1/16 of the heap) — then all five reporting-function
+# evaluation strategies over a 1M-row dataset under a 4 MiB budget. The JSON
+# report lands in BENCH_storage.json at the repo root. The headline number
+# is warm_over_resident: the warm-cache paged scan must stay within 15% of
+# the in-memory baseline.
+#
+# Usage: scripts/bench_storage.sh [-quick]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+ARGS=()
+if [[ "${1:-}" == "-quick" ]]; then
+  ARGS+=(-quick)
+fi
+
+go run ./cmd/rfbench -exp storage -json "${ARGS[@]}" > "$ROOT/BENCH_storage.json"
+
+echo "wrote $ROOT/BENCH_storage.json" >&2
+python3 - "$ROOT/BENCH_storage.json" <<'PY' >&2
+import json, sys
+d = json.load(open(sys.argv[1]))
+print("warm/resident scan ratio by size:", d.get("warm_over_resident"))
+for r in d["scan_grid"]:
+    print("  n=%-8d %-9s median %7.2fms  hits=%d misses=%d evictions=%d" % (
+        r["n"], r["mode"], r["median_ms"], r["hits"], r["misses"], r["evictions"]))
+print("out-of-core strategies (n=%d, budget=%d bytes):" % (
+    d["workload"]["strategy_n"], d["workload"]["budget_bytes"]))
+for s in d["strategies"]:
+    print("  %-10s %9.1fms  evictions=%d writebacks=%d" % (
+        s["strategy"], s["elapsed_ms"], s["evictions"], s["writebacks"]))
+PY
